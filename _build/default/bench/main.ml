@@ -1,0 +1,325 @@
+(** Benchmark harness.
+
+    Running this executable regenerates every table and figure of the
+    paper's evaluation section (Section VI) from the simulator, prints
+    the ablation studies DESIGN.md calls out, and finishes with
+    bechamel microbenchmarks of the compiler itself (one [Test.make]
+    per component).
+
+    Usage: [dune exec bench/main.exe] (everything), or pass experiment
+    names ([fig1 fig4 table2 fig10 fig11 fig12 fig13 fig14 fig15
+    table3 ablations micro]). *)
+
+let cfg = Machine.Config.paper_default
+
+(* {1 Ablations} *)
+
+(* Block-count sweep: the Section III-B model against the event-driven
+   simulator, on blackscholes. *)
+let ablation_blocks () =
+  let w = Workloads.Registry.find_exn "blackscholes" in
+  let shape = w.Workloads.Workload.shape in
+  let d =
+    Machine.Cost.transfer_time cfg Machine.Cost.H2d
+      ~bytes:shape.Runtime.Plan.bytes_in
+  in
+  let c =
+    Machine.Cost.mic_time cfg shape.Runtime.Plan.kernel
+      ~iters:shape.Runtime.Plan.iters
+  in
+  let params =
+    {
+      Transforms.Block_size.transfer_s = d;
+      compute_s = c;
+      launch_s = Machine.Cost.launch_time cfg;
+    }
+  in
+  let rows =
+    List.map
+      (fun n ->
+        let model = Transforms.Block_size.streamed_time params ~nblocks:n in
+        let sim =
+          Runtime.Schedule_gen.region_time cfg shape
+            (Runtime.Plan.streamed ~nblocks:n ~persistent:false ())
+        in
+        [
+          string_of_int n;
+          Printf.sprintf "%.4f" model;
+          Printf.sprintf "%.4f" sim;
+          Printf.sprintf "%.2f" (Transforms.Block_size.speedup params ~nblocks:n);
+        ])
+      [ 1; 2; 5; 10; 20; 40; 50; 100 ]
+  in
+  Experiments.Tables.print
+    ~title:
+      (Printf.sprintf
+         "Ablation: block count on blackscholes (model optimum N*=%d)"
+         (Transforms.Block_size.optimal_blocks params))
+    ~header:[ "N"; "model T(N) s"; "simulated s"; "model speedup" ]
+    rows
+
+(* Thread reuse: per-block launch versus one persistent kernel fed by
+   COI signals, across block counts. *)
+let ablation_thread_reuse () =
+  let w = Workloads.Registry.find_exn "kmeans" in
+  let shape = w.Workloads.Workload.shape in
+  let rows =
+    List.map
+      (fun n ->
+        let t p =
+          Runtime.Schedule_gen.region_time cfg shape
+            (Runtime.Plan.streamed ~nblocks:n ~persistent:p ())
+        in
+        [
+          string_of_int n;
+          Printf.sprintf "%.4f" (t false);
+          Printf.sprintf "%.4f" (t true);
+          Printf.sprintf "%.2f" (t false /. t true);
+        ])
+      [ 5; 10; 20; 50 ]
+  in
+  Experiments.Tables.print
+    ~title:"Ablation: thread reuse (kmeans, launch per block vs signals)"
+    ~header:[ "N"; "relaunch s"; "persistent s"; "gain" ]
+    rows
+
+(* Segment size for the shared-memory mechanism (the paper observes
+   256 MB granularity gives ferret its 7.81x). *)
+let ablation_seg_size () =
+  let w = Workloads.Registry.find_exn "ferret" in
+  let shape = w.Workloads.Workload.shape in
+  let myo = Runtime.Schedule_gen.region_time cfg shape Runtime.Plan.Shared_myo in
+  let rows =
+    List.map
+      (fun mb ->
+        let t =
+          Runtime.Schedule_gen.region_time cfg shape
+            (Runtime.Plan.Shared_segbuf { seg_bytes = mb * 1024 * 1024 })
+        in
+        [ string_of_int mb; Printf.sprintf "%.4f" t;
+          Printf.sprintf "%.2f" (myo /. t) ])
+      [ 1; 4; 16; 64; 256 ]
+  in
+  Experiments.Tables.print
+    ~title:
+      (Printf.sprintf
+         "Ablation: segment size for ferret (MYO baseline %.4f s)" myo)
+    ~header:[ "seg MB"; "segbuf s"; "speedup over MYO" ]
+    rows
+
+(* Launch-overhead sensitivity of offload merging. *)
+let ablation_launch_overhead () =
+  let w = Workloads.Registry.find_exn "streamcluster" in
+  let shape = w.Workloads.Workload.shape in
+  let rows =
+    List.map
+      (fun k ->
+        let cfg =
+          {
+            cfg with
+            Machine.Config.mic =
+              { cfg.Machine.Config.mic with launch_overhead_s = k };
+          }
+        in
+        let naive =
+          Runtime.Schedule_gen.region_time cfg shape Runtime.Plan.Naive_offload
+        in
+        let merged =
+          Runtime.Schedule_gen.region_time cfg shape (Runtime.Plan.merged ())
+        in
+        [
+          Printf.sprintf "%.0f us" (k *. 1e6);
+          Printf.sprintf "%.3f" naive;
+          Printf.sprintf "%.3f" merged;
+          Printf.sprintf "%.1f" (naive /. merged);
+        ])
+      [ 1e-5; 1e-4; 1e-3; 5e-3 ]
+  in
+  Experiments.Tables.print
+    ~title:"Ablation: merging gain vs kernel-launch overhead (streamcluster)"
+    ~header:[ "K"; "naive s"; "merged s"; "merging gain" ]
+    rows
+
+(* Double-buffering: time cost vs memory saved, nn. *)
+let ablation_double_buffer () =
+  let w = Workloads.Registry.find_exn "nn" in
+  let shape = w.Workloads.Workload.shape in
+  let rows =
+    List.map
+      (fun n ->
+        let t db =
+          Runtime.Schedule_gen.region_time cfg shape
+            (Runtime.Plan.streamed ~nblocks:n ~double_buffered:db ())
+        in
+        let mem db =
+          Runtime.Mem_usage.relative shape
+            (Runtime.Plan.streamed ~nblocks:n ~double_buffered:db ())
+        in
+        [
+          string_of_int n;
+          Printf.sprintf "%.4f" (t false);
+          Printf.sprintf "%.4f" (t true);
+          Printf.sprintf "%.0f%%" (100. *. mem false);
+          Printf.sprintf "%.0f%%" (100. *. mem true);
+        ])
+      [ 5; 10; 20; 50 ]
+  in
+  Experiments.Tables.print
+    ~title:"Ablation: double buffering on nn (time vs device memory)"
+    ~header:[ "N"; "full-buf s"; "dbuf s"; "full-buf mem"; "dbuf mem" ]
+    rows
+
+(* Execution-driven validation: replay the miniature blackscholes
+   kernel (original, streamed, merged-style variants) and check that
+   the schedule reconstructed from the actual generated code shows the
+   same ordering as the shape-based model. *)
+let ablation_replay () =
+  let params =
+    { Runtime.Replay.bytes_per_cell = 2e6; seconds_per_stmt = 2e-5 }
+  in
+  let rcfg =
+    { cfg with Machine.Config.mic = { cfg.Machine.Config.mic with launch_overhead_s = 1e-4 } }
+  in
+  let prog =
+    Minic.Parser.program_of_string_exn
+      (Workloads.Registry.find_exn "blackscholes").source
+  in
+  let region = List.hd (Analysis.Offload_regions.offloaded prog) in
+  let events p =
+    match Minic.Interp.run p with
+    | Ok o -> o.Minic.Interp.events
+    | Error e -> failwith e
+  in
+  let row label p =
+    let evs = events p in
+    let r = Runtime.Replay.schedule ~params rcfg evs in
+    let kernels =
+      List.length
+        (List.filter
+           (function Minic.Interp.Ev_kernel _ -> true | _ -> false)
+           evs)
+    in
+    [ label; string_of_int kernels; Printf.sprintf "%.4f" r.Machine.Engine.makespan ]
+  in
+  let streamed n =
+    Result.get_ok (Transforms.Streaming.transform ~nblocks:n prog region)
+  in
+  Experiments.Tables.print
+    ~title:
+      "Ablation: execution-driven replay of blackscholes"
+    ~header:[ "variant"; "kernel launches"; "replayed makespan s" ]
+    [
+      row "original offload" prog;
+      row "streamed, 4 blocks" (streamed 4);
+      row "streamed, 8 blocks" (streamed 8);
+      row "streamed, 8 blocks, double-buffered"
+        (Result.get_ok
+           (Transforms.Streaming.transform ~nblocks:8
+              ~memory:Transforms.Streaming.Double_buffered prog region));
+    ]
+
+let ablations () =
+  ablation_blocks ();
+  ablation_thread_reuse ();
+  ablation_seg_size ();
+  ablation_launch_overhead ();
+  ablation_double_buffer ();
+  ablation_replay ()
+
+(* {1 Bechamel microbenchmarks of the compiler itself} *)
+
+let micro () =
+  let open Bechamel in
+  let source = (Workloads.Registry.find_exn "blackscholes").source in
+  let prog = Minic.Parser.program_of_string_exn source in
+  let region = List.hd (Analysis.Offload_regions.offloaded prog) in
+  let shape = (Workloads.Registry.find_exn "blackscholes").shape in
+  let img, objs =
+    let t = Runtime.Segbuf.create ~seg_cells:256 () in
+    let objs =
+      Array.init 512 (fun i ->
+          let p = Runtime.Segbuf.alloc t 4 in
+          Runtime.Segbuf.set t p 0 i;
+          p)
+    in
+    (Runtime.Segbuf.Image.of_segbuf t, objs)
+  in
+  let tests =
+    [
+      Test.make ~name:"parse blackscholes kernel"
+        (Staged.stage (fun () ->
+             ignore (Minic.Parser.program_of_string_exn source)));
+      Test.make ~name:"typecheck blackscholes kernel"
+        (Staged.stage (fun () ->
+             ignore (Minic.Typecheck.check_program prog)));
+      Test.make ~name:"streaming transform"
+        (Staged.stage (fun () ->
+             ignore (Transforms.Streaming.transform ~nblocks:10 prog region)));
+      Test.make ~name:"full optimize pipeline"
+        (Staged.stage (fun () -> ignore (Comp.optimize prog)));
+      Test.make ~name:"pretty-print program"
+        (Staged.stage (fun () ->
+             ignore (Minic.Pretty.program_to_string prog)));
+      Test.make ~name:"schedule streamed plan (20 blocks)"
+        (Staged.stage (fun () ->
+             ignore
+               (Runtime.Schedule_gen.region_time cfg shape
+                  (Runtime.Plan.streamed ~nblocks:20 ()))));
+      Test.make ~name:"xptr delta translation (512 ptrs)"
+        (Staged.stage (fun () ->
+             Array.iter
+               (fun p ->
+                 ignore
+                   (Runtime.Xptr.translate img.Runtime.Segbuf.Image.delta p))
+               objs));
+      Test.make ~name:"xptr scan translation (512 ptrs)"
+        (Staged.stage (fun () ->
+             Array.iter
+               (fun p ->
+                 ignore
+                   (Runtime.Xptr.translate_by_scan
+                      img.Runtime.Segbuf.Image.bounds p))
+               objs));
+    ]
+  in
+  let benchmark test =
+    let instance = Toolkit.Instance.monotonic_clock in
+    let bcfg =
+      Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~stabilize:false ()
+    in
+    let raw = Benchmark.run bcfg [ instance ] test in
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+    in
+    let est = Analyze.one ols instance raw in
+    match Analyze.OLS.estimates est with Some [ t ] -> t | _ -> nan
+  in
+  Printf.printf "\n== Microbenchmarks (bechamel, ns/run) ==\n";
+  List.iter
+    (fun test ->
+      List.iter
+        (fun (name, ns) -> Printf.printf "  %-40s %12.1f ns\n" name ns)
+        (List.map (fun b -> (Test.Elt.name b, benchmark b)) (Test.elements test)))
+    tests
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let run_named = function
+    | "ablations" -> ablations ()
+    | "micro" -> micro ()
+    | name -> (
+        match List.assoc_opt name Experiments.All.by_name with
+        | Some f -> f ()
+        | None ->
+            Printf.eprintf "unknown experiment %s; known: %s ablations micro\n"
+              name
+              (String.concat " " Experiments.All.names);
+            exit 1)
+  in
+  match args with
+  | [] ->
+      Experiments.All.print_all ();
+      ablations ();
+      Experiments.Sensitivity.print ();
+      micro ()
+  | names -> List.iter run_named names

@@ -1,0 +1,278 @@
+(** compc — the COMP command-line driver.
+
+    Subcommands:
+    - [parse FILE]      parse + typecheck a MiniC file, print the AST-
+                        round-tripped source
+    - [optimize FILE]   run the full pass pipeline, print the rewritten
+                        source and a pass report
+    - [run FILE]        interpret a MiniC program on the dual-space
+                        reference interpreter
+    - [simulate NAME]   time a benchmark's variants on the machine model
+                        and print the schedule
+    - [report [EXP]]    print the paper's tables/figures
+    - [list]            list benchmark models *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load path =
+  match Minic.Parser.program_of_string (read_file path) with
+  | Ok prog -> (
+      match Minic.Typecheck.check_program prog with
+      | Ok _ -> Ok prog
+      | Error e -> Error (Printf.sprintf "%s: type error: %s" path e))
+  | Error e -> Error (Printf.sprintf "%s: %s" path e)
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+      prerr_endline msg;
+      exit 1
+
+(* --- parse --- *)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+
+let parse_cmd =
+  let run file =
+    let prog = or_die (load file) in
+    print_string (Minic.Pretty.program_to_string prog)
+  in
+  Cmd.v (Cmd.info "parse" ~doc:"Parse and typecheck a MiniC file")
+    Term.(const run $ file_arg)
+
+(* --- optimize --- *)
+
+let optimize_cmd =
+  let nblocks =
+    Arg.(value & opt int 10 & info [ "nblocks"; "n" ] ~doc:"Streaming block count")
+  in
+  let full_buffers =
+    Arg.(
+      value & flag
+      & info [ "full-buffers" ]
+          ~doc:"Use full-size device buffers instead of double buffering")
+  in
+  let only =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "only" ] ~docv:"PASSES"
+          ~doc:
+            "Comma-separated subset of passes to run (insert-offload, \
+             shared-memory, regularization, merge-offloads, \
+             data-streaming, vectorization)")
+  in
+  let run file nblocks full only =
+    let prog = or_die (load file) in
+    let memory =
+      if full then Transforms.Streaming.Full
+      else Transforms.Streaming.Double_buffered
+    in
+    let passes =
+      match only with
+      | None -> Comp.all_passes
+      | Some names ->
+          List.map
+            (fun n ->
+              match Comp.pass_of_name (String.trim n) with
+              | Some p -> p
+              | None ->
+                  Printf.eprintf "unknown pass %s (known: %s)\n" n
+                    (String.concat ", "
+                       (List.map Comp.pass_name Comp.all_passes));
+                  exit 1)
+            (String.split_on_char ',' names)
+    in
+    let prog', applied = Comp.optimize ~passes ~nblocks ~memory prog in
+    Format.eprintf "// %a@." Comp.pp_applied applied;
+    print_string (Minic.Pretty.program_to_string prog')
+  in
+  Cmd.v
+    (Cmd.info "optimize"
+       ~doc:"Apply the COMP source-to-source optimizations to a MiniC file")
+    Term.(const run $ file_arg $ nblocks $ full_buffers $ only)
+
+(* --- run --- *)
+
+let run_cmd =
+  let fuel =
+    Arg.(value & opt int 10_000_000 & info [ "fuel" ] ~doc:"Statement budget")
+  in
+  let optimize_first =
+    Arg.(
+      value & flag
+      & info [ "O" ] ~doc:"Optimize before running (checks the rewrite too)")
+  in
+  let replay =
+    Arg.(
+      value & flag
+      & info [ "replay" ]
+          ~doc:
+            "After running, replay the offload event trace on the machine \
+             model and print the reconstructed schedule (execution-driven \
+             timing)")
+  in
+  let run file fuel opt replay =
+    let prog = or_die (load file) in
+    let prog = if opt then fst (Comp.optimize prog) else prog in
+    match Minic.Interp.run ~fuel prog with
+    | Ok o ->
+        print_string o.Minic.Interp.output;
+        Printf.eprintf
+          "// offloads=%d transfers=%d cells h2d=%d d2h=%d mic-alloc=%d\n"
+          o.stats.Minic.Interp.offloads o.stats.Minic.Interp.transfers
+          o.stats.Minic.Interp.cells_h2d o.stats.Minic.Interp.cells_d2h
+          o.stats.Minic.Interp.mic_alloc_cells;
+        if replay then begin
+          let r =
+            Runtime.Replay.schedule Machine.Config.paper_default
+              o.Minic.Interp.events
+          in
+          Printf.eprintf "// replayed schedule (1 cell = %.0f KB):\n"
+            (Runtime.Replay.default_params.Runtime.Replay.bytes_per_cell
+           /. 1024.);
+          prerr_string (Machine.Trace.gantt ~width:64 r);
+          Format.eprintf "%a" Machine.Trace.pp_summary r
+        end
+    | Error e ->
+        Printf.eprintf "runtime error: %s\n" e;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Interpret a MiniC program (dual-space reference)")
+    Term.(const run $ file_arg $ fuel $ optimize_first $ replay)
+
+(* --- simulate --- *)
+
+let bench_arg =
+  Arg.(
+    required
+    & pos 0 (some (Arg.enum (List.map (fun n -> (n, n)) Workloads.Registry.names))) None
+    & info [] ~docv:"BENCHMARK")
+
+let simulate_cmd =
+  let gantt =
+    Arg.(value & flag & info [ "gantt" ] ~doc:"Print a text Gantt chart")
+  in
+  let run name gantt =
+    let w = Workloads.Registry.find_exn name in
+    let variants =
+      [
+        ("cpu", Comp.Cpu_parallel);
+        ("mic-naive", Comp.Mic_naive);
+        ("mic-optimized", Comp.Mic_optimized);
+      ]
+    in
+    List.iter
+      (fun (label, v) ->
+        let t = Comp.simulate w v in
+        Printf.printf "%-14s %10.4f s\n" label t;
+        if gantt && v <> Comp.Cpu_parallel then begin
+          let s = Comp.schedule w v in
+          print_string (Machine.Trace.gantt s);
+          Format.printf "%a" Machine.Trace.pp_summary s
+        end)
+      variants
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Time a benchmark's variants on the simulated host + MIC")
+    Term.(const run $ bench_arg $ gantt)
+
+(* --- report --- *)
+
+let report_cmd =
+  let exp =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"EXPERIMENT"
+          ~doc:"One of fig1 fig4 table2 fig10 fig11 fig12 fig13 fig14 fig15 \
+                table3; omit for all")
+  in
+  let run exp =
+    match exp with
+    | None -> Experiments.All.print_all ()
+    | Some name -> (
+        match List.assoc_opt name Experiments.All.by_name with
+        | Some f -> f ()
+        | None ->
+            Printf.eprintf "unknown experiment %s (known: %s)\n" name
+              (String.concat " " Experiments.All.names);
+            exit 1)
+  in
+  Cmd.v
+    (Cmd.info "report" ~doc:"Regenerate the paper's tables and figures")
+    Term.(const run $ exp)
+
+(* --- analyze --- *)
+
+let analyze_cmd =
+  let bench =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "bench" ] ~docv:"NAME"
+          ~doc:"Analyze a bundled benchmark model instead of a file")
+  in
+  let file =
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE")
+  in
+  let run bench file =
+    let prog =
+      match (bench, file) with
+      | Some name, _ ->
+          Workloads.Workload.program (Workloads.Registry.find_exn name)
+      | None, Some f -> or_die (load f)
+      | None, None ->
+          prerr_endline "analyze: need FILE or --bench NAME";
+          exit 1
+    in
+    print_string (Comp.explain prog)
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Explain, per region, which optimizations apply and why")
+    Term.(const run $ bench $ file)
+
+(* --- list --- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (w : Workloads.Workload.t) ->
+        let a = Comp.analyze w in
+        let opts =
+          List.filter_map Fun.id
+            [
+              (if a.Comp.streaming then Some "streaming" else None);
+              (if a.Comp.merging then Some "merging" else None);
+              (if a.Comp.regularization <> [] then Some "regularization"
+               else None);
+              (if a.Comp.shared_memory then Some "shared-memory" else None);
+            ]
+        in
+        Printf.printf "%-14s %-8s %-28s [%s]\n" w.name w.suite w.input_desc
+          (String.concat ", " opts))
+      Workloads.Registry.all
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List benchmark models and applicable optimizations")
+    Term.(const run $ const ())
+
+let () =
+  let doc = "COMP: compiler optimizations for manycore processors" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "compc" ~doc)
+          [
+            parse_cmd; optimize_cmd; run_cmd; simulate_cmd; report_cmd;
+            analyze_cmd; list_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/merge_streamcluster.ml: List Machine Minic Printf Result Runtime String Transforms Workloads

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Analysis Comp Format List Minic Printf String Workloads

@@ -1,0 +1,1 @@
+examples/regularize_srad.ml: Analysis List Minic Option Printf Result Runtime String Transforms Workloads

@@ -1,0 +1,1 @@
+examples/regularize_srad.mli:

@@ -1,0 +1,1 @@
+examples/shared_ferret.ml: Format List Machine Minic Myo Option Plan Printf Runtime Schedule_gen Segbuf String Workloads Xptr

@@ -1,0 +1,1 @@
+examples/streaming_blackscholes.ml: Analysis Format List Machine Minic Printf Result Runtime String Transforms Workloads

@@ -1,0 +1,50 @@
+(** Offload merging (Section III-C, Figure 6) on the streamcluster
+    pattern: a host loop launching several small offloads per iteration
+    becomes a single big offload; launches collapse from hundreds to
+    one.
+
+    Run with: [dune exec examples/merge_streamcluster.exe] *)
+
+let cfg = Machine.Config.paper_default
+
+let () =
+  let w = Workloads.Registry.find_exn "streamcluster" in
+  let prog = Workloads.Workload.program w in
+
+  (* 1. the compiler finds the mergeable site *)
+  let sites = Transforms.Merge_offload.sites prog in
+  Printf.printf "mergeable sites: %d (inner offloads: %d)\n"
+    (List.length sites)
+    (List.length (List.hd sites).Transforms.Merge_offload.specs);
+
+  (* 2. merge and show the rewritten source *)
+  let merged =
+    Result.get_ok
+      (Transforms.Merge_offload.transform_site prog (List.hd sites))
+  in
+  print_endline "---- merged source ----";
+  print_string (Minic.Pretty.program_to_string merged);
+
+  (* 3. launch counts, measured by the reference interpreter *)
+  let launches p =
+    (Result.get_ok (Minic.Interp.run p)).Minic.Interp.stats
+      .Minic.Interp.offloads
+  in
+  Printf.printf "kernel launches: %d before, %d after\n" (launches prog)
+    (launches merged);
+  Printf.printf "outputs agree: %b\n"
+    (String.equal
+       (Minic.Interp.run_output prog)
+       (Minic.Interp.run_output merged));
+
+  (* 4. what it buys at full scale on the machine model (Figure 14) *)
+  let shape = w.shape in
+  let naive = Runtime.Schedule_gen.region_time cfg shape Runtime.Plan.Naive_offload in
+  let merged_t = Runtime.Schedule_gen.region_time cfg shape (Runtime.Plan.merged ()) in
+  let both =
+    Runtime.Schedule_gen.region_time cfg shape
+      (Runtime.Plan.merged ~streamed:true ())
+  in
+  Printf.printf
+    "full scale: naive %.3f s, merged %.3f s (%.1fx), merged+streamed %.3f s (%.1fx)\n"
+    naive merged_t (naive /. merged_t) both (naive /. both)

@@ -1,0 +1,1 @@
+lib/analysis/access.ml: Affine Hashtbl List Liveness Minic

@@ -1,0 +1,1 @@
+lib/analysis/affine.ml: Format Minic Option Simplify String

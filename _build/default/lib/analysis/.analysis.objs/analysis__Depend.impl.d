@@ -1,0 +1,1 @@
+lib/analysis/depend.ml: Access Format Hashtbl List Liveness Minic

@@ -1,0 +1,1 @@
+lib/analysis/liveness.ml: List Minic Set String

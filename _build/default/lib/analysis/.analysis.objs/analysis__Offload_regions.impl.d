@@ -1,0 +1,1 @@
+lib/analysis/offload_regions.ml: Depend List Minic Option

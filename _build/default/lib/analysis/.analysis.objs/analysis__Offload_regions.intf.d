@@ -1,0 +1,1 @@
+lib/analysis/offload_regions.mli: Minic

@@ -1,0 +1,1 @@
+lib/analysis/simplify.ml: List Minic Option String

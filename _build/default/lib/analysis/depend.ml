@@ -1,0 +1,78 @@
+(** Conservative cross-iteration dependence check for candidate
+    parallel loops.  The paper assumes the input loops are already
+    parallel ([#pragma omp parallel for]); this check lets the compiler
+    refuse obviously bogus annotations and, more importantly, justifies
+    the regularization rewrites, which are only sound for loops with no
+    cross-iteration dependences (Section IV). *)
+
+open Minic.Ast
+
+type violation =
+  | Scalar_write of string
+      (** a scalar from the enclosing scope is written (potential
+          reduction or loop-carried dependence) *)
+  | Non_affine_write of string
+      (** written array element cannot be proven distinct per iteration *)
+  | Invariant_write of string  (** every iteration writes the same cell *)
+  | Overlapping_writes of string
+      (** two affine writes to the same array may collide across
+          iterations *)
+
+let pp_violation fmt = function
+  | Scalar_write v -> Format.fprintf fmt "scalar %s written in loop" v
+  | Non_affine_write a ->
+      Format.fprintf fmt "array %s written at a non-affine index" a
+  | Invariant_write a ->
+      Format.fprintf fmt "array %s written at a loop-invariant index" a
+  | Overlapping_writes a ->
+      Format.fprintf fmt "array %s has potentially overlapping writes" a
+
+(** Check a loop for cross-iteration write conflicts.  Returns the
+    empty list when the loop is provably parallel under these rules:
+    every write targets either a locally declared variable or an array
+    element [a*i + b] with [a <> 0], and no two writes to the same
+    array can alias across iterations. *)
+let check (fl : for_loop) : violation list =
+  let info = Liveness.of_region fl.body in
+  let accesses = Access.of_loop fl in
+  let scalar_writes =
+    (* defs that are never array accesses: scalar assignments *)
+    let arrays_written =
+      List.filter_map
+        (fun (a : Access.t) -> if a.dir = Write then Some a.arr else None)
+        accesses
+    in
+    Liveness.SS.elements info.defs
+    |> List.filter (fun v -> not (List.mem v arrays_written))
+  in
+  let scalar_violations = List.map (fun v -> Scalar_write v) scalar_writes in
+  let write_accesses =
+    List.filter (fun (a : Access.t) -> a.dir = Write) accesses
+  in
+  let per_access (a : Access.t) =
+    match a.kind with
+    | Affine aff ->
+        if aff.coeff = 0 then Some (Invariant_write a.arr) else None
+    | Gather _ | Opaque -> Some (Non_affine_write a.arr)
+  in
+  let access_violations = List.filter_map per_access write_accesses in
+  (* two affine writes with different coefficients to the same array can
+     collide across iterations (e.g. A[i] and A[2*i]) *)
+  let coeff_table = Hashtbl.create 4 in
+  let overlap_violations =
+    List.filter_map
+      (fun (a : Access.t) ->
+        match a.kind with
+        | Affine aff when aff.coeff <> 0 -> (
+            match Hashtbl.find_opt coeff_table a.arr with
+            | Some c when c <> aff.coeff -> Some (Overlapping_writes a.arr)
+            | Some _ -> None
+            | None ->
+                Hashtbl.add coeff_table a.arr aff.coeff;
+                None)
+        | _ -> None)
+      write_accesses
+  in
+  scalar_violations @ access_violations @ overlap_violations
+
+let is_parallel fl = check fl = []

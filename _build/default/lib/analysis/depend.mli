@@ -1,0 +1,21 @@
+(** Conservative cross-iteration dependence check for candidate
+    parallel loops.  Justifies automatic offload insertion and the
+    regularization rewrites, which are only sound for loops with no
+    cross-iteration dependences (Section IV). *)
+
+type violation =
+  | Scalar_write of string
+      (** an enclosing-scope scalar is written (reduction or
+          loop-carried dependence) *)
+  | Non_affine_write of string
+      (** written element cannot be proven distinct per iteration *)
+  | Invariant_write of string  (** every iteration writes the same cell *)
+  | Overlapping_writes of string
+      (** two affine writes with different strides may collide *)
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val check : Minic.Ast.for_loop -> violation list
+(** Empty iff the loop is provably parallel under these rules. *)
+
+val is_parallel : Minic.Ast.for_loop -> bool

@@ -1,0 +1,78 @@
+(** Identification of offloadable / offloaded code regions in a
+    program — the part of Apricot that finds the parallel loops worth
+    shipping to the coprocessor. *)
+
+open Minic.Ast
+
+type region = {
+  func : string;
+  ordinal : int;  (** position among regions of the same function *)
+  loop : for_loop;
+  spec : offload_spec option;
+      (** [Some] when the loop is already wrapped in [#pragma offload] *)
+  parallel_pragma : bool;  (** has [#pragma omp parallel for] *)
+}
+
+(* peel pragmas in front of a for loop *)
+let rec peel pragmas stmt =
+  match stmt with
+  | Spragma (p, s) -> peel (p :: pragmas) s
+  | Sfor fl -> Some (List.rev pragmas, fl)
+  | _ -> None
+
+let of_func (f : func) =
+  let counter = ref 0 in
+  let regions = ref [] in
+  (* Explicit recursion rather than [fold_stmts]: once a pragma chain
+     is recognized as a region, its inner pragma nodes must not be
+     reported as separate (spec-less) regions — descend straight into
+     the loop body instead. *)
+  let rec visit_stmt stmt =
+    match peel [] stmt with
+    | Some (pragmas, fl) when pragmas <> [] ->
+        let spec =
+          List.find_map
+            (function Offload s -> Some s | _ -> None)
+            pragmas
+        in
+        let parallel_pragma = List.mem Omp_parallel_for pragmas in
+        if parallel_pragma || Option.is_some spec then begin
+          let r =
+            { func = f.fname; ordinal = !counter; loop = fl; spec;
+              parallel_pragma }
+          in
+          incr counter;
+          regions := r :: !regions
+        end;
+        visit_block fl.body
+    | _ -> (
+        match stmt with
+        | Sif (_, b1, b2) ->
+            visit_block b1;
+            visit_block b2
+        | Swhile (_, b) -> visit_block b
+        | Sfor fl -> visit_block fl.body
+        | Sblock b -> visit_block b
+        | Spragma (_, s) -> visit_stmt s
+        | Sexpr _ | Sassign _ | Sdecl _ | Sreturn _ | Sbreak | Scontinue ->
+            ())
+  and visit_block b = List.iter visit_stmt b in
+  visit_block f.body;
+  List.rev !regions
+
+(** All offload regions (existing or candidate) of a program. *)
+let of_program prog =
+  List.concat_map
+    (function Gfunc f -> of_func f | Gstruct _ | Gvar _ -> [])
+    prog
+
+(** Candidate regions: parallel loops that are not yet offloaded but
+    are provably parallel and therefore offloadable. *)
+let candidates prog =
+  List.filter
+    (fun r ->
+      r.parallel_pragma && Option.is_none r.spec && Depend.is_parallel r.loop)
+    (of_program prog)
+
+(** Regions already carrying an [#pragma offload]. *)
+let offloaded prog = List.filter (fun r -> Option.is_some r.spec) (of_program prog)

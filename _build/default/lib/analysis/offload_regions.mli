@@ -1,0 +1,30 @@
+(** Identification of offloadable / offloaded code regions — the part
+    of Apricot that finds the parallel loops worth shipping to the
+    coprocessor. *)
+
+type region = {
+  func : string;
+  ordinal : int;  (** position among regions of the same function *)
+  loop : Minic.Ast.for_loop;
+  spec : Minic.Ast.offload_spec option;
+      (** [Some] when the loop already carries [#pragma offload] *)
+  parallel_pragma : bool;  (** has [#pragma omp parallel for] *)
+}
+
+val peel :
+  Minic.Ast.pragma list ->
+  Minic.Ast.stmt ->
+  (Minic.Ast.pragma list * Minic.Ast.for_loop) option
+(** Strip the pragma chain in front of a [for] loop, if any. *)
+
+val of_func : Minic.Ast.func -> region list
+val of_program : Minic.Ast.program -> region list
+(** All regions, including loops nested inside other regions' bodies
+    (but never double-reporting a pragma chain). *)
+
+val candidates : Minic.Ast.program -> region list
+(** Parallel loops not yet offloaded that are provably parallel:
+    targets for {!Transforms.Insert_offload}. *)
+
+val offloaded : Minic.Ast.program -> region list
+(** Regions already carrying an [#pragma offload]. *)

@@ -1,0 +1,96 @@
+(** Smart constructors with constant folding.  Used both by the
+    analyses (to normalize affine offsets) and by the transformations
+    (so generated source stays readable). *)
+
+open Minic.Ast
+
+let rec add a b =
+  match (a, b) with
+  | Int_lit x, Int_lit y -> Int_lit (x + y)
+  | Int_lit 0, e | e, Int_lit 0 -> e
+  | Binop (Add, e, Int_lit x), Int_lit y -> add e (Int_lit (x + y))
+  | _ -> Binop (Add, a, b)
+
+let sub a b =
+  match (a, b) with
+  | Int_lit x, Int_lit y -> Int_lit (x - y)
+  | e, Int_lit 0 -> e
+  | Binop (Add, e, Int_lit x), Int_lit y -> add e (Int_lit (x - y))
+  | _ -> if equal_expr a b then Int_lit 0 else Binop (Sub, a, b)
+
+let mul a b =
+  match (a, b) with
+  | Int_lit x, Int_lit y -> Int_lit (x * y)
+  | Int_lit 0, _ | _, Int_lit 0 -> Int_lit 0
+  | Int_lit 1, e | e, Int_lit 1 -> e
+  | _ -> Binop (Mul, a, b)
+
+let div a b =
+  match (a, b) with
+  | Int_lit x, Int_lit y when y <> 0 && x mod y = 0 -> Int_lit (x / y)
+  | e, Int_lit 1 -> e
+  | _ -> Binop (Div, a, b)
+
+let modulo a b =
+  match (a, b) with
+  | Int_lit x, Int_lit y when y <> 0 -> Int_lit (x mod y)
+  | _ -> Binop (Mod, a, b)
+
+(** Fold an expression of integer constants to a value, if closed. *)
+let rec const_int = function
+  | Int_lit n -> Some n
+  | Unop (Neg, e) -> Option.map (fun n -> -n) (const_int e)
+  | Binop (op, a, b) -> (
+      match (const_int a, const_int b) with
+      | Some x, Some y -> (
+          match op with
+          | Add -> Some (x + y)
+          | Sub -> Some (x - y)
+          | Mul -> Some (x * y)
+          | Div -> if y = 0 then None else Some (x / y)
+          | Mod -> if y = 0 then None else Some (x mod y)
+          | _ -> None)
+      | _ -> None)
+  | _ -> None
+
+(* fold the [imin]/[imax] builtins the transformations generate:
+   constants, equal operands, and nested min/max against the same
+   bound *)
+let minmax name a b =
+  let pick = if String.equal name "imin" then min else max in
+  match (a, b) with
+  | Int_lit x, Int_lit y -> Int_lit (pick x y)
+  | _ when equal_expr a b -> a
+  | _, Call (name', [ a'; e ]) when String.equal name name' && equal_expr a a'
+    ->
+      Call (name, [ a; e ])
+  | _, Call (name', [ e; a' ]) when String.equal name name' && equal_expr a a'
+    ->
+      Call (name, [ a; e ])
+  | Call (name', [ a'; e ]), _ when String.equal name name' && equal_expr b a'
+    ->
+      Call (name, [ b; e ])
+  | _ -> Call (name, [ a; b ])
+
+(** Recursively simplify integer arithmetic in an expression. *)
+let rec expr e =
+  match e with
+  | Int_lit _ | Float_lit _ | Bool_lit _ | Var _ -> e
+  | Binop (Add, a, b) -> add (expr a) (expr b)
+  | Binop (Sub, a, b) -> sub (expr a) (expr b)
+  | Binop (Mul, a, b) -> mul (expr a) (expr b)
+  | Binop (Div, a, b) -> div (expr a) (expr b)
+  | Binop (Mod, a, b) -> modulo (expr a) (expr b)
+  | Binop (op, a, b) -> Binop (op, expr a, expr b)
+  | Unop (op, a) -> Unop (op, expr a)
+  | Index (a, i) -> Index (expr a, expr i)
+  | Field (a, f) -> Field (expr a, f)
+  | Arrow (a, f) -> Arrow (expr a, f)
+  | Deref a -> Deref (expr a)
+  | Addr a -> Addr (expr a)
+  | Call (("imin" | "imax") as name, [ a; b ]) -> minmax name (expr a) (expr b)
+  | Call (f, args) -> Call (f, List.map expr args)
+  | Cast (t, a) -> Cast (t, expr a)
+
+(** [mentions name e]: does [e] read variable [name]? *)
+let mentions name e = List.mem name (expr_vars e)

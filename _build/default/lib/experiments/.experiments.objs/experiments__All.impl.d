@@ -1,0 +1,1 @@
+lib/experiments/all.ml: Fig01 Fig04 Fig10 Fig11 Fig12 Fig13 Fig14 Fig15 List Sensitivity Table2 Table3

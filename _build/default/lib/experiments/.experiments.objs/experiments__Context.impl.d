@@ -1,0 +1,1 @@
+lib/experiments/context.ml: Comp List Machine Runtime Workloads

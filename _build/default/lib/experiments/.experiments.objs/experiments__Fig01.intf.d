@@ -1,0 +1,1 @@
+lib/experiments/fig01.mli:

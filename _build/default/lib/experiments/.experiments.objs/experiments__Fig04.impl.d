@@ -1,0 +1,1 @@
+lib/experiments/fig04.ml: Context List Machine Runtime Tables Workloads

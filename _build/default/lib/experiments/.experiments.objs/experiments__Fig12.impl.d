@@ -1,0 +1,1 @@
+lib/experiments/fig12.ml: Comp Context List Tables Workloads

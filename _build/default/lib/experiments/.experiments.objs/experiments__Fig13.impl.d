@@ -1,0 +1,1 @@
+lib/experiments/fig13.ml: Comp Context List Runtime Tables Workloads

@@ -1,0 +1,1 @@
+lib/experiments/sensitivity.ml: Comp Context List Machine Printf Runtime Tables Workloads

@@ -1,0 +1,1 @@
+lib/experiments/table2.ml: Comp List Printf Tables Workloads

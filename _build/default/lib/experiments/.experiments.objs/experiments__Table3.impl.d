@@ -1,0 +1,1 @@
+lib/experiments/table3.ml: Comp Context Format List Machine Myo Option Plan Runtime Schedule_gen Tables Workloads

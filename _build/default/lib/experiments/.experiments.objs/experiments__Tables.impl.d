@@ -1,0 +1,1 @@
+lib/experiments/tables.ml: Array List Printf String

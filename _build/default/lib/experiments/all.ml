@@ -1,0 +1,30 @@
+(** Run every experiment in paper order. *)
+
+let print_all () =
+  Fig01.print ();
+  Fig04.print ();
+  Table2.print ();
+  Fig10.print ();
+  Fig11.print ();
+  Fig12.print ();
+  Fig13.print ();
+  Fig14.print ();
+  Fig15.print ();
+  Table3.print ()
+
+let by_name =
+  [
+    ("fig1", Fig01.print);
+    ("fig4", Fig04.print);
+    ("table2", Table2.print);
+    ("fig10", Fig10.print);
+    ("fig11", Fig11.print);
+    ("fig12", Fig12.print);
+    ("fig13", Fig13.print);
+    ("fig14", Fig14.print);
+    ("fig15", Fig15.print);
+    ("table3", Table3.print);
+    ("sensitivity", Sensitivity.print);
+  ]
+
+let names = List.map fst by_name

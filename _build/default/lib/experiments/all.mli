@@ -1,0 +1,5 @@
+(** Run every experiment in paper order. *)
+
+val print_all : unit -> unit
+val by_name : (string * (unit -> unit)) list
+val names : string list

@@ -1,0 +1,25 @@
+(** Figure 1: speedups of the naively offloaded OpenMP codes on the
+    Xeon Phi over the multicore CPU.  The paper's point: 8 of 12
+    benchmarks are {e slower} on the coprocessor than on 4–6 CPU
+    threads. *)
+
+type row = { name : string; speedup : float }
+
+let rows () =
+  List.map
+    (fun (t : Context.timing) ->
+      { name = t.w.Workloads.Workload.name; speedup = t.cpu_s /. t.naive_s })
+    (Context.all_timings ())
+
+let print () =
+  let rows = rows () in
+  let avg = Tables.average (List.map (fun r -> r.speedup) rows) in
+  Tables.print ~align:[ Tables.L; Tables.R ]
+    ~title:
+      "Figure 1: naive-offload MIC speedup over multicore CPU (>1 = MIC wins)"
+    ~header:[ "benchmark"; "speedup" ]
+    (List.map (fun r -> [ r.name; Tables.f2 r.speedup ]) rows
+    @ [ [ "average"; Tables.f2 avg ] ]);
+  let losers = List.length (List.filter (fun r -> r.speedup < 1.) rows) in
+  Printf.printf "benchmarks slower on MIC: %d / %d (paper: 8 / 12)\n" losers
+    (List.length rows)

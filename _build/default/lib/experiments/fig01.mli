@@ -1,0 +1,8 @@
+(** Figure 1: naive-offload MIC speedup over the multicore CPU.
+    The paper's point: 8 of 12 benchmarks are slower on the
+    coprocessor. *)
+
+type row = { name : string; speedup : float }
+
+val rows : unit -> row list
+val print : unit -> unit

@@ -1,0 +1,34 @@
+(** Figure 4: data-transfer time versus device computation time for
+    blackscholes, kmeans and nn, each normalized by computation time.
+    Transfer exceeding computation is what motivates data streaming. *)
+
+type row = { name : string; transfer_ratio : float; calc_ratio : float }
+
+let benchmarks = [ "blackscholes"; "kmeans"; "nn" ]
+
+let row name =
+  let w = Workloads.Registry.find_exn name in
+  let s = w.Workloads.Workload.shape in
+  let calc =
+    Machine.Cost.mic_time Context.cfg s.Runtime.Plan.kernel
+      ~iters:s.Runtime.Plan.iters
+  in
+  let transfer =
+    Machine.Cost.transfer_time Context.cfg Machine.Cost.H2d
+      ~bytes:s.Runtime.Plan.bytes_in
+    +. Machine.Cost.transfer_time Context.cfg Machine.Cost.D2h
+         ~bytes:s.Runtime.Plan.bytes_out
+  in
+  { name; transfer_ratio = transfer /. calc; calc_ratio = 1.0 }
+
+let rows () = List.map row benchmarks
+
+let print () =
+  Tables.print
+    ~align:[ Tables.L; Tables.R; Tables.R ]
+    ~title:"Figure 4: data transfer overhead (normalized to calculation)"
+    ~header:[ "benchmark"; "transfer"; "calculation" ]
+    (List.map
+       (fun r ->
+         [ r.name; Tables.f2 r.transfer_ratio; Tables.f2 r.calc_ratio ])
+       (rows ()))

@@ -1,0 +1,54 @@
+(** Figure 10: whole-application speedups over the parallel CPU
+    version: CPU (= 1), MIC without optimization, MIC with the COMP
+    optimizations. *)
+
+type row = {
+  name : string;
+  cpu : float;
+  mic_naive : float;
+  mic_opt : float;
+}
+
+let rows () =
+  List.map
+    (fun (t : Context.timing) ->
+      {
+        name = t.w.Workloads.Workload.name;
+        cpu = 1.0;
+        mic_naive = t.cpu_s /. t.naive_s;
+        mic_opt = t.cpu_s /. t.opt_s;
+      })
+    (Context.all_timings ())
+
+let print () =
+  let rows = rows () in
+  let avg f = Tables.average (List.map f rows) in
+  Tables.print
+    ~align:[ Tables.L; Tables.R; Tables.R; Tables.R ]
+    ~title:"Figure 10: application speedups over the parallel CPU version"
+    ~header:[ "benchmark"; "CPU"; "MIC w/o opt"; "MIC w/ opt" ]
+    (List.map
+       (fun r ->
+         [
+           r.name;
+           Tables.f2 r.cpu;
+           Tables.f2 r.mic_naive;
+           Tables.f2 r.mic_opt;
+         ])
+       rows
+    @ [
+        [
+          "average";
+          "1.00";
+          Tables.f2 (avg (fun r -> r.mic_naive));
+          Tables.f2 (avg (fun r -> r.mic_opt));
+        ];
+      ]);
+  let better = List.length (List.filter (fun r -> r.mic_opt > 1.) rows) in
+  let better_naive =
+    List.length (List.filter (fun r -> r.mic_naive > 1.) rows)
+  in
+  Printf.printf
+    "benchmarks faster than CPU: naive %d / 12 (paper: 4), optimized %d / 12 \
+     (paper: 9)\n"
+    better_naive better

@@ -1,0 +1,7 @@
+(** Figure 10: whole-application speedups over the parallel CPU
+    version (CPU = 1, MIC naive, MIC optimized). *)
+
+type row = { name : string; cpu : float; mic_naive : float; mic_opt : float }
+
+val rows : unit -> row list
+val print : unit -> unit

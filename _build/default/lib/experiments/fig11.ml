@@ -1,0 +1,36 @@
+(** Figure 11: speedup of the optimized MIC version over the
+    unoptimized MIC version.  Paper: 9 of 12 benchmarks improve,
+    1.16x–52.21x, with streamcluster, CG and cfd above 16x. *)
+
+type row = { name : string; speedup : float; paper : float option }
+
+let rows () =
+  List.map
+    (fun (t : Context.timing) ->
+      {
+        name = t.w.Workloads.Workload.name;
+        speedup = t.naive_s /. t.opt_s;
+        paper = t.w.Workloads.Workload.paper.Workloads.Workload.p_overall;
+      })
+    (Context.all_timings ())
+
+let print () =
+  let rows = rows () in
+  let improved = List.filter (fun r -> r.speedup > 1.01) rows in
+  Tables.print
+    ~align:[ Tables.L; Tables.R; Tables.R ]
+    ~title:"Figure 11: speedup of optimized over unoptimized MIC versions"
+    ~header:[ "benchmark"; "measured"; "paper" ]
+    (List.map
+       (fun r -> [ r.name; Tables.f2 r.speedup; Tables.opt_f2 r.paper ])
+       rows
+    @ [
+        [
+          "average (improved)";
+          Tables.f2 (Tables.average (List.map (fun r -> r.speedup) improved));
+          "-";
+        ];
+      ]);
+  Printf.printf "benchmarks improved: %d / 12 (paper: 9); >16x: %d (paper: 3)\n"
+    (List.length improved)
+    (List.length (List.filter (fun r -> r.speedup > 16.) rows))

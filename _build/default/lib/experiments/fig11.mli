@@ -1,0 +1,7 @@
+(** Figure 11: optimized over unoptimized MIC speedups
+    (paper: 9 of 12 improved, 1.16x-52.21x, three above 16x). *)
+
+type row = { name : string; speedup : float; paper : float option }
+
+val rows : unit -> row list
+val print : unit -> unit

@@ -1,0 +1,34 @@
+(** Figure 12: performance gains from data streaming alone, on the five
+    benchmarks it applies to (paper average: 1.45x). *)
+
+type row = { name : string; speedup : float; paper : float option }
+
+let rows () =
+  List.map
+    (fun (w : Workloads.Workload.t) ->
+      let base, streamed = Context.streaming_pair w in
+      let t0 = Comp.simulate ~cfg:Context.cfg w base in
+      let t1 = Comp.simulate ~cfg:Context.cfg w streamed in
+      {
+        name = w.name;
+        speedup = t0 /. t1;
+        paper = w.paper.Workloads.Workload.p_streaming;
+      })
+    (Context.streaming_benchmarks ())
+
+let print () =
+  let rows = rows () in
+  Tables.print
+    ~align:[ Tables.L; Tables.R; Tables.R ]
+    ~title:"Figure 12: performance gains by data streaming"
+    ~header:[ "benchmark"; "measured"; "paper" ]
+    (List.map
+       (fun r -> [ r.name; Tables.f2 r.speedup; Tables.opt_f2 r.paper ])
+       rows
+    @ [
+        [
+          "average";
+          Tables.f2 (Tables.average (List.map (fun r -> r.speedup) rows));
+          "1.45";
+        ];
+      ])

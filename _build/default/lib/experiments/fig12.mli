@@ -1,0 +1,6 @@
+(** Figure 12: gains from data streaming alone (paper average 1.45x). *)
+
+type row = { name : string; speedup : float; paper : float option }
+
+val rows : unit -> row list
+val print : unit -> unit

@@ -1,0 +1,7 @@
+(** Figure 13: device memory usage of double-buffered streaming
+    relative to the original offload (paper: >80% reduction). *)
+
+type row = { name : string; relative : float }
+
+val rows : unit -> row list
+val print : unit -> unit

@@ -1,0 +1,40 @@
+(** Figure 14: performance gains from merging the offloads inside a
+    sequential outer loop (paper average: 27.13x on streamcluster, CG
+    and cfd). *)
+
+type row = { name : string; speedup : float; paper : float option }
+
+let rows () =
+  List.map
+    (fun (w : Workloads.Workload.t) ->
+      let t0 =
+        Comp.simulate ~cfg:Context.cfg w
+          (Comp.Mic_with (Runtime.Plan.Naive_offload, w.shape))
+      in
+      let t1 =
+        Comp.simulate ~cfg:Context.cfg w
+          (Comp.Mic_with (Runtime.Plan.merged ~streamed:false (), w.shape))
+      in
+      {
+        name = w.name;
+        speedup = t0 /. t1;
+        paper = w.paper.Workloads.Workload.p_merging;
+      })
+    (Context.merging_benchmarks ())
+
+let print () =
+  let rows = rows () in
+  Tables.print
+    ~align:[ Tables.L; Tables.R; Tables.R ]
+    ~title:"Figure 14: performance gains by offload merging"
+    ~header:[ "benchmark"; "measured"; "paper" ]
+    (List.map
+       (fun r -> [ r.name; Tables.f2 r.speedup; Tables.opt_f2 r.paper ])
+       rows
+    @ [
+        [
+          "average";
+          Tables.f2 (Tables.average (List.map (fun r -> r.speedup) rows));
+          "27.13";
+        ];
+      ])

@@ -1,0 +1,6 @@
+(** Figure 14: gains from offload merging (paper average 27.13x). *)
+
+type row = { name : string; speedup : float; paper : float option }
+
+val rows : unit -> row list
+val print : unit -> unit

@@ -1,0 +1,6 @@
+(** Figure 15: gains from regularization alone (paper average 1.25x). *)
+
+type row = { name : string; speedup : float; paper : float option }
+
+val rows : unit -> row list
+val print : unit -> unit

@@ -1,0 +1,150 @@
+(** Sensitivity studies extending the paper's evaluation.
+
+    The paper fixes one platform (6 GB/s PCIe, 8 GB device memory,
+    ~1 ms launches).  These sweeps ask where its conclusions hold:
+
+    - {b interconnect bandwidth}: data streaming attacks transfer
+      latency; as the link gets faster (PCIe 4/5, NVLink-class), the
+      naive offload's transfer share shrinks and the streaming gain
+      decays toward 1 — the crossover is where COMP's first
+      optimization stops mattering;
+    - {b the memory wall}: the double-buffered streaming variant exists
+      because offloaded data that does not fit in the 8 GB device
+      memory is a hard runtime error.  Scaling each benchmark's input
+      shows which naive ports hit the wall and confirms streaming keeps
+      them runnable ("enables the execution of computation tasks that
+      previously cannot be executed", Section I);
+    - {b half- vs full-duplex}: streaming overlaps output transfers
+      with input transfers of later blocks; a half-duplex link
+      serializes them and eats part of the gain. *)
+
+let cfg = Context.cfg
+
+let with_bw bw =
+  {
+    cfg with
+    Machine.Config.pcie =
+      { cfg.Machine.Config.pcie with bw_h2d_gbs = bw; bw_d2h_gbs = bw };
+  }
+
+(** Streaming gain as a function of link bandwidth, per streaming
+    benchmark. *)
+let bandwidth_rows () =
+  let bws = [ 3.0; 6.0; 12.0; 24.0; 48.0 ] in
+  List.map
+    (fun (w : Workloads.Workload.t) ->
+      let gains =
+        List.map
+          (fun bw ->
+            let cfg = with_bw bw in
+            let naive =
+              Runtime.Schedule_gen.total_time cfg w.shape
+                Runtime.Plan.Naive_offload
+            in
+            let streamed =
+              Runtime.Schedule_gen.total_time cfg w.shape
+                (Runtime.Plan.streamed ~persistent:true ())
+            in
+            naive /. streamed)
+          bws
+      in
+      (w.name, gains))
+    (List.filter
+       (fun (w : Workloads.Workload.t) ->
+         (Comp.analyze w).Comp.streaming && w.shape.outer_repeats = 1)
+       Workloads.Registry.all)
+
+let print_bandwidth () =
+  let rows = bandwidth_rows () in
+  Tables.print
+    ~title:
+      "Sensitivity: streaming gain vs PCIe bandwidth (gain decays as \
+       links get faster)"
+    ~header:[ "benchmark"; "3 GB/s"; "6 GB/s"; "12 GB/s"; "24 GB/s"; "48 GB/s" ]
+    (List.map
+       (fun (name, gains) -> name :: List.map Tables.f2 gains)
+       rows)
+
+(** The 8 GB wall: scale each streaming benchmark's input and compare
+    the naive footprint against device memory and the double-buffered
+    footprint. *)
+let memory_wall_rows () =
+  let scales = [ 1; 4; 16; 64 ] in
+  List.concat_map
+    (fun (w : Workloads.Workload.t) ->
+      List.map
+        (fun k ->
+          let shape =
+            {
+              w.shape with
+              Runtime.Plan.bytes_in =
+                w.shape.Runtime.Plan.bytes_in *. float_of_int k;
+              bytes_out = w.shape.Runtime.Plan.bytes_out *. float_of_int k;
+              invariant_bytes =
+                w.shape.Runtime.Plan.invariant_bytes *. float_of_int k;
+            }
+          in
+          let naive =
+            Runtime.Mem_usage.device_bytes shape Runtime.Plan.Naive_offload
+          in
+          let streamed =
+            Runtime.Mem_usage.device_bytes shape
+              (Runtime.Plan.streamed ~nblocks:Comp.default_nblocks ())
+          in
+          ( w.name,
+            k,
+            naive,
+            Runtime.Mem_usage.fits cfg naive,
+            streamed,
+            Runtime.Mem_usage.fits cfg streamed ))
+        scales)
+    (Context.streaming_benchmarks ())
+
+let print_memory_wall () =
+  let gb x = Printf.sprintf "%.2f GB" (x /. 1e9) in
+  let runs b = if b then "runs" else "OUT OF MEMORY" in
+  Tables.print
+    ~title:
+      "Sensitivity: the 8 GB device-memory wall under input scaling \
+       (naive vs double-buffered streaming)"
+    ~header:
+      [ "benchmark"; "input x"; "naive footprint"; "naive"; "streamed"; "streamed" ]
+    (List.map
+       (fun (name, k, naive, ok_n, streamed, ok_s) ->
+         [
+           name; string_of_int k; gb naive; runs ok_n; gb streamed; runs ok_s;
+         ])
+       (memory_wall_rows ()))
+
+(** Full- vs half-duplex links: what the d2h/h2d overlap is worth. *)
+let duplex_rows () =
+  List.map
+    (fun (w : Workloads.Workload.t) ->
+      let t duplex =
+        let cfg =
+          {
+            cfg with
+            Machine.Config.pcie = { cfg.Machine.Config.pcie with duplex };
+          }
+        in
+        Runtime.Schedule_gen.total_time cfg w.shape
+          (Runtime.Plan.streamed ~persistent:true ())
+      in
+      let full = t Machine.Config.Full_duplex in
+      let half = t Machine.Config.Half_duplex in
+      (w.name, full, half, half /. full))
+    (Context.streaming_benchmarks ())
+
+let print_duplex () =
+  Tables.print
+    ~title:"Sensitivity: streamed time on full- vs half-duplex links"
+    ~header:[ "benchmark"; "full duplex s"; "half duplex s"; "slowdown" ]
+    (List.map
+       (fun (name, full, half, ratio) ->
+         [ name; Tables.f3 full; Tables.f3 half; Tables.f2 ratio ])
+       (duplex_rows ()))
+
+let print () =
+  print_bandwidth ();
+  print_memory_wall ();
+  print_duplex ()

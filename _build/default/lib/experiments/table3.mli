@@ -1,0 +1,18 @@
+(** Table III: the shared-memory mechanism vs Intel MYO on ferret and
+    freqmine (allocation counts, feasibility, speedups).  ferret's
+    speedup is measured at reduced input, as in the paper, because MYO
+    cannot run it at full size. *)
+
+type row = {
+  name : string;
+  static_allocs : int;
+  dynamic_allocs : int;
+  shared_mib : float;
+  myo_feasible : (unit, Runtime.Myo.error) result;
+  speedup : float;
+  paper : float option;
+  note : string;
+}
+
+val rows : unit -> row list
+val print : unit -> unit

@@ -1,0 +1,49 @@
+(** Plain-text table rendering shared by every experiment. *)
+
+type align = L | R
+
+let render ?(align : align list option) ~header rows =
+  let all = header :: rows in
+  let ncols = List.length header in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (List.iteri (fun i cell ->
+         widths.(i) <- max widths.(i) (String.length cell)))
+    all;
+  let align =
+    match align with
+    | Some a when List.length a = ncols -> Array.of_list a
+    | _ -> Array.make ncols L
+  in
+  let pad i cell =
+    let w = widths.(i) in
+    let n = w - String.length cell in
+    match align.(i) with
+    | L -> cell ^ String.make n ' '
+    | R -> String.make n ' ' ^ cell
+  in
+  let line row =
+    "| " ^ String.concat " | " (List.mapi pad row) ^ " |"
+  in
+  let sep =
+    "|"
+    ^ String.concat "|"
+        (Array.to_list (Array.map (fun w -> String.make (w + 2) '-') widths))
+    ^ "|"
+  in
+  String.concat "\n" ((line header :: sep :: List.map line rows) @ [ "" ])
+
+let print ?align ~title ~header rows =
+  Printf.printf "\n== %s ==\n%s" title (render ?align ~header rows)
+
+let f2 x = Printf.sprintf "%.2f" x
+let f1 x = Printf.sprintf "%.1f" x
+let f3 x = Printf.sprintf "%.3f" x
+let pct x = Printf.sprintf "%.0f%%" (100. *. x)
+
+let opt_f2 = function None -> "-" | Some x -> f2 x
+
+(** Geometric-mean-free simple average, as the paper's "average" bars. *)
+let average = function
+  | [] -> 0.
+  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)

@@ -1,0 +1,16 @@
+(** Plain-text table rendering shared by every experiment. *)
+
+type align = L | R
+
+val render : ?align:align list -> header:string list -> string list list -> string
+val print :
+  ?align:align list -> title:string -> header:string list -> string list list -> unit
+
+val f1 : float -> string
+val f2 : float -> string
+val f3 : float -> string
+val pct : float -> string
+val opt_f2 : float option -> string
+
+val average : float list -> float
+(** Arithmetic mean, as the paper's "average" bars; 0 on []. *)

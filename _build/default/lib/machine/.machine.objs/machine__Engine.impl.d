@@ -1,0 +1,1 @@
+lib/machine/engine.ml: Array Float Hashtbl List Option Printf Task

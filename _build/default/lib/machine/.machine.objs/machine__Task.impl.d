@@ -1,0 +1,1 @@
+lib/machine/task.ml: Float List

@@ -1,0 +1,1 @@
+lib/machine/trace.ml: Buffer Bytes Engine Format List Printf Task

@@ -1,0 +1,64 @@
+(** Machine parameters for the heterogeneous-system simulator.
+
+    {!paper_default} follows the experimental platform of Section VI: a
+    Xeon Phi ES2-P/A/X 1750 (61 cores at 1.05 GHz, 4 threads/core,
+    512-bit SIMD, 8 GB GDDR5, one core reserved for the OS) attached
+    over PCIe to a Xeon E5-2660 host (8 cores, 2.2 GHz); benchmarks use
+    200 device threads and 4 host threads. *)
+
+type cpu = {
+  cores : int;
+  threads_used : int;  (** the paper uses 4 (5 for dedup, 6 for ferret) *)
+  freq_ghz : float;
+  simd_bits : int;
+  flops_per_cycle : float;  (** per lane, per core *)
+  mem_bw_gbs : float;  (** sustainable memory bandwidth, GB/s *)
+}
+
+type mic = {
+  cores : int;  (** usable cores (one of 61 is reserved for the OS) *)
+  threads_per_core : int;
+  threads_used : int;
+  freq_ghz : float;
+  simd_bits : int;
+  flops_per_cycle : float;
+  mem_bytes : int;  (** device memory capacity: the 8 GB wall *)
+  mem_bw_gbs : float;
+  launch_overhead_s : float;  (** K: cost of launching one kernel *)
+  signal_cost_s : float;  (** COI signal, used by persistent kernels *)
+  parallel_eff : float;  (** fraction of peak reached by parallel loops *)
+  serial_slowdown : float;
+      (** how much slower one MIC thread is than one CPU thread for
+          sequential code (in-order Pentium-class core) *)
+}
+
+type duplex = Full_duplex | Half_duplex
+
+type pcie = {
+  bw_h2d_gbs : float;
+  bw_d2h_gbs : float;
+  latency_s : float;  (** fixed per-transfer setup cost *)
+  duplex : duplex;
+      (** Full_duplex: h2d and d2h proceed concurrently (PCIe reality);
+          Half_duplex: one shared channel, for sensitivity studies *)
+}
+
+type myo = {
+  page_bytes : int;
+  fault_cost_s : float;  (** software handling of one page fault *)
+  page_bw_gbs : float;
+      (** effective bandwidth of page-sized copies (no DMA batching) *)
+  max_allocs : int;  (** MYO caps shared allocations *)
+  max_total_bytes : int;
+}
+
+type t = { cpu : cpu; mic : mic; pcie : pcie; myo : myo }
+
+val gib : int
+val paper_default : t
+
+val simd_lanes : int -> int
+(** Lanes for 32-bit floats, given the SIMD width in bits. *)
+
+val mic_peak_flops : mic -> vectorized:bool -> float
+val cpu_peak_flops : cpu -> vectorized:bool -> float

@@ -1,0 +1,42 @@
+(** Roofline-style timing model for loop kernels on the host and the
+    device, plus PCIe transfer times.  Every experiment figure is a
+    ratio of times produced here, scheduled by {!Engine}. *)
+
+type kernel = {
+  flops_per_iter : float;  (** arithmetic work per loop iteration *)
+  mem_bytes_per_iter : float;  (** memory traffic per iteration *)
+  vectorizable : bool;  (** can the compiler use the 512-bit units? *)
+  locality : float;
+      (** 0..1; fraction of traffic served by cache.  Irregular
+          accesses have low locality. *)
+  serial_frac : float;  (** Amdahl: unparallelizable fraction *)
+  mic_derate : float;
+      (** 0..1; fraction of the device's model peak this kernel
+          reaches.  The per-benchmark calibration knob (in-order
+          stalls, masked gathers, imbalance across 200 threads);
+          values are documented in each workload module. *)
+}
+
+val default_kernel : kernel
+
+val mic_time : Config.t -> kernel -> iters:int -> float
+(** Device time for [iters] iterations. *)
+
+val cpu_time : Config.t -> kernel -> iters:int -> float
+(** Host time on [cpu.threads_used] threads. *)
+
+val mic_serial_time : Config.t -> cpu_seconds:float -> float
+(** Sequential host code executed on one MIC thread — what offload
+    merging trades for fewer launches. *)
+
+type direction = H2d | D2h
+
+val transfer_time : Config.t -> direction -> bytes:float -> float
+(** One DMA transfer over PCIe (latency + bytes/bandwidth; free at 0
+    bytes). *)
+
+val launch_time : Config.t -> float
+(** Kernel launch overhead — the K of Section III-B. *)
+
+val signal_time : Config.t -> float
+(** COI signal cost, paid per block by persistent kernels. *)

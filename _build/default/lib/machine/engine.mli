@@ -1,0 +1,29 @@
+(** Discrete-event list scheduler.
+
+    Each resource executes its tasks serially; a task becomes ready
+    when all its dependencies have finished; ties break by ready time,
+    then by task id (FIFO in construction order).  This is a standard
+    non-preemptive list schedule — enough to model the overlap of PCIe
+    transfers with device computation that data streaming exploits, and
+    the serialization a single DMA channel or the device itself
+    imposes. *)
+
+type placed = { task : Task.t; start : float; finish : float }
+
+type result = {
+  placed : placed list;  (** in order of completion *)
+  makespan : float;
+  busy : (Task.resource * float) list;  (** per-resource busy time *)
+}
+
+exception Cycle of string
+
+val schedule : Task.t list -> result
+(** Raises {!Cycle} on cyclic dependencies and [Invalid_argument] on
+    dangling ones. *)
+
+val makespan : Task.t list -> float
+
+val critical_path : Task.t list -> float
+(** Longest dependency chain ignoring resource contention: a lower
+    bound on the makespan (property-tested against {!schedule}). *)

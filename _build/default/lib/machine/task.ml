@@ -1,0 +1,38 @@
+(** Tasks for the discrete-event engine.  A task occupies one resource
+    for a fixed duration and may depend on other tasks. *)
+
+type resource =
+  | Cpu_exec  (** host cores: sequential glue, repacking *)
+  | Mic_exec  (** device cores: offloaded kernels *)
+  | Pcie_h2d  (** host-to-device DMA channel *)
+  | Pcie_d2h  (** device-to-host DMA channel *)
+
+let all_resources = [ Cpu_exec; Mic_exec; Pcie_h2d; Pcie_d2h ]
+
+let resource_name = function
+  | Cpu_exec -> "cpu"
+  | Mic_exec -> "mic"
+  | Pcie_h2d -> "h2d"
+  | Pcie_d2h -> "d2h"
+
+type t = {
+  id : int;
+  label : string;
+  resource : resource;
+  duration : float;  (** seconds; must be >= 0 *)
+  deps : int list;  (** ids of tasks that must finish first *)
+}
+
+(** Monotonic id supply for building task graphs. *)
+type builder = { mutable next_id : int; mutable tasks : t list }
+
+let builder () = { next_id = 0; tasks = [] }
+
+let add b ?(deps = []) ~label ~resource ~duration () =
+  let id = b.next_id in
+  b.next_id <- id + 1;
+  let t = { id; label; resource; duration = Float.max 0. duration; deps } in
+  b.tasks <- t :: b.tasks;
+  id
+
+let tasks b = List.rev b.tasks

@@ -1,0 +1,37 @@
+(** Tasks for the discrete-event engine: each occupies one resource for
+    a fixed duration and may depend on other tasks. *)
+
+type resource =
+  | Cpu_exec  (** host cores: sequential glue, repacking *)
+  | Mic_exec  (** device cores: offloaded kernels *)
+  | Pcie_h2d  (** host-to-device DMA channel *)
+  | Pcie_d2h  (** device-to-host DMA channel *)
+
+val all_resources : resource list
+val resource_name : resource -> string
+
+type t = {
+  id : int;
+  label : string;
+  resource : resource;
+  duration : float;  (** seconds; clamped to >= 0 by {!add} *)
+  deps : int list;  (** ids of tasks that must finish first *)
+}
+
+(** Monotonic id supply for building task graphs. *)
+type builder
+
+val builder : unit -> builder
+
+val add :
+  builder ->
+  ?deps:int list ->
+  label:string ->
+  resource:resource ->
+  duration:float ->
+  unit ->
+  int
+(** Add a task; returns its id for use in later [deps]. *)
+
+val tasks : builder -> t list
+(** Tasks in creation order. *)

@@ -1,0 +1,56 @@
+(** Human-readable rendering of engine schedules: a per-resource
+    summary and an optional text Gantt chart (used by the CLI's [run]
+    subcommand). *)
+
+let pp_summary fmt (r : Engine.result) =
+  Format.fprintf fmt "makespan: %.6f s@." r.makespan;
+  List.iter
+    (fun (res, busy) ->
+      let util = if r.makespan > 0. then 100. *. busy /. r.makespan else 0. in
+      Format.fprintf fmt "  %-4s busy %.6f s (%.1f%%)@."
+        (Task.resource_name res) busy util)
+    r.busy
+
+(** Text Gantt chart: one row per resource, [width] columns spanning
+    the makespan. *)
+let gantt ?(width = 72) (r : Engine.result) =
+  let buf = Buffer.create 1024 in
+  if r.makespan <= 0. then "(empty schedule)\n"
+  else begin
+    let scale = float_of_int width /. r.makespan in
+    List.iter
+      (fun res ->
+        let row = Bytes.make width '.' in
+        List.iter
+          (fun (p : Engine.placed) ->
+            if p.task.Task.resource = res then begin
+              let s = int_of_float (p.start *. scale) in
+              let f =
+                min (width - 1) (int_of_float (p.finish *. scale))
+              in
+              for i = min s (width - 1) to f do
+                Bytes.set row i
+                  (match res with
+                  | Task.Cpu_exec -> 'C'
+                  | Task.Mic_exec -> 'K'
+                  | Task.Pcie_h2d -> '>'
+                  | Task.Pcie_d2h -> '<')
+              done
+            end)
+          r.placed;
+        Buffer.add_string buf
+          (Printf.sprintf "%-4s |%s|\n" (Task.resource_name res)
+             (Bytes.to_string row)))
+      Task.all_resources;
+    Buffer.contents buf
+  end
+
+(** The busiest [n] tasks, for quick diagnosis. *)
+let top_tasks ?(n = 8) (r : Engine.result) =
+  let sorted =
+    List.sort
+      (fun (a : Engine.placed) b ->
+        compare b.task.Task.duration a.task.Task.duration)
+      r.placed
+  in
+  List.filteri (fun i _ -> i < n) sorted

@@ -1,0 +1,11 @@
+(** Human-readable rendering of engine schedules. *)
+
+val pp_summary : Format.formatter -> Engine.result -> unit
+(** Makespan plus per-resource busy time and utilization. *)
+
+val gantt : ?width:int -> Engine.result -> string
+(** Text Gantt chart: one row per resource ([C] host, [K] kernels,
+    [>] h2d, [<] d2h), [width] columns spanning the makespan. *)
+
+val top_tasks : ?n:int -> Engine.result -> Engine.placed list
+(** The [n] longest tasks, for quick diagnosis. *)

@@ -1,0 +1,1 @@
+lib/minic/builtins.pp.ml: Ast Float List Option

@@ -1,0 +1,1 @@
+lib/minic/interp.pp.ml: Array Ast Buffer Builtins Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+lib/minic/interp.pp.mli: Ast

@@ -1,0 +1,1 @@
+lib/minic/lexer.pp.ml: Buffer List Ppx_deriving_runtime Printf Srcloc String

@@ -1,0 +1,1 @@
+lib/minic/parser.pp.ml: Array Ast Lexer List Srcloc String

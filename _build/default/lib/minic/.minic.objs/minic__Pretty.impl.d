@@ -1,0 +1,1 @@
+lib/minic/pretty.pp.ml: Ast Buffer Float List Printf String

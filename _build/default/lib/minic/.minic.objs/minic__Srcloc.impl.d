@@ -1,0 +1,1 @@
+lib/minic/srcloc.pp.ml: Ppx_deriving_runtime Printf

@@ -1,0 +1,1 @@
+lib/minic/srcloc.pp.mli: Format

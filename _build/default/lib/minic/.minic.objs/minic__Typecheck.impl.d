@@ -1,0 +1,1 @@
+lib/minic/typecheck.pp.ml: Ast Builtins List Option Pretty Printf String

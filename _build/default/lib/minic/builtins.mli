@@ -1,0 +1,23 @@
+(** Builtin functions shared by the type checker and the interpreter.
+
+    [malloc]/[mic_malloc] count in {e cells} (one cell per scalar slot
+    of the interpreter heap), not bytes; byte-level sizes only matter
+    to the machine cost model, which works from array lengths and
+    element sizes instead. *)
+
+type signature = { args : Ast.ty list; ret : Ast.ty }
+
+val table : (string * signature) list
+(** All builtins: math ([sqrt], [exp], [log], [fabs], [sin], [cos],
+    [pow], [fmin], [fmax]), integer helpers ([abs], [imin], [imax]),
+    printing ([print_int], [print_float], [print_bool]), and the
+    allocators ([malloc], [mic_malloc], [free], [mic_free]). *)
+
+val find : string -> signature option
+val is_builtin : string -> bool
+
+val eval_float1 : string -> (float -> float) option
+(** Unary float builtins, for the interpreter. *)
+
+val eval_float2 : string -> (float -> float -> float) option
+(** Binary float builtins, for the interpreter. *)

@@ -1,0 +1,70 @@
+(** Reference interpreter for MiniC with {e two} address spaces.
+
+    The host (CPU) and the coprocessor (MIC) have separate heaps, as on
+    a real PCIe-attached Xeon Phi.  Offload bodies execute in MIC mode:
+    dereferencing a CPU pointer there is a runtime error, so a
+    transformation that forgets to transfer data produces a hard
+    failure rather than silently reading host memory.  This is what the
+    semantics-preservation property tests run against.
+
+    Offload semantics follow LEO:
+    - [in]/[inout] sections are copied to device shadow buffers before
+      the body runs; clause arrays are rebound to their shadows inside
+      the body; [out]/[inout] sections are copied back afterwards
+      (whole sections — a partially-written [out] array copies
+      undefined device cells back, as on real hardware);
+    - scalars are readable from the device without clauses
+      (firstprivate); writing host memory from the device is an error;
+    - [offload_transfer] moves sections explicitly, with [into()]
+      redirecting to device buffers obtained from [mic_malloc];
+    - [signal]/[wait] clauses are functional no-ops (they only matter
+      to the timing model). *)
+
+type space = Cpu | Mic
+
+type addr = { space : space; ofs : int }
+
+type value =
+  | Vint of int
+  | Vfloat of float
+  | Vbool of bool
+  | Vptr of addr
+  | Vundef
+
+(** Counters observable by tests: they let unit tests assert that e.g.
+    streaming moves the same number of cells in more, smaller
+    transfers, or that offload merging reduces [offloads]. *)
+type stats = {
+  mutable offloads : int;  (** kernel launches (offload regions entered) *)
+  mutable transfers : int;  (** discrete transfer operations *)
+  mutable cells_h2d : int;
+  mutable cells_d2h : int;
+  mutable mic_alloc_cells : int;
+}
+
+exception Runtime_error of string
+exception Out_of_fuel
+
+(** Offload-level event trace, in program order.  Asynchronous
+    transfers carry their [signal] tag and kernels their [wait] tag, so
+    the pipelining written into the source (Figure 5(b)) is recoverable
+    by {!Runtime.Replay}. *)
+type event =
+  | Ev_transfer of { h2d_cells : int; d2h_cells : int; signal : int option }
+  | Ev_wait of int
+  | Ev_kernel of { work : int; wait : int option }
+      (** [work] = statements executed inside the offload body *)
+
+type outcome = {
+  ret : value;
+  output : string;
+  stats : stats;
+  events : event list;
+}
+
+val run : ?fuel:int -> Ast.program -> (outcome, string) result
+(** Run [main()].  [fuel] bounds the number of statements executed
+    (default 10 million); exhaustion reports ["out of fuel"]. *)
+
+val run_output : ?fuel:int -> Ast.program -> string
+(** Printed output of a run; raises [Invalid_argument] on any error. *)

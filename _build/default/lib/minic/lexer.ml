@@ -1,0 +1,244 @@
+(** Hand-written lexer for MiniC.  [#pragma] lines are captured verbatim
+    as a single {!Tpragma} token; the parser re-lexes their payload to
+    parse clauses. *)
+
+type token =
+  | Tident of string
+  | Tint_lit of int
+  | Tfloat_lit of float
+  | Tpragma of string  (** raw text after [#pragma] *)
+  | Tlparen
+  | Trparen
+  | Tlbrace
+  | Trbrace
+  | Tlbracket
+  | Trbracket
+  | Tsemi
+  | Tcomma
+  | Tcolon
+  | Tdot
+  | Tarrow_op  (** [->] *)
+  | Tassign
+  | Tplus
+  | Tminus
+  | Tstar
+  | Tslash
+  | Tpercent
+  | Teq
+  | Tneq
+  | Tlt
+  | Tle
+  | Tgt
+  | Tge
+  | Tandand
+  | Toror
+  | Tbang
+  | Tamp
+  | Tplusplus
+  | Tminusminus
+  | Tpluseq
+  | Tminuseq
+  | Teof
+[@@deriving show { with_path = false }, eq]
+
+type located = { tok : token; loc : Srcloc.t }
+
+exception Lex_error of string * Srcloc.t
+
+let keywords =
+  [ "int"; "float"; "bool"; "void"; "struct"; "if"; "else"; "while"; "for";
+    "return"; "break"; "continue"; "true"; "false" ]
+
+let is_keyword s = List.mem s keywords
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_char c = is_ident_start c || is_digit c
+
+type cursor = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int;  (** offset of the beginning of the current line *)
+}
+
+let cursor src = { src; pos = 0; line = 1; bol = 0 }
+let loc_of c = Srcloc.make ~line:c.line ~col:(c.pos - c.bol + 1)
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let peek2 c =
+  if c.pos + 1 < String.length c.src then Some c.src.[c.pos + 1] else None
+
+let advance c =
+  (match peek c with
+  | Some '\n' ->
+      c.line <- c.line + 1;
+      c.bol <- c.pos + 1
+  | _ -> ());
+  c.pos <- c.pos + 1
+
+let rec skip_ws_and_comments c =
+  match peek c with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance c;
+      skip_ws_and_comments c
+  | Some '/' when peek2 c = Some '/' ->
+      while peek c <> None && peek c <> Some '\n' do
+        advance c
+      done;
+      skip_ws_and_comments c
+  | Some '/' when peek2 c = Some '*' ->
+      advance c;
+      advance c;
+      let rec loop () =
+        match (peek c, peek2 c) with
+        | Some '*', Some '/' ->
+            advance c;
+            advance c
+        | None, _ -> raise (Lex_error ("unterminated comment", loc_of c))
+        | _ ->
+            advance c;
+            loop ()
+      in
+      loop ();
+      skip_ws_and_comments c
+  | _ -> ()
+
+let lex_number c =
+  let start = c.pos in
+  let start_loc = loc_of c in
+  while (match peek c with Some ch -> is_digit ch | None -> false) do
+    advance c
+  done;
+  (* an exponent marker only starts an exponent when an (optionally
+     signed) digit follows — "58e" is the int 58 then the ident "e" *)
+  let exponent_follows () =
+    match (peek c, peek2 c) with
+    | Some ('e' | 'E'), Some ch when is_digit ch -> true
+    | Some ('e' | 'E'), Some ('+' | '-') ->
+        c.pos + 2 < String.length c.src && is_digit c.src.[c.pos + 2]
+    | _ -> false
+  in
+  let is_float =
+    match peek c with Some '.' -> true | _ -> exponent_follows ()
+  in
+  let lexeme () = String.sub c.src start (c.pos - start) in
+  if is_float then begin
+    (match peek c with
+    | Some '.' ->
+        advance c;
+        while (match peek c with Some ch -> is_digit ch | None -> false) do
+          advance c
+        done
+    | _ -> ());
+    if exponent_follows () then begin
+      advance c;
+      (match peek c with Some ('+' | '-') -> advance c | _ -> ());
+      while (match peek c with Some ch -> is_digit ch | None -> false) do
+        advance c
+      done
+    end;
+    match float_of_string_opt (lexeme ()) with
+    | Some f -> Tfloat_lit f
+    | None ->
+        raise (Lex_error ("malformed float literal " ^ lexeme (), start_loc))
+  end
+  else
+    match int_of_string_opt (lexeme ()) with
+    | Some n -> Tint_lit n
+    | None ->
+        raise (Lex_error ("malformed int literal " ^ lexeme (), start_loc))
+
+let lex_ident c =
+  let start = c.pos in
+  while (match peek c with Some ch -> is_ident_char ch | None -> false) do
+    advance c
+  done;
+  String.sub c.src start (c.pos - start)
+
+(** Lex a [#pragma] line: consume up to end of line (handling [\\]
+    continuations) and return the raw payload after the [#pragma] word. *)
+let lex_pragma c =
+  let buf = Buffer.create 64 in
+  let rec loop () =
+    match peek c with
+    | None -> ()
+    | Some '\\' when peek2 c = Some '\n' ->
+        advance c;
+        advance c;
+        Buffer.add_char buf ' ';
+        loop ()
+    | Some '\n' -> ()
+    | Some ch ->
+        Buffer.add_char buf ch;
+        advance c;
+        loop ()
+  in
+  loop ();
+  let raw = String.trim (Buffer.contents buf) in
+  let prefix = "pragma" in
+  if String.length raw >= String.length prefix
+     && String.equal (String.sub raw 0 (String.length prefix)) prefix
+  then String.trim (String.sub raw 6 (String.length raw - 6))
+  else raise (Lex_error ("expected #pragma, got #" ^ raw, loc_of c))
+
+let next_token c : located =
+  skip_ws_and_comments c;
+  let loc = loc_of c in
+  let simple tok = advance c; { tok; loc } in
+  let two tok = advance c; advance c; { tok; loc } in
+  match peek c with
+  | None -> { tok = Teof; loc }
+  | Some '#' ->
+      advance c;
+      let payload = lex_pragma c in
+      { tok = Tpragma payload; loc }
+  | Some ch when is_digit ch -> { tok = lex_number c; loc }
+  | Some ch when is_ident_start ch -> { tok = Tident (lex_ident c); loc }
+  | Some '(' -> simple Tlparen
+  | Some ')' -> simple Trparen
+  | Some '{' -> simple Tlbrace
+  | Some '}' -> simple Trbrace
+  | Some '[' -> simple Tlbracket
+  | Some ']' -> simple Trbracket
+  | Some ';' -> simple Tsemi
+  | Some ',' -> simple Tcomma
+  | Some ':' -> simple Tcolon
+  | Some '.' -> simple Tdot
+  | Some '+' -> (
+      match peek2 c with
+      | Some '+' -> two Tplusplus
+      | Some '=' -> two Tpluseq
+      | _ -> simple Tplus)
+  | Some '-' -> (
+      match peek2 c with
+      | Some '>' -> two Tarrow_op
+      | Some '-' -> two Tminusminus
+      | Some '=' -> two Tminuseq
+      | _ -> simple Tminus)
+  | Some '*' -> simple Tstar
+  | Some '/' -> simple Tslash
+  | Some '%' -> simple Tpercent
+  | Some '=' -> (
+      match peek2 c with Some '=' -> two Teq | _ -> simple Tassign)
+  | Some '!' -> (
+      match peek2 c with Some '=' -> two Tneq | _ -> simple Tbang)
+  | Some '<' -> (
+      match peek2 c with Some '=' -> two Tle | _ -> simple Tlt)
+  | Some '>' -> (
+      match peek2 c with Some '=' -> two Tge | _ -> simple Tgt)
+  | Some '&' -> (
+      match peek2 c with Some '&' -> two Tandand | _ -> simple Tamp)
+  | Some '|' -> (
+      match peek2 c with
+      | Some '|' -> two Toror
+      | _ -> raise (Lex_error ("unexpected '|'", loc)))
+  | Some ch -> raise (Lex_error (Printf.sprintf "unexpected char %C" ch, loc))
+
+(** Tokenize a whole source string. *)
+let tokenize src =
+  let c = cursor src in
+  let rec loop acc =
+    let t = next_token c in
+    if t.tok = Teof then List.rev (t :: acc) else loop (t :: acc)
+  in
+  loop []

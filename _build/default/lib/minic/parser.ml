@@ -1,0 +1,705 @@
+(** Recursive-descent parser for MiniC, including the OpenMP and
+    LEO-style offload pragmas the COMP optimizations consume. *)
+
+open Ast
+
+exception Parse_error of string * Srcloc.t
+
+type state = { toks : Lexer.located array; mutable cur : int }
+
+let peek st = st.toks.(st.cur).tok
+let peek_loc st = st.toks.(st.cur).loc
+
+let peekn st n =
+  let i = st.cur + n in
+  if i < Array.length st.toks then st.toks.(i).tok else Lexer.Teof
+
+let advance st = if st.cur < Array.length st.toks - 1 then st.cur <- st.cur + 1
+
+let error st msg =
+  raise (Parse_error (msg ^ " (got " ^ Lexer.show_token (peek st) ^ ")", peek_loc st))
+
+let expect st tok msg =
+  if Lexer.equal_token (peek st) tok then advance st else error st msg
+
+let expect_ident st msg =
+  match peek st with
+  | Lexer.Tident name ->
+      advance st;
+      name
+  | _ -> error st msg
+
+(** {1 Types} *)
+
+let is_type_start st =
+  match peek st with
+  | Lexer.Tident ("int" | "float" | "bool" | "void" | "struct") -> true
+  | _ -> false
+
+let rec parse_base_ty st =
+  match peek st with
+  | Lexer.Tident "int" -> advance st; Tint
+  | Lexer.Tident "float" -> advance st; Tfloat
+  | Lexer.Tident "bool" -> advance st; Tbool
+  | Lexer.Tident "void" -> advance st; Tvoid
+  | Lexer.Tident "struct" ->
+      advance st;
+      let name = expect_ident st "struct name" in
+      Tstruct name
+  | _ -> error st "type expected"
+
+and parse_ty st =
+  let base = parse_base_ty st in
+  let rec stars t =
+    if Lexer.equal_token (peek st) Lexer.Tstar then begin
+      advance st;
+      stars (Tptr t)
+    end
+    else t
+  in
+  stars base
+
+(** {1 Expressions}
+
+    Precedence climbing: [||] < [&&] < comparisons < [+ -] < [* / %]
+    < unary < postfix. *)
+
+let rec parse_expr st = parse_or st
+
+and parse_or st =
+  let lhs = parse_and st in
+  let rec loop lhs =
+    if Lexer.equal_token (peek st) Lexer.Toror then begin
+      advance st;
+      loop (Binop (Or, lhs, parse_and st))
+    end
+    else lhs
+  in
+  loop lhs
+
+and parse_and st =
+  let lhs = parse_cmp st in
+  let rec loop lhs =
+    if Lexer.equal_token (peek st) Lexer.Tandand then begin
+      advance st;
+      loop (Binop (And, lhs, parse_cmp st))
+    end
+    else lhs
+  in
+  loop lhs
+
+and parse_cmp st =
+  (* left-associative, as in C: a < b == c parses as (a < b) == c *)
+  let lhs = parse_add st in
+  let rec loop lhs =
+    let op =
+      match peek st with
+      | Lexer.Teq -> Some Eq
+      | Lexer.Tneq -> Some Ne
+      | Lexer.Tlt -> Some Lt
+      | Lexer.Tle -> Some Le
+      | Lexer.Tgt -> Some Gt
+      | Lexer.Tge -> Some Ge
+      | _ -> None
+    in
+    match op with
+    | Some op ->
+        advance st;
+        loop (Binop (op, lhs, parse_add st))
+    | None -> lhs
+  in
+  loop lhs
+
+and parse_add st =
+  let lhs = parse_mul st in
+  let rec loop lhs =
+    match peek st with
+    | Lexer.Tplus ->
+        advance st;
+        loop (Binop (Add, lhs, parse_mul st))
+    | Lexer.Tminus ->
+        advance st;
+        loop (Binop (Sub, lhs, parse_mul st))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_mul st =
+  let lhs = parse_unary st in
+  let rec loop lhs =
+    match peek st with
+    | Lexer.Tstar ->
+        advance st;
+        loop (Binop (Mul, lhs, parse_unary st))
+    | Lexer.Tslash ->
+        advance st;
+        loop (Binop (Div, lhs, parse_unary st))
+    | Lexer.Tpercent ->
+        advance st;
+        loop (Binop (Mod, lhs, parse_unary st))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_unary st =
+  match peek st with
+  | Lexer.Tminus -> (
+      advance st;
+      (* fold negated literals so printing and re-parsing round-trips *)
+      match parse_unary st with
+      | Int_lit n -> Int_lit (-n)
+      | Float_lit f -> Float_lit (-.f)
+      | e -> Unop (Neg, e))
+  | Lexer.Tbang ->
+      advance st;
+      Unop (Not, parse_unary st)
+  | Lexer.Tstar ->
+      advance st;
+      Deref (parse_unary st)
+  | Lexer.Tamp ->
+      advance st;
+      Addr (parse_unary st)
+  | Lexer.Tlparen when is_cast st -> (
+      advance st;
+      let t = parse_ty st in
+      expect st Lexer.Trparen "')' after cast type";
+      Cast (t, parse_unary st))
+  | _ -> parse_postfix st
+
+(* A '(' starts a cast iff it is followed by a type keyword. *)
+and is_cast st =
+  match peekn st 1 with
+  | Lexer.Tident ("int" | "float" | "bool" | "void" | "struct") -> true
+  | _ -> false
+
+and parse_postfix st =
+  let e = parse_primary st in
+  let rec loop e =
+    match peek st with
+    | Lexer.Tlbracket ->
+        advance st;
+        let i = parse_expr st in
+        expect st Lexer.Trbracket "']'";
+        loop (Index (e, i))
+    | Lexer.Tdot ->
+        advance st;
+        let f = expect_ident st "field name" in
+        loop (Field (e, f))
+    | Lexer.Tarrow_op ->
+        advance st;
+        let f = expect_ident st "field name" in
+        loop (Arrow (e, f))
+    | _ -> e
+  in
+  loop e
+
+and parse_primary st =
+  match peek st with
+  | Lexer.Tint_lit n ->
+      advance st;
+      Int_lit n
+  | Lexer.Tfloat_lit f ->
+      advance st;
+      Float_lit f
+  | Lexer.Tident "true" ->
+      advance st;
+      Bool_lit true
+  | Lexer.Tident "false" ->
+      advance st;
+      Bool_lit false
+  | Lexer.Tident name -> (
+      advance st;
+      match peek st with
+      | Lexer.Tlparen ->
+          advance st;
+          let args = parse_args st in
+          expect st Lexer.Trparen "')' after arguments";
+          Call (name, args)
+      | _ -> Var name)
+  | Lexer.Tlparen ->
+      advance st;
+      let e = parse_expr st in
+      expect st Lexer.Trparen "')'";
+      e
+  | _ -> error st "expression expected"
+
+and parse_args st =
+  if Lexer.equal_token (peek st) Lexer.Trparen then []
+  else
+    let rec loop acc =
+      let e = parse_expr st in
+      if Lexer.equal_token (peek st) Lexer.Tcomma then begin
+        advance st;
+        loop (e :: acc)
+      end
+      else List.rev (e :: acc)
+    in
+    loop []
+
+(** {1 Pragmas}
+
+    The lexer hands us the raw pragma payload; we re-lex it here and
+    parse clauses with the same machinery. *)
+
+let parse_section st =
+  let arr = expect_ident st "array name in data clause" in
+  match peek st with
+  | Lexer.Tlbracket ->
+      advance st;
+      let start = parse_expr st in
+      expect st Lexer.Tcolon "':' in array section";
+      let len = parse_expr st in
+      expect st Lexer.Trbracket "']' in array section";
+      let into =
+        if Lexer.equal_token (peek st) Lexer.Tcolon
+           && peekn st 1 = Lexer.Tident "into"
+        then begin
+          advance st;
+          advance st;
+          expect st Lexer.Tlparen "'(' after into";
+          let dst = expect_ident st "into target array" in
+          let dofs =
+            match peek st with
+            | Lexer.Tlbracket ->
+                advance st;
+                let o = parse_expr st in
+                expect st Lexer.Tcolon "':' in into section";
+                let _len = parse_expr st in
+                expect st Lexer.Trbracket "']' in into section";
+                o
+            | _ -> Int_lit 0
+          in
+          expect st Lexer.Trparen "')' after into";
+          Some (dst, dofs)
+        end
+        else None
+      in
+      { arr; start; len; into }
+  | Lexer.Tcolon ->
+      (* in(a : length(n)) *)
+      advance st;
+      expect st (Lexer.Tident "length") "length()";
+      expect st Lexer.Tlparen "'(' after length";
+      let len = parse_expr st in
+      expect st Lexer.Trparen "')' after length";
+      { arr; start = Int_lit 0; len; into = None }
+  | _ -> error st "array section expected"
+
+let parse_sections st =
+  expect st Lexer.Tlparen "'(' after data clause";
+  let rec loop acc =
+    let s = parse_section st in
+    if Lexer.equal_token (peek st) Lexer.Tcomma then begin
+      advance st;
+      loop (s :: acc)
+    end
+    else List.rev (s :: acc)
+  in
+  let sections = loop [] in
+  expect st Lexer.Trparen "')' after data clause";
+  sections
+
+let parse_target st =
+  expect st Lexer.Tlparen "'(' after target";
+  expect st (Lexer.Tident "mic") "mic device";
+  expect st Lexer.Tcolon "':' after mic";
+  let n = match peek st with
+    | Lexer.Tint_lit n -> advance st; n
+    | _ -> error st "device number"
+  in
+  expect st Lexer.Trparen "')' after target";
+  n
+
+let parse_offload_clauses st =
+  let spec = ref empty_spec in
+  let rec loop () =
+    match peek st with
+    | Lexer.Tident "target" ->
+        advance st;
+        spec := { !spec with target = parse_target st };
+        loop ()
+    | Lexer.Tident "in" ->
+        advance st;
+        spec := { !spec with ins = !spec.ins @ parse_sections st };
+        loop ()
+    | Lexer.Tident "out" ->
+        advance st;
+        spec := { !spec with outs = !spec.outs @ parse_sections st };
+        loop ()
+    | Lexer.Tident "inout" ->
+        advance st;
+        spec := { !spec with inouts = !spec.inouts @ parse_sections st };
+        loop ()
+    | Lexer.Tident "nocopy" ->
+        advance st;
+        expect st Lexer.Tlparen "'('";
+        let rec names acc =
+          let n = expect_ident st "name in nocopy" in
+          if Lexer.equal_token (peek st) Lexer.Tcomma then begin
+            advance st;
+            names (n :: acc)
+          end
+          else List.rev (n :: acc)
+        in
+        let ns = names [] in
+        expect st Lexer.Trparen "')'";
+        spec := { !spec with nocopy = !spec.nocopy @ ns };
+        loop ()
+    | Lexer.Tident "translate" ->
+        advance st;
+        expect st Lexer.Tlparen "'('";
+        let rec names acc =
+          let n = expect_ident st "name in translate" in
+          if Lexer.equal_token (peek st) Lexer.Tcomma then begin
+            advance st;
+            names (n :: acc)
+          end
+          else List.rev (n :: acc)
+        in
+        let ns = names [] in
+        expect st Lexer.Trparen "')'";
+        spec := { !spec with translate = !spec.translate @ ns };
+        loop ()
+    | Lexer.Tident "signal" ->
+        advance st;
+        expect st Lexer.Tlparen "'('";
+        let e = parse_expr st in
+        expect st Lexer.Trparen "')'";
+        spec := { !spec with signal = Some e };
+        loop ()
+    | Lexer.Tident "wait" ->
+        advance st;
+        expect st Lexer.Tlparen "'('";
+        let e = parse_expr st in
+        expect st Lexer.Trparen "')'";
+        spec := { !spec with wait = Some e };
+        loop ()
+    | Lexer.Teof -> ()
+    | _ -> error st "unknown offload clause"
+  in
+  loop ();
+  !spec
+
+let parse_pragma_payload payload =
+  let toks = Array.of_list (Lexer.tokenize payload) in
+  let st = { toks; cur = 0 } in
+  match peek st with
+  | Lexer.Tident "omp" -> (
+      advance st;
+      match peek st with
+      | Lexer.Tident "parallel" ->
+          advance st;
+          expect st (Lexer.Tident "for") "'for' after omp parallel";
+          Omp_parallel_for
+      | Lexer.Tident "simd" ->
+          advance st;
+          Omp_simd
+      | _ -> error st "unsupported omp pragma")
+  | Lexer.Tident "offload" ->
+      advance st;
+      Offload (parse_offload_clauses st)
+  | Lexer.Tident "offload_transfer" ->
+      advance st;
+      Offload_transfer (parse_offload_clauses st)
+  | Lexer.Tident "offload_wait" ->
+      advance st;
+      let spec = parse_offload_clauses st in
+      (match spec.wait with
+      | Some e -> Offload_wait e
+      | None -> error st "offload_wait requires wait(...)")
+  | _ -> error st "unknown pragma"
+
+(** {1 Statements} *)
+
+let rec parse_stmt st =
+  match peek st with
+  | Lexer.Tpragma payload ->
+      advance st;
+      let p = parse_pragma_payload payload in
+      (* offload_wait and bare offload_transfer stand alone; attach a
+         no-op statement. *)
+      (match p with
+      | Offload_wait _ | Offload_transfer _ ->
+          Spragma (p, Sblock [])
+      | _ ->
+          let s = parse_stmt st in
+          Spragma (p, s))
+  | Lexer.Tlbrace -> Sblock (parse_block st)
+  | Lexer.Tident "if" ->
+      advance st;
+      expect st Lexer.Tlparen "'(' after if";
+      let c = parse_expr st in
+      expect st Lexer.Trparen "')' after if condition";
+      let b1 = parse_stmt_as_block st in
+      let b2 =
+        if Lexer.equal_token (peek st) (Lexer.Tident "else") then begin
+          advance st;
+          parse_stmt_as_block st
+        end
+        else []
+      in
+      Sif (c, b1, b2)
+  | Lexer.Tident "while" ->
+      advance st;
+      expect st Lexer.Tlparen "'(' after while";
+      let c = parse_expr st in
+      expect st Lexer.Trparen "')' after while condition";
+      Swhile (c, parse_stmt_as_block st)
+  | Lexer.Tident "for" -> parse_for st
+  | Lexer.Tident "return" ->
+      advance st;
+      if Lexer.equal_token (peek st) Lexer.Tsemi then begin
+        advance st;
+        Sreturn None
+      end
+      else begin
+        let e = parse_expr st in
+        expect st Lexer.Tsemi "';' after return";
+        Sreturn (Some e)
+      end
+  | Lexer.Tident "break" ->
+      advance st;
+      expect st Lexer.Tsemi "';' after break";
+      Sbreak
+  | Lexer.Tident "continue" ->
+      advance st;
+      expect st Lexer.Tsemi "';' after continue";
+      Scontinue
+  | _ when is_decl st ->
+      let t = parse_ty st in
+      let name = expect_ident st "variable name" in
+      let t =
+        match peek st with
+        | Lexer.Tlbracket ->
+            advance st;
+            let n = parse_expr st in
+            expect st Lexer.Trbracket "']' in array declaration";
+            Tarray (t, Some n)
+        | _ -> t
+      in
+      let init =
+        if Lexer.equal_token (peek st) Lexer.Tassign then begin
+          advance st;
+          Some (parse_expr st)
+        end
+        else None
+      in
+      expect st Lexer.Tsemi "';' after declaration";
+      Sdecl (t, name, init)
+  | _ -> parse_simple_stmt st
+
+(* a statement beginning with a type keyword is a declaration, except
+   'struct Name {' which only occurs at toplevel *)
+and is_decl st = is_type_start st
+
+and parse_simple_stmt st =
+  let lhs = parse_expr st in
+  let stmt =
+    match peek st with
+    | Lexer.Tassign ->
+        advance st;
+        let rhs = parse_expr st in
+        Sassign (lhs, rhs)
+    | Lexer.Tpluseq ->
+        advance st;
+        let rhs = parse_expr st in
+        Sassign (lhs, Binop (Add, lhs, rhs))
+    | Lexer.Tminuseq ->
+        advance st;
+        let rhs = parse_expr st in
+        Sassign (lhs, Binop (Sub, lhs, rhs))
+    | Lexer.Tplusplus ->
+        advance st;
+        Sassign (lhs, Binop (Add, lhs, Int_lit 1))
+    | Lexer.Tminusminus ->
+        advance st;
+        Sassign (lhs, Binop (Sub, lhs, Int_lit 1))
+    | _ -> Sexpr lhs
+  in
+  expect st Lexer.Tsemi "';' after statement";
+  stmt
+
+and parse_stmt_as_block st =
+  match parse_stmt st with Sblock b -> b | s -> [ s ]
+
+and parse_block st =
+  expect st Lexer.Tlbrace "'{'";
+  let rec loop acc =
+    if Lexer.equal_token (peek st) Lexer.Trbrace then begin
+      advance st;
+      List.rev acc
+    end
+    else loop (parse_stmt st :: acc)
+  in
+  loop []
+
+(* Canonical counted loop: for ([int] i = lo; i < hi; i++ | i += k
+   | i = i + k) body *)
+and parse_for st =
+  advance st;
+  expect st Lexer.Tlparen "'(' after for";
+  (match peek st with
+  | Lexer.Tident "int" -> advance st
+  | _ -> ());
+  let index = expect_ident st "loop index" in
+  expect st Lexer.Tassign "'=' in for init";
+  let lo = parse_expr st in
+  expect st Lexer.Tsemi "';' after for init";
+  let index2 = expect_ident st "loop index in condition" in
+  if not (String.equal index index2) then
+    error st "for condition must test the loop index";
+  expect st Lexer.Tlt "'<' in for condition (canonical loops only)";
+  let hi = parse_expr st in
+  expect st Lexer.Tsemi "';' after for condition";
+  let index3 = expect_ident st "loop index in increment" in
+  if not (String.equal index index3) then
+    error st "for increment must update the loop index";
+  let step =
+    match peek st with
+    | Lexer.Tplusplus ->
+        advance st;
+        Int_lit 1
+    | Lexer.Tpluseq ->
+        advance st;
+        parse_expr st
+    | Lexer.Tassign ->
+        advance st;
+        let index4 = expect_ident st "loop index in increment" in
+        if not (String.equal index index4) then
+          error st "for increment must be i = i + k";
+        expect st Lexer.Tplus "'+' in for increment";
+        parse_expr st
+    | _ -> error st "for increment must be ++, += or i = i + k"
+  in
+  expect st Lexer.Trparen "')' after for header";
+  let body = parse_stmt_as_block st in
+  Sfor { index; lo; hi; step; body }
+
+(** {1 Top level} *)
+
+let parse_param st =
+  let t = parse_ty st in
+  let name = expect_ident st "parameter name" in
+  let t =
+    match peek st with
+    | Lexer.Tlbracket ->
+        advance st;
+        (match peek st with
+        | Lexer.Trbracket ->
+            advance st;
+            Tarray (t, None)
+        | _ ->
+            let n = parse_expr st in
+            expect st Lexer.Trbracket "']'";
+            Tarray (t, Some n))
+    | _ -> t
+  in
+  { pty = t; pname = name }
+
+let parse_params st =
+  expect st Lexer.Tlparen "'(' after function name";
+  if Lexer.equal_token (peek st) Lexer.Trparen then begin
+    advance st;
+    []
+  end
+  else if peek st = Lexer.Tident "void" && peekn st 1 = Lexer.Trparen then begin
+    advance st;
+    advance st;
+    []
+  end
+  else begin
+    let rec loop acc =
+      let p = parse_param st in
+      if Lexer.equal_token (peek st) Lexer.Tcomma then begin
+        advance st;
+        loop (p :: acc)
+      end
+      else List.rev (p :: acc)
+    in
+    let ps = loop [] in
+    expect st Lexer.Trparen "')' after parameters";
+    ps
+  end
+
+let parse_global st =
+  match (peek st, peekn st 1, peekn st 2) with
+  | Lexer.Tident "struct", Lexer.Tident name, Lexer.Tlbrace ->
+      advance st;
+      advance st;
+      advance st;
+      let rec fields acc =
+        if Lexer.equal_token (peek st) Lexer.Trbrace then begin
+          advance st;
+          expect st Lexer.Tsemi "';' after struct definition";
+          List.rev acc
+        end
+        else begin
+          let t = parse_ty st in
+          let fname = expect_ident st "field name" in
+          let t =
+            match peek st with
+            | Lexer.Tlbracket ->
+                advance st;
+                let n = parse_expr st in
+                expect st Lexer.Trbracket "']'";
+                Tarray (t, Some n)
+            | _ -> t
+          in
+          expect st Lexer.Tsemi "';' after field";
+          fields ((t, fname) :: acc)
+        end
+      in
+      Gstruct { sname = name; sfields = fields [] }
+  | _ ->
+      let t = parse_ty st in
+      let name = expect_ident st "global name" in
+      (match peek st with
+      | Lexer.Tlparen ->
+          let params = parse_params st in
+          let body = parse_block st in
+          Gfunc { ret = t; fname = name; params; body }
+      | Lexer.Tlbracket ->
+          advance st;
+          let n = parse_expr st in
+          expect st Lexer.Trbracket "']'";
+          expect st Lexer.Tsemi "';' after global array";
+          Gvar (Tarray (t, Some n), name, None)
+      | Lexer.Tassign ->
+          advance st;
+          let e = parse_expr st in
+          expect st Lexer.Tsemi "';' after global";
+          Gvar (t, name, Some e)
+      | Lexer.Tsemi ->
+          advance st;
+          Gvar (t, name, None)
+      | _ -> error st "function body or ';' expected")
+
+let parse_program src =
+  let toks = Array.of_list (Lexer.tokenize src) in
+  let st = { toks; cur = 0 } in
+  let rec loop acc =
+    if Lexer.equal_token (peek st) Lexer.Teof then List.rev acc
+    else loop (parse_global st :: acc)
+  in
+  loop []
+
+(** Parse a program, mapping lexer errors into parse errors. *)
+let program_of_string src =
+  try Ok (parse_program src) with
+  | Parse_error (msg, loc) -> Error (msg ^ " at " ^ Srcloc.to_string loc)
+  | Lexer.Lex_error (msg, loc) ->
+      Error (msg ^ " at " ^ Srcloc.to_string loc)
+
+let program_of_string_exn src =
+  match program_of_string src with
+  | Ok p -> p
+  | Error msg -> invalid_arg ("Minic.Parser: " ^ msg)
+
+(** Parse a single expression, e.g. for tests. *)
+let expr_of_string_exn src =
+  let toks = Array.of_list (Lexer.tokenize src) in
+  let st = { toks; cur = 0 } in
+  let e = parse_expr st in
+  if not (Lexer.equal_token (peek st) Lexer.Teof) then
+    invalid_arg "Minic.Parser: trailing tokens after expression";
+  e

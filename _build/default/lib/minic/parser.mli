@@ -1,0 +1,23 @@
+(** Recursive-descent parser for MiniC, including OpenMP and LEO-style
+    offload pragmas.
+
+    Only canonical counted loops are accepted
+    ([for (i = lo; i < hi; i++ | i += k | i = i + k)]); this is the
+    loop shape every analysis and transformation works with. *)
+
+exception Parse_error of string * Srcloc.t
+
+val parse_pragma_payload : string -> Ast.pragma
+(** Parse the payload of a [#pragma] line (the part after [#pragma]),
+    e.g. ["omp parallel for"] or
+    ["offload target(mic:0) in(a[0:n])"]. *)
+
+val program_of_string : string -> (Ast.program, string) result
+(** Parse a whole translation unit; the error string includes the
+    source location. *)
+
+val program_of_string_exn : string -> Ast.program
+(** Like {!program_of_string}; raises [Invalid_argument] on error. *)
+
+val expr_of_string_exn : string -> Ast.expr
+(** Parse a single expression (used heavily in tests). *)

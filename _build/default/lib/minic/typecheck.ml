@@ -1,0 +1,320 @@
+(** Static semantics for MiniC.  C-style implicit [int]/[float]
+    conversion is allowed on assignment and arithmetic; everything else
+    is checked strictly.  The checker is also the place where offload
+    data clauses are validated against declared variables. *)
+
+open Ast
+
+type env = {
+  structs : (string * struct_def) list;
+  funcs : (string * (ty list * ty)) list;
+  vars : (string * ty) list;  (** innermost scope first *)
+}
+
+exception Type_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Type_error s)) fmt
+
+let lookup_var env name =
+  match List.assoc_opt name env.vars with
+  | Some t -> t
+  | None -> err "unbound variable %s" name
+
+let lookup_struct env name =
+  match List.assoc_opt name env.structs with
+  | Some s -> s
+  | None -> err "unknown struct %s" name
+
+let field_ty env sname fname =
+  let s = lookup_struct env sname in
+  match
+    List.find_opt (fun (_, f) -> String.equal f fname) s.sfields
+  with
+  | Some (t, _) -> t
+  | None -> err "struct %s has no field %s" sname fname
+
+let is_numeric = function Tint | Tfloat -> true | _ -> false
+
+(* pointer-compatible: arrays decay to pointers *)
+let rec compatible a b =
+  match (a, b) with
+  | Tint, Tint | Tfloat, Tfloat | Tbool, Tbool | Tvoid, Tvoid -> true
+  | (Tint | Tfloat), (Tint | Tfloat) -> true (* implicit conversion *)
+  | Tptr Tvoid, (Tptr _ | Tarray _) | (Tptr _ | Tarray _), Tptr Tvoid ->
+      true
+  | Tptr a, Tptr b -> compatible a b
+  | Tarray (a, _), Tptr b | Tptr a, Tarray (b, _) -> compatible a b
+  | Tarray (a, _), Tarray (b, _) -> compatible a b
+  | Tstruct a, Tstruct b -> String.equal a b
+  | _ -> false
+
+let rec type_of_expr env expr =
+  match expr with
+  | Int_lit _ -> Tint
+  | Float_lit _ -> Tfloat
+  | Bool_lit _ -> Tbool
+  | Var v -> lookup_var env v
+  | Index (a, i) -> (
+      let it = type_of_expr env i in
+      if it <> Tint then err "array index must be int";
+      match type_of_expr env a with
+      | Tarray (t, _) | Tptr t -> t
+      | t -> err "cannot index a value of type %s" (Pretty.ty_str t))
+  | Field (e, f) -> (
+      match type_of_expr env e with
+      | Tstruct s -> field_ty env s f
+      | t -> err "field access on non-struct type %s" (Pretty.ty_str t))
+  | Arrow (e, f) -> (
+      match type_of_expr env e with
+      | Tptr (Tstruct s) | Tarray (Tstruct s, _) -> field_ty env s f
+      | t -> err "-> on non-struct-pointer type %s" (Pretty.ty_str t))
+  | Deref e -> (
+      match type_of_expr env e with
+      | Tptr t | Tarray (t, _) -> t
+      | t -> err "cannot dereference type %s" (Pretty.ty_str t))
+  | Addr e ->
+      if not (is_lvalue e) then err "& applied to non-lvalue";
+      Tptr (type_of_expr env e)
+  | Unop (Neg, e) -> (
+      match type_of_expr env e with
+      | (Tint | Tfloat) as t -> t
+      | t -> err "- applied to type %s" (Pretty.ty_str t))
+  | Unop (Not, e) -> (
+      match type_of_expr env e with
+      | Tbool -> Tbool
+      | t -> err "! applied to type %s" (Pretty.ty_str t))
+  | Binop (op, a, b) -> binop_ty env op a b
+  | Call (fname, args) -> call_ty env fname args
+  | Cast (t, e) ->
+      let et = type_of_expr env e in
+      (match (t, et) with
+      | (Tint | Tfloat | Tbool), (Tint | Tfloat | Tbool) -> t
+      | Tptr _, (Tptr _ | Tarray _ | Tint) -> t
+      | Tint, Tptr _ -> t
+      | _ ->
+          err "invalid cast from %s to %s" (Pretty.ty_str et)
+            (Pretty.ty_str t))
+
+and is_lvalue = function
+  | Var _ | Index _ | Field _ | Arrow _ | Deref _ -> true
+  | _ -> false
+
+and binop_ty env op a b =
+  let ta = type_of_expr env a and tb = type_of_expr env b in
+  match op with
+  | Add | Sub -> (
+      match (ta, tb) with
+      | Tint, Tint -> Tint
+      | (Tint | Tfloat), (Tint | Tfloat) -> Tfloat
+      | (Tptr _ | Tarray _), Tint -> (
+          (* pointer arithmetic *)
+          match ta with Tarray (t, _) -> Tptr t | t -> t)
+      | _ ->
+          err "%s applied to %s and %s" (Pretty.binop_str op)
+            (Pretty.ty_str ta) (Pretty.ty_str tb))
+  | Mul | Div -> (
+      match (ta, tb) with
+      | Tint, Tint -> Tint
+      | (Tint | Tfloat), (Tint | Tfloat) -> Tfloat
+      | _ ->
+          err "%s applied to %s and %s" (Pretty.binop_str op)
+            (Pretty.ty_str ta) (Pretty.ty_str tb))
+  | Mod ->
+      if ta = Tint && tb = Tint then Tint
+      else err "%% requires int operands"
+  | Eq | Ne | Lt | Le | Gt | Ge ->
+      if (is_numeric ta && is_numeric tb)
+         || compatible ta tb
+      then Tbool
+      else
+        err "comparison of %s and %s" (Pretty.ty_str ta) (Pretty.ty_str tb)
+  | And | Or ->
+      if ta = Tbool && tb = Tbool then Tbool
+      else err "&&/|| require bool operands"
+
+and call_ty env fname args =
+  let arg_tys = List.map (type_of_expr env) args in
+  let sig_ =
+    match Builtins.find fname with
+    | Some { args; ret } -> Some (args, ret)
+    | None -> List.assoc_opt fname env.funcs
+  in
+  match sig_ with
+  | None -> err "unknown function %s" fname
+  | Some (ptys, ret) ->
+      if List.length ptys <> List.length arg_tys then
+        err "%s expects %d arguments, got %d" fname (List.length ptys)
+          (List.length arg_tys);
+      List.iter2
+        (fun want got ->
+          if not (compatible want got) then
+            err "argument of %s: expected %s, got %s" fname
+              (Pretty.ty_str want) (Pretty.ty_str got))
+        ptys arg_tys;
+      ret
+
+let check_cond env e =
+  match type_of_expr env e with
+  | Tbool -> ()
+  | Tint -> () (* C-style truthiness for ints *)
+  | t -> err "condition has type %s" (Pretty.ty_str t)
+
+let check_section env s =
+  (match lookup_var env s.arr with
+  | Tarray _ | Tptr _ -> ()
+  | t ->
+      err "data clause on %s which has non-array type %s" s.arr
+        (Pretty.ty_str t));
+  (match type_of_expr env s.start with
+  | Tint -> ()
+  | _ -> err "section start must be int");
+  (match type_of_expr env s.len with
+  | Tint -> ()
+  | _ -> err "section length must be int");
+  match s.into with
+  | None -> ()
+  | Some (dst, ofs) -> (
+      (match lookup_var env dst with
+      | Tarray _ | Tptr _ -> ()
+      | t ->
+          err "into() target %s has non-array type %s" dst
+            (Pretty.ty_str t));
+      match type_of_expr env ofs with
+      | Tint -> ()
+      | _ -> err "into() offset must be int")
+
+let check_spec env spec =
+  List.iter (check_section env) (spec.ins @ spec.outs @ spec.inouts);
+  List.iter (fun n -> ignore (lookup_var env n)) spec.nocopy;
+  List.iter
+    (fun n ->
+      match lookup_var env n with
+      | Tarray _ | Tptr _ -> ()
+      | t ->
+          err "translate() on %s which has non-array type %s" n
+            (Pretty.ty_str t))
+    spec.translate;
+  Option.iter (fun e -> ignore (type_of_expr env e)) spec.signal;
+  Option.iter (fun e -> ignore (type_of_expr env e)) spec.wait
+
+let rec check_stmt env ~ret stmt =
+  match stmt with
+  | Sexpr e ->
+      ignore (type_of_expr env e);
+      env
+  | Sassign (lv, rv) ->
+      if not (is_lvalue lv) then err "assignment to non-lvalue";
+      let tl = type_of_expr env lv and tr = type_of_expr env rv in
+      if not (compatible tl tr) then
+        err "cannot assign %s to %s" (Pretty.ty_str tr) (Pretty.ty_str tl);
+      env
+  | Sdecl (t, name, init) ->
+      (match t with
+      | Tstruct s -> ignore (lookup_struct env s)
+      | Tarray (_, Some n) -> (
+          match type_of_expr env n with
+          | Tint -> ()
+          | _ -> err "array size must be int")
+      | Tarray (_, None) -> err "local array %s needs a size" name
+      | _ -> ());
+      (match init with
+      | None -> ()
+      | Some e ->
+          let te = type_of_expr env e in
+          if not (compatible t te) then
+            err "initializer of %s: cannot assign %s to %s" name
+              (Pretty.ty_str te) (Pretty.ty_str t));
+      { env with vars = (name, t) :: env.vars }
+  | Sif (c, b1, b2) ->
+      check_cond env c;
+      check_block env ~ret b1;
+      check_block env ~ret b2;
+      env
+  | Swhile (c, b) ->
+      check_cond env c;
+      check_block env ~ret b;
+      env
+  | Sfor { index; lo; hi; step; body } ->
+      List.iter
+        (fun e ->
+          match type_of_expr env e with
+          | Tint -> ()
+          | _ -> err "for bounds/step must be int")
+        [ lo; hi; step ];
+      let env' = { env with vars = (index, Tint) :: env.vars } in
+      check_block env' ~ret body;
+      env
+  | Sreturn None ->
+      if ret <> Tvoid then err "return without value in non-void function";
+      env
+  | Sreturn (Some e) ->
+      let t = type_of_expr env e in
+      if not (compatible ret t) then
+        err "return type mismatch: expected %s, got %s" (Pretty.ty_str ret)
+          (Pretty.ty_str t);
+      env
+  | Sblock b ->
+      check_block env ~ret b;
+      env
+  | Spragma (p, s) ->
+      (match p with
+      | Omp_parallel_for | Omp_simd -> ()
+      | Offload spec | Offload_transfer spec -> check_spec env spec
+      | Offload_wait e -> ignore (type_of_expr env e));
+      ignore (check_stmt env ~ret s);
+      env
+  | Sbreak | Scontinue -> env
+
+and check_block env ~ret block =
+  ignore (List.fold_left (fun env s -> check_stmt env ~ret s) env block)
+
+let initial_env prog =
+  let structs =
+    List.filter_map
+      (function Gstruct s -> Some (s.sname, s) | _ -> None)
+      prog
+  in
+  let funcs =
+    List.filter_map
+      (function
+        | Gfunc f ->
+            Some (f.fname, (List.map (fun p -> p.pty) f.params, f.ret))
+        | _ -> None)
+      prog
+  in
+  let vars =
+    List.filter_map
+      (function Gvar (t, name, _) -> Some (name, t) | _ -> None)
+      prog
+  in
+  { structs; funcs; vars }
+
+let check_func env (f : func) =
+  let env =
+    {
+      env with
+      vars = List.map (fun p -> (p.pname, p.pty)) f.params @ env.vars;
+    }
+  in
+  check_block env ~ret:f.ret f.body
+
+(** Check a whole program.  Returns the global environment for use by
+    later analyses. *)
+let check_program prog =
+  try
+    let env = initial_env prog in
+    List.iter
+      (function
+        | Gfunc f -> check_func env f
+        | Gvar (t, _, Some e) ->
+            let te = type_of_expr env e in
+            if not (compatible t te) then err "global initializer mismatch"
+        | Gvar _ | Gstruct _ -> ())
+      prog;
+    Ok env
+  with Type_error msg -> Error msg
+
+let check_program_exn prog =
+  match check_program prog with
+  | Ok env -> env
+  | Error msg -> invalid_arg ("Minic.Typecheck: " ^ msg)

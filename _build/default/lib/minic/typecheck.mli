@@ -1,0 +1,26 @@
+(** Static semantics for MiniC.
+
+    C-style implicit [int]/[float] conversion is allowed on assignment
+    and arithmetic; everything else is checked strictly.  Offload data
+    clauses are validated against the declared variables. *)
+
+type env = {
+  structs : (string * Ast.struct_def) list;
+  funcs : (string * (Ast.ty list * Ast.ty)) list;
+  vars : (string * Ast.ty) list;  (** innermost scope first *)
+}
+
+exception Type_error of string
+
+val type_of_expr : env -> Ast.expr -> Ast.ty
+(** Type of an expression under [env].  Raises {!Type_error}. *)
+
+val initial_env : Ast.program -> env
+(** Global environment: struct table, function signatures, globals. *)
+
+val check_program : Ast.program -> (env, string) result
+(** Check a whole program; on success returns the global environment
+    for use by later analyses. *)
+
+val check_program_exn : Ast.program -> env
+(** Like {!check_program}; raises [Invalid_argument] on error. *)

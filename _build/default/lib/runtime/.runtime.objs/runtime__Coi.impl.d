@@ -1,0 +1,1 @@
+lib/runtime/coi.ml: Float Hashtbl Machine

@@ -1,0 +1,1 @@
+lib/runtime/coi.mli: Machine

@@ -1,0 +1,1 @@
+lib/runtime/mem_usage.ml: Machine Plan

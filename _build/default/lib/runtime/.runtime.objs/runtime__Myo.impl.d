@@ -1,0 +1,1 @@
+lib/runtime/myo.ml: Format Hashtbl Machine

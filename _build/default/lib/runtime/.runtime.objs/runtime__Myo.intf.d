@@ -1,0 +1,1 @@
+lib/runtime/myo.mli: Format Machine

@@ -1,0 +1,1 @@
+lib/runtime/plan.ml: Machine Printf

@@ -1,0 +1,1 @@
+lib/runtime/replay.ml: Config Cost Engine Hashtbl List Machine Minic Printf Task

@@ -1,0 +1,1 @@
+lib/runtime/replay.mli: Machine Minic

@@ -1,0 +1,1 @@
+lib/runtime/schedule_gen.ml: Array Cost Engine Float List Machine Plan Printf Task

@@ -1,0 +1,1 @@
+lib/runtime/schedule_gen.mli: Machine Plan

@@ -1,0 +1,1 @@
+lib/runtime/segbuf.ml: Array List Printf Xptr

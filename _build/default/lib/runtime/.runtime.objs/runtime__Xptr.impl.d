@@ -1,0 +1,1 @@
+lib/runtime/xptr.ml: Array Format Printf

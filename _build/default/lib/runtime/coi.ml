@@ -1,0 +1,40 @@
+(** Minimal COI-style signal channel between host and device, used by
+    the thread-reuse optimization (Section III-C): the persistent
+    kernel [wait]s for each data block's signal instead of being
+    relaunched.  This is a functional simulation with timestamps so the
+    ordering logic can be unit-tested independently of the event
+    engine. *)
+
+type t = {
+  signals : (int, float) Hashtbl.t;  (** tag -> time signalled *)
+  mutable signal_cost : float;
+  mutable wait_cost : float;
+}
+
+let create ?(signal_cost = 5.0e-6) ?(wait_cost = 1.0e-6) () =
+  { signals = Hashtbl.create 16; signal_cost; wait_cost }
+
+exception Never_signalled of int
+
+(** Host side: raise signal [tag] at [time]; returns the time the host
+    continues (signalling is cheap but not free). *)
+let signal t ~tag ~time =
+  (match Hashtbl.find_opt t.signals tag with
+  | Some earlier when earlier <= time -> ()
+  | _ -> Hashtbl.replace t.signals tag time);
+  time +. t.signal_cost
+
+(** Device side: wait for [tag] starting at [time]; returns the time
+    the kernel resumes.  Raises {!Never_signalled} if the tag was never
+    raised — which is how a lost-signal deadlock shows up in tests. *)
+let wait t ~tag ~time =
+  match Hashtbl.find_opt t.signals tag with
+  | None -> raise (Never_signalled tag)
+  | Some signalled -> Float.max time signalled +. t.wait_cost
+
+let signalled t tag = Hashtbl.mem t.signals tag
+
+(** Per-block synchronization cost of a persistent kernel versus a
+    fresh launch: the saving that motivates thread reuse. *)
+let saving_per_block (cfg : Machine.Config.t) =
+  Machine.Cost.launch_time cfg -. Machine.Cost.signal_time cfg

@@ -1,0 +1,26 @@
+(** Minimal COI-style signal channel between host and device, used by
+    thread reuse (Section III-C): the persistent kernel waits for each
+    data block's signal instead of being relaunched.  A functional
+    simulation with timestamps, so ordering logic is testable
+    independently of the event engine. *)
+
+type t
+
+val create : ?signal_cost:float -> ?wait_cost:float -> unit -> t
+
+exception Never_signalled of int
+
+val signal : t -> tag:int -> time:float -> float
+(** Host raises [tag] at [time]; returns when the host continues.
+    Re-signalling keeps the earliest time. *)
+
+val wait : t -> tag:int -> time:float -> float
+(** Device waits for [tag] from [time]; returns when the kernel
+    resumes.  Raises {!Never_signalled} for a tag never raised — a
+    lost-signal deadlock, surfaced loudly. *)
+
+val signalled : t -> int -> bool
+
+val saving_per_block : Machine.Config.t -> float
+(** Launch overhead minus signal cost: what thread reuse saves per
+    block. *)

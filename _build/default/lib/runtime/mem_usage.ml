@@ -1,0 +1,42 @@
+(** Device-memory footprint accounting (Figure 13 and the 8 GB wall).
+
+    The memory-usage optimization of Section III-B keeps only two
+    device blocks per streamed input (current + next) and one per
+    output, so the footprint drops from the whole working set to
+    roughly [working_set / nblocks * 3] plus whatever is
+    loop-invariant. *)
+
+open Plan
+
+(** Device bytes required by a strategy. *)
+let device_bytes (s : shape) (strategy : strategy) =
+  let whole = s.bytes_in +. s.bytes_out +. s.invariant_bytes in
+  match strategy with
+  | Host_parallel -> 0.
+  | Naive_offload | Merged _ -> whole
+  | Streamed { nblocks; double_buffered; _ } ->
+      if double_buffered then
+        let n = float_of_int (max 1 nblocks) in
+        (2. *. s.bytes_in /. n) +. (s.bytes_out /. n) +. s.invariant_bytes
+      else whole
+  | Shared_myo ->
+      (match s.shared with
+      | Some sh -> float_of_int sh.shared_bytes
+      | None -> whole)
+  | Shared_segbuf { seg_bytes } -> (
+      match s.shared with
+      | Some sh ->
+          let segs = (sh.shared_bytes + seg_bytes - 1) / seg_bytes in
+          float_of_int (max 1 segs * seg_bytes)
+      | None -> whole)
+
+(** Does the working set fit in device memory?  Offloading data that
+    does not fit is a runtime error on a real MIC (no disk, no swap). *)
+let fits (cfg : Machine.Config.t) bytes =
+  bytes <= float_of_int cfg.mic.mem_bytes
+
+(** Footprint relative to the naive offload (the y-axis of
+    Figure 13). *)
+let relative s strategy =
+  let base = device_bytes s Naive_offload in
+  if base <= 0. then 1. else device_bytes s strategy /. base

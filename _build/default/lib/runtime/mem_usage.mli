@@ -1,0 +1,12 @@
+(** Device-memory footprint accounting (Figure 13 and the 8 GB wall). *)
+
+val device_bytes : Plan.shape -> Plan.strategy -> float
+(** Device bytes a strategy needs.  Double-buffered streaming keeps two
+    blocks per streamed input and one per output (Section III-B). *)
+
+val fits : Machine.Config.t -> float -> bool
+(** Does a working set fit device memory?  (No disk, no swap: data that
+    does not fit is a runtime error on a real MIC.) *)
+
+val relative : Plan.shape -> Plan.strategy -> float
+(** Footprint relative to the naive offload — Figure 13's y-axis. *)

@@ -1,0 +1,103 @@
+(** Model of Intel MYO, the baseline shared-memory runtime (Section V).
+
+    MYO implements virtual shared memory with a page-fault-style
+    protocol: shared data is copied on demand, one page at a time, when
+    the device first touches it.  The paper measures three pathologies,
+    all modeled here: page granularity is too small for large
+    structures, DMA is not batched (low effective bandwidth), and fault
+    handling is pure overhead.  MYO also caps the number of shared
+    allocations and the total shared size, which is why [ferret]
+    (80,298 allocations) cannot run under it at full input size. *)
+
+type error =
+  | Too_many_allocs of { allocs : int; limit : int }
+  | Too_much_memory of { bytes : int; limit : int }
+
+let pp_error fmt = function
+  | Too_many_allocs { allocs; limit } ->
+      Format.fprintf fmt "MYO: %d shared allocations exceed the limit of %d"
+        allocs limit
+  | Too_much_memory { bytes; limit } ->
+      Format.fprintf fmt "MYO: %d shared bytes exceed the limit of %d" bytes
+        limit
+
+type t = {
+  config : Machine.Config.myo;
+  mutable allocs : int;
+  mutable total_bytes : int;
+  mutable next_addr : int;
+  faulted : (int, unit) Hashtbl.t;  (** page number -> present on device *)
+  mutable faults : int;
+}
+
+let create (config : Machine.Config.myo) =
+  {
+    config;
+    allocs = 0;
+    total_bytes = 0;
+    next_addr = 0x2000_0000;
+    faulted = Hashtbl.create 1024;
+    faults = 0;
+  }
+
+(** [Offload_shared_malloc]: returns the address of a shared object of
+    [bytes] bytes, or an error when MYO's limits are exceeded. *)
+let alloc t bytes =
+  if bytes <= 0 then invalid_arg "Myo.alloc: non-positive size";
+  if t.allocs + 1 > t.config.max_allocs then
+    Error (Too_many_allocs { allocs = t.allocs + 1; limit = t.config.max_allocs })
+  else if t.total_bytes + bytes > t.config.max_total_bytes then
+    Error
+      (Too_much_memory
+         { bytes = t.total_bytes + bytes; limit = t.config.max_total_bytes })
+  else begin
+    let addr = t.next_addr in
+    t.allocs <- t.allocs + 1;
+    t.total_bytes <- t.total_bytes + bytes;
+    t.next_addr <- t.next_addr + bytes;
+    Ok addr
+  end
+
+let page_of t addr = addr / t.config.page_bytes
+
+(** Device-side access to [[addr, addr+len)]: every page not yet
+    resident faults and is copied.  Returns the number of new faults. *)
+let touch t ~addr ~len =
+  if len <= 0 then 0
+  else begin
+    let first = page_of t addr and last = page_of t (addr + len - 1) in
+    let fresh = ref 0 in
+    for p = first to last do
+      if not (Hashtbl.mem t.faulted p) then begin
+        Hashtbl.add t.faulted p ();
+        incr fresh
+      end
+    done;
+    t.faults <- t.faults + !fresh;
+    !fresh
+  end
+
+(** Synchronization boundary: MYO invalidates device copies when the
+    offload region ends, so the next region faults again. *)
+let sync_boundary t = Hashtbl.reset t.faulted
+
+type stats = { allocs : int; total_bytes : int; faults : int }
+
+let stats (t : t) =
+  { allocs = t.allocs; total_bytes = t.total_bytes; faults = t.faults }
+
+(** Time spent in fault handling and page copies for the faults
+    recorded so far. *)
+let fault_time (cfg : Machine.Config.t) (t : t) =
+  let per_page =
+    cfg.myo.fault_cost_s
+    +. (float_of_int cfg.myo.page_bytes /. (cfg.myo.page_bw_gbs *. 1e9))
+  in
+  float_of_int t.faults *. per_page
+
+(** Time our segmented scheme would take for the same data: whole
+    segments over DMA at full PCIe bandwidth. *)
+let segbuf_time (cfg : Machine.Config.t) ~bytes ~seg_bytes =
+  let segs = max 1 ((bytes + seg_bytes - 1) / seg_bytes) in
+  float_of_int segs *. cfg.pcie.latency_s
+  +. (float_of_int bytes /. (cfg.pcie.bw_h2d_gbs *. 1e9))

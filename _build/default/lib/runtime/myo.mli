@@ -1,0 +1,43 @@
+(** Model of Intel MYO, the baseline shared-memory runtime (Section V).
+
+    MYO implements virtual shared memory with a page-fault-style
+    protocol: shared data is copied on demand, one page at a time, when
+    the device first touches it.  The paper's three measured
+    pathologies are modeled: page granularity too small for large
+    structures, un-batched copies (low effective bandwidth), and fault
+    handling overhead.  MYO also caps the number and total size of
+    shared allocations — which is why ferret (80,298 allocations)
+    cannot run under it. *)
+
+type error =
+  | Too_many_allocs of { allocs : int; limit : int }
+  | Too_much_memory of { bytes : int; limit : int }
+
+val pp_error : Format.formatter -> error -> unit
+
+type t
+
+val create : Machine.Config.myo -> t
+
+val alloc : t -> int -> (int, error) result
+(** [Offload_shared_malloc]: address of a shared object of [bytes]
+    bytes, or the limit that was hit. *)
+
+val touch : t -> addr:int -> len:int -> int
+(** Device access to a byte range: every non-resident page faults and
+    is copied; returns the number of new faults. *)
+
+val sync_boundary : t -> unit
+(** Offload-region boundary: device copies are invalidated, so the
+    next region re-faults. *)
+
+type stats = { allocs : int; total_bytes : int; faults : int }
+
+val stats : t -> stats
+
+val fault_time : Machine.Config.t -> t -> float
+(** Time spent in fault handling and page copies so far. *)
+
+val segbuf_time : Machine.Config.t -> bytes:int -> seg_bytes:int -> float
+(** What our segmented scheme takes for the same data: whole segments
+    over DMA at full PCIe bandwidth. *)

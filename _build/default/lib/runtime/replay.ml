@@ -1,0 +1,106 @@
+(** Execution-driven replay: turn the interpreter's offload event trace
+    into a machine schedule.
+
+    The shape-based experiments ({!Schedule_gen}) time workload
+    {e descriptors}; replay instead times the {e actual program} the
+    compiler produced.  The interpreter records, in program order, each
+    transfer (with its [signal] tag if asynchronous), each [wait], and
+    each kernel (with its statement count as a work measure).  Replay
+    reconstructs the issue semantics:
+
+    - synchronous operations chain on the host: each depends on the
+      previous synchronous operation;
+    - an asynchronous transfer ([signal(t)]) is issued at its program
+      point (it depends on the host's progress) but nothing waits for
+      it until a matching [wait(t)] — so it runs on the PCIe resource
+      concurrently with whatever the device is doing;
+    - a [wait(t)] joins the tagged transfer back into the host chain.
+
+    Feeding the engine both the original and the streamed version of a
+    program shows the overlap of Figure 5(d) arising from the real
+    generated code, not from a hand-built task graph. *)
+
+open Machine
+
+type params = {
+  bytes_per_cell : float;
+      (** how many real bytes one miniature heap cell stands for *)
+  seconds_per_stmt : float;
+      (** device time one interpreted statement stands for *)
+}
+
+(** Defaults that make the miniature test programs look like
+    megabyte-scale offloads: one cell ~ 64 KiB, one statement ~ 50 us
+    of device work. *)
+let default_params = { bytes_per_cell = 65536.; seconds_per_stmt = 5e-5 }
+
+exception Unmatched_wait of int
+
+(** Build the task graph of an event trace. *)
+let tasks ?(params = default_params) (cfg : Config.t)
+    (events : Minic.Interp.event list) : Task.t list =
+  let b = Task.builder () in
+  let signals : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  (* the host's synchronous progress: deps for the next sync op *)
+  let host_prev = ref [] in
+  let transfer_task ~label ~h2d ~d2h ~deps =
+    (* a transfer event is one DMA; direction by dominant volume *)
+    let resource = if d2h > h2d then Task.Pcie_d2h else Task.Pcie_h2d in
+    let dir = if d2h > h2d then Cost.D2h else Cost.H2d in
+    let bytes = float_of_int (h2d + d2h) *. params.bytes_per_cell in
+    Task.add b ~deps ~label ~resource
+      ~duration:(Cost.transfer_time cfg dir ~bytes)
+      ()
+  in
+  List.iteri
+    (fun i (ev : Minic.Interp.event) ->
+      match ev with
+      | Minic.Interp.Ev_transfer { h2d_cells; d2h_cells; signal } -> (
+          let id =
+            transfer_task
+              ~label:(Printf.sprintf "xfer#%d" i)
+              ~h2d:h2d_cells ~d2h:d2h_cells ~deps:!host_prev
+          in
+          match signal with
+          | Some tag ->
+              (* asynchronous: issued here, joined at the wait *)
+              Hashtbl.replace signals tag id
+          | None -> host_prev := [ id ])
+      | Minic.Interp.Ev_wait tag -> (
+          match Hashtbl.find_opt signals tag with
+          | Some id -> host_prev := id :: !host_prev
+          | None -> raise (Unmatched_wait tag))
+      | Minic.Interp.Ev_kernel { work; wait } ->
+          let wait_dep =
+            match wait with
+            | None -> []
+            | Some tag -> (
+                match Hashtbl.find_opt signals tag with
+                | Some id -> [ id ]
+                | None -> raise (Unmatched_wait tag))
+          in
+          let id =
+            Task.add b
+              ~deps:(wait_dep @ !host_prev)
+              ~label:(Printf.sprintf "kernel#%d" i)
+              ~resource:Task.Mic_exec
+              ~duration:
+                (Cost.launch_time cfg
+                +. (float_of_int work *. params.seconds_per_stmt))
+              ()
+          in
+          host_prev := [ id ])
+    events;
+  Task.tasks b
+
+(** Schedule the replayed trace. *)
+let schedule ?params cfg events = Engine.schedule (tasks ?params cfg events)
+
+let makespan ?params cfg events = (schedule ?params cfg events).Engine.makespan
+
+(** Interpret a program and replay its trace; returns the outcome and
+    the schedule.  Raises on interpreter errors. *)
+let of_program ?params ?(cfg = Config.paper_default) prog =
+  match Minic.Interp.run prog with
+  | Error msg -> invalid_arg ("Replay.of_program: " ^ msg)
+  | Ok o -> (o, schedule ?params cfg o.Minic.Interp.events)

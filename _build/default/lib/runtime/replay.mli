@@ -1,0 +1,42 @@
+(** Execution-driven replay: the interpreter's offload event trace
+    turned into a machine schedule, so the original and the transformed
+    program can be timed as the {e actual code} they are, not as shape
+    descriptors.  Synchronous operations chain on the host; an
+    asynchronous transfer ([signal(t)]) runs concurrently until a
+    matching [wait(t)] joins it back — recovering the Figure 5(d)
+    overlap from the generated source. *)
+
+type params = {
+  bytes_per_cell : float;
+      (** how many real bytes one miniature heap cell stands for *)
+  seconds_per_stmt : float;
+      (** device time one interpreted statement stands for *)
+}
+
+val default_params : params
+
+exception Unmatched_wait of int
+(** A [wait(t)] (or kernel [wait] clause) with no earlier [signal(t)]:
+    the deadlock a lost signal would cause, surfaced loudly. *)
+
+val tasks :
+  ?params:params ->
+  Machine.Config.t ->
+  Minic.Interp.event list ->
+  Machine.Task.t list
+
+val schedule :
+  ?params:params ->
+  Machine.Config.t ->
+  Minic.Interp.event list ->
+  Machine.Engine.result
+
+val makespan :
+  ?params:params -> Machine.Config.t -> Minic.Interp.event list -> float
+
+val of_program :
+  ?params:params ->
+  ?cfg:Machine.Config.t ->
+  Minic.Ast.program ->
+  Minic.Interp.outcome * Machine.Engine.result
+(** Interpret and replay; raises [Invalid_argument] on runtime errors. *)

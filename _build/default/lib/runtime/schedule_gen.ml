@@ -1,0 +1,376 @@
+(** Lowering of (shape, strategy) pairs to task graphs for the event
+    engine, and the resulting timings.  This is where the pipelining of
+    data streaming, the launch-count arithmetic of offload merging, and
+    the fault-vs-DMA contrast of the shared-memory mechanism become
+    schedules. *)
+
+open Machine
+module P = Plan
+
+let mic_compute cfg (s : P.shape) = Cost.mic_time cfg s.kernel ~iters:s.iters
+
+(* benchmarks may pin their own host thread count (dedup 5, ferret 6) *)
+let cpu_compute (cfg : Machine.Config.t) (s : P.shape) =
+  let cfg =
+    match s.cpu_threads with
+    | None -> cfg
+    | Some n ->
+        { cfg with Machine.Config.cpu = { cfg.Machine.Config.cpu with threads_used = n } }
+  in
+  Cost.cpu_time cfg s.kernel ~iters:s.iters
+
+(** Task graph for one (shape, strategy).  The graph covers the
+    offloadable part of the application only; [host_serial_s] is added
+    by {!total_time}. *)
+let tasks cfg (shape : P.shape) (strategy : P.strategy) : Task.t list =
+  let b = Task.builder () in
+  (* half-duplex links serialize both directions on one channel *)
+  let add ?deps ~label ~resource ~duration () =
+    let resource =
+      match (cfg.Machine.Config.pcie.duplex, resource) with
+      | Machine.Config.Half_duplex, Task.Pcie_d2h -> Task.Pcie_h2d
+      | _ -> resource
+    in
+    Task.add b ?deps ~label ~resource ~duration ()
+  in
+  (match strategy with
+  | P.Host_parallel ->
+      let per_offload = cpu_compute cfg shape in
+      let prev = ref [] in
+      for r = 0 to shape.outer_repeats - 1 do
+        for j = 0 to shape.inner_offloads - 1 do
+          let id =
+            add ~deps:!prev
+              ~label:(Printf.sprintf "cpu-loop r%d.%d" r j)
+              ~resource:Task.Cpu_exec ~duration:per_offload ()
+          in
+          prev := [ id ]
+        done;
+        if shape.host_glue_s > 0. then begin
+          let id =
+            add ~deps:!prev
+              ~label:(Printf.sprintf "glue r%d" r)
+              ~resource:Task.Cpu_exec ~duration:shape.host_glue_s ()
+          in
+          prev := [ id ]
+        end
+      done
+  | P.Naive_offload ->
+      (* every offload synchronously: in-transfer, launch+compute,
+         out-transfer; glue on the host between outer iterations *)
+      let compute = mic_compute cfg shape in
+      let prev = ref [] in
+      for r = 0 to shape.outer_repeats - 1 do
+        for j = 0 to shape.inner_offloads - 1 do
+          (* loop-invariant data is allocated and transferred once
+             (alloc_if/free_if reuse, standard in the ported codes) *)
+          let h2d_bytes =
+            shape.bytes_in
+            +. if r = 0 && j = 0 then shape.invariant_bytes else 0.
+          in
+          let t_in =
+            add ~deps:!prev
+              ~label:(Printf.sprintf "h2d r%d.%d" r j)
+              ~resource:Task.Pcie_h2d
+              ~duration:(Cost.transfer_time cfg Cost.H2d ~bytes:h2d_bytes)
+              ()
+          in
+          let t_k =
+            add ~deps:[ t_in ]
+              ~label:(Printf.sprintf "kernel r%d.%d" r j)
+              ~resource:Task.Mic_exec
+              ~duration:(Cost.launch_time cfg +. compute)
+              ()
+          in
+          let t_out =
+            add ~deps:[ t_k ]
+              ~label:(Printf.sprintf "d2h r%d.%d" r j)
+              ~resource:Task.Pcie_d2h
+              ~duration:(Cost.transfer_time cfg Cost.D2h ~bytes:shape.bytes_out)
+              ()
+          in
+          prev := [ t_out ]
+        done;
+        if shape.host_glue_s > 0. then begin
+          let id =
+            add ~deps:!prev
+              ~label:(Printf.sprintf "glue r%d" r)
+              ~resource:Task.Cpu_exec ~duration:shape.host_glue_s ()
+          in
+          prev := [ id ]
+        end
+      done
+  | P.Merged { streamed; nblocks } ->
+      (* one launch around the whole outer loop: data up once, all
+         compute (and the glue, slowly) on the device, results back.
+         The device work is modeled as one chunk per outer iteration so
+         a streamed up-front transfer can overlap with the first
+         iterations. *)
+      let compute = mic_compute cfg shape in
+      let chunk =
+        (float_of_int shape.inner_offloads *. compute)
+        +. Cost.mic_serial_time cfg ~cpu_seconds:shape.host_glue_s
+      in
+      (* the merged clause set is the union over the inner offloads *)
+      let h2d_bytes =
+        (shape.bytes_in *. float_of_int shape.inner_offloads)
+        +. shape.invariant_bytes
+      in
+      let n_in = if streamed then max 1 nblocks else 1 in
+      let in_ids =
+        List.init n_in (fun i ->
+            add
+              ~label:(Printf.sprintf "h2d %d/%d" (i + 1) n_in)
+              ~resource:Task.Pcie_h2d
+              ~duration:
+                (Cost.transfer_time cfg Cost.H2d
+                   ~bytes:(h2d_bytes /. float_of_int n_in))
+              ())
+      in
+      let launch =
+        add ~label:"launch merged" ~resource:Task.Mic_exec
+          ~duration:(Cost.launch_time cfg) ()
+      in
+      let first_dep =
+        (* streamed: start once the first block landed; otherwise wait
+           for the whole transfer *)
+        if streamed then [ launch; List.hd in_ids ]
+        else launch :: in_ids
+      in
+      let prev = ref first_dep in
+      let last = ref launch in
+      for r = 0 to shape.outer_repeats - 1 do
+        let id =
+          add ~deps:!prev
+            ~label:(Printf.sprintf "merged chunk r%d" r)
+            ~resource:Task.Mic_exec ~duration:chunk ()
+        in
+        prev := [ id ];
+        last := id
+      done;
+      ignore
+        (add
+           ~deps:(!last :: in_ids)
+           ~label:"d2h all" ~resource:Task.Pcie_d2h
+           ~duration:(Cost.transfer_time cfg Cost.D2h ~bytes:shape.bytes_out)
+           ())
+  | P.Streamed { nblocks; double_buffered; persistent; repack } ->
+      (* streamed pipeline per offload instance, chained across the
+         outer structure like the naive schedule *)
+      let n = max 1 nblocks in
+      let compute_blk = mic_compute cfg shape /. float_of_int n in
+      let in_blk = shape.bytes_in /. float_of_int n in
+      let out_blk = shape.bytes_out /. float_of_int n in
+      let per_block_overhead =
+        if persistent then Cost.signal_time cfg else Cost.launch_time cfg
+      in
+      (* the invariant data and the persistent-kernel launch happen
+         once, before everything *)
+      let pre0 =
+        if shape.invariant_bytes > 0. then
+          [
+            add ~label:"h2d invariant" ~resource:Task.Pcie_h2d
+              ~duration:
+                (Cost.transfer_time cfg Cost.H2d ~bytes:shape.invariant_bytes)
+              ();
+          ]
+        else []
+      in
+      let pre0 =
+        if persistent then
+          add ~deps:pre0 ~label:"launch persistent" ~resource:Task.Mic_exec
+            ~duration:(Cost.launch_time cfg) ()
+          :: pre0
+        else pre0
+      in
+      let prev = ref pre0 in
+      for r = 0 to shape.outer_repeats - 1 do
+        for j = 0 to shape.inner_offloads - 1 do
+          let kernel_ids = Array.make n (-1) in
+          let out_ids = ref [] in
+          let repack_prev = ref [] in
+          for blk = 0 to n - 1 do
+            (* host-side regularization of this block, if any *)
+            let repack_dep =
+              match repack with
+              | None -> []
+              | Some { P.repack_s_per_block; pipelined } ->
+                  let deps =
+                    (* non-pipelined repacking waits for the previous
+                       block's kernel: no overlap *)
+                    (if pipelined then !repack_prev
+                     else if blk > 0 then [ kernel_ids.(blk - 1) ]
+                     else [])
+                    @ !prev
+                  in
+                  let id =
+                    add ~deps
+                      ~label:(Printf.sprintf "repack r%d.%d b%d" r j blk)
+                      ~resource:Task.Cpu_exec ~duration:repack_s_per_block ()
+                  in
+                  repack_prev := [ id ];
+                  [ id ]
+            in
+            (* double buffering: block b's transfer reuses the buffer
+               of block b-2, so it must wait for kernel b-2 *)
+            let buffer_dep =
+              if double_buffered && blk >= 2 then [ kernel_ids.(blk - 2) ]
+              else []
+            in
+            let t_in =
+              add
+                ~deps:(!prev @ repack_dep @ buffer_dep)
+                ~label:(Printf.sprintf "h2d r%d.%d b%d" r j blk)
+                ~resource:Task.Pcie_h2d
+                ~duration:(Cost.transfer_time cfg Cost.H2d ~bytes:in_blk)
+                ()
+            in
+            let k_deps =
+              t_in :: (if blk > 0 then [ kernel_ids.(blk - 1) ] else [])
+            in
+            let t_k =
+              add ~deps:k_deps
+                ~label:(Printf.sprintf "kernel r%d.%d b%d" r j blk)
+                ~resource:Task.Mic_exec
+                ~duration:(per_block_overhead +. compute_blk)
+                ()
+            in
+            kernel_ids.(blk) <- t_k;
+            let t_out =
+              add ~deps:[ t_k ]
+                ~label:(Printf.sprintf "d2h r%d.%d b%d" r j blk)
+                ~resource:Task.Pcie_d2h
+                ~duration:(Cost.transfer_time cfg Cost.D2h ~bytes:out_blk)
+                ()
+            in
+            out_ids := t_out :: !out_ids
+          done;
+          prev := !out_ids
+        done;
+        if shape.host_glue_s > 0. then begin
+          let id =
+            add ~deps:!prev
+              ~label:(Printf.sprintf "glue r%d" r)
+              ~resource:Task.Cpu_exec ~duration:shape.host_glue_s ()
+          in
+          prev := [ id ]
+        end
+      done
+  | P.Shared_myo ->
+      (* MYO: page-granularity on-demand copies.  Touched pages fault
+         once per offload round (synchronization boundaries invalidate
+         the device copies); each fault pays software handling plus a
+         page-sized, non-DMA copy, and every device access pays a
+         coherence-state check. *)
+      let sh =
+        match shape.shared with
+        | Some sh -> sh
+        | None ->
+            {
+              P.default_shared with
+              P.shared_bytes = int_of_float shape.bytes_in;
+              shared_allocs = 1;
+              objects_touched = shape.iters;
+            }
+      in
+      let pages =
+        (sh.shared_bytes + cfg.myo.page_bytes - 1) / cfg.myo.page_bytes
+      in
+      let touched =
+        int_of_float (Float.round (float_of_int pages *. sh.myo_touched_frac))
+      in
+      let per_page =
+        cfg.myo.fault_cost_s
+        +. float_of_int cfg.myo.page_bytes /. (cfg.myo.page_bw_gbs *. 1e9)
+      in
+      let fault_per_round = float_of_int touched *. per_page in
+      let rounds = max 1 sh.myo_rounds in
+      let compute_per_round =
+        mic_compute cfg shape *. sh.myo_access_penalty /. float_of_int rounds
+      in
+      (* allocation bookkeeping on the host *)
+      let t_alloc =
+        add ~label:"myo allocs" ~resource:Task.Cpu_exec
+          ~duration:(float_of_int sh.shared_allocs *. 2.0e-6)
+          ()
+      in
+      let prev = ref [ t_alloc ] in
+      for r = 0 to rounds - 1 do
+        let t_fault =
+          add ~deps:!prev
+            ~label:(Printf.sprintf "myo faults r%d" r)
+            ~resource:Task.Pcie_h2d ~duration:fault_per_round ()
+        in
+        let t_k =
+          add ~deps:[ t_fault ]
+            ~label:(Printf.sprintf "kernel r%d" r)
+            ~resource:Task.Mic_exec
+            ~duration:(Cost.launch_time cfg +. compute_per_round)
+            ()
+        in
+        prev := [ t_k ]
+      done;
+      ignore
+        (add ~deps:!prev ~label:"d2h results" ~resource:Task.Pcie_d2h
+           ~duration:(Cost.transfer_time cfg Cost.D2h ~bytes:shape.bytes_out)
+           ())
+  | P.Shared_segbuf { seg_bytes } ->
+      (* our mechanism: whole preallocated segments moved by DMA; O(1)
+         pointer translation via the delta table costs a small per-access
+         overhead *)
+      let sh =
+        match shape.shared with
+        | Some sh -> sh
+        | None ->
+            {
+              P.default_shared with
+              P.shared_bytes = int_of_float shape.bytes_in;
+              shared_allocs = 1;
+              objects_touched = shape.iters;
+            }
+      in
+      let segs = max 1 ((sh.shared_bytes + seg_bytes - 1) / seg_bytes) in
+      let t_alloc =
+        add ~label:"segbuf allocs" ~resource:Task.Cpu_exec
+          ~duration:(float_of_int sh.shared_allocs *. 0.05e-6)
+          ()
+      in
+      let seg_tasks =
+        List.init segs (fun i ->
+            add ~deps:[ t_alloc ]
+              ~label:(Printf.sprintf "dma seg%d" i)
+              ~resource:Task.Pcie_h2d
+              ~duration:
+                (Cost.transfer_time cfg Cost.H2d
+                   ~bytes:
+                     (float_of_int
+                        (min seg_bytes
+                           (sh.shared_bytes - (i * seg_bytes)))))
+              ())
+      in
+      let translate_overhead =
+        float_of_int sh.objects_touched *. 1.0e-9
+      in
+      let t_k =
+        add ~deps:seg_tasks ~label:"kernel" ~resource:Task.Mic_exec
+          ~duration:
+            (Cost.launch_time cfg +. mic_compute cfg shape
+           +. translate_overhead)
+          ()
+      in
+      ignore
+        (add ~deps:[ t_k ] ~label:"d2h results" ~resource:Task.Pcie_d2h
+           ~duration:(Cost.transfer_time cfg Cost.D2h ~bytes:shape.bytes_out)
+           ()));
+  Task.tasks b
+
+(** Makespan of the offloadable part under a strategy. *)
+let region_time cfg shape strategy =
+  (Engine.schedule (tasks cfg shape strategy)).Engine.makespan
+
+(** Whole-application time: region time plus the host serial part. *)
+let total_time cfg (shape : P.shape) strategy =
+  shape.host_serial_s +. region_time cfg shape strategy
+
+(** Full schedule, for tracing. *)
+let schedule cfg shape strategy = Engine.schedule (tasks cfg shape strategy)

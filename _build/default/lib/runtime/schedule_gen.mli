@@ -1,0 +1,24 @@
+(** Lowering of (shape, strategy) pairs to task graphs for the event
+    engine, and the resulting timings: where the pipelining of data
+    streaming, the launch-count arithmetic of offload merging, and the
+    fault-vs-DMA contrast of the shared-memory mechanism become
+    schedules. *)
+
+val mic_compute : Machine.Config.t -> Plan.shape -> float
+(** Device time of one offload instance's kernel. *)
+
+val cpu_compute : Machine.Config.t -> Plan.shape -> float
+
+val tasks : Machine.Config.t -> Plan.shape -> Plan.strategy -> Machine.Task.t list
+(** Task graph of the offloadable part (the host serial part is added
+    by {!total_time}). *)
+
+val region_time : Machine.Config.t -> Plan.shape -> Plan.strategy -> float
+(** Makespan of the offloadable part. *)
+
+val total_time : Machine.Config.t -> Plan.shape -> Plan.strategy -> float
+(** Whole-application time: region time plus [host_serial_s]. *)
+
+val schedule :
+  Machine.Config.t -> Plan.shape -> Plan.strategy -> Machine.Engine.result
+(** Full schedule, for tracing / Gantt output. *)

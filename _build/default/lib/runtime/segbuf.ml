@@ -1,0 +1,165 @@
+(** Segmented shared-memory allocator (Section V-A).
+
+    The allocation strategy the paper settles on: fixed-size segments
+    allocated on demand.  One segment when the data structure is small;
+    as it grows, new segments are added without ever moving existing
+    objects (so pointers stay valid, unlike the grow-and-copy scheme),
+    and the total is not limited by the largest contiguous chunk the OS
+    can hand out (unlike one huge buffer).
+
+    The store is word-addressed: one cell holds one integer value (a
+    scalar or an encoded {!Xptr}).  Sizes are in cells. *)
+
+type segment = {
+  bid : int;
+  cpu_base : int;  (** simulated host virtual base address *)
+  cells : int array;
+  mutable used : int;
+}
+
+type t = {
+  seg_cells : int;
+  mutable segments : segment list;  (** newest first *)
+  mutable allocs : int;  (** allocation count, for Table III *)
+}
+
+let default_seg_cells = 1 lsl 16
+
+(* Segments get distinct, non-adjacent virtual bases, as real mallocs
+   would: translation must not rely on contiguity. *)
+let base_of_bid ~seg_cells bid = 0x1000_0000 + (bid * (seg_cells + 0x1000))
+
+let create ?(seg_cells = default_seg_cells) () =
+  if seg_cells <= 0 then invalid_arg "Segbuf.create: seg_cells <= 0";
+  { seg_cells; segments = []; allocs = 0 }
+
+let seg_count t = List.length t.segments
+
+let used_cells t =
+  List.fold_left (fun acc s -> acc + s.used) 0 t.segments
+
+let capacity_cells t = seg_count t * t.seg_cells
+
+let alloc_count t = t.allocs
+
+let new_segment t =
+  let bid = seg_count t in
+  if bid >= Xptr.max_buffers then
+    failwith "Segbuf.alloc: out of buffer ids (bid is one byte)";
+  let s =
+    {
+      bid;
+      cpu_base = base_of_bid ~seg_cells:t.seg_cells bid;
+      cells = Array.make t.seg_cells 0;
+      used = 0;
+    }
+  in
+  t.segments <- s :: t.segments;
+  s
+
+(** Allocate an object of [n] cells.  Objects never span segments and
+    never move.  When the current segment is full a new one is created
+    — no data is copied, which is the point of the scheme. *)
+let alloc t n =
+  if n <= 0 || n > t.seg_cells then
+    invalid_arg
+      (Printf.sprintf "Segbuf.alloc: size %d (segment holds %d)" n
+         t.seg_cells);
+  let seg =
+    match t.segments with
+    | s :: _ when s.used + n <= t.seg_cells -> s
+    | _ -> new_segment t
+  in
+  let p = Xptr.make ~bid:seg.bid ~addr:(seg.cpu_base + seg.used) in
+  seg.used <- seg.used + n;
+  t.allocs <- t.allocs + 1;
+  p
+
+let find_segment t bid =
+  match List.find_opt (fun s -> s.bid = bid) t.segments with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Segbuf: unknown bid %d" bid)
+
+(* cell index of [p + k] within its segment, bounds-checked *)
+let cell_index seg (p : Xptr.t) k =
+  let i = p.addr - seg.cpu_base + k in
+  if i < 0 || i >= seg.used then
+    invalid_arg
+      (Printf.sprintf "Segbuf: access at %#x+%d outside segment %d" p.addr k
+         seg.bid);
+  i
+
+(** Read cell [k] of the object at [p] (host side). *)
+let get t p k =
+  let seg = find_segment t p.Xptr.bid in
+  seg.cells.(cell_index seg p k)
+
+(** Write cell [k] of the object at [p] (host side). *)
+let set t p k v =
+  let seg = find_segment t p.Xptr.bid in
+  seg.cells.(cell_index seg p k) <- v
+
+(** Store a shared pointer in a cell. *)
+let set_ptr t p k q = set t p k (Xptr.encode q)
+
+(** Load a shared pointer from a cell. *)
+let get_ptr t p k = Xptr.decode (get t p k)
+
+(** {1 Device image}
+
+    Copying the structure to the MIC copies whole segments with DMA and
+    builds the delta table used for O(1) pointer translation. *)
+
+module Image = struct
+  type image = {
+    arena : int array;  (** device memory holding all segments *)
+    arena_base : int;  (** simulated device virtual base *)
+    delta : Xptr.delta;
+    bounds : (int * int * int) array;
+        (** (cpu_base, cells, mic_base) per segment, for the scan-based
+            reference translator *)
+    bytes_per_cell : int;
+  }
+
+  let device_base = 0x7f00_0000
+
+  (** Transfer all segments of [t] to the device. *)
+  let of_segbuf ?(bytes_per_cell = 8) (t : t) =
+    let segs =
+      List.sort (fun a b -> compare a.bid b.bid) t.segments
+    in
+    let total = List.fold_left (fun acc s -> acc + s.used) 0 segs in
+    let arena = Array.make (max 1 total) 0 in
+    let nseg = List.length segs in
+    let delta = Array.make (max 1 nseg) 0 in
+    let bounds = Array.make (max 1 nseg) (0, 0, 0) in
+    let ofs = ref 0 in
+    List.iter
+      (fun s ->
+        Array.blit s.cells 0 arena !ofs s.used;
+        let mic_base = device_base + !ofs in
+        delta.(s.bid) <- mic_base - s.cpu_base;
+        bounds.(s.bid) <- (s.cpu_base, s.used, mic_base);
+        ofs := !ofs + s.used)
+      segs;
+    { arena; arena_base = device_base; delta; bounds; bytes_per_cell }
+
+  (** Device-side read of cell [k] of the object at [p]: translates the
+      CPU address with the delta table, then reads device memory. *)
+  let get img (p : Xptr.t) k =
+    let mic_addr = Xptr.translate img.delta p + k in
+    let i = mic_addr - img.arena_base in
+    if i < 0 || i >= Array.length img.arena then
+      invalid_arg "Segbuf.Image.get: translated address out of arena";
+    img.arena.(i)
+
+  let get_ptr img p k = Xptr.decode (get img p k)
+
+  (** Bytes moved by the transfer (whole used prefix of each segment,
+      as one DMA each). *)
+  let transferred_bytes img =
+    Array.length img.arena * img.bytes_per_cell
+
+  (** Number of DMA operations (= number of segments). *)
+  let dma_count img = Array.length img.bounds
+end

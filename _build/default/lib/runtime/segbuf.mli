@@ -1,0 +1,65 @@
+(** Segmented shared-memory allocator (Section V-A).
+
+    Fixed-size segments allocated on demand: one segment while the data
+    structure is small; as it grows, new segments are added without
+    moving existing objects (pointers stay valid, unlike grow-and-copy)
+    and without needing one huge contiguous chunk.  The store is
+    word-addressed: one cell holds one integer (a scalar or an encoded
+    {!Xptr.t}); sizes are in cells. *)
+
+type t
+
+val default_seg_cells : int
+
+val create : ?seg_cells:int -> unit -> t
+
+val seg_count : t -> int
+val used_cells : t -> int
+val capacity_cells : t -> int
+
+val alloc_count : t -> int
+(** Allocations performed — Table III's "dynamic" column. *)
+
+val alloc : t -> int -> Xptr.t
+(** Allocate an object of [n] cells.  Objects never span segments and
+    never move.  Raises [Invalid_argument] if [n] exceeds the segment
+    size and [Failure] past 256 segments (bid is one byte). *)
+
+val get : t -> Xptr.t -> int -> int
+(** Host-side read of cell [k] of the object at [p]; bounds-checked. *)
+
+val set : t -> Xptr.t -> int -> int -> unit
+
+val set_ptr : t -> Xptr.t -> int -> Xptr.t -> unit
+(** Store a shared pointer in a cell (encoded). *)
+
+val get_ptr : t -> Xptr.t -> int -> Xptr.t
+
+(** Device image: whole segments moved by DMA, plus the delta table
+    for O(1) pointer translation. *)
+module Image : sig
+  type image = {
+    arena : int array;  (** device memory holding all segments *)
+    arena_base : int;  (** simulated device virtual base *)
+    delta : Xptr.delta;
+    bounds : (int * int * int) array;
+        (** (cpu_base, cells, mic_base) per segment, for the scan-based
+            reference translator *)
+    bytes_per_cell : int;
+  }
+
+  val device_base : int
+
+  val of_segbuf : ?bytes_per_cell:int -> t -> image
+  (** Transfer all segments to the device. *)
+
+  val get : image -> Xptr.t -> int -> int
+  (** Device-side read: translates the CPU address through the delta
+      table, then reads device memory. *)
+
+  val get_ptr : image -> Xptr.t -> int -> Xptr.t
+
+  val transferred_bytes : image -> int
+  val dma_count : image -> int
+  (** One DMA per segment. *)
+end

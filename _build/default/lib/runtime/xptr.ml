@@ -1,0 +1,76 @@
+(** Augmented pointers (Section V-B, Table I).
+
+    A shared pointer carries the id of the buffer (segment) its target
+    lives in ([bid], one byte in the paper) next to the CPU virtual
+    address.  Pointers always store CPU addresses, even on the device;
+    dereferencing on the MIC adds [delta.(bid)], the difference between
+    the device and host base addresses of that segment, computed once
+    per transfer.  This makes device-side translation O(1) instead of a
+    linear scan over buffers. *)
+
+type t = { bid : int; addr : int }
+
+let max_buffers = 256  (** bid is a 1-byte field *)
+
+let make ~bid ~addr =
+  if bid < 0 || bid >= max_buffers then
+    invalid_arg (Printf.sprintf "Xptr.make: bid %d out of range" bid);
+  { bid; addr }
+
+let null = { bid = 0; addr = 0 }
+let is_null p = p.addr = 0
+
+(** Pointer arithmetic stays within a segment, so [bid] is preserved —
+    this is the [p1 = p2] / [p = &obj] row of Table I. *)
+let offset p n = { p with addr = p.addr + n }
+
+let equal a b = a.bid = b.bid && a.addr = b.addr
+let compare a b = compare (a.bid, a.addr) (b.bid, b.addr)
+
+let pp fmt p = Format.fprintf fmt "[bid=%d]%#x" p.bid p.addr
+
+(** {1 Delta tables}
+
+    One entry per transferred segment: device base minus host base. *)
+
+type delta = int array
+
+(** Device address of [p] under [delta] — the MIC column of Table I:
+    [*(p.addr + delta[p.bid])]. *)
+let translate (delta : delta) p =
+  if p.bid >= Array.length delta then
+    invalid_arg
+      (Printf.sprintf "Xptr.translate: bid %d has no delta entry" p.bid);
+  p.addr + delta.(p.bid)
+
+(** Reference implementation of translation by scanning buffer bounds —
+    the "straightforward method" the paper rejects as linear-time.
+    Kept for differential testing and the ablation benchmark.
+    [bounds.(i)] is [(cpu_base, byte_len, mic_base)] of segment [i]. *)
+let translate_by_scan (bounds : (int * int * int) array) p =
+  let rec scan i =
+    if i >= Array.length bounds then
+      invalid_arg "Xptr.translate_by_scan: address in no buffer"
+    else
+      let cpu_base, len, mic_base = bounds.(i) in
+      if p.addr >= cpu_base && p.addr < cpu_base + len then
+        mic_base + (p.addr - cpu_base)
+      else scan (i + 1)
+  in
+  scan 0
+
+(** {1 Encoding}
+
+    Shared pointers stored inside shared objects are encoded into a
+    single integer cell: the top byte holds [bid].  Addresses are
+    limited to 48 bits, like x86-64 canonical addresses. *)
+
+let addr_bits = 48
+let addr_mask = (1 lsl addr_bits) - 1
+
+let encode p =
+  if p.addr < 0 || p.addr > addr_mask then
+    invalid_arg "Xptr.encode: address out of range";
+  (p.bid lsl addr_bits) lor p.addr
+
+let decode v = { bid = (v lsr addr_bits) land 0xff; addr = v land addr_mask }

@@ -1,0 +1,52 @@
+(** Augmented pointers (Section V-B, Table I).
+
+    A shared pointer carries the id of the buffer (segment) its target
+    lives in ([bid], one byte in the paper) next to the CPU virtual
+    address.  Pointers always store CPU addresses, even on the device;
+    dereferencing on the MIC adds [delta.(bid)], the difference between
+    the device and host base addresses of that segment — O(1)
+    translation instead of a linear scan over buffers. *)
+
+type t = { bid : int; addr : int }
+
+val max_buffers : int
+(** 256: [bid] is a one-byte field. *)
+
+val make : bid:int -> addr:int -> t
+(** Raises [Invalid_argument] when [bid] is out of the one-byte range. *)
+
+val null : t
+val is_null : t -> bool
+
+val offset : t -> int -> t
+(** Pointer arithmetic stays within a segment, preserving [bid]
+    (Table I's [p = &obj] row). *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+(** {1 Delta tables} *)
+
+type delta = int array
+(** One entry per transferred segment: device base minus host base. *)
+
+val translate : delta -> t -> int
+(** Device address of [p] — Table I's MIC column:
+    [*(p.addr + delta[p.bid])]. *)
+
+val translate_by_scan : (int * int * int) array -> t -> int
+(** Reference implementation scanning [(cpu_base, len, mic_base)]
+    bounds — the linear-time method the paper rejects.  Kept for
+    differential testing and the ablation benchmark. *)
+
+(** {1 Encoding}
+
+    Shared pointers stored inside shared objects are packed into one
+    integer cell: the top byte holds [bid], the low 48 bits the
+    address. *)
+
+val addr_bits : int
+val addr_mask : int
+val encode : t -> int
+val decode : int -> t

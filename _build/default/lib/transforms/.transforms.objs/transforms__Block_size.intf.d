@@ -1,0 +1,1 @@
+lib/transforms/block_size.mli:

@@ -1,0 +1,1 @@
+lib/transforms/insert_offload.ml: Analysis Format List Minic String Util

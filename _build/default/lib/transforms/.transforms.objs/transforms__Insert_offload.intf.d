@@ -1,0 +1,1 @@
+lib/transforms/insert_offload.mli: Analysis Format Minic

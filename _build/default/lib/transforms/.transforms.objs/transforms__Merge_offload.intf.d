@@ -1,0 +1,1 @@
+lib/transforms/merge_offload.mli: Format Minic

@@ -1,0 +1,1 @@
+lib/transforms/regularize.ml: Analysis Format Hashtbl List Minic Option Result String Util

@@ -1,0 +1,1 @@
+lib/transforms/regularize.mli: Analysis Format Minic

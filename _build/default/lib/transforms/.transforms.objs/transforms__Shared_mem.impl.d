@@ -1,0 +1,1 @@
+lib/transforms/shared_mem.ml: Analysis Format List Minic Option Result Util

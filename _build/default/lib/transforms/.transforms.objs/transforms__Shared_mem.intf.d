@@ -1,0 +1,1 @@
+lib/transforms/shared_mem.mli: Analysis Format Minic

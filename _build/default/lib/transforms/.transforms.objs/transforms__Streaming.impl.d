@@ -1,0 +1,1 @@
+lib/transforms/streaming.ml: Analysis Format Fun List Minic Option Result String Util

@@ -1,0 +1,1 @@
+lib/transforms/streaming.mli: Analysis Format Minic

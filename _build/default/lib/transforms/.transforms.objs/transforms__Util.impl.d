@@ -1,0 +1,1 @@
+lib/transforms/util.ml: Analysis List Minic Option Printf String

@@ -1,0 +1,1 @@
+lib/transforms/util.mli: Analysis Minic

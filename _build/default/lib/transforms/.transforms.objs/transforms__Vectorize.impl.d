@@ -1,0 +1,1 @@
+lib/transforms/vectorize.ml: Analysis Format List Minic Result String Util

@@ -1,0 +1,1 @@
+lib/transforms/vectorize.mli: Analysis Format Minic

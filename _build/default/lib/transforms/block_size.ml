@@ -1,0 +1,63 @@
+(** The analytic block-count model of Section III-B.
+
+    For a loop with total transfer time [D], total computation time [C]
+    and per-kernel launch overhead [K], split into [N] blocks, the paper
+    gives
+
+    {v T(N) = D/N + max(C/N + K, D/N) * (N - 1) + C/N + K v}
+
+    and derives the optimum [N = sqrt(D/K)] in the compute-bound regime
+    ([C/N + K > D/N]) and [N = (D - C)/K] in the transfer-bound one. *)
+
+type params = {
+  transfer_s : float;  (** D: total transfer time, seconds *)
+  compute_s : float;  (** C: total device computation time, seconds *)
+  launch_s : float;  (** K: one kernel launch, seconds *)
+}
+
+(** Execution time without streaming: [D + K + C]. *)
+let naive_time p = p.transfer_s +. p.launch_s +. p.compute_s
+
+(** Execution time with [N]-block streaming (the paper's formula). *)
+let streamed_time p ~nblocks =
+  let n = float_of_int nblocks in
+  let d = p.transfer_s /. n in
+  let c = p.compute_s /. n in
+  d +. (Float.max (c +. p.launch_s) d *. (n -. 1.)) +. c +. p.launch_s
+
+(** The analytically optimal block count (at least 1). *)
+let optimal_blocks p =
+  let d = p.transfer_s and c = p.compute_s and k = p.launch_s in
+  if k <= 0. then 50
+  else
+    let n =
+      (* compute-bound at the optimum iff C/N + K > D/N there; test by
+         computing both candidates and taking the better *)
+      let n1 = sqrt (d /. k) in
+      let n2 = (d -. c) /. k in
+      let best_of cands =
+        List.fold_left
+          (fun best n ->
+            let n = max 1 (int_of_float (Float.round n)) in
+            if streamed_time p ~nblocks:n
+               < streamed_time p ~nblocks:best
+            then n
+            else best)
+          1 cands
+      in
+      best_of [ n1; n2 ]
+    in
+    max 1 n
+
+(** Pick a block count the way the experiments did: try a small
+    candidate set (the paper used 10, 20, 40, 50) and keep the best. *)
+let choose ?(candidates = [ 10; 20; 40; 50 ]) p =
+  List.fold_left
+    (fun best n ->
+      if streamed_time p ~nblocks:n < streamed_time p ~nblocks:best then n
+      else best)
+    (match candidates with n :: _ -> n | [] -> 10)
+    candidates
+
+(** Speedup of streaming with [nblocks] over the naive offload. *)
+let speedup p ~nblocks = naive_time p /. streamed_time p ~nblocks

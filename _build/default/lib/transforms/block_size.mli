@@ -1,0 +1,32 @@
+(** The analytic block-count model of Section III-B.
+
+    For a loop with total transfer time [D], total computation time [C]
+    and per-kernel launch overhead [K], split into [N] blocks, the paper
+    gives
+
+    {v T(N) = D/N + max(C/N + K, D/N) * (N - 1) + C/N + K v}
+
+    with optimum [N = sqrt(D/K)] in the compute-bound regime and
+    [N = (D - C)/K] in the transfer-bound one. *)
+
+type params = {
+  transfer_s : float;  (** D: total transfer time *)
+  compute_s : float;  (** C: total device computation time *)
+  launch_s : float;  (** K: one kernel launch *)
+}
+
+val naive_time : params -> float
+(** [D + K + C]. *)
+
+val streamed_time : params -> nblocks:int -> float
+(** The paper's T(N). *)
+
+val optimal_blocks : params -> int
+(** The analytically optimal block count (>= 1). *)
+
+val choose : ?candidates:int list -> params -> int
+(** Pick as the experiments did: best of a small candidate grid (the
+    paper used 10, 20, 40, 50). *)
+
+val speedup : params -> nblocks:int -> float
+(** [naive_time / streamed_time]. *)

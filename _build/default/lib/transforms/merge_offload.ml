@@ -1,0 +1,193 @@
+(** Offload merging (Section III-C, Figure 6).
+
+    A sequential outer loop whose body launches several small offloads
+    (the [streamcluster] pattern) pays one kernel launch and one
+    synchronization per inner loop per outer iteration.  The rewrite
+    hoists a single [#pragma offload] around the whole outer loop,
+    stripping the inner offload pragmas: the inner parallel loops still
+    run in parallel on the device, the sequential glue between them now
+    runs (slowly, but cheaply) on the device too, and launches drop from
+    [outer * k] to 1. *)
+
+open Minic.Ast
+module S = Analysis.Simplify
+
+type failure =
+  | Too_few_offloads of int
+      (** the outer loop contains fewer than 2 offloads *)
+  | Host_scalar_write of string
+      (** the outer body writes an enclosing-scope scalar outside any
+          offload; hoisting would strand the update on the device *)
+  | No_merge_target  (** no sequential loop containing offloads found *)
+
+let pp_failure fmt = function
+  | Too_few_offloads n ->
+      Format.fprintf fmt "outer loop contains %d offload(s); need >= 2" n
+  | Host_scalar_write v ->
+      Format.fprintf fmt
+        "scalar %s is updated on the host inside the outer loop" v
+  | No_merge_target -> Format.fprintf fmt "no mergeable outer loop found"
+
+(* Offload specs executed unconditionally on every iteration of the
+   enclosing loop.  Offloads under a branch are excluded: they may not
+   run every iteration, so the merge's launch-count arithmetic does not
+   apply — and the double-buffered streamed loop (Figure 5(c)), whose
+   even/odd branches each hold one offload, must not be "merged" back
+   into a monolithic kernel by a later compile. *)
+let rec direct_specs stmt =
+  match stmt with
+  | Spragma (Offload spec, s) -> spec :: direct_specs s
+  | Spragma (_, s) -> direct_specs s
+  | Sblock b -> List.concat_map direct_specs b
+  | Swhile (_, b) -> List.concat_map direct_specs b
+  | Sfor fl -> List.concat_map direct_specs fl.body
+  | Sif _ | Sexpr _ | Sassign _ | Sdecl _ | Sreturn _ | Sbreak | Scontinue
+    ->
+      []
+
+(* the offload specs a candidate outer loop launches every iteration *)
+let inner_specs stmt =
+  match stmt with
+  | Sfor fl -> List.concat_map direct_specs fl.body
+  | Swhile (_, b) -> List.concat_map direct_specs b
+  | _ -> []
+
+let count_offloads stmt = List.length (inner_specs stmt)
+
+(* strip inner offload pragmas, keeping their bodies *)
+let strip_offloads stmt =
+  map_stmt
+    (function Spragma (Offload _, s) -> s | s -> s)
+    stmt
+
+(** A mergeable site: a sequential [for]/[while] loop directly
+    containing two or more offloads. *)
+type site = { func : string; outer : stmt; specs : offload_spec list }
+
+let sites_of_func (f : func) =
+  fold_stmts
+    (fun acc s ->
+      match s with
+      | Sfor _ | Swhile _ ->
+          let n = count_offloads s in
+          (* a loop that *is* an offload body doesn't count; we want a
+             host loop around several offloads *)
+          if n >= 2 then
+            { func = f.fname; outer = s; specs = inner_specs s } :: acc
+          else acc
+      | _ -> acc)
+    [] f.body
+  |> List.rev
+
+let sites prog =
+  List.concat_map
+    (function Gfunc f -> sites_of_func f | Gstruct _ | Gvar _ -> [])
+    prog
+
+(* union of inner clause extents per array: if the inner specs disagree
+   we take the pointwise imax *)
+let merged_extent specs name =
+  let totals =
+    List.concat_map
+      (fun spec ->
+        List.filter_map
+          (fun s ->
+            if String.equal s.arr name then Some (S.add s.start s.len)
+            else None)
+          (spec.ins @ spec.outs @ spec.inouts))
+      specs
+  in
+  match List.sort_uniq compare totals with
+  | [] -> None
+  | [ t ] -> Some t
+  | t :: rest -> Some (List.fold_left Util.imax t rest)
+
+(** Build the merged spec for a site.  Roles are recomputed from the
+    use/def analysis of the whole outer loop, so an array written by one
+    inner loop and read by the next correctly becomes [inout] (or [out]
+    if never read before written elsewhere). *)
+let merged_spec prog (site : site) =
+  let f =
+    match find_func prog site.func with
+    | Some f -> f
+    | None -> invalid_arg "merged_spec: unknown function"
+  in
+  let is_array name = Util.is_array_ty (Util.var_ty prog f name) in
+  let ins, outs, inouts =
+    Analysis.Liveness.clause_roles ~is_array [ site.outer ]
+  in
+  let section_of arr =
+    match merged_extent site.specs arr with
+    | Some t -> Some (section_full arr t)
+    | None -> (
+        match Util.array_size prog f arr with
+        | Some n -> Some (section_full arr n)
+        | None -> None)
+  in
+  let check_scalars () =
+    (* every def of the outer body must be an array (covered by clauses)
+       or a local; scalar defs would be lost on the device *)
+    let info = Analysis.Liveness.of_region [ site.outer ] in
+    let bad =
+      Analysis.Liveness.SS.elements info.defs
+      |> List.find_opt (fun v -> not (is_array v))
+    in
+    match bad with Some v -> Error (Host_scalar_write v) | None -> Ok ()
+  in
+  match check_scalars () with
+  | Error e -> Error e
+  | Ok () ->
+      let target =
+        match site.specs with s :: _ -> s.target | [] -> 0
+      in
+      let all role =
+        List.filter_map section_of role
+      in
+      Ok
+        {
+          empty_spec with
+          target;
+          ins = all ins;
+          outs = all outs;
+          inouts = all inouts;
+        }
+
+(** Merge the offloads of one site. *)
+let transform_site prog (site : site) =
+  match merged_spec prog site with
+  | Error e -> Error e
+  | Ok spec ->
+      let replacement = Spragma (Offload spec, strip_offloads site.outer) in
+      let found = ref false in
+      let prog' =
+        map_funcs
+          (fun f ->
+            if String.equal f.fname site.func then
+              {
+                f with
+                body =
+                  map_block
+                    (fun s ->
+                      if (not !found) && equal_stmt s site.outer then begin
+                        found := true;
+                        replacement
+                      end
+                      else s)
+                    f.body;
+              }
+            else f)
+          prog
+      in
+      if !found then Ok prog' else Error No_merge_target
+
+(** Merge every mergeable site in the program; returns the rewritten
+    program and the number of merges performed. *)
+let transform_all prog =
+  List.fold_left
+    (fun (prog, n) site ->
+      match transform_site prog site with
+      | Ok prog' -> (prog', n + 1)
+      | Error _ -> (prog, n))
+    (prog, 0) (sites prog)
+
+let applicable prog = sites prog <> []

@@ -1,0 +1,42 @@
+(** Offload merging (Section III-C, Figure 6).
+
+    A sequential outer loop whose body launches several small offloads
+    (the streamcluster pattern) pays one kernel launch, one
+    synchronization and one set of transfers per inner loop per outer
+    iteration.  The rewrite hoists a single [#pragma offload] around
+    the whole outer loop: the inner parallel loops still run in
+    parallel on the device, the sequential glue between them runs
+    (slowly, but cheaply) on the device too, and launches drop from
+    [outer * k] to one. *)
+
+type failure =
+  | Too_few_offloads of int
+  | Host_scalar_write of string
+      (** the outer body writes an enclosing-scope scalar outside any
+          offload; hoisting would strand the update on the device *)
+  | No_merge_target
+
+val pp_failure : Format.formatter -> failure -> unit
+
+(** A mergeable site: a sequential loop directly containing two or
+    more offloads. *)
+type site = {
+  func : string;
+  outer : Minic.Ast.stmt;
+  specs : Minic.Ast.offload_spec list;
+}
+
+val sites : Minic.Ast.program -> site list
+val applicable : Minic.Ast.program -> bool
+
+val merged_spec :
+  Minic.Ast.program -> site -> (Minic.Ast.offload_spec, failure) result
+(** Clause set for the merged offload: roles recomputed by use/def
+    analysis over the whole outer loop (an array written by one inner
+    loop and read by the next correctly becomes inout), extents the
+    pointwise union of the inner clauses. *)
+
+val transform_site :
+  Minic.Ast.program -> site -> (Minic.Ast.program, failure) result
+
+val transform_all : Minic.Ast.program -> Minic.Ast.program * int

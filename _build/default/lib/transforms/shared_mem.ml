@@ -1,0 +1,221 @@
+(** The shared-memory transformation (Section V), source-to-source.
+
+    An offload whose data clauses carry {e pointer-based} structures
+    (arrays whose element type contains a pointer) cannot use plain
+    section copies: the pointers arrive on the device holding host
+    addresses and fault on the first dereference — the problem Intel
+    MYO solves with page faulting, slowly, and the paper solves with
+    preallocated buffers plus augmented-pointer translation.
+
+    This pass rewrites such an offload into the paper's scheme:
+
+    - a device buffer is preallocated for each pointer-bearing array
+      ([mic_malloc], the segmented-buffer allocation of Section V-A);
+    - the whole structure is moved by one DMA per array, with the
+      [translate()] clause rebasing intra-array pointers onto the
+      device copy (the delta-table translation of Section V-B);
+    - the offload body is retargeted at the device buffers, and [inout]
+      structures are copied back (with the reverse translation) after
+      the region.
+
+    The rewrite is restricted to {e self-contained} structures: the
+    pointers must stay within their own array (objects bump-allocated
+    into one arena, exactly what the paper's allocator produces).
+    Whether that holds is the programmer's contract, as in the paper;
+    the dual-space interpreter turns violations into hard faults. *)
+
+open Minic.Ast
+module S = Analysis.Simplify
+
+type failure =
+  | No_pointer_arrays  (** nothing pointer-based in the clauses *)
+  | Pointer_output of string
+      (** the device would create pointers the host cannot translate *)
+  | No_offload_spec
+  | Unknown_function of string
+
+let pp_failure fmt = function
+  | No_pointer_arrays ->
+      Format.fprintf fmt "no pointer-based structure in the data clauses"
+  | Pointer_output a ->
+      Format.fprintf fmt
+        "array %s is a pointer-bearing pure output; device-created \
+         pointers cannot be translated back"
+        a
+  | No_offload_spec -> Format.fprintf fmt "loop has no offload pragma"
+  | Unknown_function f -> Format.fprintf fmt "unknown function %s" f
+
+let ( let* ) = Result.bind
+
+(* does a type contain a pointer anywhere? *)
+let rec has_pointer prog ty =
+  match ty with
+  | Tptr _ -> true
+  | Tarray (t, _) -> has_pointer prog t
+  | Tstruct name -> (
+      match find_struct prog name with
+      | Some s -> List.exists (fun (t, _) -> has_pointer prog t) s.sfields
+      | None -> false)
+  | Tvoid | Tint | Tfloat | Tbool -> false
+
+(* cells per element, mirroring the interpreter's layout (one cell per
+   scalar/pointer slot) *)
+let rec cells_of_ty prog ty =
+  match ty with
+  | Tvoid -> Some 0
+  | Tint | Tfloat | Tbool | Tptr _ -> Some 1
+  | Tarray (t, Some n) -> (
+      match (cells_of_ty prog t, S.const_int n) with
+      | Some k, Some n -> Some (k * n)
+      | _ -> None)
+  | Tarray (_, None) -> None
+  | Tstruct name -> (
+      match find_struct prog name with
+      | None -> None
+      | Some s ->
+          List.fold_left
+            (fun acc (t, _) ->
+              match (acc, cells_of_ty prog t) with
+              | Some a, Some k -> Some (a + k)
+              | _ -> None)
+            (Some 0) s.sfields)
+
+(* pointer-bearing sections of a spec, with their element types *)
+let pointer_sections prog f spec =
+  let of_role role =
+    List.filter_map
+      (fun (s : section) ->
+        match Util.elem_ty prog f s.arr with
+        | Some elem when has_pointer prog elem -> Some (s, elem, role)
+        | _ -> None)
+      (match role with
+      | `In -> spec.ins
+      | `Out -> spec.outs
+      | `Inout -> spec.inouts)
+  in
+  of_role `In @ of_role `Out @ of_role `Inout
+
+let applicable prog (region : Analysis.Offload_regions.region) =
+  match (region.spec, find_func prog region.func) with
+  | Some spec, Some f -> pointer_sections prog f spec <> []
+  | _ -> false
+
+(** Rewrite one region to the preallocated-buffer + translated-DMA
+    scheme. *)
+let transform prog (region : Analysis.Offload_regions.region) =
+  let* spec = Option.to_result ~none:No_offload_spec region.spec in
+  let* f =
+    Option.to_result
+      ~none:(Unknown_function region.func)
+      (find_func prog region.func)
+  in
+  let targets = pointer_sections prog f spec in
+  let* () = if targets = [] then Error No_pointer_arrays else Ok () in
+  let* () =
+    match
+      List.find_opt (fun (_, _, role) -> role = `Out) targets
+    with
+    | Some (s, _, _) -> Error (Pointer_output s.arr)
+    | None -> Ok ()
+  in
+  let items =
+    List.map
+      (fun ((s : section), elem, role) ->
+        let total = S.add s.start s.len in
+        let cells =
+          match cells_of_ty prog elem with Some k -> k | None -> 1
+        in
+        (s, elem, role, total, cells, Util.mic_name s.arr))
+      targets
+  in
+  (* device buffers, preallocated once (Section V-A) *)
+  let decls =
+    List.map
+      (fun (_, elem, _, total, cells, dev) ->
+        Sdecl
+          ( Tptr elem,
+            dev,
+            Some
+              (Cast
+                 (Tptr elem, Call ("mic_malloc", [ S.mul total (Int_lit cells) ])))
+          ))
+      items
+  in
+  (* one translated DMA per structure (Section V-B) *)
+  let in_transfers =
+    List.map
+      (fun ((s : section), _, _, _, _, dev) ->
+        Spragma
+          ( Offload_transfer
+              {
+                empty_spec with
+                target = spec.target;
+                ins =
+                  [ { arr = s.arr; start = s.start; len = s.len;
+                      into = Some (dev, s.start) } ];
+                translate = [ s.arr ];
+              },
+            Sblock [] ))
+      items
+  in
+  (* inout structures come back with the reverse translation *)
+  let out_transfers =
+    List.filter_map
+      (fun ((s : section), _, role, _, _, dev) ->
+        if role = `Inout then
+          Some
+            (Spragma
+               ( Offload_transfer
+                   {
+                     empty_spec with
+                     target = spec.target;
+                     outs =
+                       [ { arr = dev; start = s.start; len = s.len;
+                           into = Some (s.arr, s.start) } ];
+                     translate = [ dev ];
+                   },
+                 Sblock [] ))
+        else None)
+      items
+  in
+  (* the offload itself: pointer arrays leave the clauses; the body is
+     retargeted at the device buffers *)
+  let gone = List.map (fun ((s : section), _, _, _, _, _) -> s.arr) items in
+  let keep (s : section) = not (List.mem s.arr gone) in
+  let spec' =
+    {
+      spec with
+      ins = List.filter keep spec.ins;
+      inouts = List.filter keep spec.inouts;
+    }
+  in
+  let body =
+    List.fold_left
+      (fun body ((s : section), _, _, _, _, dev) ->
+        Util.rename_array ~arr:s.arr ~to_:dev body)
+      region.loop.body items
+  in
+  let new_offload =
+    Spragma
+      ( Offload spec',
+        Spragma
+          (Omp_parallel_for, Sfor { region.loop with body }) )
+  in
+  let replacement =
+    Sblock (decls @ in_transfers @ [ new_offload ] @ out_transfers)
+  in
+  match Util.replace_region prog region ~replacement with
+  | prog' -> Ok prog'
+  | exception Not_found -> Error No_offload_spec
+
+(** Rewrite every offloaded region with pointer-based clauses. *)
+let transform_all prog =
+  let regions = Analysis.Offload_regions.offloaded prog in
+  List.fold_left
+    (fun (prog, n) region ->
+      if applicable prog region then
+        match transform prog region with
+        | Ok prog' -> (prog', n + 1)
+        | Error _ -> (prog, n)
+      else (prog, n))
+    (prog, 0) regions

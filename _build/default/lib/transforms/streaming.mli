@@ -1,0 +1,74 @@
+(** The data-streaming transformation (Section III).
+
+    An offloaded loop whose array indexes are all affine in the loop
+    index ([a*i + b], the legality condition) is rewritten into a
+    pipelined two-level loop: the outer loop walks computation blocks,
+    transferring block [b+1] asynchronously while block [b] computes on
+    the device (Figure 5(b)).  With {!Double_buffered} the rewrite
+    instead allocates only two block-sized device buffers per streamed
+    input (and one per output) and alternates between them —
+    Figure 5(c) — which caps the device memory footprint.
+
+    Thread reuse (Section III-C) changes only the execution schedule
+    and lives in {!Runtime.Plan}; offload merging is
+    {!Merge_offload}. *)
+
+type failure =
+  | No_offload_spec
+  | Nonunit_step
+  | Variant_bounds  (** loop bounds are written in the body *)
+  | Non_affine of string
+  | Mixed_coeff of string  (** one array, several strides *)
+  | Nonconst_offset of string
+  | Invariant_out of string
+  | No_streamed_input
+  | Unknown_function of string
+
+val pp_failure : Format.formatter -> failure -> unit
+
+type role = Rin | Rout | Rinout
+
+type arr_info = {
+  name : string;
+  role : role;
+  coeff : int;  (** 0 = loop-invariant: transferred whole, up-front *)
+  min_off : int;
+  max_off : int;  (** constant-offset halo, for stencil slices *)
+  total : Minic.Ast.expr;  (** element count of the original clause *)
+  elem : Minic.Ast.ty;
+}
+
+type info = {
+  region : Analysis.Offload_regions.region;
+  spec : Minic.Ast.offload_spec;
+  arrays : arr_info list;
+  nblocks : int;
+}
+
+type memory = Full | Double_buffered
+
+val analyze :
+  ?nblocks:int ->
+  Minic.Ast.program ->
+  Analysis.Offload_regions.region ->
+  (info, failure) result
+(** The legality check plus per-array slicing information. *)
+
+val applicable : Minic.Ast.program -> Analysis.Offload_regions.region -> bool
+
+val transform :
+  ?nblocks:int ->
+  ?memory:memory ->
+  Minic.Ast.program ->
+  Analysis.Offload_regions.region ->
+  (Minic.Ast.program, failure) result
+(** Rewrite one region.  The result is valid, typecheckable MiniC that
+    computes the same outputs (property-tested). *)
+
+val transform_all :
+  ?nblocks:int ->
+  ?memory:memory ->
+  Minic.Ast.program ->
+  Minic.Ast.program * int
+(** Stream every offloaded region that passes the legality check;
+    returns the count transformed. *)

@@ -1,0 +1,157 @@
+(** Shared helpers for the source-to-source transformations: fresh
+    names, scope lookup, and region replacement. *)
+
+open Minic.Ast
+
+(** Fresh-name generation.  Generated names use a [__] suffix so they
+    cannot collide with user identifiers (the MiniC front end could
+    forbid [__] in user code; in practice the benchmarks never use
+    it). *)
+let fresh_counter = ref 0
+
+let reset_fresh () = fresh_counter := 0
+
+let fresh base =
+  incr fresh_counter;
+  Printf.sprintf "%s__%d" base !fresh_counter
+
+(** Device-buffer name for a host array, as in the paper's examples
+    ([sptprice] -> [sptprice_mic], [sptprice1], [sptprice2]). *)
+let mic_name arr = arr ^ "_mic"
+let mic_name_n arr n = Printf.sprintf "%s_mic%d" arr n
+
+(** {1 Scope lookup} *)
+
+(** Type of a variable visible at the top of a function body: checks
+    parameters, then global declarations, then declarations in the
+    function body (outermost first). *)
+let var_ty prog (f : func) name =
+  let param =
+    List.find_map
+      (fun p -> if String.equal p.pname name then Some p.pty else None)
+      f.params
+  in
+  match param with
+  | Some t -> Some t
+  | None -> (
+      let local =
+        fold_stmts
+          (fun acc s ->
+            match s with
+            | Sdecl (t, n, _) when String.equal n name && acc = None ->
+                Some t
+            | _ -> acc)
+          None f.body
+      in
+      match local with
+      | Some t -> Some t
+      | None ->
+          List.find_map
+            (function
+              | Gvar (t, n, _) when String.equal n name -> Some t
+              | _ -> None)
+            prog)
+
+let is_array_ty = function
+  | Some (Tarray _ | Tptr _) -> true
+  | _ -> false
+
+(** Statically declared element count of an array variable, if known. *)
+let array_size prog f name =
+  match var_ty prog f name with
+  | Some (Tarray (_, Some n)) -> Some n
+  | _ -> None
+
+(** Element type of an array variable. *)
+let elem_ty prog f name =
+  match var_ty prog f name with
+  | Some (Tarray (t, _) | Tptr t) -> Some t
+  | _ -> None
+
+(** {1 Region matching and replacement} *)
+
+(* Does [stmt] carry exactly this region's loop (comparing the loop
+   structurally and the offload spec if any)? *)
+let matches_region (r : Analysis.Offload_regions.region) stmt =
+  match Analysis.Offload_regions.peel [] stmt with
+  | Some (pragmas, fl) ->
+      let spec =
+        List.find_map (function Offload s -> Some s | _ -> None) pragmas
+      in
+      equal_for_loop fl r.loop
+      && (match (spec, r.spec) with
+         | None, None -> true
+         | Some a, Some b -> equal_offload_spec a b
+         | _ -> false)
+  | None -> false
+
+(** Replace the statement carrying [region] with [replacement] in the
+    program.  Raises [Not_found] when the region cannot be located
+    (e.g. the program was already rewritten). *)
+let replace_region prog (region : Analysis.Offload_regions.region)
+    ~replacement =
+  let found = ref false in
+  let rewrite stmt =
+    if (not !found) && matches_region region stmt then begin
+      found := true;
+      replacement
+    end
+    else stmt
+  in
+  let prog' =
+    map_funcs
+      (fun f ->
+        if String.equal f.fname region.func then
+          { f with body = map_block rewrite f.body }
+        else f)
+      prog
+  in
+  if !found then prog' else raise Not_found
+
+(** Rename array [arr] to [to_] in indexed positions of a block, with
+    an optional index shift: [arr[e]] becomes [to_[e - shift]].  Plain
+    (non-indexed) mentions of [arr] are also renamed. *)
+let rename_array ?(shift = Int_lit 0) ~arr ~to_ block =
+  let rec rewrite_expr e =
+    match e with
+    | Index (Var a, ie) when String.equal a arr ->
+        Index (Var to_, Analysis.Simplify.sub (rewrite_expr ie) shift)
+    | Var a when String.equal a arr -> Var to_
+    | Int_lit _ | Float_lit _ | Bool_lit _ | Var _ -> e
+    | Index (a, ie) -> Index (rewrite_expr a, rewrite_expr ie)
+    | Field (a, f) -> Field (rewrite_expr a, f)
+    | Arrow (a, f) -> Arrow (rewrite_expr a, f)
+    | Deref a -> Deref (rewrite_expr a)
+    | Addr a -> Addr (rewrite_expr a)
+    | Binop (op, a, b) -> Binop (op, rewrite_expr a, rewrite_expr b)
+    | Unop (op, a) -> Unop (op, rewrite_expr a)
+    | Call (fn, args) -> Call (fn, List.map rewrite_expr args)
+    | Cast (t, a) -> Cast (t, rewrite_expr a)
+  in
+  let rec rewrite_stmt s =
+    match s with
+    | Sexpr e -> Sexpr (rewrite_expr e)
+    | Sassign (lv, rv) -> Sassign (rewrite_expr lv, rewrite_expr rv)
+    | Sdecl (t, n, init) -> Sdecl (t, n, Option.map rewrite_expr init)
+    | Sif (c, b1, b2) ->
+        Sif (rewrite_expr c, List.map rewrite_stmt b1, List.map rewrite_stmt b2)
+    | Swhile (c, b) -> Swhile (rewrite_expr c, List.map rewrite_stmt b)
+    | Sfor fl ->
+        Sfor
+          {
+            fl with
+            lo = rewrite_expr fl.lo;
+            hi = rewrite_expr fl.hi;
+            step = rewrite_expr fl.step;
+            body = List.map rewrite_stmt fl.body;
+          }
+    | Sreturn e -> Sreturn (Option.map rewrite_expr e)
+    | Sblock b -> Sblock (List.map rewrite_stmt b)
+    | Spragma (p, s) -> Spragma (p, rewrite_stmt s)
+    | Sbreak | Scontinue -> s
+  in
+  List.map rewrite_stmt block
+
+(** Build [imin(a, b)] / [imax(a, b)] calls. *)
+let imin a b = Call ("imin", [ a; b ])
+let imax a b = Call ("imax", [ a; b ])

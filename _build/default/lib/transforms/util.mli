@@ -1,0 +1,51 @@
+(** Shared helpers for the source-to-source transformations: fresh
+    names, scope lookup, region replacement, and array renaming. *)
+
+val reset_fresh : unit -> unit
+
+val fresh : string -> string
+(** A fresh identifier ([base__N]); generated names use a [__] suffix
+    so they cannot collide with user identifiers. *)
+
+val mic_name : string -> string
+(** Device-buffer name for a host array ([a] -> [a_mic]). *)
+
+val mic_name_n : string -> int -> string
+(** Numbered device buffers for double buffering ([a_mic1], [a_mic2]). *)
+
+val var_ty :
+  Minic.Ast.program -> Minic.Ast.func -> string -> Minic.Ast.ty option
+(** Type of a variable visible in a function: parameters, then
+    globals, then body declarations. *)
+
+val is_array_ty : Minic.Ast.ty option -> bool
+
+val array_size :
+  Minic.Ast.program -> Minic.Ast.func -> string -> Minic.Ast.expr option
+(** Statically declared element count, if any. *)
+
+val elem_ty :
+  Minic.Ast.program -> Minic.Ast.func -> string -> Minic.Ast.ty option
+
+val matches_region :
+  Analysis.Offload_regions.region -> Minic.Ast.stmt -> bool
+
+val replace_region :
+  Minic.Ast.program ->
+  Analysis.Offload_regions.region ->
+  replacement:Minic.Ast.stmt ->
+  Minic.Ast.program
+(** Replace the statement carrying a region.  Raises [Not_found] when
+    the region cannot be located (e.g. already rewritten). *)
+
+val rename_array :
+  ?shift:Minic.Ast.expr ->
+  arr:string ->
+  to_:string ->
+  Minic.Ast.block ->
+  Minic.Ast.block
+(** Rename [arr] in indexed positions, with an optional index shift:
+    [arr[e]] becomes [to_[e - shift]]. *)
+
+val imin : Minic.Ast.expr -> Minic.Ast.expr -> Minic.Ast.expr
+val imax : Minic.Ast.expr -> Minic.Ast.expr -> Minic.Ast.expr

@@ -1,0 +1,119 @@
+(** Vectorization annotation.
+
+    The paper leans on icc to vectorize the offloaded loops once
+    regularization has made them regular ("vectorization is critical
+    for MIC performance, since MIC provides 512-bit wide SIMD units").
+    This pass plays the role of icc's vectorizer decision: it marks
+    parallel loops [#pragma omp simd] when their bodies are
+    vectorizable, and reports the blocking reason otherwise.  The cost
+    model reads the annotation through the workload kernels'
+    [vectorizable] flag; at the AST level the annotation also lets
+    tests assert which rewrites unlock vectorization (splitting srad,
+    reordering nn). *)
+
+open Minic.Ast
+module A = Analysis.Access
+
+type blocker =
+  | Irregular_access of string  (** gather or opaque index *)
+  | Strided_access of string  (** |stride| > 1 defeats vector loads *)
+  | Inner_loop  (** nested loops are not vectorized at this level *)
+  | Control_flow  (** while/break/continue in the body *)
+  | Already_simd
+
+let pp_blocker fmt = function
+  | Irregular_access a ->
+      Format.fprintf fmt "irregular access to %s" a
+  | Strided_access a -> Format.fprintf fmt "strided access to %s" a
+  | Inner_loop -> Format.fprintf fmt "contains an inner loop"
+  | Control_flow -> Format.fprintf fmt "contains while/break/continue"
+  | Already_simd -> Format.fprintf fmt "already annotated simd"
+
+(* structural obstacles: nested loops and irreducible control flow *)
+let structural_blocker body =
+  let rec scan = function
+    | [] -> None
+    | s :: rest -> (
+        match s with
+        | Sfor _ -> Some Inner_loop
+        | Swhile _ | Sbreak | Scontinue -> Some Control_flow
+        | Sif (_, b1, b2) -> (
+            match scan b1 with Some b -> Some b | None -> (
+              match scan b2 with Some b -> Some b | None -> scan rest))
+        | Sblock b -> (
+            match scan b with Some b -> Some b | None -> scan rest)
+        | Spragma (_, s) -> scan (s :: rest)
+        | Sexpr _ | Sassign _ | Sdecl _ | Sreturn _ -> scan rest)
+  in
+  scan body
+
+(** Can this loop be vectorized as-is?  Unit-stride or invariant
+    affine accesses only, no inner loops, no irreducible control
+    flow.  (Guarded accesses are fine: 512-bit units have masks.) *)
+let check (fl : for_loop) : (unit, blocker) result =
+  match structural_blocker fl.body with
+  | Some b -> Error b
+  | None ->
+      let accesses = A.of_loop fl in
+      let bad =
+        List.find_map
+          (fun (a : A.t) ->
+            match a.kind with
+            | A.Affine aff ->
+                if abs aff.Analysis.Affine.coeff > 1 then
+                  Some (Strided_access a.arr)
+                else None
+            | A.Gather _ | A.Opaque -> Some (Irregular_access a.arr))
+          accesses
+      in
+      (match bad with Some b -> Error b | None -> Ok ())
+
+let vectorizable fl = Result.is_ok (check fl)
+
+(* is the statement already simd-annotated? *)
+let rec has_simd = function
+  | Spragma (Omp_simd, _) -> true
+  | Spragma (_, s) -> has_simd s
+  | _ -> false
+
+(** Annotate one region's loop with [omp simd] if legal. *)
+let transform prog (region : Analysis.Offload_regions.region) =
+  match check region.loop with
+  | Error b -> Error b
+  | Ok () ->
+      let changed = ref false in
+      let rewrite stmt =
+        if (not !changed) && Util.matches_region region stmt
+           && not (has_simd stmt)
+        then begin
+          changed := true;
+          (* insert simd innermost, just above the loop *)
+          let rec insert = function
+            | Spragma (p, s) -> Spragma (p, insert s)
+            | Sfor fl -> Spragma (Omp_simd, Sfor fl)
+            | s -> s
+          in
+          insert stmt
+        end
+        else stmt
+      in
+      let prog' =
+        map_funcs
+          (fun f ->
+            if String.equal f.fname region.func then
+              { f with body = map_block rewrite f.body }
+            else f)
+          prog
+      in
+      if !changed then Ok prog' else Error Already_simd
+
+(** Annotate every vectorizable parallel loop; returns the program and
+    how many loops were marked. *)
+let transform_all prog =
+  let regions = Analysis.Offload_regions.of_program prog in
+  List.fold_left
+    (fun (prog, n) region ->
+      match transform prog region with
+      | Ok prog' -> (prog', n + 1)
+      | Error _ -> (prog, n))
+    (prog, 0) regions

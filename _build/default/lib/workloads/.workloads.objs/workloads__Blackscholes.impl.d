@@ -1,0 +1,1 @@
+lib/workloads/blackscholes.ml: Machine Plan Runtime Workload

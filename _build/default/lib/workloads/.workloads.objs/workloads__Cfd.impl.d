@@ -1,0 +1,1 @@
+lib/workloads/cfd.ml: Machine Plan Runtime Workload

@@ -1,0 +1,1 @@
+lib/workloads/cg.ml: Machine Plan Runtime Workload

@@ -1,0 +1,1 @@
+lib/workloads/ferret.ml: Machine Plan Runtime Workload

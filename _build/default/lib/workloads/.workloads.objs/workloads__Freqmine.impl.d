@@ -1,0 +1,1 @@
+lib/workloads/freqmine.ml: Machine Plan Runtime Workload

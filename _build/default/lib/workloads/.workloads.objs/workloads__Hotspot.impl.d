@@ -1,0 +1,1 @@
+lib/workloads/hotspot.ml: Machine Plan Runtime Workload

@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: Bfs Blackscholes Cfd Cg Dedup Ferret Freqmine Hotspot Kmeans List Nn Srad Streamcluster String Workload

@@ -1,0 +1,1 @@
+lib/workloads/srad.ml: Machine Plan Runtime Workload

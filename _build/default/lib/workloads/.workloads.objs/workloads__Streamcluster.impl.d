@@ -1,0 +1,1 @@
+lib/workloads/streamcluster.ml: Machine Plan Runtime Workload

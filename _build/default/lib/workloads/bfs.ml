@@ -1,0 +1,97 @@
+(** bfs (Rodinia): level-synchronous breadth-first search.  One offload
+    per frontier level inside a host loop (a single offload per
+    iteration, so no merging), data-dependent guarded gathers (so no
+    streaming and no safe reordering), and little data movement
+    relative to the traversal work — none of the optimizations apply,
+    and the naive MIC port already beats the CPU (Table II / Figure
+    10). *)
+
+open Runtime
+
+let source =
+  {|
+int main(void) {
+  int nnodes = 16;
+  int levels = 4;
+  int edge_start[16];
+  int edge_end[16];
+  int edges[32];
+  int cost[16];
+  int frontier[16];
+  int next[16];
+  for (i = 0; i < 16; i++) {
+    edge_start[i] = i * 2;
+    edge_end[i] = i * 2 + 2;
+    cost[i] = 1000;
+    frontier[i] = 0;
+    next[i] = 0;
+  }
+  for (i = 0; i < 32; i++) {
+    edges[i] = (i * 3 + 1) % 16;
+  }
+  frontier[0] = 1;
+  cost[0] = 0;
+  for (lvl = 0; lvl < levels; lvl++) {
+    #pragma offload target(mic:0) in(edge_start[0:nnodes], edge_end[0:nnodes], edges[0:32], frontier[0:nnodes], cost[0:nnodes]) out(next[0:nnodes])
+    #pragma omp parallel for
+    for (i = 0; i < nnodes; i++) {
+      next[i] = 0;
+      if (frontier[i] == 1) {
+        if (cost[edges[edge_start[i]]] > 100) {
+          next[i] = 1;
+        }
+      }
+    }
+    for (i = 0; i < nnodes; i++) {
+      frontier[i] = next[i];
+      if (next[i] == 1 && cost[i] > 100) {
+        cost[i] = lvl + 1;
+      }
+    }
+  }
+  for (i = 0; i < nnodes; i++) {
+    print_int(cost[i]);
+  }
+  return 0;
+}
+|}
+
+(* 32M-node graph, ~20 frontier levels; each level moves a few MB of
+   frontier state but scans many edges with scalar, cache-hostile
+   gathers.  240 device threads still win on raw traversal
+   throughput. *)
+let nnodes = 32_000_000
+
+let shape =
+  {
+    Plan.default_shape with
+    Plan.iters = nnodes / 10;
+    kernel =
+      {
+        Machine.Cost.flops_per_iter = 60.0;
+        mem_bytes_per_iter = 120.0;
+        vectorizable = false;
+        locality = 0.2;
+        serial_frac = 0.01;
+        mic_derate = 0.45;
+      };
+    bytes_in = float_of_int (nnodes / 4);
+    bytes_out = float_of_int (nnodes / 8);
+    invariant_bytes = float_of_int (nnodes * 12);
+    outer_repeats = 20;
+    host_glue_s = 0.004;
+    host_serial_s = 0.100;
+  }
+
+let t =
+  {
+    Workload.name = "bfs";
+    suite = "Rodinia";
+    input_desc = "32 M points";
+    kloc = 0.138;
+    source;
+    shape;
+    regularized = None;
+    manual_streaming = false;
+    paper = Workload.no_paper_numbers;
+  }

@@ -1,0 +1,109 @@
+(** CG (NAS): conjugate gradient.  Every solver iteration launches a
+    handful of small offloaded vector kernels (matvec, axpy updates),
+    so both offload merging (18.53x) and, on the regular vector loops,
+    data streaming (1.28x) apply — Table II. *)
+
+open Runtime
+
+(* One outer solver loop; two affine vector kernels per iteration plus
+   a sparse matvec whose gather on p is guarded by the per-row length
+   (variable row population), so the matvec is neither streamable nor
+   reorderable — only the regular kernels stream, matching the paper. *)
+let source =
+  {|
+int main(void) {
+  int n = 16;
+  int iters = 3;
+  float a[64];
+  int colidx[64];
+  int rowlen[16];
+  float p[16];
+  float q[16];
+  float r[16];
+  float x[16];
+  for (i = 0; i < 64; i++) {
+    a[i] = (float)(i % 9) / 4.0;
+    colidx[i] = (i * 5 + 1) % 16;
+  }
+  for (i = 0; i < 16; i++) {
+    rowlen[i] = i % 4 + 1;
+    p[i] = (float)i / 8.0;
+    r[i] = 1.0 - (float)i / 16.0;
+    x[i] = 0.0;
+  }
+  for (it = 0; it < iters; it++) {
+    #pragma offload target(mic:0) in(a[0:64], colidx[0:64], rowlen[0:n], p[0:n]) out(q[0:n])
+    #pragma omp parallel for
+    for (i = 0; i < n; i++) {
+      float sum = 0.0;
+      for (k = 0; k < 4; k++) {
+        if (k < rowlen[i]) {
+          sum = sum + a[i * 4 + k] * p[colidx[i * 4 + k]];
+        }
+      }
+      q[i] = sum;
+    }
+    #pragma offload target(mic:0) in(q[0:n], p[0:n]) inout(x[0:n])
+    #pragma omp parallel for
+    for (i = 0; i < n; i++) {
+      x[i] = x[i] + 0.5 * p[i] + 0.25 * q[i];
+    }
+    #pragma offload target(mic:0) in(q[0:n]) inout(r[0:n], p[0:n])
+    #pragma omp parallel for
+    for (i = 0; i < n; i++) {
+      r[i] = r[i] - 0.5 * q[i];
+      p[i] = r[i] + 0.3 * p[i];
+    }
+  }
+  for (i = 0; i < n; i++) {
+    print_float(x[i]);
+  }
+  return 0;
+}
+|}
+
+(* NAS CG class A: 14,000-row sparse system, ~75 outer iterations, 3
+   offloads each.  The vectors are a few hundred KB, so per offload the
+   launch latency and transfer setup dominate the microseconds of
+   compute — merging removes both. *)
+let n = 75_000
+
+let shape =
+  {
+    Plan.default_shape with
+    Plan.iters = n;
+    kernel =
+      {
+        Machine.Cost.flops_per_iter = 60.0;
+        mem_bytes_per_iter = 48.0;
+        vectorizable = true;
+        locality = 0.5;
+        serial_frac = 0.0;
+        mic_derate = 0.7;
+      };
+    bytes_in = float_of_int (n * 4 * 13);
+    bytes_out = float_of_int (n * 4);
+    outer_repeats = 75;
+    inner_offloads = 3;
+    host_glue_s = 0.00001;
+    host_serial_s = 0.002;
+  }
+
+let t =
+  {
+    Workload.name = "cg";
+    suite = "NAS";
+    input_desc = "75 K array";
+    kloc = 0.524;
+    source;
+    shape;
+    regularized = None;
+    manual_streaming = false;
+    paper =
+      {
+        Workload.no_paper_numbers with
+        p_streaming = Some 1.28;
+        p_merging = Some 18.53;
+        p_overall = Some 23.72;
+      };
+  }

@@ -1,0 +1,98 @@
+(** freqmine (PARSEC): FP-growth frequent itemset mining over a large
+    pointer-based FP-tree.  Like ferret, the interesting axis is the
+    shared-memory mechanism: 912 shared allocations, 183 MB of tree
+    (Table III); the segmented scheme gives 1.16x over MYO — modest,
+    because the mining kernel only touches a fraction of the tree per
+    offload. *)
+
+open Runtime
+
+(* Tree nodes linearized into a device-resident buffer; children are
+   indexes, so traversal is index-chasing (guarded, data-dependent):
+   neither streamable nor reorderable, which matches Table II. *)
+let source =
+  {|
+int main(void) {
+  int nnodes = 16;
+  int ntrans = 8;
+  int support[16];
+  int child[16];
+  int start[8];
+  int counts[8];
+  for (i = 0; i < nnodes; i++) {
+    support[i] = i % 5 + 1;
+    child[i] = (i * 7 + 3) % 16;
+  }
+  for (i = 0; i < ntrans; i++) {
+    start[i] = (i * 5) % 16;
+  }
+  int* support_mic = (int*)mic_malloc(16);
+  int* child_mic = (int*)mic_malloc(16);
+  #pragma offload_transfer target(mic:0) in(support[0:nnodes] : into(support_mic[0:nnodes]), child[0:nnodes] : into(child_mic[0:nnodes]))
+  #pragma offload target(mic:0) in(start[0:ntrans]) out(counts[0:ntrans])
+  #pragma omp parallel for
+  for (i = 0; i < ntrans; i++) {
+    int node = start[i];
+    int acc = 0;
+    for (d = 0; d < 4; d++) {
+      acc = acc + support_mic[node];
+      node = child_mic[node];
+    }
+    counts[i] = acc;
+  }
+  for (i = 0; i < ntrans; i++) {
+    print_int(counts[i]);
+  }
+  return 0;
+}
+|}
+
+let shared =
+  {
+    Plan.shared_bytes = 183 * 1024 * 1024;
+    shared_allocs = 912;
+    objects_touched = 2_000_000;
+    myo_touched_frac = 0.25;
+    myo_rounds = 1;
+    myo_access_penalty = 1.12;
+  }
+
+(* 250k web documents; deep conditional tree walks: scalar, branchy,
+   cache-hostile — the MIC is slower than the host here, and only the
+   transfer mechanism is at stake. *)
+let shape =
+  {
+    Plan.default_shape with
+    Plan.iters = 2_000_000;
+    kernel =
+      {
+        Machine.Cost.flops_per_iter = 400.0;
+        mem_bytes_per_iter = 256.0;
+        vectorizable = false;
+        locality = 0.3;
+        serial_frac = 0.05;
+        mic_derate = 0.25;
+      };
+    bytes_in = 0.;
+    bytes_out = float_of_int (250_000 * 8);
+    host_serial_s = 3.0;
+    shared = Some shared;
+  }
+
+let t =
+  {
+    Workload.name = "freqmine";
+    suite = "Parsec";
+    input_desc = "250000 web docs";
+    kloc = 2.196;
+    source;
+    shape;
+    regularized = None;
+    manual_streaming = false;
+    paper =
+      {
+        Workload.no_paper_numbers with
+        p_shared = Some 1.16;
+        p_overall = Some 1.16;
+      };
+  }

@@ -1,0 +1,97 @@
+(** hotspot (Rodinia): thermal stencil over a 2D grid.  The row width
+    is a runtime parameter, so the flattened accesses
+    ([temp[i*cols + c]]) are not constant-stride affine — no streaming
+    — but the grid is small and the stencil compute-dense, so the naive
+    MIC port is already the fastest variant (Table II / Figure 10: no
+    optimization applies, MIC beats CPU ~2.5x). *)
+
+open Runtime
+
+let source =
+  {|
+int main(void) {
+  int rows = 6;
+  int cols = 6;
+  int steps = 2;
+  float temp[36];
+  float power[36];
+  float tnew[36];
+  for (i = 0; i < 36; i++) {
+    temp[i] = 60.0 + (float)(i % 9);
+    power[i] = (float)(i % 4) / 10.0;
+  }
+  for (s = 0; s < steps; s++) {
+    #pragma offload target(mic:0) in(temp[0:36], power[0:36]) out(tnew[0:36])
+    #pragma omp parallel for
+    for (i = 0; i < 36; i++) {
+      int r = i / cols;
+      int c = i % cols;
+      float center = temp[i];
+      float up = center;
+      float down = center;
+      float left = center;
+      float right = center;
+      if (r > 0) {
+        up = temp[i - cols];
+      }
+      if (r < rows - 1) {
+        down = temp[i + cols];
+      }
+      if (c > 0) {
+        left = temp[i - 1];
+      }
+      if (c < cols - 1) {
+        right = temp[i + 1];
+      }
+      float delta = 0.2 * (up + down - 2.0 * center)
+        + 0.2 * (left + right - 2.0 * center)
+        + power[i] * 0.05;
+      tnew[i] = center + delta;
+    }
+    for (i = 0; i < 36; i++) {
+      temp[i] = tnew[i];
+    }
+  }
+  for (i = 0; i < 36; i++) {
+    print_float(temp[i]);
+  }
+  return 0;
+}
+|}
+
+(* 1024x1024 grid, 60 pyramid steps: 4 MB of state per transfer and a
+   wide, perfectly vectorizable stencil — MIC heaven. *)
+let cells = 1024 * 1024
+
+let shape =
+  {
+    Plan.default_shape with
+    Plan.iters = cells;
+    kernel =
+      {
+        Machine.Cost.flops_per_iter = 420.0;
+        mem_bytes_per_iter = 24.0;
+        vectorizable = true;
+        locality = 0.95;
+        serial_frac = 0.0;
+        mic_derate = 0.7;
+      };
+    bytes_in = float_of_int (cells * 4);
+    bytes_out = float_of_int (cells * 2);
+    outer_repeats = 60;
+    host_glue_s = 0.0003;
+    host_serial_s = 0.020;
+  }
+
+let t =
+  {
+    Workload.name = "hotspot";
+    suite = "Rodinia";
+    input_desc = "1024 * 1024 matrix";
+    kloc = 0.192;
+    source;
+    shape;
+    regularized = None;
+    manual_streaming = false;
+    paper = Workload.no_paper_numbers;
+  }

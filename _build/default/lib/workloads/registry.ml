@@ -1,0 +1,27 @@
+(** All 12 benchmark models, in the paper's Table II order. *)
+
+let all : Workload.t list =
+  [
+    Blackscholes.t;
+    Streamcluster.t;
+    Ferret.t;
+    Dedup.t;
+    Freqmine.t;
+    Kmeans.t;
+    Cg.t;
+    Cfd.t;
+    Nn.t;
+    Srad.t;
+    Bfs.t;
+    Hotspot.t;
+  ]
+
+let find name =
+  List.find_opt (fun w -> String.equal w.Workload.name name) all
+
+let find_exn name =
+  match find name with
+  | Some w -> w
+  | None -> invalid_arg ("unknown workload: " ^ name)
+
+let names = List.map (fun w -> w.Workload.name) all

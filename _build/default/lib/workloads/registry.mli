@@ -1,0 +1,6 @@
+(** All 12 benchmark models, in the paper's Table II order. *)
+
+val all : Workload.t list
+val find : string -> Workload.t option
+val find_exn : string -> Workload.t
+val names : string list

@@ -1,0 +1,60 @@
+(** Benchmark models.
+
+    Each of the paper's 12 benchmarks (Table II) is modeled by:
+
+    - a MiniC {e kernel source} with the same offload structure and
+      access patterns as the original benchmark, at miniature array
+      sizes so the reference interpreter can execute it.  The compiler
+      passes run on this source, and their applicability decisions
+      regenerate Table II;
+    - a calibrated {!Runtime.Plan.shape} carrying the real input scale
+      (Table II inputs) and kernel characteristics, used by the cost
+      model and the event engine for all timing figures;
+    - the paper's published numbers, for the paper-vs-measured tables in
+      EXPERIMENTS.md. *)
+
+type paper_numbers = {
+  p_streaming : float option;  (** Table II per-optimization speedups *)
+  p_merging : float option;
+  p_regularization : float option;
+  p_shared : float option;
+  p_overall : float option;  (** Figure 11: optimized / unoptimized MIC *)
+}
+
+let no_paper_numbers =
+  {
+    p_streaming = None;
+    p_merging = None;
+    p_regularization = None;
+    p_shared = None;
+    p_overall = None;
+  }
+
+(** Shape and repack parameters after regularization rewrote the
+    offloaded loop (smaller transfers, different kernel behaviour). *)
+type regularized = {
+  reg_shape : Runtime.Plan.shape;
+  repack : Runtime.Plan.repack;
+}
+
+type t = {
+  name : string;
+  suite : string;  (** PARSEC / Phoenix / NAS / Rodinia *)
+  input_desc : string;  (** Table II input column *)
+  kloc : float;  (** Table II size column *)
+  source : string;  (** MiniC kernel model *)
+  shape : Runtime.Plan.shape;
+  regularized : regularized option;
+  manual_streaming : bool;
+      (** dedup: the original code already streams by hand, so the
+          baseline is the streamed plan and COMP adds nothing *)
+  paper : paper_numbers;
+}
+
+(** Parse the kernel source (raises on malformed workloads — these are
+    library data, so failure is a bug). *)
+let program w = Minic.Parser.program_of_string_exn w.source
+
+let has_shared w = Option.is_some w.shape.Runtime.Plan.shared
+
+let mib = 1024. *. 1024.

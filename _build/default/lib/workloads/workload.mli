@@ -1,0 +1,51 @@
+(** Benchmark models.
+
+    Each of the paper's 12 benchmarks (Table II) is modeled by:
+
+    - a MiniC {e kernel source} with the same offload structure and
+      access patterns as the original, at miniature array sizes so the
+      reference interpreter can execute it; the compiler passes run on
+      this source and their applicability decisions regenerate
+      Table II;
+    - a calibrated {!Runtime.Plan.shape} carrying the real input scale
+      and kernel characteristics, used for all timing figures;
+    - the paper's published numbers, for the paper-vs-measured tables
+      in EXPERIMENTS.md. *)
+
+type paper_numbers = {
+  p_streaming : float option;  (** Table II per-optimization speedups *)
+  p_merging : float option;
+  p_regularization : float option;
+  p_shared : float option;
+  p_overall : float option;  (** Figure 11 *)
+}
+
+val no_paper_numbers : paper_numbers
+
+(** Shape and repack parameters after regularization rewrote the loop
+    (smaller transfers, different kernel behaviour). *)
+type regularized = {
+  reg_shape : Runtime.Plan.shape;
+  repack : Runtime.Plan.repack;
+}
+
+type t = {
+  name : string;
+  suite : string;  (** PARSEC / Phoenix / NAS / Rodinia *)
+  input_desc : string;  (** Table II input column *)
+  kloc : float;  (** Table II size column *)
+  source : string;  (** MiniC kernel model *)
+  shape : Runtime.Plan.shape;
+  regularized : regularized option;
+  manual_streaming : bool;
+      (** dedup: the original code already streams by hand *)
+  paper : paper_numbers;
+}
+
+val program : t -> Minic.Ast.program
+(** Parse the kernel source (raises on malformed workloads — these are
+    library data, so failure is a bug). *)
+
+val has_shared : t -> bool
+
+val mib : float

@@ -1,0 +1,15 @@
+  $ compc run saxpy.mc 2>/dev/null
+  $ compc run -O saxpy.mc 2>/dev/null
+  $ compc analyze saxpy.mc
+  $ compc analyze gather.mc
+  $ compc optimize --nblocks 2 gather.mc 2>&1 >/dev/null
+  $ compc optimize --nblocks 2 gather.mc 2>/dev/null > gather_opt.mc
+  $ compc run gather_opt.mc 2>/dev/null
+  $ compc run gather.mc 2>/dev/null
+  $ compc list | head -3
+  $ compc run pointer_chase.mc 2>/dev/null
+  $ compc optimize --only data-streaming gather.mc 2>&1 >/dev/null
+  $ compc optimize --only regularization,data-streaming gather.mc 2>&1 >/dev/null
+  $ compc report table2 | grep -E "matches the paper"
+  $ compc optimize --only data-streaming --nblocks 2 --full-buffers fig05a_blackscholes.mc 2>/dev/null
+  $ compc analyze --bench nn

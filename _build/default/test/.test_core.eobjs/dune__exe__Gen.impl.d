@@ -1,0 +1,1 @@
+test/gen.ml: Buffer Fun List Minic Printf QCheck String

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Analysis Float Minic QCheck QCheck_alcotest String

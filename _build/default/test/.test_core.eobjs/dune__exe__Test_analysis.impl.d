@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Analysis Gen Helpers List Minic Printf QCheck String

@@ -1,0 +1,1 @@
+test/test_block_size.ml: Alcotest Float Helpers List Printf QCheck Transforms

@@ -1,0 +1,1 @@
+test/test_comp.ml: Alcotest Comp Gen Helpers List Minic Option Runtime String Workloads

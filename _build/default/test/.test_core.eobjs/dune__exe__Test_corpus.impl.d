@@ -1,0 +1,1 @@
+test/test_corpus.ml: Alcotest Analysis Comp Filename Fun Helpers List Minic Result Transforms

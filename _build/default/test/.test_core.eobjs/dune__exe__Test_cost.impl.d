@@ -1,0 +1,1 @@
+test/test_cost.ml: Alcotest Config Cost Helpers Machine QCheck

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Engine Float Hashtbl Helpers List Machine Option Printf QCheck Task Trace

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Experiments Helpers Lazy List Printf Runtime String Workloads

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Bytes Char Gen Helpers List Minic QCheck String

@@ -1,0 +1,1 @@
+test/test_insert_offload.ml: Alcotest Helpers List Minic Option Result Transforms

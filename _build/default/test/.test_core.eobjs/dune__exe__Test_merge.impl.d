@@ -1,0 +1,1 @@
+test/test_merge.ml: Alcotest Helpers List Minic Result Transforms

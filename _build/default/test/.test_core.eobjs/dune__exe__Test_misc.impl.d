@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Comp Engine Experiments Format Gen Helpers List Machine Runtime String Task Trace

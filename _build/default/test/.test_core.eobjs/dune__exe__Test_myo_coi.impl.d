@@ -1,0 +1,1 @@
+test/test_myo_coi.ml: Alcotest Coi Helpers List Machine Myo Printf QCheck Result Runtime

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Gen Helpers List Minic Option QCheck

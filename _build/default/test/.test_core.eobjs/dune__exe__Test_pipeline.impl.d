@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Analysis Comp Gen Helpers List Minic QCheck Result String Transforms

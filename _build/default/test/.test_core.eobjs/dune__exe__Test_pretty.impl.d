@@ -1,0 +1,1 @@
+test/test_pretty.ml: Alcotest Gen Helpers List Minic Printexc Transforms Workloads

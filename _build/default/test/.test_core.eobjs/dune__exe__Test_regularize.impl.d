@@ -1,0 +1,1 @@
+test/test_regularize.ml: Alcotest Gen Helpers List Minic QCheck String Transforms

@@ -1,0 +1,1 @@
+test/test_replay.ml: Alcotest Gen Helpers List Machine Minic Printf Result Runtime Transforms

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Float Helpers Machine Mem_usage Plan Printf QCheck Runtime Schedule_gen

@@ -1,0 +1,1 @@
+test/test_segbuf.ml: Alcotest Fun Helpers List QCheck Runtime Segbuf Xptr

@@ -1,0 +1,1 @@
+test/test_shared_mem.ml: Alcotest Array Comp Gen Helpers List Minic Printf String Transforms

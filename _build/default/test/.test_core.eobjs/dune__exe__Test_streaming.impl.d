@@ -1,0 +1,1 @@
+test/test_streaming.ml: Alcotest Format Gen Helpers Minic Printf QCheck Result String Transforms

@@ -1,0 +1,1 @@
+test/test_vectorize.ml: Alcotest Analysis Comp Gen Helpers List Result Transforms Workloads

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Analysis Comp Experiments Helpers List Machine Minic Runtime String Transforms Workloads

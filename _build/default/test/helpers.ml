@@ -1,0 +1,60 @@
+(** Shared helpers for the test suites. *)
+
+let parse = Minic.Parser.program_of_string_exn
+
+let parse_result = Minic.Parser.program_of_string
+
+(** Parse, typecheck, and run; return printed output.  Fails the test
+    on any error. *)
+let run_ok ?fuel src =
+  let prog = parse src in
+  (match Minic.Typecheck.check_program prog with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "typecheck error: %s" e);
+  match Minic.Interp.run ?fuel prog with
+  | Ok o -> o
+  | Error e -> Alcotest.failf "runtime error: %s" e
+
+let output_of ?fuel src = (run_ok ?fuel src).Minic.Interp.output
+
+(** Check that a transformed program typechecks and produces the same
+    printed output as the original. *)
+let check_semantics_preserved ~name original transformed =
+  (match Minic.Typecheck.check_program transformed with
+  | Ok _ -> ()
+  | Error e ->
+      Alcotest.failf "%s: transformed program does not typecheck: %s\n%s" name
+        e
+        (Minic.Pretty.program_to_string transformed));
+  let out0 =
+    match Minic.Interp.run original with
+    | Ok o -> o.Minic.Interp.output
+    | Error e -> Alcotest.failf "%s: original failed: %s" name e
+  in
+  let out1 =
+    match Minic.Interp.run transformed with
+    | Ok o -> o.Minic.Interp.output
+    | Error e ->
+        Alcotest.failf "%s: transformed failed: %s\n%s" name e
+          (Minic.Pretty.program_to_string transformed)
+  in
+  Alcotest.(check string) (name ^ ": same output") out0 out1
+
+let first_offloaded prog =
+  match Analysis.Offload_regions.offloaded prog with
+  | r :: _ -> r
+  | [] -> Alcotest.fail "no offloaded region found"
+
+let tc name f = Alcotest.test_case name `Quick f
+
+(** Register a qcheck property as an alcotest case. *)
+let prop name ?(count = 100) arb f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
+
+let float_close ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps *. (1. +. Float.abs a +. Float.abs b)
+
+(** Substring check for error-message assertions. *)
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0

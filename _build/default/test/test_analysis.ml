@@ -1,0 +1,354 @@
+open Helpers
+open Minic.Ast
+module Aff = Analysis.Affine
+module Acc = Analysis.Access
+module S = Analysis.Simplify
+
+let e = Minic.Parser.expr_of_string_exn
+
+(* evaluate a closed-but-for-i integer expression *)
+let rec eval_at ~i expr =
+  match expr with
+  | Int_lit n -> n
+  | Var "i" -> i
+  | Var "n" -> 100
+  | Unop (Neg, a) -> -eval_at ~i a
+  | Binop (Add, a, b) -> eval_at ~i a + eval_at ~i b
+  | Binop (Sub, a, b) -> eval_at ~i a - eval_at ~i b
+  | Binop (Mul, a, b) -> eval_at ~i a * eval_at ~i b
+  | _ -> Alcotest.fail "non-arithmetic expression in eval_at"
+
+let affine_of src = Aff.of_expr ~index:"i" (e src)
+
+let check_affine name src ~coeff =
+  tc name (fun () ->
+      match affine_of src with
+      | Some a -> Alcotest.(check int) "coefficient" coeff a.Aff.coeff
+      | None -> Alcotest.failf "%s not recognized as affine" src)
+
+let check_not_affine name src =
+  tc name (fun () ->
+      match affine_of src with
+      | None -> ()
+      | Some a ->
+          Alcotest.failf "%s unexpectedly affine: %a" src Aff.pp a)
+
+let loop_of src =
+  let prog = parse src in
+  (first_offloaded prog).loop
+
+let gather_loop =
+  {|int main(void) {
+      int n = 8;
+      float a[32];
+      int b[8];
+      float c[8];
+      float lut[4];
+      #pragma offload target(mic:0) in(a[0:32], b[0:n], lut[0:4]) out(c[0:n])
+      #pragma omp parallel for
+      for (i = 0; i < n; i++) {
+        if (b[i] > 0) {
+          c[i] = a[b[i]] + lut[2];
+        }
+      }
+      return 0;
+    }|}
+
+let suite =
+  [
+    (* Simplify *)
+    tc "constant folding" (fun () ->
+        Alcotest.(check bool)
+          "3*4+5 folds" true
+          (equal_expr (S.expr (e "3 * 4 + 5")) (Int_lit 17)));
+    tc "identity elimination" (fun () ->
+        Alcotest.(check bool)
+          "x*1+0 = x" true
+          (equal_expr (S.expr (e "x * 1 + 0")) (Var "x")));
+    tc "zero multiplication" (fun () ->
+        Alcotest.(check bool)
+          "0*(x+y) = 0" true
+          (equal_expr (S.expr (e "0 * (x + y)")) (Int_lit 0)));
+    tc "x - x = 0" (fun () ->
+        Alcotest.(check bool)
+          "cancel" true
+          (equal_expr (S.sub (Var "x") (Var "x")) (Int_lit 0)));
+    tc "const_int" (fun () ->
+        Alcotest.(check (option int)) "closed" (Some 11)
+          (S.const_int (e "(2 + 9 * 1)"));
+        Alcotest.(check (option int)) "open" None (S.const_int (e "x + 1")));
+    tc "imin/imax folding" (fun () ->
+        let open Minic.Ast in
+        Alcotest.(check bool)
+          "consts" true
+          (equal_expr (S.expr (e "imin(3, 7)")) (Int_lit 3));
+        Alcotest.(check bool)
+          "imax consts" true
+          (equal_expr (S.expr (e "imax(0, 0)")) (Int_lit 0));
+        Alcotest.(check bool)
+          "equal operands" true
+          (equal_expr (S.expr (e "imin(x, x)")) (Var "x"));
+        Alcotest.(check bool)
+          "nested same bound" true
+          (equal_expr
+             (S.expr (e "imin(n, imin(n, x + 1))"))
+             (e "imin(n, x + 1)"));
+        (* folding cascades through arithmetic *)
+        Alcotest.(check bool)
+          "cascade" true
+          (equal_expr (S.expr (e "x + imax(0, 0)")) (Var "x")));
+    prop "imin/imax folding preserves value" ~count:200
+      QCheck.(triple (int_range (-50) 50) (int_range (-50) 50) bool)
+      (fun (x, y, use_min) ->
+        let f = if use_min then "imin" else "imax" in
+        let src = Printf.sprintf "%s(%d, %s(%d, %d))" f x f x y in
+        match S.expr (e src) with
+        | Minic.Ast.Int_lit v ->
+            v = if use_min then min x (min x y) else max x (max x y)
+        | _ -> false);
+    prop "simplify preserves value" ~count:300 Gen.arb_expr (fun expr ->
+        (* restrict to pure int arithmetic: skip others *)
+        let rec pure = function
+          | Int_lit _ -> true
+          | Var "i" | Var "n" -> true
+          | Unop (Neg, a) -> pure a
+          | Binop ((Add | Sub | Mul), a, b) -> pure a && pure b
+          | _ -> false
+        in
+        QCheck.assume (pure expr);
+        let simplified = S.expr expr in
+        eval_at ~i:7 expr = eval_at ~i:7 simplified);
+    (* Affine *)
+    check_affine "plain index" "i" ~coeff:1;
+    check_affine "scaled" "4 * i" ~coeff:4;
+    check_affine "scaled with offset" "2 * i + 3" ~coeff:2;
+    check_affine "offset first" "n + i" ~coeff:1;
+    check_affine "negated" "n - i" ~coeff:(-1);
+    check_affine "nested" "2 * (i + 1) + i" ~coeff:3;
+    check_affine "invariant" "n * 3" ~coeff:0;
+    check_not_affine "quadratic" "i * i";
+    check_not_affine "variable coefficient" "n * i";
+    check_not_affine "division by index" "n / i";
+    check_not_affine "through array" "b[i] + 1";
+    prop "affine recognition recovers coeff and value" ~count:200
+      Gen.arb_affine_parts (fun (c, b) ->
+        let expr =
+          Binop (Add, Binop (Mul, Int_lit c, Var "i"), Int_lit b)
+        in
+        match Aff.of_expr ~index:"i" expr with
+        | None -> false
+        | Some a ->
+            a.Aff.coeff = c
+            && eval_at ~i:13 (Aff.to_expr ~index:"i" a) = (c * 13) + b);
+    (* Access classification *)
+    tc "gather and guards classified" (fun () ->
+        let accesses = Acc.of_loop (loop_of gather_loop) in
+        let find arr =
+          List.find (fun (a : Acc.t) -> String.equal a.arr arr) accesses
+        in
+        (match (find "a").kind with
+        | Acc.Gather { via = "b"; _ } -> ()
+        | _ -> Alcotest.fail "a should be a gather via b");
+        Alcotest.(check bool) "a guarded" true (find "a").guarded;
+        (match (find "c").kind with
+        | Acc.Affine aff -> Alcotest.(check int) "c coeff" 1 aff.Aff.coeff
+        | _ -> Alcotest.fail "c should be affine");
+        Alcotest.(check bool) "c write" true ((find "c").dir = Acc.Write);
+        match (find "lut").kind with
+        | Acc.Affine aff -> Alcotest.(check int) "lut coeff" 0 aff.Aff.coeff
+        | _ -> Alcotest.fail "lut should be invariant");
+    tc "local-variable offsets are demoted to opaque" (fun () ->
+        let loop =
+          loop_of
+            {|int main(void) {
+                int n = 4;
+                float a[16];
+                float c[4];
+                #pragma offload target(mic:0) in(a[0:16]) out(c[0:n])
+                #pragma omp parallel for
+                for (i = 0; i < n; i++) {
+                  float s = 0.0;
+                  for (j = 0; j < 4; j++) {
+                    s = s + a[i * 4 + j];
+                  }
+                  c[i] = s;
+                }
+                return 0;
+              }|}
+        in
+        let accesses = Acc.of_loop loop in
+        let a_access =
+          List.find (fun (x : Acc.t) -> String.equal x.arr "a") accesses
+        in
+        (match a_access.kind with
+        | Acc.Opaque -> ()
+        | _ -> Alcotest.fail "a[i*4+j] should be opaque (j is loop-local)");
+        Alcotest.(check bool)
+          "loop not all-affine" false
+          (Acc.all_affine accesses));
+    tc "summaries aggregate directions" (fun () ->
+        let accesses = Acc.of_loop (loop_of gather_loop) in
+        let summaries = Acc.summarize accesses in
+        let c = List.find (fun s -> s.Acc.name = "c") summaries in
+        Alcotest.(check bool) "c written" true c.Acc.writes;
+        Alcotest.(check bool) "c not read" false c.Acc.reads;
+        let a = List.find (fun s -> s.Acc.name = "a") summaries in
+        Alcotest.(check bool) "a has no coeff" true (a.Acc.max_coeff = None));
+    (* Liveness *)
+    tc "liveness uses/defs/decls" (fun () ->
+        let prog =
+          parse
+            {|int main(void) {
+                int n = 4;
+                float a[4];
+                float b[4];
+                int acc = 0;
+                for (i = 0; i < n; i++) {
+                  float t = a[i] * 2.0;
+                  b[i] = t;
+                  acc = acc + 1;
+                }
+                return acc;
+              }|}
+        in
+        let body =
+          match prog with
+          | [ Gfunc f ] -> (
+              (* the for statement only *)
+              match List.rev f.body with
+              | _ :: for_stmt :: _ -> [ for_stmt ]
+              | _ -> Alcotest.fail "unexpected shape")
+          | _ -> Alcotest.fail "one function"
+        in
+        let info = Analysis.Liveness.of_region body in
+        let mem v s = Analysis.Liveness.SS.mem v s in
+        Alcotest.(check bool) "uses a" true (mem "a" info.uses);
+        Alcotest.(check bool) "uses n" true (mem "n" info.uses);
+        Alcotest.(check bool) "defs b" true (mem "b" info.defs);
+        Alcotest.(check bool) "defs acc" true (mem "acc" info.defs);
+        Alcotest.(check bool) "t is local" false (mem "t" info.uses);
+        Alcotest.(check bool) "i is local" true (mem "i" info.decls));
+    tc "clause roles split in/out/inout" (fun () ->
+        let prog =
+          parse
+            {|int main(void) {
+                int n = 2;
+                float a[2];
+                float b[2];
+                float c[2];
+                for (i = 0; i < n; i++) {
+                  c[i] = a[i] + c[i];
+                  b[i] = 1.0;
+                }
+                return 0;
+              }|}
+        in
+        let body =
+          match prog with
+          | [ Gfunc f ] -> [ List.nth f.body 4 ]
+          | _ -> Alcotest.fail "one function"
+        in
+        let is_array v = List.mem v [ "a"; "b"; "c" ] in
+        let ins, outs, inouts =
+          Analysis.Liveness.clause_roles ~is_array body
+        in
+        Alcotest.(check (list string)) "ins" [ "a" ] ins;
+        Alcotest.(check (list string)) "outs" [ "b" ] outs;
+        Alcotest.(check (list string)) "inouts" [ "c" ] inouts);
+    (* Depend *)
+    tc "parallel loop accepted" (fun () ->
+        let loop =
+          loop_of
+            {|int main(void) {
+                int n = 4;
+                float a[4];
+                float b[4];
+                #pragma offload target(mic:0) in(a[0:n]) out(b[0:n])
+                #pragma omp parallel for
+                for (i = 0; i < n; i++) {
+                  float t = a[i];
+                  b[i] = t * 2.0;
+                }
+                return 0;
+              }|}
+        in
+        Alcotest.(check bool) "parallel" true (Analysis.Depend.is_parallel loop));
+    tc "scalar reduction flagged" (fun () ->
+        let loop =
+          loop_of
+            {|int main(void) {
+                int n = 4;
+                float a[4];
+                float s = 0.0;
+                #pragma offload target(mic:0) in(a[0:n])
+                #pragma omp parallel for
+                for (i = 0; i < n; i++) { s = s + a[i]; }
+                return 0;
+              }|}
+        in
+        match Analysis.Depend.check loop with
+        | [ Analysis.Depend.Scalar_write "s" ] -> ()
+        | vs ->
+            Alcotest.failf "expected scalar violation, got %d" (List.length vs));
+    tc "invariant write flagged" (fun () ->
+        let loop =
+          loop_of
+            {|int main(void) {
+                int n = 4;
+                float a[4];
+                #pragma offload target(mic:0) inout(a[0:n])
+                #pragma omp parallel for
+                for (i = 0; i < n; i++) { a[0] = (float)i; }
+                return 0;
+              }|}
+        in
+        Alcotest.(check bool)
+          "violations" true
+          (List.mem (Analysis.Depend.Invariant_write "a")
+             (Analysis.Depend.check loop)));
+    tc "overlapping strides flagged" (fun () ->
+        let loop =
+          loop_of
+            {|int main(void) {
+                int n = 4;
+                float a[16];
+                #pragma offload target(mic:0) inout(a[0:16])
+                #pragma omp parallel for
+                for (i = 0; i < n; i++) {
+                  a[i] = 1.0;
+                  a[2 * i] = 2.0;
+                }
+                return 0;
+              }|}
+        in
+        Alcotest.(check bool)
+          "violations" true
+          (List.mem
+             (Analysis.Depend.Overlapping_writes "a")
+             (Analysis.Depend.check loop)));
+    (* Offload regions *)
+    tc "region discovery distinguishes candidates" (fun () ->
+        let prog =
+          parse
+            {|int main(void) {
+                int n = 4;
+                float a[4];
+                float b[4];
+                #pragma omp parallel for
+                for (i = 0; i < n; i++) { a[i] = 1.0; }
+                #pragma offload target(mic:0) in(a[0:n]) out(b[0:n])
+                #pragma omp parallel for
+                for (i = 0; i < n; i++) { b[i] = a[i]; }
+                return 0;
+              }|}
+        in
+        Alcotest.(check int)
+          "2 regions" 2
+          (List.length (Analysis.Offload_regions.of_program prog));
+        Alcotest.(check int)
+          "1 candidate" 1
+          (List.length (Analysis.Offload_regions.candidates prog));
+        Alcotest.(check int)
+          "1 offloaded" 1
+          (List.length (Analysis.Offload_regions.offloaded prog)));
+  ]

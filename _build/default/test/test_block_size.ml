@@ -1,0 +1,76 @@
+open Helpers
+module B = Transforms.Block_size
+
+let arb_params =
+  QCheck.(
+    map
+      (fun (d, c, k) ->
+        {
+          B.transfer_s = 0.001 +. (float_of_int d /. 100.);
+          compute_s = 0.001 +. (float_of_int c /. 100.);
+          launch_s = 1e-5 +. (float_of_int k /. 1e6);
+        })
+      (triple (int_range 0 1000) (int_range 0 1000) (int_range 0 100)))
+
+let suite =
+  [
+    tc "naive time is D + K + C" (fun () ->
+        let p = { B.transfer_s = 3.0; compute_s = 2.0; launch_s = 0.5 } in
+        Alcotest.(check (float 1e-12)) "naive" 5.5 (B.naive_time p));
+    tc "one block equals naive" (fun () ->
+        let p = { B.transfer_s = 3.0; compute_s = 2.0; launch_s = 0.5 } in
+        Alcotest.(check (float 1e-12))
+          "N=1" (B.naive_time p)
+          (B.streamed_time p ~nblocks:1));
+    tc "paper formula, compute-bound example" (fun () ->
+        (* D=1, C=4, K=0.01, N=10: T = D/N + (C/N + K)(N-1) + C/N + K *)
+        let p = { B.transfer_s = 1.0; compute_s = 4.0; launch_s = 0.01 } in
+        let expected = 0.1 +. ((0.4 +. 0.01) *. 9.) +. 0.4 +. 0.01 in
+        Alcotest.(check (float 1e-12))
+          "T(10)" expected
+          (B.streamed_time p ~nblocks:10));
+    tc "compute-bound optimum tracks sqrt(D/K)" (fun () ->
+        let p = { B.transfer_s = 0.9; compute_s = 10.0; launch_s = 0.001 } in
+        let n_star = B.optimal_blocks p in
+        let analytic = int_of_float (sqrt (0.9 /. 0.001)) in
+        Alcotest.(check bool)
+          (Printf.sprintf "N*=%d near sqrt(D/K)=%d" n_star analytic)
+          true
+          (abs (n_star - analytic) <= 2));
+    tc "choose picks the best of the paper's candidates" (fun () ->
+        let p = { B.transfer_s = 1.0; compute_s = 1.0; launch_s = 0.001 } in
+        let n = B.choose p in
+        List.iter
+          (fun c ->
+            Alcotest.(check bool)
+              (Printf.sprintf "T(%d) >= T(%d)" c n)
+              true
+              (B.streamed_time p ~nblocks:c
+               >= B.streamed_time p ~nblocks:n -. 1e-12))
+          [ 10; 20; 40; 50 ]);
+    prop "streaming at the optimum never loses to naive" ~count:300
+      arb_params (fun p ->
+        let n = B.optimal_blocks p in
+        B.streamed_time p ~nblocks:n <= B.naive_time p +. 1e-12);
+    prop "streamed time is bounded below by max(D, C)" ~count:300 arb_params
+      (fun p ->
+        let n = B.optimal_blocks p in
+        B.streamed_time p ~nblocks:n
+        >= Float.max p.B.transfer_s p.B.compute_s -. 1e-12);
+    prop "optimal beats the paper candidate grid" ~count:300 arb_params
+      (fun p ->
+        let n = B.optimal_blocks p in
+        let best_grid =
+          List.fold_left
+            (fun acc c -> Float.min acc (B.streamed_time p ~nblocks:c))
+            infinity [ 1; 10; 20; 40; 50 ]
+        in
+        (* the analytic optimum may fall between grid points but must be
+           within one launch overhead of the best grid choice *)
+        B.streamed_time p ~nblocks:n <= best_grid +. p.B.launch_s +. 1e-12);
+    prop "speedup is naive/streamed" ~count:100 arb_params (fun p ->
+        let n = 10 in
+        float_close
+          (B.speedup p ~nblocks:n)
+          (B.naive_time p /. B.streamed_time p ~nblocks:n));
+  ]

@@ -1,0 +1,124 @@
+open Helpers
+
+(** The Comp driver: pass pipeline reports, variant planning, and the
+    diagnostics. *)
+
+let suite =
+  [
+    tc "pipeline report counts streaming" (fun () ->
+        let prog = parse (Gen.streamable_program ~n:12 ~seed:0) in
+        let _, a = Comp.optimize prog in
+        Alcotest.(check int) "streamed" 1 a.Comp.streamed;
+        Alcotest.(check int) "merged" 0 a.Comp.merged;
+        Alcotest.(check bool) "vectorized >= 1" true (a.Comp.vectorized >= 1));
+    tc "pipeline report counts regularization" (fun () ->
+        let prog = parse (Gen.gather_program ~n:10 ~m:25 ~seed:0) in
+        let _, a = Comp.optimize prog in
+        Alcotest.(check bool) "regularized" true (a.Comp.regularized <> []);
+        (* reordering makes the loop streamable, so streaming fires too *)
+        Alcotest.(check int) "then streamed" 1 a.Comp.streamed);
+    tc "pipeline inserts offloads for bare parallel loops" (fun () ->
+        let src =
+          {|int main(void) {
+              int n = 8;
+              float a[8];
+              float b[8];
+              for (i = 0; i < n; i++) { a[i] = (float)i; }
+              #pragma omp parallel for
+              for (i = 0; i < n; i++) { b[i] = a[i] * 2.0; }
+              for (i = 0; i < n; i++) { print_float(b[i]); }
+              return 0;
+            }|}
+        in
+        let prog = parse src in
+        let prog', a = Comp.optimize prog in
+        Alcotest.(check int) "inserted" 1 a.Comp.offloads_inserted;
+        check_semantics_preserved ~name:"insert+stream" prog prog');
+    tc "optimize is deterministic" (fun () ->
+        let prog = parse (Gen.streamable_program ~n:10 ~seed:7) in
+        let p1, _ = Comp.optimize prog in
+        let p2, _ = Comp.optimize prog in
+        Alcotest.(check bool) "same" true (Minic.Ast.equal_program p1 p2));
+    tc "plan: shared workloads use segbuf when optimized" (fun () ->
+        let w = Workloads.Registry.find_exn "ferret" in
+        let a = Comp.analyze w in
+        (match Comp.plan_of_variant w a Comp.Mic_naive with
+        | Runtime.Plan.Shared_myo, _ -> ()
+        | s, _ ->
+            Alcotest.failf "naive = %s" (Runtime.Plan.strategy_name s));
+        match Comp.plan_of_variant w a Comp.Mic_optimized with
+        | Runtime.Plan.Shared_segbuf _, _ -> ()
+        | s, _ ->
+            Alcotest.failf "optimized = %s" (Runtime.Plan.strategy_name s));
+    tc "plan: merging workloads get the merged strategy" (fun () ->
+        let w = Workloads.Registry.find_exn "streamcluster" in
+        let a = Comp.analyze w in
+        match Comp.plan_of_variant w a Comp.Mic_optimized with
+        | Runtime.Plan.Merged { streamed = true; _ }, _ -> ()
+        | s, _ ->
+            Alcotest.failf "optimized = %s" (Runtime.Plan.strategy_name s));
+    tc "plan: regularized workloads run on the regularized shape" (fun () ->
+        let w = Workloads.Registry.find_exn "nn" in
+        let a = Comp.analyze w in
+        let _, shape = Comp.plan_of_variant w a Comp.Mic_optimized in
+        let reg = (Option.get w.regularized).Workloads.Workload.reg_shape in
+        Alcotest.(check (float 1.))
+          "packed transfer size" reg.Runtime.Plan.bytes_in
+          shape.Runtime.Plan.bytes_in);
+    tc "plan: manual streaming keeps its own plan" (fun () ->
+        let w = Workloads.Registry.find_exn "dedup" in
+        let a = Comp.analyze w in
+        let naive, _ = Comp.plan_of_variant w a Comp.Mic_naive in
+        let opt, _ = Comp.plan_of_variant w a Comp.Mic_optimized in
+        Alcotest.(check string)
+          "same strategy"
+          (Runtime.Plan.strategy_name naive)
+          (Runtime.Plan.strategy_name opt));
+    tc "device_bytes honours double buffering" (fun () ->
+        let w = Workloads.Registry.find_exn "blackscholes" in
+        Alcotest.(check bool)
+          "optimized footprint smaller" true
+          (Comp.device_bytes w Comp.Mic_optimized
+          < Comp.device_bytes w Comp.Mic_naive));
+    tc "explain covers every benchmark without raising" (fun () ->
+        List.iter
+          (fun (w : Workloads.Workload.t) ->
+            let s = Comp.explain (Workloads.Workload.program w) in
+            Alcotest.(check bool)
+              (w.name ^ " explained")
+              true
+              (String.length s > 0 && contains ~sub:"region" s))
+          Workloads.Registry.all);
+    tc "explain reports streaming failures by reason" (fun () ->
+        let s =
+          Comp.explain
+            (Workloads.Workload.program (Workloads.Registry.find_exn "bfs"))
+        in
+        Alcotest.(check bool)
+          "non-affine reported" true
+          (contains ~sub:"non-affine" s));
+    tc "explain reports merge sites" (fun () ->
+        let s =
+          Comp.explain
+            (Workloads.Workload.program (Workloads.Registry.find_exn "cfd"))
+        in
+        Alcotest.(check bool)
+          "merge site reported" true
+          (contains ~sub:"merge site" s && contains ~sub:"3 offloads" s));
+    tc "explain flags unparallel candidates" (fun () ->
+        let s =
+          Comp.explain
+            (parse
+               {|int main(void) {
+                   int n = 4;
+                   float a[4];
+                   float s = 0.0;
+                   #pragma omp parallel for
+                   for (i = 0; i < n; i++) { s = s + a[i]; }
+                   return 0;
+                 }|})
+        in
+        Alcotest.(check bool)
+          "not offloadable" true
+          (contains ~sub:"not offloadable" s));
+  ]

@@ -1,0 +1,88 @@
+open Helpers
+
+(** The paper's figure examples as MiniC programs (test/corpus/): each
+    must parse, typecheck, run, survive the full pipeline, and trigger
+    exactly the analysis verdicts its figure illustrates. *)
+
+let read path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let corpus name = parse (read (Filename.concat "corpus" name))
+
+let suite =
+  [
+    tc "every corpus program parses, typechecks and runs" (fun () ->
+        List.iter
+          (fun name ->
+            let prog = corpus name in
+            (match Minic.Typecheck.check_program prog with
+            | Ok _ -> ()
+            | Error e -> Alcotest.failf "%s: %s" name e);
+            match Minic.Interp.run prog with
+            | Ok _ -> ()
+            | Error e -> Alcotest.failf "%s: %s" name e)
+          [
+            "fig05a_blackscholes.mc"; "fig06_streamcluster.mc";
+            "fig07_srad.mc"; "fig08_patterns.mc"; "fig03_shared.mc";
+          ]);
+    tc "figure 5(a) is the streaming showcase" (fun () ->
+        let prog = corpus "fig05a_blackscholes.mc" in
+        let region = first_offloaded prog in
+        Alcotest.(check bool)
+          "streamable" true
+          (Transforms.Streaming.applicable prog region);
+        (* and the streamed rewrite is Figure 5(b)/(c) *)
+        let prog' =
+          Result.get_ok (Transforms.Streaming.transform ~nblocks:4 prog region)
+        in
+        check_semantics_preserved ~name:"fig5" prog prog');
+    tc "figure 6 is the merging showcase" (fun () ->
+        let prog = corpus "fig06_streamcluster.mc" in
+        Alcotest.(check bool)
+          "merge site found" true
+          (Transforms.Merge_offload.applicable prog);
+        let prog', n = Transforms.Merge_offload.transform_all prog in
+        Alcotest.(check int) "merged" 1 n;
+        check_semantics_preserved ~name:"fig6" prog prog');
+    tc "figure 7 is the splitting showcase" (fun () ->
+        let prog = corpus "fig07_srad.mc" in
+        let region = first_offloaded prog in
+        Alcotest.(check bool)
+          "splittable" true
+          (List.mem Transforms.Regularize.Split
+             (Transforms.Regularize.applicable_kinds prog region));
+        let prog' = Result.get_ok (Transforms.Regularize.split prog region) in
+        check_semantics_preserved ~name:"fig7" prog prog');
+    tc "figure 8 covers both reordering patterns" (fun () ->
+        let prog = corpus "fig08_patterns.mc" in
+        let regions = Analysis.Offload_regions.offloaded prog in
+        Alcotest.(check int) "two loops" 2 (List.length regions);
+        List.iter
+          (fun region ->
+            Alcotest.(check bool)
+              "reorderable" true
+              (List.mem Transforms.Regularize.Reorder
+                 (Transforms.Regularize.applicable_kinds prog region)))
+          regions;
+        let prog', applied = Transforms.Regularize.transform_all prog in
+        Alcotest.(check int) "both rewritten" 2 (List.length applied);
+        check_semantics_preserved ~name:"fig8" prog prog');
+    tc "figure 3's structure walks correctly on the device" (fun () ->
+        let prog = corpus "fig03_shared.mc" in
+        Alcotest.(check string)
+          "cycle sum" "110\n"
+          (Minic.Interp.run_output prog));
+    tc "the pipeline handles the whole corpus" (fun () ->
+        List.iter
+          (fun name ->
+            let prog = corpus name in
+            let prog', _ = Comp.optimize ~nblocks:3 prog in
+            check_semantics_preserved ~name prog prog')
+          [
+            "fig05a_blackscholes.mc"; "fig06_streamcluster.mc";
+            "fig07_srad.mc"; "fig08_patterns.mc"; "fig03_shared.mc";
+          ]);
+  ]

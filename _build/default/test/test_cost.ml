@@ -1,0 +1,66 @@
+open Helpers
+open Machine
+
+let cfg = Config.paper_default
+let k = Cost.default_kernel
+
+let suite =
+  [
+    tc "transfer time scales with bytes" (fun () ->
+        let t1 = Cost.transfer_time cfg Cost.H2d ~bytes:6e9 in
+        (* 6 GB at 6 GB/s ~ 1 s plus latency *)
+        Alcotest.(check bool) "about 1s" true (t1 > 0.99 && t1 < 1.01));
+    tc "zero bytes transfer free" (fun () ->
+        Alcotest.(check (float 0.))
+          "zero" 0.
+          (Cost.transfer_time cfg Cost.D2h ~bytes:0.));
+    tc "vectorization speeds up the device" (fun () ->
+        let vec = Cost.mic_time cfg { k with vectorizable = true } ~iters:1_000_000 in
+        let novec =
+          Cost.mic_time cfg { k with vectorizable = false } ~iters:1_000_000
+        in
+        Alcotest.(check bool) "vec faster" true (vec < novec));
+    tc "derate slows the device proportionally" (fun () ->
+        let full = Cost.mic_time cfg { k with mem_bytes_per_iter = 0. } ~iters:1_000_000 in
+        let half =
+          Cost.mic_time cfg
+            { k with mem_bytes_per_iter = 0.; mic_derate = 0.5 }
+            ~iters:1_000_000
+        in
+        Alcotest.(check bool)
+          "half derate doubles time" true
+          (float_close ~eps:1e-6 (2. *. full) half));
+    tc "serial fraction hurts the device more" (fun () ->
+        let p0 = Cost.mic_time cfg { k with serial_frac = 0. } ~iters:1_000_000 in
+        let p1 = Cost.mic_time cfg { k with serial_frac = 0.3 } ~iters:1_000_000 in
+        Alcotest.(check bool) "slower" true (p1 > p0));
+    tc "memory-bound kernels limited by bandwidth" (fun () ->
+        let mem_heavy =
+          { k with flops_per_iter = 1.0; mem_bytes_per_iter = 1000.0 }
+        in
+        let t = Cost.mic_time cfg mem_heavy ~iters:1_000_000 in
+        let bytes = 1000.0 *. 1e6 in
+        let bw_bound = bytes /. (cfg.mic.mem_bw_gbs *. 1e9) in
+        Alcotest.(check bool) "at least bw time" true (t >= bw_bound));
+    tc "low locality reduces effective bandwidth" (fun () ->
+        let mem_heavy l =
+          Cost.mic_time cfg
+            { k with flops_per_iter = 1.0; mem_bytes_per_iter = 500.0; locality = l }
+            ~iters:1_000_000
+        in
+        Alcotest.(check bool) "cold slower" true (mem_heavy 0.1 > mem_heavy 0.9));
+    tc "mic serial glue slower than the host" (fun () ->
+        Alcotest.(check (float 1e-9))
+          "8x" 0.8
+          (Cost.mic_serial_time cfg ~cpu_seconds:0.1));
+    prop "times are monotone in iterations" ~count:100
+      QCheck.(pair (int_range 1 1_000_000) (int_range 1 1_000_000))
+      (fun (a, b) ->
+        let lo = min a b and hi = max a b in
+        Cost.mic_time cfg k ~iters:lo <= Cost.mic_time cfg k ~iters:hi +. 1e-12
+        && Cost.cpu_time cfg k ~iters:lo <= Cost.cpu_time cfg k ~iters:hi +. 1e-12);
+    prop "times are non-negative" ~count:100
+      QCheck.(int_range 0 10_000_000)
+      (fun iters ->
+        Cost.mic_time cfg k ~iters >= 0. && Cost.cpu_time cfg k ~iters >= 0.);
+  ]

@@ -1,0 +1,211 @@
+open Helpers
+open Machine
+
+(* random DAGs: deps only point to lower ids, so they are acyclic *)
+let arb_dag =
+  let gen =
+    QCheck.Gen.(
+      let* n = int_range 1 40 in
+      let* durations = list_size (return n) (float_range 0.0 2.0) in
+      let* dep_flags =
+        list_size (return n) (list_size (int_range 0 3) (int_range 0 1000))
+      in
+      return
+        (List.mapi
+           (fun i (d, raw_deps) ->
+             let deps =
+               List.filter_map
+                 (fun r -> if i = 0 then None else Some (r mod i))
+                 raw_deps
+               |> List.sort_uniq compare
+             in
+             {
+               Task.id = i;
+               label = Printf.sprintf "t%d" i;
+               resource =
+                 (match i mod 4 with
+                 | 0 -> Task.Cpu_exec
+                 | 1 -> Task.Mic_exec
+                 | 2 -> Task.Pcie_h2d
+                 | _ -> Task.Pcie_d2h);
+               duration = d;
+               deps;
+             })
+           (List.combine durations dep_flags)))
+  in
+  QCheck.make gen
+
+let simple ~resource ~duration ~deps id =
+  { Task.id; label = "t"; resource; duration; deps }
+
+let suite =
+  [
+    tc "sequential chain sums durations" (fun () ->
+        let tasks =
+          [
+            simple ~resource:Task.Cpu_exec ~duration:1.0 ~deps:[] 0;
+            simple ~resource:Task.Cpu_exec ~duration:2.0 ~deps:[ 0 ] 1;
+            simple ~resource:Task.Cpu_exec ~duration:3.0 ~deps:[ 1 ] 2;
+          ]
+        in
+        Alcotest.(check (float 1e-12)) "makespan" 6.0 (Engine.makespan tasks));
+    tc "independent tasks on different resources overlap" (fun () ->
+        let tasks =
+          [
+            simple ~resource:Task.Pcie_h2d ~duration:5.0 ~deps:[] 0;
+            simple ~resource:Task.Mic_exec ~duration:5.0 ~deps:[] 1;
+          ]
+        in
+        Alcotest.(check (float 1e-12)) "overlap" 5.0 (Engine.makespan tasks));
+    tc "same resource serializes" (fun () ->
+        let tasks =
+          [
+            simple ~resource:Task.Mic_exec ~duration:5.0 ~deps:[] 0;
+            simple ~resource:Task.Mic_exec ~duration:5.0 ~deps:[] 1;
+          ]
+        in
+        Alcotest.(check (float 1e-12)) "serial" 10.0 (Engine.makespan tasks));
+    tc "pipeline overlaps like Figure 5(d)" (fun () ->
+        (* 4 blocks: transfer 1s each on h2d, compute 1s each on mic,
+           compute b depends on transfer b; ideal time = 1 (first
+           transfer) + 4 (compute) *)
+        let b = Task.builder () in
+        let prev_k = ref None in
+        for _blk = 0 to 3 do
+          let t =
+            Task.add b ~label:"h2d" ~resource:Task.Pcie_h2d ~duration:1.0 ()
+          in
+          let deps = t :: Option.to_list !prev_k in
+          let k =
+            Task.add b ~deps ~label:"k" ~resource:Task.Mic_exec ~duration:1.0
+              ()
+          in
+          prev_k := Some k
+        done;
+        Alcotest.(check (float 1e-12))
+          "pipelined" 5.0
+          (Engine.makespan (Task.tasks b)));
+    tc "dependency cycle detected" (fun () ->
+        let tasks =
+          [
+            simple ~resource:Task.Cpu_exec ~duration:1.0 ~deps:[ 1 ] 0;
+            simple ~resource:Task.Cpu_exec ~duration:1.0 ~deps:[ 0 ] 1;
+          ]
+        in
+        match Engine.schedule tasks with
+        | exception Engine.Cycle _ -> ()
+        | _ -> Alcotest.fail "expected cycle detection");
+    tc "unknown dependency rejected" (fun () ->
+        let tasks =
+          [ simple ~resource:Task.Cpu_exec ~duration:1.0 ~deps:[ 42 ] 0 ]
+        in
+        match Engine.schedule tasks with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected invalid_arg");
+    prop "makespan >= critical path" ~count:200 arb_dag (fun tasks ->
+        Engine.makespan tasks >= Engine.critical_path tasks -. 1e-9);
+    prop "makespan >= per-resource busy time" ~count:200 arb_dag
+      (fun tasks ->
+        let r = Engine.schedule tasks in
+        List.for_all (fun (_, busy) -> r.makespan >= busy -. 1e-9) r.busy);
+    prop "makespan <= sum of durations" ~count:200 arb_dag (fun tasks ->
+        let total =
+          List.fold_left (fun acc (t : Task.t) -> acc +. t.duration) 0. tasks
+        in
+        Engine.makespan tasks <= total +. 1e-9);
+    prop "dependencies respected in the placement" ~count:200 arb_dag
+      (fun tasks ->
+        let r = Engine.schedule tasks in
+        let finish = Hashtbl.create 16 in
+        List.iter
+          (fun (p : Engine.placed) ->
+            Hashtbl.replace finish p.task.Task.id p.finish)
+          r.placed;
+        List.for_all
+          (fun (p : Engine.placed) ->
+            List.for_all
+              (fun d -> Hashtbl.find finish d <= p.start +. 1e-9)
+              p.task.Task.deps)
+          r.placed);
+    prop "no overlap on a single resource" ~count:200 arb_dag (fun tasks ->
+        let r = Engine.schedule tasks in
+        List.for_all
+          (fun res ->
+            let placed =
+              List.filter
+                (fun (p : Engine.placed) -> p.task.Task.resource = res)
+                r.placed
+              |> List.sort (fun (a : Engine.placed) b ->
+                     compare a.start b.start)
+            in
+            let rec ok = function
+              | a :: (b :: _ as rest) ->
+                  (a : Engine.placed).finish <= b.Engine.start +. 1e-9
+                  && ok rest
+              | _ -> true
+            in
+            ok placed)
+          Task.all_resources);
+    (* differential: the heap-based scheduler must agree with a naive
+       quadratic reference implementation of the same policy (pick the
+       ready task with the smallest (ready_time, id), serialize per
+       resource) *)
+    prop "heap scheduler matches the naive reference" ~count:150 arb_dag
+      (fun tasks ->
+        let reference (tasks : Task.t list) =
+          let finish = Hashtbl.create 16 in
+          let free = Hashtbl.create 8 in
+          let free_of r = Option.value (Hashtbl.find_opt free r) ~default:0. in
+          let remaining = ref tasks in
+          let makespan = ref 0. in
+          while !remaining <> [] do
+            let ready =
+              List.filter
+                (fun (t : Task.t) ->
+                  List.for_all (Hashtbl.mem finish) t.deps)
+                !remaining
+            in
+            let rt (t : Task.t) =
+              List.fold_left
+                (fun acc d -> Float.max acc (Hashtbl.find finish d))
+                0. t.deps
+            in
+            let best =
+              List.fold_left
+                (fun best t ->
+                  match best with
+                  | None -> Some t
+                  | Some b ->
+                      if
+                        rt t < rt b
+                        || (rt t = rt b && t.Task.id < b.Task.id)
+                      then Some t
+                      else best)
+                None ready
+            in
+            let t = Option.get best in
+            let start = Float.max (rt t) (free_of t.Task.resource) in
+            let fin = start +. t.Task.duration in
+            Hashtbl.replace finish t.Task.id fin;
+            Hashtbl.replace free t.Task.resource fin;
+            makespan := Float.max !makespan fin;
+            remaining :=
+              List.filter (fun (x : Task.t) -> x.Task.id <> t.Task.id) !remaining
+          done;
+          !makespan
+        in
+        Float.abs (Engine.makespan tasks -. reference tasks) < 1e-9);
+    prop "scheduling is deterministic" ~count:50 arb_dag (fun tasks ->
+        let a = Engine.schedule tasks and b = Engine.schedule tasks in
+        a.makespan = b.makespan);
+    tc "trace renders a gantt" (fun () ->
+        let tasks =
+          [
+            simple ~resource:Task.Pcie_h2d ~duration:1.0 ~deps:[] 0;
+            simple ~resource:Task.Mic_exec ~duration:2.0 ~deps:[ 0 ] 1;
+          ]
+        in
+        let g = Trace.gantt (Engine.schedule tasks) in
+        Alcotest.(check bool) "has rows" true (contains ~sub:"mic" g);
+        Alcotest.(check bool) "has kernel marks" true (contains ~sub:"K" g));
+  ]

@@ -1,0 +1,183 @@
+open Helpers
+
+(** The headline claims of the evaluation section, checked against the
+    simulator.  These assert the paper's *shape* — who wins, roughly by
+    how much — not absolute seconds. *)
+
+let timings = lazy (Experiments.Context.all_timings ())
+
+let timing name =
+  List.find
+    (fun (t : Experiments.Context.timing) ->
+      String.equal t.w.Workloads.Workload.name name)
+    (Lazy.force timings)
+
+let suite =
+  [
+    tc "figure 1: most naive ports lose to the CPU (8/12)" (fun () ->
+        let rows = Experiments.Fig01.rows () in
+        let losers =
+          List.length
+            (List.filter (fun r -> r.Experiments.Fig01.speedup < 1.) rows)
+        in
+        Alcotest.(check int) "8 of 12 slower" 8 losers);
+    tc "figure 4: transfer rivals computation on the motivators" (fun () ->
+        List.iter
+          (fun (r : Experiments.Fig04.row) ->
+            Alcotest.(check bool)
+              (r.name ^ " transfer is significant")
+              true
+              (r.transfer_ratio > 0.5))
+          (Experiments.Fig04.rows ()));
+    tc "figure 10: 4 naive and 9 optimized beat the CPU" (fun () ->
+        let rows = Experiments.Fig10.rows () in
+        let count f = List.length (List.filter f rows) in
+        Alcotest.(check int)
+          "naive winners" 4
+          (count (fun r -> r.Experiments.Fig10.mic_naive > 1.));
+        Alcotest.(check int)
+          "optimized winners" 9
+          (count (fun r -> r.Experiments.Fig10.mic_opt > 1.)));
+    tc "figure 11: 9 improved, 3 above 16x, range matches" (fun () ->
+        let rows = Experiments.Fig11.rows () in
+        let improved =
+          List.filter (fun r -> r.Experiments.Fig11.speedup > 1.01) rows
+        in
+        Alcotest.(check int) "9 improved" 9 (List.length improved);
+        Alcotest.(check int)
+          "3 above 16x" 3
+          (List.length
+             (List.filter (fun r -> r.Experiments.Fig11.speedup > 16.) rows));
+        List.iter
+          (fun (r : Experiments.Fig11.row) ->
+            Alcotest.(check bool)
+              (r.name ^ " within range")
+              true
+              (r.speedup >= 0.99 && r.speedup < 60.))
+          rows);
+    tc "figure 11: the unimproved three are bfs, hotspot, dedup" (fun () ->
+        List.iter
+          (fun name ->
+            let t = timing name in
+            Alcotest.(check bool)
+              (name ^ " unchanged")
+              true
+              (float_close ~eps:1e-6 t.naive_s t.opt_s))
+          [ "bfs"; "hotspot"; "dedup" ]);
+    tc "figure 12: streaming averages ~1.45x and helps all five" (fun () ->
+        let rows = Experiments.Fig12.rows () in
+        Alcotest.(check int) "five benchmarks" 5 (List.length rows);
+        let avg =
+          Experiments.Tables.average
+            (List.map (fun r -> r.Experiments.Fig12.speedup) rows)
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "average %.2f in [1.2, 1.8]" avg)
+          true
+          (avg > 1.2 && avg < 1.8);
+        List.iter
+          (fun (r : Experiments.Fig12.row) ->
+            Alcotest.(check bool) (r.name ^ " gains") true (r.speedup > 1.0))
+          rows);
+    tc "figure 13: streaming cuts memory >80% on streamed benchmarks"
+      (fun () ->
+        List.iter
+          (fun (r : Experiments.Fig13.row) ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%s at %.0f%%" r.name (100. *. r.relative))
+              true (r.relative < 0.2))
+          (Experiments.Fig13.rows ()));
+    tc "figure 14: merging gives order-of-magnitude gains" (fun () ->
+        let rows = Experiments.Fig14.rows () in
+        Alcotest.(check int) "three benchmarks" 3 (List.length rows);
+        List.iter
+          (fun (r : Experiments.Fig14.row) ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%s = %.1fx > 10x" r.name r.speedup)
+              true (r.speedup > 10.))
+          rows);
+    tc "figure 15: regularization gives ~1.25x on nn and srad" (fun () ->
+        let rows = Experiments.Fig15.rows () in
+        Alcotest.(check int) "two benchmarks" 2 (List.length rows);
+        List.iter
+          (fun (r : Experiments.Fig15.row) ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%s = %.2fx in [1.05, 1.6]" r.name r.speedup)
+              true
+              (r.speedup > 1.05 && r.speedup < 1.6))
+          rows);
+    tc "table 3: ferret infeasible under MYO, both gain from segbuf"
+      (fun () ->
+        let rows = Experiments.Table3.rows () in
+        Alcotest.(check int) "two rows" 2 (List.length rows);
+        let ferret =
+          List.find (fun r -> r.Experiments.Table3.name = "ferret") rows
+        in
+        (match ferret.Experiments.Table3.myo_feasible with
+        | Error (Runtime.Myo.Too_many_allocs _) -> ()
+        | _ -> Alcotest.fail "ferret should exceed MYO's allocation limit");
+        List.iter
+          (fun (r : Experiments.Table3.row) ->
+            Alcotest.(check bool)
+              (r.name ^ " segbuf wins")
+              true (r.speedup > 1.05))
+          rows);
+    tc "per-benchmark figure-11 speedups track the paper within 2x"
+      (fun () ->
+        List.iter
+          (fun (r : Experiments.Fig11.row) ->
+            match r.paper with
+            | None -> ()
+            | Some p ->
+                let ratio = r.speedup /. p in
+                Alcotest.(check bool)
+                  (Printf.sprintf "%s: measured %.2f vs paper %.2f" r.name
+                     r.speedup p)
+                  true
+                  (ratio > 0.5 && ratio < 2.0))
+          (Experiments.Fig11.rows ()));
+    tc "sensitivity: streaming gain decays with bandwidth" (fun () ->
+        List.iter
+          (fun (name, gains) ->
+            match (gains : float list) with
+            | [ _; at6; _; _; at48 ] ->
+                Alcotest.(check bool)
+                  (name ^ ": fast links need less streaming")
+                  true (at48 < at6);
+                Alcotest.(check bool)
+                  (name ^ ": gain approaches 1")
+                  true
+                  (at48 < 1.25)
+            | _ -> Alcotest.fail "expected five bandwidth points")
+          (Experiments.Sensitivity.bandwidth_rows ()));
+    tc "sensitivity: streaming clears the 8 GB wall" (fun () ->
+        let rows = Experiments.Sensitivity.memory_wall_rows () in
+        let naive_failures =
+          List.filter (fun (_, _, _, ok, _, _) -> not ok) rows
+        in
+        Alcotest.(check bool)
+          "some naive configurations exceed device memory" true
+          (naive_failures <> []);
+        List.iter
+          (fun (name, k, _, _, _, ok_streamed) ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%s x%d streams within memory" name k)
+              true ok_streamed)
+          rows);
+    tc "sensitivity: half duplex never beats full duplex" (fun () ->
+        List.iter
+          (fun (name, full, half, _) ->
+            Alcotest.(check bool)
+              (name ^ ": half >= full")
+              true
+              (half >= full -. 1e-9))
+          (Experiments.Sensitivity.duplex_rows ()));
+    tc "optimized variants never lose to naive" (fun () ->
+        List.iter
+          (fun (t : Experiments.Context.timing) ->
+            Alcotest.(check bool)
+              (t.w.Workloads.Workload.name ^ ": opt <= naive")
+              true
+              (t.opt_s <= t.naive_s *. 1.0001))
+          (Lazy.force timings));
+  ]

@@ -1,0 +1,85 @@
+open Helpers
+
+(** Robustness fuzzing: the front end must fail *gracefully* on
+    malformed input — parse errors are values ([Error msg]), never
+    escaped exceptions — and the interpreter must contain every failure
+    of a parsed-and-typechecked program inside its [Result]. *)
+
+(* random printable garbage *)
+let arb_garbage =
+  QCheck.make
+    ~print:(fun s -> s)
+    QCheck.Gen.(
+      map
+        (fun chars ->
+          String.concat "" (List.map (String.make 1) chars))
+        (list_size (int_range 0 200)
+           (map Char.chr (int_range 32 126))))
+
+(* a valid program with one random character mutation *)
+let mutate src (pos, repl) =
+  if String.length src = 0 then src
+  else
+    let b = Bytes.of_string src in
+    Bytes.set b (pos mod String.length src) repl;
+    Bytes.to_string b
+
+let arb_mutation =
+  QCheck.(
+    triple (pair (int_range 3 40) (int_range 0 1000))
+      (int_range 0 100_000)
+      (QCheck.make QCheck.Gen.printable))
+
+(* interpreting must never escape with an unexpected exception *)
+let contained src =
+  match Minic.Parser.program_of_string src with
+  | Error _ -> true
+  | Ok prog -> (
+      match Minic.Typecheck.check_program prog with
+      | Error _ -> true
+      | Ok _ -> (
+          match Minic.Interp.run ~fuel:50_000 prog with
+          | Ok _ | Error _ -> true))
+
+let suite =
+  [
+    prop "parser never raises on garbage" ~count:500 arb_garbage (fun src ->
+        match Minic.Parser.program_of_string src with
+        | Ok _ | Error _ -> true);
+    prop "lexer pragmas never raise on garbage payloads" ~count:300
+      arb_garbage (fun payload ->
+        match
+          Minic.Parser.program_of_string ("#pragma " ^ payload ^ "\n")
+        with
+        | Ok _ | Error _ -> true);
+    prop "single-character mutations are handled end to end" ~count:300
+      arb_mutation (fun ((n, seed), pos, repl) ->
+        contained (mutate (Gen.streamable_program ~n ~seed) (pos, repl)));
+    prop "mutated gather programs are handled end to end" ~count:200
+      arb_mutation (fun ((n, seed), pos, repl) ->
+        contained (mutate (Gen.gather_program ~n ~m:(n * 2) ~seed) (pos, repl)));
+    tc "deep expressions do not smash the parser" (fun () ->
+        let deep =
+          "int main(void) { return "
+          ^ String.concat "" (List.init 2000 (fun _ -> "("))
+          ^ "1"
+          ^ String.concat "" (List.init 2000 (fun _ -> ")"))
+          ^ "; }"
+        in
+        match Minic.Parser.program_of_string deep with
+        | Ok _ | Error _ -> ());
+    tc "pathological but valid inputs typecheck or fail cleanly" (fun () ->
+        List.iter
+          (fun src ->
+            Alcotest.(check bool) src true (contained src))
+          [
+            "int main(void) { return 2147483647 + 1; }";
+            "int main(void) { float x = 1e308; print_float(x * 10.0); \
+             return 0; }";
+            "int main(void) { int a[0]; return 0; }";
+            "int main(void) { float a[3]; a[5] = 1.0; return 0; }";
+            "int main(void) { float a[3]; int i = 0 - 1; a[i] = 1.0; \
+             return 0; }";
+            "int f(int x) { return f(x); } int main(void) { return f(0); }";
+          ]);
+  ]

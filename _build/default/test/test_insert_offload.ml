@@ -1,0 +1,110 @@
+open Helpers
+module I = Transforms.Insert_offload
+
+let plain_parallel_src =
+  {|int main(void) {
+      int n = 10;
+      float a[10];
+      float b[10];
+      float c[10];
+      for (i = 0; i < n; i++) {
+        a[i] = (float)i;
+        c[i] = 1.0;
+      }
+      #pragma omp parallel for
+      for (i = 0; i < n; i++) {
+        c[i] = c[i] + a[i] * 2.0;
+        b[i] = c[i] - 1.0;
+      }
+      for (i = 0; i < n; i++) { print_float(b[i]); }
+      return 0;
+    }|}
+
+let suite =
+  [
+    tc "offload insertion preserves semantics" (fun () ->
+        let prog = parse plain_parallel_src in
+        let prog', n = I.transform_all prog in
+        Alcotest.(check int) "one inserted" 1 n;
+        check_semantics_preserved ~name:"insert" prog prog');
+    tc "inserted clauses have the right roles" (fun () ->
+        let prog = parse plain_parallel_src in
+        let prog', _ = I.transform_all prog in
+        let region = first_offloaded prog' in
+        let spec = Option.get region.spec in
+        let names ss = List.sort compare (List.map (fun s -> s.Minic.Ast.arr) ss) in
+        Alcotest.(check (list string)) "in" [ "a" ] (names spec.ins);
+        Alcotest.(check (list string)) "out" [ "b" ] (names spec.outs);
+        Alcotest.(check (list string)) "inout" [ "c" ] (names spec.inouts));
+    tc "insertion actually offloads (device transfers happen)" (fun () ->
+        let prog = parse plain_parallel_src in
+        let prog', _ = I.transform_all prog in
+        let o = Result.get_ok (Minic.Interp.run prog') in
+        Alcotest.(check int) "one offload" 1 o.stats.Minic.Interp.offloads;
+        Alcotest.(check bool)
+          "data moved" true
+          (o.stats.Minic.Interp.cells_h2d > 0));
+    tc "unparallel loops are left alone" (fun () ->
+        let prog =
+          parse
+            {|int main(void) {
+                int n = 4;
+                float a[4];
+                float s = 0.0;
+                #pragma omp parallel for
+                for (i = 0; i < n; i++) { s = s + a[i]; }
+                return 0;
+              }|}
+        in
+        let _, n = I.transform_all prog in
+        Alcotest.(check int) "nothing inserted" 0 n);
+    tc "pointer arrays get extents from access analysis" (fun () ->
+        let prog =
+          parse
+            {|int main(void) {
+                int n = 6;
+                float* a = (float*)malloc(12);
+                float* b = (float*)malloc(6);
+                for (i = 0; i < 12; i++) { a[i] = (float)i; }
+                #pragma omp parallel for
+                for (i = 0; i < n; i++) { b[i] = a[2 * i + 1]; }
+                for (i = 0; i < n; i++) { print_float(b[i]); }
+                return 0;
+              }|}
+        in
+        let prog', n = I.transform_all prog in
+        Alcotest.(check int) "inserted" 1 n;
+        check_semantics_preserved ~name:"pointer extent" prog prog');
+    tc "already-offloaded loops are not candidates" (fun () ->
+        let prog =
+          parse
+            {|int main(void) {
+                int n = 4;
+                float a[4];
+                #pragma offload target(mic:0) inout(a[0:n])
+                #pragma omp parallel for
+                for (i = 0; i < n; i++) { a[i] = 1.0; }
+                return 0;
+              }|}
+        in
+        let _, n = I.transform_all prog in
+        Alcotest.(check int) "nothing inserted" 0 n);
+    tc "multiple candidates all offloaded" (fun () ->
+        let prog =
+          parse
+            {|int main(void) {
+                int n = 5;
+                float a[5];
+                float b[5];
+                #pragma omp parallel for
+                for (i = 0; i < n; i++) { a[i] = (float)i; }
+                #pragma omp parallel for
+                for (i = 0; i < n; i++) { b[i] = a[i] * 3.0; }
+                for (i = 0; i < n; i++) { print_float(b[i]); }
+                return 0;
+              }|}
+        in
+        let prog', n = I.transform_all prog in
+        Alcotest.(check int) "two inserted" 2 n;
+        check_semantics_preserved ~name:"multi" prog prog');
+  ]

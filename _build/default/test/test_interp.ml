@@ -1,0 +1,242 @@
+open Helpers
+
+let check_output name src expected =
+  tc name (fun () ->
+      Alcotest.(check string) name expected (output_of src))
+
+let runtime_error name ?expect src =
+  tc name (fun () ->
+      let prog = parse src in
+      match Minic.Interp.run prog with
+      | Ok _ -> Alcotest.fail "expected a runtime error"
+      | Error msg -> (
+          match expect with
+          | Some sub ->
+              Alcotest.(check bool)
+                (Printf.sprintf "error %S mentions %S" msg sub)
+                true (contains ~sub msg)
+          | None -> ()))
+
+let suite =
+  [
+    check_output "arithmetic and printing"
+      {|int main(void) {
+          print_int(7 * 6);
+          print_float(1.0 / 4.0);
+          print_bool(3 < 4 && true);
+          return 0;
+        }|}
+      "42\n0.25\ntrue\n";
+    check_output "integer division truncates"
+      "int main(void) { print_int(7 / 2); print_int(7 % 2); return 0; }"
+      "3\n1\n";
+    check_output "while with break/continue"
+      {|int main(void) {
+          int i = 0;
+          int s = 0;
+          while (true) {
+            i++;
+            if (i > 10) { break; }
+            if (i % 2 == 0) { continue; }
+            s += i;
+          }
+          print_int(s);
+          return 0;
+        }|}
+      "25\n";
+    check_output "recursive function"
+      {|int fib(int n) {
+          if (n < 2) { return n; }
+          return fib(n - 1) + fib(n - 2);
+        }
+        int main(void) { print_int(fib(10)); return 0; }|}
+      "55\n";
+    check_output "arrays and pointer arithmetic"
+      {|int main(void) {
+          int a[5];
+          for (i = 0; i < 5; i++) { a[i] = i * i; }
+          int* p = a + 2;
+          print_int(*p);
+          print_int(p[1]);
+          return 0;
+        }|}
+      "4\n9\n";
+    check_output "structs and field assignment"
+      {|struct point { float x; float y; };
+        int main(void) {
+          struct point p;
+          p.x = 3.0;
+          p.y = 4.0;
+          print_float(sqrt(p.x * p.x + p.y * p.y));
+          return 0;
+        }|}
+      "5\n";
+    check_output "array of structs via index"
+      {|struct cell { int v; int w; };
+        int main(void) {
+          struct cell cs[3];
+          for (i = 0; i < 3; i++) {
+            cs[i].v = i;
+            cs[i].w = i * 10;
+          }
+          print_int(cs[2].v + cs[1].w);
+          return 0;
+        }|}
+      "12\n";
+    check_output "pointer to struct arrow"
+      {|struct node { int v; };
+        int get(struct node* n) { return n->v; }
+        int main(void) {
+          struct node x;
+          x.v = 99;
+          print_int(get(&x));
+          return 0;
+        }|}
+      "99\n";
+    check_output "globals initialized"
+      {|int g = 5;
+        int main(void) { print_int(g * 2); return 0; }|}
+      "10\n";
+    check_output "casts"
+      {|int main(void) {
+          print_int((int)3.9);
+          print_float((float)7 / 2.0);
+          return 0;
+        }|}
+      "3\n3.5\n";
+    check_output "malloc gives usable memory"
+      {|int main(void) {
+          float* p = (float*)malloc(3);
+          p[0] = 1.5;
+          p[2] = p[0] * 2.0;
+          print_float(p[2]);
+          return 0;
+        }|}
+      "3\n";
+    (* offload semantics *)
+    check_output "offload copies in and out"
+      {|int main(void) {
+          int n = 3;
+          float a[3];
+          float b[3];
+          for (i = 0; i < n; i++) { a[i] = (float)i + 1.0; }
+          #pragma offload target(mic:0) in(a[0:n]) out(b[0:n])
+          #pragma omp parallel for
+          for (i = 0; i < n; i++) { b[i] = a[i] * 10.0; }
+          for (i = 0; i < n; i++) { print_float(b[i]); }
+          return 0;
+        }|}
+      "10\n20\n30\n";
+    check_output "inout round-trips"
+      {|int main(void) {
+          int n = 3;
+          float a[3];
+          for (i = 0; i < n; i++) { a[i] = (float)i; }
+          #pragma offload target(mic:0) inout(a[0:n])
+          #pragma omp parallel for
+          for (i = 0; i < n; i++) { a[i] = a[i] + 1.0; }
+          for (i = 0; i < n; i++) { print_float(a[i]); }
+          return 0;
+        }|}
+      "1\n2\n3\n";
+    runtime_error "MIC reading untransferred array fails"
+      ~expect:"not transferred"
+      {|int main(void) {
+          int n = 2;
+          float a[2];
+          float b[2];
+          a[0] = 1.0;
+          a[1] = 2.0;
+          #pragma offload target(mic:0) out(b[0:n])
+          #pragma omp parallel for
+          for (i = 0; i < n; i++) { b[i] = a[i]; }
+          return 0;
+        }|};
+    runtime_error "MIC writing host scalar fails" ~expect:"CPU"
+      {|int main(void) {
+          int n = 2;
+          float b[2];
+          int acc = 0;
+          #pragma offload target(mic:0) out(b[0:n])
+          #pragma omp parallel for
+          for (i = 0; i < n; i++) {
+            b[i] = 0.0;
+            acc = i;
+          }
+          return acc;
+        }|};
+    tc "offload stats count transfers and launches" (fun () ->
+        let o =
+          run_ok
+            {|int main(void) {
+                int n = 4;
+                float a[4];
+                float b[4];
+                for (i = 0; i < n; i++) { a[i] = 1.0; }
+                for (r = 0; r < 3; r++) {
+                  #pragma offload target(mic:0) in(a[0:n]) out(b[0:n])
+                  #pragma omp parallel for
+                  for (i = 0; i < n; i++) { b[i] = a[i]; }
+                }
+                return 0;
+              }|}
+        in
+        Alcotest.(check int) "offloads" 3 o.stats.Minic.Interp.offloads;
+        Alcotest.(check int) "h2d cells" 12 o.stats.Minic.Interp.cells_h2d;
+        Alcotest.(check int) "d2h cells" 12 o.stats.Minic.Interp.cells_d2h);
+    tc "offload_transfer moves data explicitly" (fun () ->
+        let o =
+          run_ok
+            {|int main(void) {
+                float a[4];
+                for (i = 0; i < 4; i++) { a[i] = (float)i; }
+                float* d = (float*)mic_malloc(4);
+                #pragma offload_transfer target(mic:0) in(a[0:4] : into(d[0:4]))
+                #pragma offload target(mic:0)
+                #pragma omp parallel for
+                for (i = 0; i < 4; i++) { d[i] = d[i] + 1.0; }
+                #pragma offload_transfer target(mic:0) out(d[0:4] : into(a[0:4]))
+                print_float(a[3]);
+                return 0;
+              }|}
+        in
+        Alcotest.(check string) "output" "4\n" o.Minic.Interp.output);
+    runtime_error "out of fuel on infinite loop" ~expect:"fuel"
+      "int main(void) { while (true) { int x = 0; } return 0; }";
+    runtime_error "division by zero" ~expect:"zero"
+      "int main(void) { int z = 0; return 1 / z; }";
+    runtime_error "use of undefined value" ~expect:"undefined"
+      "int main(void) { int x; return x + 1; }";
+    runtime_error "no main" ~expect:"main" "int f(void) { return 0; }";
+    tc "mic allocations tracked" (fun () ->
+        let o =
+          run_ok
+            {|int main(void) {
+                float* d = (float*)mic_malloc(100);
+                d = (float*)mic_malloc(28);
+                return 0;
+              }|}
+        in
+        Alcotest.(check int)
+          "mic cells" 128 o.stats.Minic.Interp.mic_alloc_cells);
+    (* differential property: the interpreter agrees with OCaml on
+       random arithmetic-reduction programs *)
+    prop "sum loop agrees with OCaml" ~count:60
+      QCheck.(pair (int_range 1 50) (int_range 1 9))
+      (fun (n, k) ->
+        let src =
+          Printf.sprintf
+            {|int main(void) {
+                int s = 0;
+                for (i = 0; i < %d; i++) { s = s + (i %% %d) * i; }
+                print_int(s);
+                return 0;
+              }|}
+            n k
+        in
+        let expected = ref 0 in
+        for i = 0 to n - 1 do
+          expected := !expected + (i mod k * i)
+        done;
+        String.equal (Printf.sprintf "%d\n" !expected) (output_of src));
+  ]

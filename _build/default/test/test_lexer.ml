@@ -1,0 +1,65 @@
+open Helpers
+module L = Minic.Lexer
+
+let toks src = List.map (fun (t : L.located) -> t.tok) (L.tokenize src)
+
+let check_toks name src expected =
+  tc name (fun () ->
+      let got = toks src in
+      Alcotest.(check (list string))
+        name
+        (List.map L.show_token expected @ [ L.show_token L.Teof ])
+        (List.map L.show_token got))
+
+let suite =
+  [
+    check_toks "idents and ints" "foo bar42 7"
+      [ L.Tident "foo"; L.Tident "bar42"; L.Tint_lit 7 ];
+    check_toks "float literals" "1.5 2.0 3e2 4.25e-1"
+      [
+        L.Tfloat_lit 1.5; L.Tfloat_lit 2.0; L.Tfloat_lit 300.;
+        L.Tfloat_lit 0.425;
+      ];
+    check_toks "operators" "+ - * / % == != < <= > >= && || ! & ="
+      [
+        L.Tplus; L.Tminus; L.Tstar; L.Tslash; L.Tpercent; L.Teq; L.Tneq;
+        L.Tlt; L.Tle; L.Tgt; L.Tge; L.Tandand; L.Toror; L.Tbang; L.Tamp;
+        L.Tassign;
+      ];
+    check_toks "compound operators" "++ -- += -= ->"
+      [ L.Tplusplus; L.Tminusminus; L.Tpluseq; L.Tminuseq; L.Tarrow_op ];
+    check_toks "punctuation" "( ) { } [ ] ; , : ."
+      [
+        L.Tlparen; L.Trparen; L.Tlbrace; L.Trbrace; L.Tlbracket;
+        L.Trbracket; L.Tsemi; L.Tcomma; L.Tcolon; L.Tdot;
+      ];
+    check_toks "line comment skipped" "a // comment here\nb"
+      [ L.Tident "a"; L.Tident "b" ];
+    check_toks "block comment skipped" "a /* x\ny */ b"
+      [ L.Tident "a"; L.Tident "b" ];
+    check_toks "pragma captured raw" "#pragma omp parallel for\nx"
+      [ L.Tpragma "omp parallel for"; L.Tident "x" ];
+    check_toks "pragma with continuation"
+      "#pragma offload target(mic:0) \\\n in(a[0:n])\nx"
+      [ L.Tpragma "offload target(mic:0)   in(a[0:n])"; L.Tident "x" ];
+    tc "locations track lines" (fun () ->
+        let located = L.tokenize "a\n  b" in
+        match located with
+        | [ a; b; _eof ] ->
+            Alcotest.(check int) "a line" 1 a.loc.Minic.Srcloc.line;
+            Alcotest.(check int) "b line" 2 b.loc.Minic.Srcloc.line;
+            Alcotest.(check int) "b col" 3 b.loc.Minic.Srcloc.col
+        | _ -> Alcotest.fail "expected 3 tokens");
+    tc "unterminated comment fails" (fun () ->
+        match L.tokenize "a /* never closed" with
+        | exception L.Lex_error _ -> ()
+        | _ -> Alcotest.fail "expected Lex_error");
+    tc "unexpected char fails" (fun () ->
+        match L.tokenize "a $ b" with
+        | exception L.Lex_error _ -> ()
+        | _ -> Alcotest.fail "expected Lex_error");
+    tc "keywords are idents at lexer level" (fun () ->
+        Alcotest.(check bool)
+          "int is keyword" true
+          (Minic.Lexer.is_keyword "int"));
+  ]

@@ -1,0 +1,153 @@
+open Helpers
+module M = Transforms.Merge_offload
+
+let merge_src =
+  {|int main(void) {
+      int n = 10;
+      int iters = 4;
+      float x[10];
+      float y[10];
+      for (i = 0; i < n; i++) {
+        x[i] = (float)i;
+        y[i] = 0.0;
+      }
+      for (it = 0; it < iters; it++) {
+        #pragma offload target(mic:0) in(x[0:n]) inout(y[0:n])
+        #pragma omp parallel for
+        for (i = 0; i < n; i++) { y[i] = y[i] + x[i]; }
+        #pragma offload target(mic:0) inout(y[0:n])
+        #pragma omp parallel for
+        for (i = 0; i < n; i++) { y[i] = y[i] * 2.0; }
+      }
+      for (i = 0; i < n; i++) { print_float(y[i]); }
+      return 0;
+    }|}
+
+let suite =
+  [
+    tc "site detection" (fun () ->
+        let prog = parse merge_src in
+        let sites = M.sites prog in
+        Alcotest.(check int) "one site" 1 (List.length sites);
+        Alcotest.(check int)
+          "two inner specs" 2
+          (List.length (List.hd sites).M.specs));
+    tc "single offload in a loop is not a site" (fun () ->
+        let prog =
+          parse
+            {|int main(void) {
+                int n = 4;
+                float a[4];
+                for (it = 0; it < 3; it++) {
+                  #pragma offload target(mic:0) inout(a[0:n])
+                  #pragma omp parallel for
+                  for (i = 0; i < n; i++) { a[i] = 0.0; }
+                }
+                return 0;
+              }|}
+        in
+        Alcotest.(check bool) "no site" false (M.applicable prog));
+    tc "merging preserves semantics" (fun () ->
+        let prog = parse merge_src in
+        let site = List.hd (M.sites prog) in
+        match M.transform_site prog site with
+        | Ok prog' -> check_semantics_preserved ~name:"merge" prog prog'
+        | Error e -> Alcotest.failf "merge failed: %a" M.pp_failure e);
+    tc "merging reduces launches to one" (fun () ->
+        let prog = parse merge_src in
+        let prog', n = M.transform_all prog in
+        Alcotest.(check int) "one merge" 1 n;
+        let o = Result.get_ok (Minic.Interp.run prog') in
+        Alcotest.(check int) "one offload" 1 o.stats.Minic.Interp.offloads;
+        let o0 = Result.get_ok (Minic.Interp.run prog) in
+        Alcotest.(check int)
+          "was eight offloads" 8 o0.stats.Minic.Interp.offloads);
+    tc "merged clauses recompute roles" (fun () ->
+        let prog = parse merge_src in
+        let site = List.hd (M.sites prog) in
+        match M.merged_spec prog site with
+        | Ok spec ->
+            let names ss = List.map (fun s -> s.Minic.Ast.arr) ss in
+            Alcotest.(check (list string)) "in" [ "x" ] (names spec.ins);
+            Alcotest.(check (list string)) "inout" [ "y" ] (names spec.inouts)
+        | Error e -> Alcotest.failf "merged_spec failed: %a" M.pp_failure e);
+    tc "host scalar updates block merging" (fun () ->
+        let prog =
+          parse
+            {|int main(void) {
+                int n = 4;
+                int acc = 0;
+                float a[4];
+                float b[4];
+                for (it = 0; it < 3; it++) {
+                  #pragma offload target(mic:0) inout(a[0:n])
+                  #pragma omp parallel for
+                  for (i = 0; i < n; i++) { a[i] = 0.0; }
+                  #pragma offload target(mic:0) inout(b[0:n])
+                  #pragma omp parallel for
+                  for (i = 0; i < n; i++) { b[i] = 1.0; }
+                  acc = acc + 1;
+                }
+                return acc;
+              }|}
+        in
+        let site = List.hd (M.sites prog) in
+        match M.transform_site prog site with
+        | Error (M.Host_scalar_write "acc") -> ()
+        | Error e -> Alcotest.failf "wrong failure: %a" M.pp_failure e
+        | Ok _ -> Alcotest.fail "expected Host_scalar_write");
+    tc "host array updates between offloads survive merging" (fun () ->
+        let prog =
+          parse
+            {|int main(void) {
+                int n = 6;
+                float a[6];
+                float c[2];
+                for (i = 0; i < n; i++) { a[i] = (float)i; }
+                c[0] = 0.5;
+                c[1] = 0.0;
+                for (it = 0; it < 3; it++) {
+                  #pragma offload target(mic:0) inout(a[0:n]) in(c[0:2])
+                  #pragma omp parallel for
+                  for (i = 0; i < n; i++) { a[i] = a[i] + c[0]; }
+                  #pragma offload target(mic:0) inout(a[0:n]) in(c[0:2])
+                  #pragma omp parallel for
+                  for (i = 0; i < n; i++) { a[i] = a[i] * (1.0 + c[0]); }
+                  c[0] = c[0] + 0.25;
+                }
+                for (i = 0; i < n; i++) { print_float(a[i]); }
+                return 0;
+              }|}
+        in
+        let site = List.hd (M.sites prog) in
+        match M.transform_site prog site with
+        | Ok prog' -> check_semantics_preserved ~name:"host-array" prog prog'
+        | Error e -> Alcotest.failf "merge failed: %a" M.pp_failure e);
+    tc "while-loop sites merge too" (fun () ->
+        let prog =
+          parse
+            {|int main(void) {
+                int n = 4;
+                int it[1];
+                float a[4];
+                for (i = 0; i < n; i++) { a[i] = 1.0; }
+                it[0] = 0;
+                while (it[0] < 3) {
+                  #pragma offload target(mic:0) inout(a[0:n])
+                  #pragma omp parallel for
+                  for (i = 0; i < n; i++) { a[i] = a[i] + 1.0; }
+                  #pragma offload target(mic:0) inout(a[0:n])
+                  #pragma omp parallel for
+                  for (i = 0; i < n; i++) { a[i] = a[i] * 2.0; }
+                  it[0] = it[0] + 1;
+                }
+                print_float(a[2]);
+                return 0;
+              }|}
+        in
+        let sites = M.sites prog in
+        Alcotest.(check int) "one site" 1 (List.length sites);
+        match M.transform_site prog (List.hd sites) with
+        | Ok prog' -> check_semantics_preserved ~name:"while" prog prog'
+        | Error e -> Alcotest.failf "merge failed: %a" M.pp_failure e);
+  ]

@@ -1,0 +1,188 @@
+open Helpers
+open Minic.Ast
+module P = Minic.Parser
+
+let e = P.expr_of_string_exn
+
+let check_expr name src expected =
+  tc name (fun () ->
+      Alcotest.(check bool)
+        (name ^ ": " ^ Minic.Pretty.expr_to_string (e src))
+        true
+        (equal_expr (e src) expected))
+
+let suite =
+  [
+    (* precedence *)
+    check_expr "mul binds tighter than add" "1 + 2 * 3"
+      (Binop (Add, Int_lit 1, Binop (Mul, Int_lit 2, Int_lit 3)));
+    check_expr "left associativity of sub" "5 - 2 - 1"
+      (Binop (Sub, Binop (Sub, Int_lit 5, Int_lit 2), Int_lit 1));
+    check_expr "parens override" "(1 + 2) * 3"
+      (Binop (Mul, Binop (Add, Int_lit 1, Int_lit 2), Int_lit 3));
+    check_expr "comparison below arith" "a + 1 < b * 2"
+      (Binop
+         ( Lt,
+           Binop (Add, Var "a", Int_lit 1),
+           Binop (Mul, Var "b", Int_lit 2) ));
+    check_expr "and/or precedence" "a < 1 || b < 2 && c < 3"
+      (Binop
+         ( Or,
+           Binop (Lt, Var "a", Int_lit 1),
+           Binop
+             ( And,
+               Binop (Lt, Var "b", Int_lit 2),
+               Binop (Lt, Var "c", Int_lit 3) ) ));
+    check_expr "unary minus folds literals" "-5" (Int_lit (-5));
+    check_expr "unary minus on var" "-x" (Unop (Neg, Var "x"));
+    check_expr "postfix chain" "a[i].f"
+      (Field (Index (Var "a", Var "i"), "f"));
+    check_expr "arrow" "p->next" (Arrow (Var "p", "next"));
+    check_expr "deref and index" "*p + a[2]"
+      (Binop (Add, Deref (Var "p"), Index (Var "a", Int_lit 2)));
+    check_expr "address-of" "&a[i]" (Addr (Index (Var "a", Var "i")));
+    check_expr "cast" "(float)x" (Cast (Tfloat, Var "x"));
+    check_expr "pointer cast" "(float*)malloc(n)"
+      (Cast (Tptr Tfloat, Call ("malloc", [ Var "n" ])));
+    check_expr "call with args" "pow(x, 2.0)"
+      (Call ("pow", [ Var "x"; Float_lit 2.0 ]));
+    check_expr "nested index" "a[b[i]]"
+      (Index (Var "a", Index (Var "b", Var "i")));
+    (* statements and toplevel *)
+    tc "for loop canonical forms" (fun () ->
+        let prog =
+          parse
+            {|int main(void) {
+                int s = 0;
+                for (i = 0; i < 10; i++) { s = s + i; }
+                for (j = 0; j < 10; j += 2) { s = s + j; }
+                for (k = 0; k < 10; k = k + 3) { s = s + k; }
+                print_int(s);
+                return 0;
+              }|}
+        in
+        Alcotest.(check string) "sum" "83\n" (Minic.Interp.run_output prog));
+    tc "non-canonical for is rejected" (fun () ->
+        match
+          parse_result "int main(void) { for (i = 0; i > 10; i++) {} return 0; }"
+        with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected parse error");
+    tc "struct definition" (fun () ->
+        let prog =
+          parse "struct point { float x; float y; int tag; };"
+        in
+        match prog with
+        | [ Gstruct { sname = "point"; sfields } ] ->
+            Alcotest.(check int) "3 fields" 3 (List.length sfields)
+        | _ -> Alcotest.fail "expected struct");
+    tc "global variable" (fun () ->
+        match parse "int g = 42;" with
+        | [ Gvar (Tint, "g", Some (Int_lit 42)) ] -> ()
+        | _ -> Alcotest.fail "expected global");
+    tc "array parameter decays" (fun () ->
+        match parse "void f(float a[], int n) {}" with
+        | [ Gfunc { params = [ p1; _ ]; _ } ] -> (
+            match p1.pty with
+            | Tarray (Tfloat, None) -> ()
+            | _ -> Alcotest.fail "expected unsized array param")
+        | _ -> Alcotest.fail "expected function");
+    (* pragmas *)
+    tc "offload pragma clauses" (fun () ->
+        let prog =
+          parse
+            {|int main(void) {
+                int n = 4;
+                float a[4];
+                float b[4];
+                #pragma offload target(mic:1) in(a[0:n]) out(b[0:n]) signal(7)
+                #pragma omp parallel for
+                for (i = 0; i < n; i++) { b[i] = a[i]; }
+                return 0;
+              }|}
+        in
+        let region = first_offloaded prog in
+        match region.spec with
+        | Some spec ->
+            Alcotest.(check int) "target" 1 spec.target;
+            Alcotest.(check int) "ins" 1 (List.length spec.ins);
+            Alcotest.(check int) "outs" 1 (List.length spec.outs);
+            Alcotest.(check bool) "signal" true (spec.signal <> None)
+        | None -> Alcotest.fail "expected spec");
+    tc "length() section form" (fun () ->
+        let prog =
+          parse
+            {|int main(void) {
+                int n = 4;
+                float a[4];
+                #pragma offload target(mic:0) in(a : length(n))
+                #pragma omp parallel for
+                for (i = 0; i < n; i++) { a[i] = 0.0; }
+                return 0;
+              }|}
+        in
+        let region = first_offloaded prog in
+        let spec = Option.get region.spec in
+        match spec.ins with
+        | [ s ] ->
+            Alcotest.(check bool) "start 0" true (equal_expr s.start (Int_lit 0));
+            Alcotest.(check bool) "len n" true (equal_expr s.len (Var "n"))
+        | _ -> Alcotest.fail "expected one section");
+    tc "into() section form" (fun () ->
+        let prog =
+          parse
+            {|int main(void) {
+                float a[8];
+                float* d = (float*)mic_malloc(8);
+                #pragma offload_transfer target(mic:0) in(a[0:4] : into(d[2:4]))
+                return 0;
+              }|}
+        in
+        let found =
+          Minic.Ast.fold_stmts
+            (fun acc s ->
+              match s with
+              | Spragma (Offload_transfer spec, _) -> Some spec
+              | _ -> acc)
+            None
+            (match prog with
+            | [ Gfunc f ] -> f.body
+            | _ -> Alcotest.fail "one function expected")
+        in
+        match found with
+        | Some { ins = [ { into = Some ("d", ofs); _ } ]; _ } ->
+            Alcotest.(check bool) "offset 2" true (equal_expr ofs (Int_lit 2))
+        | _ -> Alcotest.fail "expected into section");
+    tc "offload_wait pragma" (fun () ->
+        match
+          Minic.Parser.parse_pragma_payload "offload_wait target(mic:0) wait(3)"
+        with
+        | Offload_wait (Int_lit 3) -> ()
+        | _ -> Alcotest.fail "expected Offload_wait");
+    tc "nocopy clause" (fun () ->
+        match
+          Minic.Parser.parse_pragma_payload
+            "offload target(mic:0) nocopy(a, b)"
+        with
+        | Offload { nocopy = [ "a"; "b" ]; _ } -> ()
+        | _ -> Alcotest.fail "expected nocopy");
+    tc "unknown pragma fails" (fun () ->
+        match Minic.Parser.parse_pragma_payload "acc kernels" with
+        | exception P.Parse_error _ -> ()
+        | _ -> Alcotest.fail "expected parse error");
+    tc "error messages carry location" (fun () ->
+        match parse_result "int main(void) { return 1 + ; }" with
+        | Error msg ->
+            Alcotest.(check bool)
+              "mentions line" true
+              (contains ~sub:"line" msg)
+        | Ok _ -> Alcotest.fail "expected error");
+    (* round-trip property: printing then parsing an expression gives
+       the same AST *)
+    prop "expr print/parse round-trip" ~count:500 Gen.arb_expr (fun expr ->
+        let printed = Minic.Pretty.expr_to_string expr in
+        match P.expr_of_string_exn printed with
+        | e2 -> equal_expr expr e2
+        | exception _ ->
+            QCheck.Test.fail_reportf "failed to re-parse: %s" printed);
+  ]

@@ -1,0 +1,145 @@
+open Helpers
+
+(** Differential testing of the whole pass pipeline on randomized
+    program shapes: whatever combination of strides, halos and lookup
+    tables the generator produces, [Comp.optimize] must yield a
+    typecheckable program with identical output. *)
+
+let preserved ?nblocks ?memory src =
+  let prog = parse src in
+  match Minic.Typecheck.check_program prog with
+  | Error e -> QCheck.Test.fail_reportf "source does not typecheck: %s" e
+  | Ok _ -> (
+      let prog', _ = Comp.optimize ?nblocks ?memory prog in
+      match Minic.Typecheck.check_program prog' with
+      | Error e ->
+          QCheck.Test.fail_reportf "optimized program does not typecheck: %s" e
+      | Ok _ ->
+          String.equal
+            (Minic.Interp.run_output prog)
+            (Minic.Interp.run_output prog'))
+
+let suite =
+  [
+    prop "pipeline preserves multi-array programs (double-buffered)"
+      ~count:60 Gen.arb_multi_instance (fun (src, blocks) ->
+        preserved ~nblocks:blocks src);
+    prop "pipeline preserves multi-array programs (full buffers)" ~count:60
+      Gen.arb_multi_instance (fun (src, blocks) ->
+        preserved ~nblocks:blocks ~memory:Transforms.Streaming.Full src);
+    prop "pipeline preserves gather programs" ~count:40
+      QCheck.(triple (int_range 3 25) (int_range 4 50) (int_range 0 999))
+      (fun (n, m, seed) -> preserved (Gen.gather_program ~n ~m ~seed));
+    prop "pipeline preserves stencil programs" ~count:40 Gen.arb_size_seed
+      (fun (n, seed) -> preserved (Gen.stencil_program ~n ~seed));
+    tc "offload inside a helper function is found and transformed"
+      (fun () ->
+        let src =
+          {|void kernel(float a[], float out[], int n) {
+              #pragma offload target(mic:0) in(a[0:n]) out(out[0:n])
+              #pragma omp parallel for
+              for (i = 0; i < n; i++) { out[i] = a[i] * 3.0; }
+            }
+            int main(void) {
+              int n = 12;
+              float a[12];
+              float out[12];
+              for (i = 0; i < n; i++) { a[i] = (float)i; }
+              kernel(a, out, n);
+              for (i = 0; i < n; i++) { print_float(out[i]); }
+              return 0;
+            }|}
+        in
+        let prog = parse src in
+        let regions = Analysis.Offload_regions.offloaded prog in
+        Alcotest.(check int) "found in helper" 1 (List.length regions);
+        Alcotest.(check string)
+          "region function" "kernel"
+          (List.hd regions).func;
+        let prog', applied = Comp.optimize ~nblocks:3 prog in
+        Alcotest.(check int) "streamed" 1 applied.Comp.streamed;
+        check_semantics_preserved ~name:"helper" prog prog');
+    tc "two independent regions both transformed" (fun () ->
+        let src =
+          {|int main(void) {
+              int n = 10;
+              float a[10];
+              float b[10];
+              float c[10];
+              for (i = 0; i < n; i++) { a[i] = (float)i; }
+              #pragma offload target(mic:0) in(a[0:n]) out(b[0:n])
+              #pragma omp parallel for
+              for (i = 0; i < n; i++) { b[i] = a[i] + 1.0; }
+              #pragma offload target(mic:0) in(b[0:n]) out(c[0:n])
+              #pragma omp parallel for
+              for (i = 0; i < n; i++) { c[i] = b[i] * 2.0; }
+              for (i = 0; i < n; i++) { print_float(c[i]); }
+              return 0;
+            }|}
+        in
+        let prog = parse src in
+        let prog', applied = Comp.optimize ~nblocks:2 prog in
+        Alcotest.(check int) "both streamed" 2 applied.Comp.streamed;
+        check_semantics_preserved ~name:"two regions" prog prog');
+    tc "re-optimizing already-optimized code changes nothing" (fun () ->
+        (* the pipeline must be stable: generated code passes all the
+           legality checks as "already done" and is left alone *)
+        List.iter
+          (fun src ->
+            let prog = parse src in
+            let p1, _ = Comp.optimize ~nblocks:3 prog in
+            let p2, a2 = Comp.optimize ~nblocks:3 p1 in
+            Alcotest.(check int) "no new streams" 0 a2.Comp.streamed;
+            Alcotest.(check int) "no new merges" 0 a2.Comp.merged;
+            Alcotest.(check int) "no new shared" 0 a2.Comp.shared_rewritten;
+            Alcotest.(check (list (pair string bool)))
+              "no new regularization" []
+              (List.map (fun (f, _) -> (f, true)) a2.Comp.regularized);
+            check_semantics_preserved ~name:"stable" prog p2)
+          [
+            Gen.streamable_program ~n:14 ~seed:5;
+            Gen.gather_program ~n:10 ~m:25 ~seed:5;
+            Gen.stencil_program ~n:14 ~seed:5;
+          ]);
+    tc "pipeline tolerates a program with no offloadable code" (fun () ->
+        let src =
+          {|int main(void) {
+              int s = 0;
+              for (i = 0; i < 10; i++) { s = s + i; }
+              print_int(s);
+              return 0;
+            }|}
+        in
+        let prog = parse src in
+        let prog', applied = Comp.optimize prog in
+        Alcotest.(check int) "nothing inserted" 0 applied.Comp.offloads_inserted;
+        Alcotest.(check int) "nothing streamed" 0 applied.Comp.streamed;
+        check_semantics_preserved ~name:"no-op" prog prog');
+    tc "merging then streaming compose on a kmeans-like shape" (fun () ->
+        (* an outer loop with two streamable inner offloads: merging
+           wins and must leave a single consistent offload *)
+        let src =
+          {|int main(void) {
+              int n = 8;
+              float x[8];
+              float y[8];
+              for (i = 0; i < n; i++) { x[i] = (float)i; y[i] = 0.0; }
+              for (it = 0; it < 3; it++) {
+                #pragma offload target(mic:0) in(x[0:n]) inout(y[0:n])
+                #pragma omp parallel for
+                for (i = 0; i < n; i++) { y[i] = y[i] + x[i]; }
+                #pragma offload target(mic:0) inout(y[0:n])
+                #pragma omp parallel for
+                for (i = 0; i < n; i++) { y[i] = y[i] * 1.5; }
+              }
+              for (i = 0; i < n; i++) { print_float(y[i]); }
+              return 0;
+            }|}
+        in
+        let prog = parse src in
+        let prog', applied = Comp.optimize prog in
+        Alcotest.(check int) "merged" 1 applied.Comp.merged;
+        check_semantics_preserved ~name:"merge+stream" prog prog';
+        let o = Result.get_ok (Minic.Interp.run prog') in
+        Alcotest.(check int) "one launch" 1 o.stats.Minic.Interp.offloads);
+  ]

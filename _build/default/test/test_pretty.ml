@@ -1,0 +1,97 @@
+open Helpers
+
+(* whole-program print/parse round-trips on representative sources *)
+let roundtrip name src =
+  tc name (fun () ->
+      let p1 = parse src in
+      let printed = Minic.Pretty.program_to_string p1 in
+      let p2 =
+        try parse printed
+        with e ->
+          Alcotest.failf "re-parse failed (%s) on:\n%s" (Printexc.to_string e)
+            printed
+      in
+      Alcotest.(check bool) "AST preserved" true (Minic.Ast.equal_program p1 p2))
+
+let suite =
+  [
+    roundtrip "simple function"
+      "int add(int a, int b) { return a + b; }";
+    roundtrip "struct and globals"
+      "struct p { float x; int n; };\nint g = 3;\nfloat h;";
+    roundtrip "control flow"
+      {|int main(void) {
+          int s = 0;
+          for (i = 0; i < 10; i += 2) {
+            if (i % 4 == 0) { s += i; } else { s -= 1; }
+            while (s > 100) { break; }
+          }
+          return s;
+        }|};
+    roundtrip "pointers and casts"
+      {|int main(void) {
+          float* p = (float*)malloc(8);
+          p[0] = 1.5;
+          *p = p[0] + 2.0;
+          float* q = p + 3;
+          q[0] = 0.0;
+          return 0;
+        }|};
+    roundtrip "offload pragmas"
+      {|int main(void) {
+          int n = 4;
+          float a[4];
+          float b[4];
+          #pragma offload target(mic:0) in(a[0:n]) out(b[0:n]) signal(1)
+          #pragma omp parallel for
+          for (i = 0; i < n; i++) { b[i] = a[i]; }
+          #pragma offload_wait target(mic:0) wait(1)
+          return 0;
+        }|};
+    roundtrip "offload_transfer with into"
+      {|int main(void) {
+          float a[8];
+          float* d = (float*)mic_malloc(8);
+          #pragma offload_transfer target(mic:0) in(a[0:8] : into(d[0:8])) signal(0)
+          return 0;
+        }|};
+    (* every workload kernel round-trips *)
+    tc "all workload sources round-trip" (fun () ->
+        List.iter
+          (fun (w : Workloads.Workload.t) ->
+            let p1 = parse w.source in
+            let p2 = parse (Minic.Pretty.program_to_string p1) in
+            Alcotest.(check bool)
+              (w.name ^ " round-trips") true
+              (Minic.Ast.equal_program p1 p2))
+          Workloads.Registry.all);
+    (* transformed programs also round-trip (generated code is valid
+       source) *)
+    tc "streamed output round-trips" (fun () ->
+        let prog = parse (Gen.streamable_program ~n:16 ~seed:4) in
+        let region = first_offloaded prog in
+        match Transforms.Streaming.transform ~nblocks:4 prog region with
+        | Ok prog' ->
+            let p2 = parse (Minic.Pretty.program_to_string prog') in
+            Alcotest.(check bool)
+              "round-trips" true
+              (Minic.Ast.equal_program prog' p2)
+        | Error e ->
+            Alcotest.failf "streaming failed: %a"
+              Transforms.Streaming.pp_failure e);
+    tc "float literals re-lex as floats" (fun () ->
+        List.iter
+          (fun f ->
+            let s = Minic.Pretty.float_str f in
+            match Minic.Parser.expr_of_string_exn s with
+            | Minic.Ast.Float_lit f' ->
+                Alcotest.(check (float 0.0)) ("value of " ^ s) f f'
+            | _ -> Alcotest.failf "%s did not parse as float literal" s)
+          [ 0.0; 1.0; 1.5; 0.425; 3.14159265358979; 1e16; 2.5e-7; 0.2;
+            1.0 /. 3.0 ]);
+    tc "floats print at the shortest round-tripping precision" (fun () ->
+        Alcotest.(check string) "0.2" "0.2" (Minic.Pretty.float_str 0.2);
+        Alcotest.(check string)
+          "0.1 + 0.2 keeps its digits" "0.30000000000000004"
+          (Minic.Pretty.float_str (0.1 +. 0.2)));
+  ]

@@ -1,0 +1,239 @@
+open Helpers
+module R = Transforms.Regularize
+
+let reorder_exn prog =
+  match R.reorder prog (first_offloaded prog) with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "reorder failed: %a" R.pp_failure e
+
+let split_exn prog =
+  match R.split prog (first_offloaded prog) with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "split failed: %a" R.pp_failure e
+
+let srad_like =
+  {|int main(void) {
+      int n = 12;
+      float J[12];
+      int iN[12];
+      float dN[12];
+      float cN[12];
+      for (i = 0; i < 12; i++) {
+        J[i] = 1.0 + (float)(i % 5);
+        iN[i] = (i + 11) % 12;
+      }
+      #pragma offload target(mic:0) in(J[0:n], iN[0:n]) out(dN[0:n], cN[0:n])
+      #pragma omp parallel for
+      for (i = 0; i < n; i++) {
+        float jc = J[i];
+        float jn = J[iN[i]];
+        dN[i] = jn - jc;
+        cN[i] = 1.0 / (1.0 + dN[i] * dN[i]);
+      }
+      for (i = 0; i < n; i++) { print_float(cN[i]); }
+      return 0;
+    }|}
+
+let soa_src =
+  {|struct opt {
+      float price;
+      float strike;
+      int tag;
+    };
+    int main(void) {
+      int n = 8;
+      struct opt opts[8];
+      float out[8];
+      for (i = 0; i < n; i++) {
+        opts[i].price = (float)i * 2.0;
+        opts[i].strike = (float)i + 1.0;
+        opts[i].tag = i;
+      }
+      #pragma offload target(mic:0) in(opts[0:n]) out(out[0:n])
+      #pragma omp parallel for
+      for (i = 0; i < n; i++) {
+        out[i] = opts[i].price - opts[i].strike;
+      }
+      for (i = 0; i < n; i++) { print_float(out[i]); }
+      return 0;
+    }|}
+
+let suite =
+  [
+    tc "gather reorder preserves semantics" (fun () ->
+        let prog = parse (Gen.gather_program ~n:16 ~m:40 ~seed:3) in
+        check_semantics_preserved ~name:"gather" prog (reorder_exn prog));
+    tc "strided reorder preserves semantics" (fun () ->
+        let prog =
+          parse
+            {|int main(void) {
+                int n = 9;
+                float a[45];
+                float out[9];
+                for (i = 0; i < 45; i++) { a[i] = (float)i; }
+                #pragma offload target(mic:0) in(a[0:45]) out(out[0:n])
+                #pragma omp parallel for
+                for (i = 0; i < n; i++) {
+                  out[i] = a[5 * i] + a[5 * i + 1];
+                }
+                for (i = 0; i < n; i++) { print_float(out[i]); }
+                return 0;
+              }|}
+        in
+        check_semantics_preserved ~name:"strided" prog (reorder_exn prog));
+    tc "written gathers scatter back" (fun () ->
+        let prog =
+          parse
+            {|int main(void) {
+                int n = 8;
+                float a[24];
+                int b[8];
+                for (i = 0; i < 24; i++) { a[i] = 0.0; }
+                for (i = 0; i < n; i++) { b[i] = (i * 3) % 24; }
+                #pragma offload target(mic:0) in(b[0:n]) inout(a[0:24])
+                #pragma omp parallel for
+                for (i = 0; i < n; i++) {
+                  a[b[i]] = (float)i + 1.0;
+                }
+                for (i = 0; i < 24; i++) { print_float(a[i]); }
+                return 0;
+              }|}
+        in
+        check_semantics_preserved ~name:"scatter" prog (reorder_exn prog));
+    tc "reorder makes the loop streamable" (fun () ->
+        let prog = parse (Gen.gather_program ~n:12 ~m:30 ~seed:9) in
+        let region = first_offloaded prog in
+        Alcotest.(check bool)
+          "not streamable before" false
+          (Transforms.Streaming.applicable prog region);
+        let prog' = reorder_exn prog in
+        let region' = first_offloaded prog' in
+        Alcotest.(check bool)
+          "streamable after" true
+          (Transforms.Streaming.applicable prog' region');
+        (* and streaming the regularized loop still computes the same *)
+        match Transforms.Streaming.transform ~nblocks:3 prog' region' with
+        | Ok prog'' -> check_semantics_preserved ~name:"reorder+stream" prog prog''
+        | Error e ->
+            Alcotest.failf "streaming after reorder failed: %a"
+              Transforms.Streaming.pp_failure e);
+    tc "guarded gathers are refused" (fun () ->
+        let prog =
+          parse
+            {|int main(void) {
+                int n = 4;
+                float a[16];
+                int b[4];
+                float c[4];
+                #pragma offload target(mic:0) in(a[0:16], b[0:n]) out(c[0:n])
+                #pragma omp parallel for
+                for (i = 0; i < n; i++) {
+                  c[i] = 0.0;
+                  if (b[i] > 0) {
+                    c[i] = a[b[i]];
+                  }
+                }
+                return 0;
+              }|}
+        in
+        match R.reorder prog (first_offloaded prog) with
+        | Error (R.Guarded "a") -> ()
+        | Error e -> Alcotest.failf "wrong failure: %a" R.pp_failure e
+        | Ok _ -> Alcotest.fail "expected Guarded");
+    tc "full-coverage strides are not reordered" (fun () ->
+        (* every residue of the stride is read: no wasted transfer, so
+           the rewrite should not fire (streamcluster pattern) *)
+        let prog =
+          parse
+            {|int main(void) {
+                int n = 6;
+                float a[12];
+                float c[6];
+                for (i = 0; i < 12; i++) { a[i] = (float)i; }
+                #pragma offload target(mic:0) in(a[0:12]) out(c[0:n])
+                #pragma omp parallel for
+                for (i = 0; i < n; i++) {
+                  c[i] = a[2 * i] + a[2 * i + 1];
+                }
+                return 0;
+              }|}
+        in
+        match R.reorder prog (first_offloaded prog) with
+        | Error R.No_irregular_access -> ()
+        | Error e -> Alcotest.failf "wrong failure: %a" R.pp_failure e
+        | Ok _ -> Alcotest.fail "expected No_irregular_access");
+    tc "loop splitting preserves semantics" (fun () ->
+        let prog = parse srad_like in
+        check_semantics_preserved ~name:"split" prog (split_exn prog));
+    tc "split marks the regular loop simd" (fun () ->
+        let prog = parse srad_like in
+        let prog' = split_exn prog in
+        let simd_count =
+          List.fold_left
+            (fun acc g ->
+              match g with
+              | Minic.Ast.Gfunc f ->
+                  Minic.Ast.fold_stmts
+                    (fun acc s ->
+                      match s with
+                      | Minic.Ast.Spragma (Minic.Ast.Omp_simd, _) -> acc + 1
+                      | _ -> acc)
+                    acc f.body
+              | _ -> acc)
+            0 prog'
+        in
+        Alcotest.(check int) "one simd loop" 1 simd_count);
+    tc "split needs an irregular prefix" (fun () ->
+        let prog =
+          parse
+            {|int main(void) {
+                int n = 4;
+                float a[4];
+                float b[4];
+                #pragma offload target(mic:0) in(a[0:n]) out(b[0:n])
+                #pragma omp parallel for
+                for (i = 0; i < n; i++) {
+                  float t = a[i];
+                  b[i] = t + 1.0;
+                }
+                return 0;
+              }|}
+        in
+        match R.split prog (first_offloaded prog) with
+        | Error R.Not_splittable -> ()
+        | Error e -> Alcotest.failf "wrong failure: %a" R.pp_failure e
+        | Ok _ -> Alcotest.fail "expected Not_splittable");
+    tc "aos-to-soa preserves semantics" (fun () ->
+        let prog = parse soa_src in
+        match R.aos_to_soa prog (first_offloaded prog) with
+        | Ok prog' -> check_semantics_preserved ~name:"soa" prog prog'
+        | Error e -> Alcotest.failf "soa failed: %a" R.pp_failure e);
+    tc "aos-to-soa makes the loop streamable" (fun () ->
+        let prog = parse soa_src in
+        let region = first_offloaded prog in
+        Alcotest.(check bool)
+          "soa applicable" true
+          (List.mem R.Soa (R.applicable_kinds prog region));
+        match R.aos_to_soa prog region with
+        | Ok prog' ->
+            let region' = first_offloaded prog' in
+            Alcotest.(check bool)
+              "streamable after soa" true
+              (Transforms.Streaming.applicable prog' region')
+        | Error e -> Alcotest.failf "soa failed: %a" R.pp_failure e);
+    tc "applicable_kinds on srad finds split and reorder" (fun () ->
+        let prog = parse srad_like in
+        let kinds = R.applicable_kinds prog (first_offloaded prog) in
+        Alcotest.(check bool) "split" true (List.mem R.Split kinds);
+        Alcotest.(check bool) "reorder" true (List.mem R.Reorder kinds));
+    prop "gather reorder preserves semantics (random)" ~count:40
+      QCheck.(triple (int_range 3 30) (int_range 4 60) (int_range 0 999))
+      (fun (n, m, seed) ->
+        let prog = parse (Gen.gather_program ~n ~m ~seed) in
+        match R.reorder prog (first_offloaded prog) with
+        | Error _ -> false
+        | Ok prog' ->
+            String.equal
+              (Minic.Interp.run_output prog)
+              (Minic.Interp.run_output prog'));
+  ]

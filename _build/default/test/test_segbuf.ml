@@ -1,0 +1,161 @@
+open Helpers
+open Runtime
+
+(* build a random linked structure and return (segbuf, node pointers);
+   each node: [value; encoded next-pointer] *)
+let build_list t values =
+  let nodes = List.map (fun v ->
+      let p = Segbuf.alloc t 2 in
+      Segbuf.set t p 0 v;
+      Segbuf.set_ptr t p 1 Xptr.null;
+      p)
+      values
+  in
+  let rec link = function
+    | a :: (b :: _ as rest) ->
+        Segbuf.set_ptr t a 1 b;
+        link rest
+    | _ -> ()
+  in
+  link nodes;
+  nodes
+
+let rec walk_host t p acc =
+  if Xptr.is_null p then List.rev acc
+  else walk_host t (Segbuf.get_ptr t p 1) (Segbuf.get t p 0 :: acc)
+
+let rec walk_device img p acc =
+  if Xptr.is_null p then List.rev acc
+  else walk_device img (Segbuf.Image.get_ptr img p 1) (Segbuf.Image.get img p 0 :: acc)
+
+let suite =
+  [
+    tc "alloc returns distinct non-overlapping objects" (fun () ->
+        let t = Segbuf.create ~seg_cells:16 () in
+        let p1 = Segbuf.alloc t 4 in
+        let p2 = Segbuf.alloc t 4 in
+        Segbuf.set t p1 0 111;
+        Segbuf.set t p2 0 222;
+        Alcotest.(check int) "p1 intact" 111 (Segbuf.get t p1 0);
+        Alcotest.(check int) "p2 intact" 222 (Segbuf.get t p2 0));
+    tc "segments created on demand without moving data" (fun () ->
+        let t = Segbuf.create ~seg_cells:8 () in
+        let p1 = Segbuf.alloc t 6 in
+        Segbuf.set t p1 5 42;
+        Alcotest.(check int) "one segment" 1 (Segbuf.seg_count t);
+        let _p2 = Segbuf.alloc t 6 in
+        Alcotest.(check int) "two segments" 2 (Segbuf.seg_count t);
+        (* p1 still valid: objects never move (the paper's requirement) *)
+        Alcotest.(check int) "p1 survives growth" 42 (Segbuf.get t p1 5));
+    tc "objects never span segments" (fun () ->
+        let t = Segbuf.create ~seg_cells:10 () in
+        let _ = Segbuf.alloc t 7 in
+        let p = Segbuf.alloc t 7 in
+        (* second object must start a new segment *)
+        Alcotest.(check int) "bid 1" 1 p.Xptr.bid);
+    tc "oversized allocation rejected" (fun () ->
+        let t = Segbuf.create ~seg_cells:8 () in
+        match Segbuf.alloc t 9 with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected invalid_arg");
+    tc "out-of-bounds access rejected" (fun () ->
+        let t = Segbuf.create ~seg_cells:8 () in
+        let p = Segbuf.alloc t 2 in
+        match Segbuf.get t p 5 with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected bounds error");
+    tc "alloc count tracked (Table III dynamic column)" (fun () ->
+        let t = Segbuf.create () in
+        for _ = 1 to 37 do
+          ignore (Segbuf.alloc t 3)
+        done;
+        Alcotest.(check int) "37 allocs" 37 (Segbuf.alloc_count t));
+    tc "device image preserves a linked list" (fun () ->
+        let t = Segbuf.create ~seg_cells:8 () in
+        (* force the list across several segments *)
+        let values = [ 3; 1; 4; 1; 5; 9; 2; 6; 5; 3 ] in
+        let nodes = build_list t values in
+        Alcotest.(check bool) "multi-segment" true (Segbuf.seg_count t > 1);
+        let img = Segbuf.Image.of_segbuf t in
+        let head = List.hd nodes in
+        Alcotest.(check (list int))
+          "device traversal equals host" (walk_host t head [])
+          (walk_device img head []));
+    tc "delta translation equals scan translation" (fun () ->
+        let t = Segbuf.create ~seg_cells:8 () in
+        let nodes = build_list t [ 10; 20; 30; 40; 50 ] in
+        let img = Segbuf.Image.of_segbuf t in
+        List.iter
+          (fun p ->
+            Alcotest.(check int)
+              "same address"
+              (Xptr.translate_by_scan img.Segbuf.Image.bounds p)
+              (Xptr.translate img.Segbuf.Image.delta p))
+          nodes);
+    tc "dma count equals segment count" (fun () ->
+        let t = Segbuf.create ~seg_cells:4 () in
+        for _ = 1 to 6 do
+          ignore (Segbuf.alloc t 3)
+        done;
+        let img = Segbuf.Image.of_segbuf t in
+        Alcotest.(check int)
+          "one dma per segment" (Segbuf.seg_count t)
+          (Segbuf.Image.dma_count img));
+    tc "xptr encode/decode round-trip" (fun () ->
+        let p = Xptr.make ~bid:17 ~addr:0x1234_5678 in
+        let p' = Xptr.decode (Xptr.encode p) in
+        Alcotest.(check bool) "equal" true (Xptr.equal p p'));
+    tc "bid is one byte (max 256 buffers)" (fun () ->
+        match Xptr.make ~bid:256 ~addr:0 with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected invalid_arg");
+    tc "pointer arithmetic preserves bid (Table I)" (fun () ->
+        let p = Xptr.make ~bid:3 ~addr:100 in
+        let q = Xptr.offset p 5 in
+        Alcotest.(check int) "bid" 3 q.Xptr.bid;
+        Alcotest.(check int) "addr" 105 q.Xptr.addr);
+    prop "encode/decode round-trips" ~count:200
+      QCheck.(pair (int_range 0 255) (int_range 0 ((1 lsl 48) - 1)))
+      (fun (bid, addr) ->
+        let p = Xptr.make ~bid ~addr in
+        Xptr.equal p (Xptr.decode (Xptr.encode p)));
+    prop "random object graphs survive the transfer" ~count:60
+      QCheck.(pair (int_range 1 60) (int_range 1 5))
+      (fun (n, objsize) ->
+        let t = Segbuf.create ~seg_cells:16 () in
+        let objs =
+          List.init n (fun i ->
+              let p = Segbuf.alloc t (objsize + 1) in
+              for k = 0 to objsize - 1 do
+                Segbuf.set t p k ((i * 31) + k)
+              done;
+              p)
+        in
+        (* random-ish cross links in the last slot *)
+        List.iteri
+          (fun i p ->
+            let target = List.nth objs ((i * 7 + 3) mod n) in
+            Segbuf.set_ptr t p objsize target)
+          objs;
+        let img = Segbuf.Image.of_segbuf t in
+        List.for_all
+          (fun p ->
+            let ok_data =
+              List.init objsize (fun k ->
+                  Segbuf.get t p k = Segbuf.Image.get img p k)
+              |> List.for_all Fun.id
+            in
+            let host_link = Segbuf.get_ptr t p objsize in
+            let dev_link = Segbuf.Image.get_ptr img p objsize in
+            ok_data
+            && Xptr.equal host_link dev_link
+            && Segbuf.Image.get img dev_link 0 = Segbuf.get t host_link 0)
+          objs);
+    prop "used cells never exceed capacity" ~count:60
+      QCheck.(list_of_size (QCheck.Gen.int_range 1 50) (int_range 1 8))
+      (fun sizes ->
+        let t = Segbuf.create ~seg_cells:8 () in
+        List.iter (fun n -> ignore (Segbuf.alloc t n)) sizes;
+        Segbuf.used_cells t <= Segbuf.capacity_cells t
+        && Segbuf.used_cells t = List.fold_left ( + ) 0 sizes);
+  ]

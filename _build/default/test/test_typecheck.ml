@@ -1,0 +1,99 @@
+open Helpers
+
+let well_typed name src =
+  tc name (fun () ->
+      match Minic.Typecheck.check_program (parse src) with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "unexpected type error: %s" e)
+
+let ill_typed name ?expect src =
+  tc name (fun () ->
+      match Minic.Typecheck.check_program (parse src) with
+      | Ok _ -> Alcotest.fail "expected a type error"
+      | Error msg -> (
+          match expect with
+          | Some sub ->
+              Alcotest.(check bool)
+                (Printf.sprintf "error %S mentions %S" msg sub)
+                true (contains ~sub msg)
+          | None -> ()))
+
+let suite =
+  [
+    well_typed "arithmetic with promotion"
+      "int main(void) { float x = 1 + 2.5; int y = 3 * 4; return y; }";
+    well_typed "pointer arithmetic"
+      "int main(void) { float a[4]; float* p = a + 2; p[0] = 1.0; return 0; }";
+    well_typed "struct field access"
+      {|struct p { float x; float y; };
+        int main(void) { struct p pt; pt.x = 1.0; pt.y = pt.x + 1.0; return 0; }|};
+    well_typed "arrow through pointer"
+      {|struct node { int v; };
+        int f(struct node* n) { return n->v; }|};
+    well_typed "builtin calls"
+      "int main(void) { float x = sqrt(2.0) + pow(2.0, 3.0); print_float(x); return 0; }";
+    well_typed "int condition is truthy"
+      "int main(void) { int n = 3; if (n) { return 1; } return 0; }";
+    well_typed "void cast target for malloc"
+      "int main(void) { int* p = (int*)malloc(4); p[0] = 1; return p[0]; }";
+    ill_typed "unbound variable" ~expect:"unbound"
+      "int main(void) { return zz; }";
+    ill_typed "index on scalar" ~expect:"cannot index"
+      "int main(void) { int x = 1; return x[0]; }";
+    ill_typed "non-int index" ~expect:"index"
+      "int main(void) { float a[4]; return (int)a[1.5]; }";
+    ill_typed "field on non-struct" ~expect:"non-struct"
+      "int main(void) { int x = 0; return x.f; }";
+    ill_typed "unknown struct field" ~expect:"no field"
+      {|struct p { float x; };
+        int main(void) { struct p q; q.y = 1.0; return 0; }|};
+    ill_typed "deref non-pointer" ~expect:"dereference"
+      "int main(void) { int x = 1; return *x; }";
+    ill_typed "bad call arity" ~expect:"arguments"
+      "int main(void) { return abs(1, 2); }";
+    ill_typed "bad argument type" ~expect:"argument"
+      {|int f(int* p) { return p[0]; }
+        int main(void) { return f(3); }|};
+    ill_typed "unknown function" ~expect:"unknown function"
+      "int main(void) { return nosuch(1); }";
+    ill_typed "mod on floats" ~expect:"int operands"
+      "int main(void) { float x = 1.5 % 2.0; return 0; }";
+    ill_typed "logical and on ints" ~expect:"bool"
+      "int main(void) { int b = 1 && 2; return b; }";
+    ill_typed "assignment to rvalue" ~expect:"non-lvalue"
+      "int main(void) { 1 + 2 = 3; return 0; }";
+    ill_typed "assign pointer to int" ~expect:"cannot assign"
+      "int main(void) { float a[2]; int x = 0; x = a; return x; }";
+    ill_typed "return type mismatch" ~expect:"return"
+      "int* main_helper(void) { return 1 == 2; } int main(void) { return 0; }";
+    tc "unsized local array rejected by the parser" (fun () ->
+        match parse_result "int main(void) { float a[]; return 0; }" with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected parse error");
+    ill_typed "bool condition required" ~expect:"condition"
+      "int main(void) { float f = 1.0; if (f) { return 1; } return 0; }";
+    ill_typed "clause on scalar" ~expect:"non-array"
+      {|int main(void) {
+          int x = 1;
+          float a[2];
+          #pragma offload target(mic:0) in(x[0:1]) out(a[0:2])
+          #pragma omp parallel for
+          for (i = 0; i < 2; i++) { a[i] = 0.0; }
+          return 0;
+        }|};
+    ill_typed "section length must be int" ~expect:"length"
+      {|int main(void) {
+          float a[2];
+          #pragma offload target(mic:0) in(a[0:1.5])
+          #pragma omp parallel for
+          for (i = 0; i < 2; i++) { a[i] = 0.0; }
+          return 0;
+        }|};
+    tc "all workload sources typecheck" (fun () ->
+        List.iter
+          (fun (w : Workloads.Workload.t) ->
+            match Minic.Typecheck.check_program (parse w.source) with
+            | Ok _ -> ()
+            | Error e -> Alcotest.failf "%s: %s" w.name e)
+          Workloads.Registry.all);
+  ]

@@ -1,0 +1,116 @@
+open Helpers
+module V = Transforms.Vectorize
+
+let loop_of src =
+  let prog = parse src in
+  ((List.hd (Analysis.Offload_regions.of_program prog)).loop, prog)
+
+let suite =
+  [
+    tc "regular unit-stride loop is vectorizable" (fun () ->
+        let loop, _ = loop_of (Gen.streamable_program ~n:8 ~seed:0) in
+        Alcotest.(check bool) "ok" true (V.vectorizable loop));
+    tc "guarded accesses stay vectorizable (masked lanes)" (fun () ->
+        let loop, _ = loop_of (Gen.stencil_program ~n:8 ~seed:0) in
+        Alcotest.(check bool) "ok" true (V.vectorizable loop));
+    tc "gather blocks vectorization" (fun () ->
+        let loop, _ = loop_of (Gen.gather_program ~n:8 ~m:20 ~seed:0) in
+        match V.check loop with
+        | Error (V.Irregular_access "a") -> ()
+        | Error b -> Alcotest.failf "wrong blocker: %a" V.pp_blocker b
+        | Ok () -> Alcotest.fail "expected a blocker");
+    tc "stride blocks vectorization" (fun () ->
+        let loop, _ =
+          loop_of
+            {|int main(void) {
+                int n = 4;
+                float a[20];
+                float c[4];
+                #pragma offload target(mic:0) in(a[0:20]) out(c[0:n])
+                #pragma omp parallel for
+                for (i = 0; i < n; i++) { c[i] = a[5 * i]; }
+                return 0;
+              }|}
+        in
+        match V.check loop with
+        | Error (V.Strided_access "a") -> ()
+        | Error b -> Alcotest.failf "wrong blocker: %a" V.pp_blocker b
+        | Ok () -> Alcotest.fail "expected a blocker");
+    tc "inner loop blocks vectorization at the outer level" (fun () ->
+        let loop, _ =
+          loop_of
+            {|int main(void) {
+                int n = 4;
+                float a[16];
+                float c[4];
+                #pragma offload target(mic:0) in(a[0:16]) out(c[0:n])
+                #pragma omp parallel for
+                for (i = 0; i < n; i++) {
+                  float s = 0.0;
+                  for (j = 0; j < 4; j++) { s = s + a[i * 4 + j]; }
+                  c[i] = s;
+                }
+                return 0;
+              }|}
+        in
+        match V.check loop with
+        | Error V.Inner_loop -> ()
+        | Error b -> Alcotest.failf "wrong blocker: %a" V.pp_blocker b
+        | Ok () -> Alcotest.fail "expected Inner_loop");
+    tc "annotation is inserted innermost and only once" (fun () ->
+        let prog = parse (Gen.streamable_program ~n:8 ~seed:1) in
+        let prog', n = V.transform_all prog in
+        Alcotest.(check int) "one marked" 1 n;
+        let _, n2 = V.transform_all prog' in
+        Alcotest.(check int) "idempotent" 0 n2;
+        check_semantics_preserved ~name:"simd" prog prog');
+    tc "reordering nn unlocks vectorization" (fun () ->
+        let w = Workloads.Registry.find_exn "nn" in
+        let prog = Workloads.Workload.program w in
+        let region = List.hd (Analysis.Offload_regions.offloaded prog) in
+        Alcotest.(check bool)
+          "blocked before" false
+          (V.vectorizable region.loop);
+        let prog' =
+          Result.get_ok (Transforms.Regularize.reorder prog region)
+        in
+        let region' = List.hd (Analysis.Offload_regions.offloaded prog') in
+        Alcotest.(check bool)
+          "legal after reordering" true
+          (V.vectorizable region'.loop));
+    tc "splitting srad yields one vectorizable half" (fun () ->
+        let w = Workloads.Registry.find_exn "srad" in
+        let prog = Workloads.Workload.program w in
+        let nregions =
+          List.length (Analysis.Offload_regions.of_program prog)
+        in
+        let vectorizable_count p =
+          List.length
+            (List.filter
+               (fun (r : Analysis.Offload_regions.region) ->
+                 V.vectorizable r.loop)
+               (Analysis.Offload_regions.of_program p))
+        in
+        Alcotest.(check int) "nothing vectorizable before" 0
+          (vectorizable_count prog);
+        let region = List.hd (Analysis.Offload_regions.offloaded prog) in
+        let prog' = Result.get_ok (Transforms.Regularize.split prog region) in
+        Alcotest.(check int)
+          "split added a loop"
+          (nregions + 1)
+          (List.length (Analysis.Offload_regions.of_program prog'));
+        Alcotest.(check int)
+          "exactly the regular half" 1
+          (vectorizable_count prog'));
+    tc "explain mentions the vectorization decision" (fun () ->
+        let prog =
+          Workloads.Workload.program (Workloads.Registry.find_exn "srad")
+        in
+        let s = Comp.explain prog in
+        Alcotest.(check bool)
+          "blocked reported" true
+          (contains ~sub:"vectorization: blocked" s);
+        Alcotest.(check bool)
+          "splitting reported" true
+          (contains ~sub:"loop splitting" s));
+  ]

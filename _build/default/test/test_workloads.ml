@@ -1,0 +1,105 @@
+open Helpers
+
+(** Integration tests over the 12 benchmark models: every kernel source
+    parses, typechecks and runs; the full COMP pipeline preserves its
+    semantics; and the compiler's applicability decisions match the
+    paper's Table II. *)
+
+let each f =
+  List.iter (fun (w : Workloads.Workload.t) -> f w) Workloads.Registry.all
+
+let suite =
+  [
+    tc "registry has the paper's 12 benchmarks" (fun () ->
+        Alcotest.(check (list string))
+          "names"
+          [
+            "blackscholes"; "streamcluster"; "ferret"; "dedup"; "freqmine";
+            "kmeans"; "cg"; "cfd"; "nn"; "srad"; "bfs"; "hotspot";
+          ]
+          Workloads.Registry.names);
+    tc "every kernel parses and typechecks" (fun () ->
+        each (fun w ->
+            let prog = Workloads.Workload.program w in
+            match Minic.Typecheck.check_program prog with
+            | Ok _ -> ()
+            | Error e -> Alcotest.failf "%s: %s" w.name e));
+    tc "every kernel runs under the interpreter" (fun () ->
+        each (fun w ->
+            let prog = Workloads.Workload.program w in
+            match Minic.Interp.run prog with
+            | Ok o ->
+                Alcotest.(check bool)
+                  (w.name ^ " produces output")
+                  true
+                  (String.length o.Minic.Interp.output > 0)
+            | Error e -> Alcotest.failf "%s: %s" w.name e));
+    tc "full pipeline preserves every kernel's semantics" (fun () ->
+        each (fun w ->
+            let prog = Workloads.Workload.program w in
+            let prog', _ = Comp.optimize prog in
+            check_semantics_preserved ~name:w.name prog prog'));
+    tc "full pipeline with full-size buffers also preserves semantics"
+      (fun () ->
+        each (fun w ->
+            let prog = Workloads.Workload.program w in
+            let prog', _ =
+              Comp.optimize ~memory:Transforms.Streaming.Full prog
+            in
+            check_semantics_preserved ~name:w.name prog prog'));
+    tc "applicability matrix matches Table II" (fun () ->
+        let rows = Experiments.Table2.rows () in
+        List.iter
+          (fun (r : Experiments.Table2.row) ->
+            Alcotest.(check bool)
+              (r.name ^ " matches the paper")
+              true
+              (Experiments.Table2.matches_paper r))
+          rows);
+    tc "pipeline applications line up with the analysis" (fun () ->
+        each (fun w ->
+            let a = Comp.analyze w in
+            let prog = Workloads.Workload.program w in
+            let _, applied = Comp.optimize prog in
+            if a.Comp.merging then
+              Alcotest.(check bool)
+                (w.name ^ ": merged") true
+                (applied.Comp.merged > 0);
+            if a.Comp.regularization <> [] then
+              Alcotest.(check bool)
+                (w.name ^ ": regularized") true
+                (applied.Comp.regularized <> [])));
+    tc "workloads with shared structures declare them" (fun () ->
+        each (fun w ->
+            let expect = List.mem w.name [ "ferret"; "freqmine" ] in
+            Alcotest.(check bool)
+              (w.name ^ " shared flag")
+              expect
+              (Workloads.Workload.has_shared w)));
+    tc "streaming the streamable workloads preserves semantics" (fun () ->
+        each (fun w ->
+            let prog = Workloads.Workload.program w in
+            let regions = Analysis.Offload_regions.offloaded prog in
+            List.iter
+              (fun region ->
+                match Transforms.Streaming.transform ~nblocks:3 prog region with
+                | Ok prog' ->
+                    check_semantics_preserved
+                      ~name:(w.name ^ " streamed")
+                      prog prog'
+                | Error _ -> ())
+              regions));
+    tc "shapes are physically sensible" (fun () ->
+        each (fun w ->
+            let s = w.shape in
+            Alcotest.(check bool) (w.name ^ " iters > 0") true (s.Runtime.Plan.iters > 0);
+            Alcotest.(check bool)
+              (w.name ^ " bytes >= 0")
+              true
+              (s.Runtime.Plan.bytes_in >= 0. && s.Runtime.Plan.bytes_out >= 0.);
+            Alcotest.(check bool)
+              (w.name ^ " fits device memory")
+              true
+              (Runtime.Mem_usage.fits Machine.Config.paper_default
+                 (Runtime.Mem_usage.device_bytes s Runtime.Plan.Naive_offload))));
+  ]
