@@ -226,6 +226,26 @@ let ablations () =
   ablation_double_buffer ();
   ablation_replay ()
 
+(* {1 Observability profiles} *)
+
+(* Per-workload runtime counter blocks: what the instrumented runtime
+   actually did while simulating the optimized variant — launches,
+   signals, faults, DMA bytes — next to the per-phase time breakdown.
+   One JSON line per workload for machine consumption. *)
+let profile () =
+  Printf.printf "\n== Workload profiles (optimized variant, runtime counters) ==\n";
+  List.iter
+    (fun name ->
+      let w = Workloads.Registry.find_exn name in
+      let obs = Obs.create () in
+      let r = Comp.schedule ~obs w Comp.Mic_optimized in
+      Printf.printf "\n-- %s (%s) --\n" w.Workloads.Workload.name
+        w.Workloads.Workload.input_desc;
+      Format.printf "%a" (Machine.Trace.pp_profile ~obs) r;
+      Printf.printf "json: %s\n"
+        (Obs.Json.to_string (Machine.Trace.profile_json ~obs r)))
+    [ "blackscholes"; "streamcluster"; "ferret"; "kmeans" ]
+
 (* {1 Bechamel microbenchmarks of the compiler itself} *)
 
 let micro () =
@@ -306,12 +326,14 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let run_named = function
     | "ablations" -> ablations ()
+    | "profile" -> profile ()
     | "micro" -> micro ()
     | name -> (
         match List.assoc_opt name Experiments.All.by_name with
         | Some f -> f ()
         | None ->
-            Printf.eprintf "unknown experiment %s; known: %s ablations micro\n"
+            Printf.eprintf
+              "unknown experiment %s; known: %s ablations profile micro\n"
               name
               (String.concat " " Experiments.All.names);
             exit 1)
@@ -320,6 +342,7 @@ let () =
   | [] ->
       Experiments.All.print_all ();
       ablations ();
+      profile ();
       Experiments.Sensitivity.print ();
       micro ()
   | names -> List.iter run_named names

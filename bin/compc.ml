@@ -10,7 +10,12 @@
     - [simulate NAME]   time a benchmark's variants on the machine model
                         and print the schedule
     - [report [EXP]]    print the paper's tables/figures
-    - [list]            list benchmark models *)
+    - [list]            list benchmark models
+
+    Top-level option:
+    - [--profile FILE [-o STATS.json]]  interpret FILE, replay its
+      offload trace on the machine model, and print the observability
+      profile (per-phase breakdown, counters); [-o] also exports JSON *)
 
 open Cmdliner
 
@@ -267,11 +272,67 @@ let list_cmd =
     (Cmd.info "list" ~doc:"List benchmark models and applicable optimizations")
     Term.(const run $ const ())
 
+(* --- --profile (top-level) --- *)
+
+let profile_run file out =
+  let prog = or_die (load file) in
+  let obs = Obs.create () in
+  match Minic.Interp.run prog with
+  | Error e ->
+      Printf.eprintf "runtime error: %s\n" e;
+      exit 1
+  | Ok o ->
+      let r =
+        Runtime.Replay.schedule ~obs Machine.Config.paper_default
+          o.Minic.Interp.events
+      in
+      Format.printf "%a" (Machine.Trace.pp_profile ~obs) r;
+      Option.iter
+        (fun path ->
+          match open_out path with
+          | exception Sys_error e ->
+              prerr_endline ("cannot write profile: " ^ e);
+              exit 1
+          | oc ->
+              Fun.protect
+                ~finally:(fun () -> close_out oc)
+                (fun () ->
+                  output_string oc
+                    (Obs.Json.to_string (Machine.Trace.profile_json ~obs r));
+                  output_char oc '\n'))
+        out
+
+let default_term =
+  let profile =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "profile" ] ~docv:"FILE"
+          ~doc:
+            "Interpret a MiniC file, replay its offload trace on the machine \
+             model, and print the observability profile: per-phase breakdown \
+             (h2d/d2h/kernel/...), resource utilization, and runtime \
+             counters")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"STATS.json"
+          ~doc:"With $(b,--profile), also write the profile as JSON to $(docv)")
+  in
+  let run profile out =
+    match profile with
+    | Some file -> `Ok (profile_run file out)
+    | None -> `Help (`Pager, None)
+  in
+  Term.(ret (const run $ profile $ out))
+
 let () =
   let doc = "COMP: compiler optimizations for manycore processors" in
   exit
     (Cmd.eval
-       (Cmd.group (Cmd.info "compc" ~doc)
+       (Cmd.group ~default:default_term (Cmd.info "compc" ~doc)
           [
             parse_cmd; optimize_cmd; run_cmd; simulate_cmd; report_cmd;
             analyze_cmd; list_cmd;

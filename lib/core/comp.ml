@@ -192,25 +192,27 @@ let plan_of_variant (w : Workloads.Workload.t) (a : applicability) variant :
         else (Plan.Naive_offload, w.shape)
 
 (** Whole-application time of a variant on the simulated machine. *)
-let simulate ?(cfg = Machine.Config.paper_default) (w : Workloads.Workload.t)
-    variant =
-  let a = analyze w in
-  let strategy, shape = plan_of_variant w a variant in
-  Runtime.Schedule_gen.total_time cfg shape strategy
-
-(** Offload-region time only (no host serial part). *)
-let simulate_region ?(cfg = Machine.Config.paper_default)
+let simulate ?obs ?(cfg = Machine.Config.paper_default)
     (w : Workloads.Workload.t) variant =
   let a = analyze w in
   let strategy, shape = plan_of_variant w a variant in
-  Runtime.Schedule_gen.region_time cfg shape strategy
+  Runtime.Schedule_gen.total_time ?obs cfg shape strategy
 
-(** Full schedule of a variant, for tracing/Gantt output. *)
-let schedule ?(cfg = Machine.Config.paper_default) (w : Workloads.Workload.t)
-    variant =
+(** Offload-region time only (no host serial part). *)
+let simulate_region ?obs ?(cfg = Machine.Config.paper_default)
+    (w : Workloads.Workload.t) variant =
   let a = analyze w in
   let strategy, shape = plan_of_variant w a variant in
-  Runtime.Schedule_gen.schedule cfg shape strategy
+  Runtime.Schedule_gen.region_time ?obs cfg shape strategy
+
+(** Full schedule of a variant, for tracing/Gantt output.  With [?obs],
+    every counter/span the runtime and engine record lands in the given
+    sink. *)
+let schedule ?obs ?(cfg = Machine.Config.paper_default)
+    (w : Workloads.Workload.t) variant =
+  let a = analyze w in
+  let strategy, shape = plan_of_variant w a variant in
+  Runtime.Schedule_gen.schedule ?obs cfg shape strategy
 
 (** Device memory footprint of a variant (Figure 13). *)
 let device_bytes (w : Workloads.Workload.t) variant =

@@ -96,18 +96,21 @@ val plan_of_variant :
     different kernel behaviour). *)
 
 val simulate :
-  ?cfg:Machine.Config.t -> Workloads.Workload.t -> variant -> float
+  ?obs:Obs.t -> ?cfg:Machine.Config.t -> Workloads.Workload.t -> variant -> float
 (** Whole-application time on the simulated machine. *)
 
 val simulate_region :
-  ?cfg:Machine.Config.t -> Workloads.Workload.t -> variant -> float
+  ?obs:Obs.t -> ?cfg:Machine.Config.t -> Workloads.Workload.t -> variant -> float
 (** Offload-region time only (no host serial part). *)
 
 val schedule :
+  ?obs:Obs.t ->
   ?cfg:Machine.Config.t ->
   Workloads.Workload.t ->
   variant ->
   Machine.Engine.result
+(** With [?obs], every counter/span the runtime and engine record lands
+    in the given sink — the substrate of [compc --profile]. *)
 
 val device_bytes : Workloads.Workload.t -> variant -> float
 (** Device memory footprint of a variant (Figure 13). *)

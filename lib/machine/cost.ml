@@ -71,8 +71,19 @@ let mic_serial_time (cfg : Config.t) ~cpu_seconds =
 
 type direction = H2d | D2h
 
-(** One DMA transfer of [bytes] over PCIe. *)
-let transfer_time (cfg : Config.t) dir ~bytes =
+let kind_of_direction = function H2d -> Obs.H2d | D2h -> Obs.D2h
+
+(** One DMA transfer of [bytes] over PCIe.  With [?obs], each model
+    evaluation is counted ([cost.transfers.h2d]/[.d2h]) and the
+    requested size recorded in a [xfer_bytes.*] histogram — the
+    per-transfer size distribution of Table III. *)
+let transfer_time ?obs (cfg : Config.t) dir ~bytes =
+  (match obs with
+  | None -> ()
+  | Some o ->
+      let k = Obs.kind_name (kind_of_direction dir) in
+      Obs.incr o ("cost.transfers." ^ k);
+      Obs.observe o ("xfer_bytes." ^ k) (Float.max 0. bytes));
   let bw =
     match dir with
     | H2d -> cfg.pcie.bw_h2d_gbs
@@ -80,7 +91,12 @@ let transfer_time (cfg : Config.t) dir ~bytes =
   in
   if bytes <= 0. then 0. else cfg.pcie.latency_s +. (bytes /. (bw *. 1e9))
 
-(** Kernel launch overhead (the K of Section III-B). *)
-let launch_time (cfg : Config.t) = cfg.mic.launch_overhead_s
+(** Kernel launch overhead (the K of Section III-B); with [?obs] each
+    evaluation bumps [cost.launches] — the "kernel launches" column. *)
+let launch_time ?obs (cfg : Config.t) =
+  (match obs with None -> () | Some o -> Obs.incr o "cost.launches");
+  cfg.mic.launch_overhead_s
 
-let signal_time (cfg : Config.t) = cfg.mic.signal_cost_s
+let signal_time ?obs (cfg : Config.t) =
+  (match obs with None -> () | Some o -> Obs.incr o "cost.signals");
+  cfg.mic.signal_cost_s

@@ -31,12 +31,18 @@ val mic_serial_time : Config.t -> cpu_seconds:float -> float
 
 type direction = H2d | D2h
 
-val transfer_time : Config.t -> direction -> bytes:float -> float
+val kind_of_direction : direction -> Obs.kind
+
+val transfer_time : ?obs:Obs.t -> Config.t -> direction -> bytes:float -> float
 (** One DMA transfer over PCIe (latency + bytes/bandwidth; free at 0
-    bytes). *)
+    bytes).  With [?obs], counts the evaluation
+    ([cost.transfers.h2d]/[.d2h]) and records the size in a
+    [xfer_bytes.*] histogram. *)
 
-val launch_time : Config.t -> float
-(** Kernel launch overhead — the K of Section III-B. *)
+val launch_time : ?obs:Obs.t -> Config.t -> float
+(** Kernel launch overhead — the K of Section III-B.  With [?obs],
+    bumps [cost.launches]. *)
 
-val signal_time : Config.t -> float
-(** COI signal cost, paid per block by persistent kernels. *)
+val signal_time : ?obs:Obs.t -> Config.t -> float
+(** COI signal cost, paid per block by persistent kernels.  With
+    [?obs], bumps [cost.signals]. *)

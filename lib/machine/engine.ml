@@ -36,7 +36,7 @@ module Heap = struct
       id = 0;
       task =
         { Task.id = 0; label = ""; resource = Task.Cpu_exec; duration = 0.;
-          deps = [] };
+          deps = []; kind = None; bytes = 0. };
     }
 
   let create () = { a = Array.make 64 dummy; size = 0 }
@@ -90,7 +90,7 @@ module Heap = struct
     end
 end
 
-let schedule (tasks : Task.t list) : result =
+let schedule ?obs (tasks : Task.t list) : result =
   let n = List.length tasks in
   let by_id = Hashtbl.create (max 16 n) in
   List.iter (fun (t : Task.t) -> Hashtbl.replace by_id t.id t) tasks;
@@ -140,6 +140,25 @@ let schedule (tasks : Task.t list) : result =
         Hashtbl.replace finish t.Task.id fin;
         Hashtbl.replace resource_free t.Task.resource fin;
         placed := { task = t; start; finish = fin } :: !placed;
+        (match obs with
+        | None -> ()
+        | Some o ->
+            (* every placed task becomes one span on the simulated
+               clock: the event trace behind the profile breakdown *)
+            let kind =
+              match t.Task.kind with
+              | Some k -> k
+              | None -> Task.default_kind t.Task.resource
+            in
+            let sid =
+              Obs.span_begin ~bytes:t.Task.bytes o kind ~label:t.Task.label
+                ~start
+            in
+            Obs.span_end o sid ~stop:fin;
+            Obs.incr o "engine.tasks";
+            Obs.observe o
+              ("span_s." ^ Obs.kind_name kind)
+              t.Task.duration);
         incr scheduled;
         List.iter
           (fun d_id ->

@@ -18,9 +18,11 @@ type result = {
 
 exception Cycle of string
 
-val schedule : Task.t list -> result
+val schedule : ?obs:Obs.t -> Task.t list -> result
 (** Raises {!Cycle} on cyclic dependencies and [Invalid_argument] on
-    dangling ones. *)
+    dangling ones.  With [?obs], every placed task is recorded as one
+    span (kind from the task, or {!Task.default_kind} of its resource)
+    plus an [engine.tasks] counter and per-kind duration histograms. *)
 
 val makespan : Task.t list -> float
 

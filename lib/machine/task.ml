@@ -21,17 +21,31 @@ type t = {
   resource : resource;
   duration : float;  (** seconds; must be >= 0 *)
   deps : int list;  (** ids of tasks that must finish first *)
+  kind : Obs.kind option;
+      (** observability classification; [None] falls back to the
+          resource's natural kind when the engine records spans *)
+  bytes : float;  (** payload moved by this task (transfers), else 0 *)
 }
+
+(** The kind the engine assumes for an untagged task on [r]. *)
+let default_kind = function
+  | Cpu_exec -> Obs.Host
+  | Mic_exec -> Obs.Kernel
+  | Pcie_h2d -> Obs.H2d
+  | Pcie_d2h -> Obs.D2h
 
 (** Monotonic id supply for building task graphs. *)
 type builder = { mutable next_id : int; mutable tasks : t list }
 
 let builder () = { next_id = 0; tasks = [] }
 
-let add b ?(deps = []) ~label ~resource ~duration () =
+let add b ?(deps = []) ?kind ?(bytes = 0.) ~label ~resource ~duration () =
   let id = b.next_id in
   b.next_id <- id + 1;
-  let t = { id; label; resource; duration = Float.max 0. duration; deps } in
+  let t =
+    { id; label; resource; duration = Float.max 0. duration; deps; kind;
+      bytes = Float.max 0. bytes }
+  in
   b.tasks <- t :: b.tasks;
   id
 

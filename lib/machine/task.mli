@@ -16,7 +16,14 @@ type t = {
   resource : resource;
   duration : float;  (** seconds; clamped to >= 0 by {!add} *)
   deps : int list;  (** ids of tasks that must finish first *)
+  kind : Obs.kind option;
+      (** observability classification; [None] falls back to
+          {!default_kind} when the engine records spans *)
+  bytes : float;  (** payload moved by this task (transfers), else 0 *)
 }
+
+val default_kind : resource -> Obs.kind
+(** The kind the engine assumes for an untagged task on a resource. *)
 
 (** Monotonic id supply for building task graphs. *)
 type builder
@@ -26,6 +33,8 @@ val builder : unit -> builder
 val add :
   builder ->
   ?deps:int list ->
+  ?kind:Obs.kind ->
+  ?bytes:float ->
   label:string ->
   resource:resource ->
   duration:float ->

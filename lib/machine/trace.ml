@@ -45,6 +45,136 @@ let gantt ?(width = 72) (r : Engine.result) =
     Buffer.contents buf
   end
 
+(** {1 Profile breakdown}
+
+    Per-phase (kind) aggregation of a schedule: how many tasks of each
+    kind ran, how many bytes they moved, how long they kept their
+    resource busy, and what fraction of the makespan that is.  The
+    kinds come from the tasks themselves ({!Task.t.kind}, falling back
+    to the resource's natural kind), so any schedule can be profiled;
+    an {!Obs.t} sink adds its counters and histograms on top. *)
+
+let task_kind (t : Task.t) =
+  match t.kind with Some k -> k | None -> Task.default_kind t.resource
+
+type phase_stat = {
+  ph_kind : Obs.kind;
+  ph_count : int;
+  ph_bytes : float;
+  ph_seconds : float;
+}
+
+(** Per-kind totals over the placed tasks, in {!Obs.all_kinds} order;
+    kinds with no tasks omitted. *)
+let phases (r : Engine.result) =
+  List.filter_map
+    (fun k ->
+      let count, bytes, seconds =
+        List.fold_left
+          (fun ((c, b, s) as acc) (p : Engine.placed) ->
+            if task_kind p.task = k then
+              (c + 1, b +. p.task.Task.bytes, s +. p.task.Task.duration)
+            else acc)
+          (0, 0., 0.) r.placed
+      in
+      if count = 0 then None
+      else Some { ph_kind = k; ph_count = count; ph_bytes = bytes;
+                  ph_seconds = seconds })
+    Obs.all_kinds
+
+let pp_bytes fmt b =
+  if b >= 1048576. then Format.fprintf fmt "%.1f MB" (b /. 1048576.)
+  else if b >= 1024. then Format.fprintf fmt "%.1f KB" (b /. 1024.)
+  else Format.fprintf fmt "%.0f B" b
+
+(** The [--profile] report: per-resource utilization, the per-phase
+    breakdown table, and (with [?obs]) the counter values. *)
+let pp_profile ?obs fmt (r : Engine.result) =
+  pp_summary fmt r;
+  Format.fprintf fmt "per-phase breakdown:@.";
+  Format.fprintf fmt "  %-10s %8s %12s %12s %8s@." "phase" "count" "bytes"
+    "busy s" "% span";
+  List.iter
+    (fun p ->
+      let pct =
+        if r.makespan > 0. then 100. *. p.ph_seconds /. r.makespan else 0.
+      in
+      Format.fprintf fmt "  %-10s %8d %12s %12.6f %7.1f%%@."
+        (Obs.kind_name p.ph_kind) p.ph_count
+        (Format.asprintf "%a" pp_bytes p.ph_bytes)
+        p.ph_seconds pct)
+    (phases r);
+  match obs with
+  | None -> ()
+  | Some o ->
+      let cs = Obs.counters o in
+      if cs <> [] then begin
+        Format.fprintf fmt "counters:@.";
+        List.iter
+          (fun (name, v) -> Format.fprintf fmt "  %-28s %10d@." name v)
+          cs
+      end
+
+(** JSON export of the same profile ([--profile -o stats.json]).
+    Schema (documented in the README):
+    [{ makespan_s; resources: [{name; busy_s; utilization}];
+       phases: [{kind; count; bytes; seconds; pct_makespan}];
+       counters: {..}; histograms: {..} }] —
+    the last two present only when an {!Obs.t} sink was supplied. *)
+let profile_json ?obs (r : Engine.result) =
+  let open Obs.Json in
+  let resources =
+    List.map
+      (fun (res, busy) ->
+        Obj
+          [
+            ("name", String (Task.resource_name res));
+            ("busy_s", Float busy);
+            ( "utilization",
+              Float (if r.makespan > 0. then busy /. r.makespan else 0.) );
+          ])
+      r.busy
+  in
+  let phase_objs =
+    List.map
+      (fun p ->
+        Obj
+          [
+            ("kind", String (Obs.kind_name p.ph_kind));
+            ("count", Int p.ph_count);
+            ("bytes", Float p.ph_bytes);
+            ("seconds", Float p.ph_seconds);
+            ( "pct_makespan",
+              Float
+                (if r.makespan > 0. then 100. *. p.ph_seconds /. r.makespan
+                 else 0.) );
+          ])
+      (phases r)
+  in
+  let base =
+    [
+      ("makespan_s", Float r.makespan);
+      ("tasks", Int (List.length r.placed));
+      ("resources", List resources);
+      ("phases", List phase_objs);
+    ]
+  in
+  let extra =
+    match obs with
+    | None -> []
+    | Some o ->
+        [
+          ( "counters",
+            Obj (List.map (fun (k, v) -> (k, Int v)) (Obs.counters o)) );
+          ( "histograms",
+            Obj
+              (List.map
+                 (fun (k, h) -> (k, Obs.histogram_json h))
+                 (Obs.histograms o)) );
+        ]
+  in
+  Obj (base @ extra)
+
 (** The busiest [n] tasks, for quick diagnosis. *)
 let top_tasks ?(n = 8) (r : Engine.result) =
   let sorted =

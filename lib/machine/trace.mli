@@ -9,3 +9,27 @@ val gantt : ?width:int -> Engine.result -> string
 
 val top_tasks : ?n:int -> Engine.result -> Engine.placed list
 (** The [n] longest tasks, for quick diagnosis. *)
+
+(** {1 Profile breakdown} *)
+
+type phase_stat = {
+  ph_kind : Obs.kind;
+  ph_count : int;
+  ph_bytes : float;
+  ph_seconds : float;
+}
+
+val phases : Engine.result -> phase_stat list
+(** Per-kind totals over the placed tasks (kind from the task, falling
+    back to the resource's natural kind); empty kinds omitted. *)
+
+val pp_profile : ?obs:Obs.t -> Format.formatter -> Engine.result -> unit
+(** The [--profile] report: per-resource utilization, the per-phase
+    breakdown table and, with [?obs], the counter values. *)
+
+val profile_json : ?obs:Obs.t -> Engine.result -> Obs.Json.t
+(** JSON export of the same profile.  Schema:
+    [{ makespan_s; tasks; resources: [{name; busy_s; utilization}];
+       phases: [{kind; count; bytes; seconds; pct_makespan}];
+       counters; histograms }] — counters/histograms only when [?obs]
+    is supplied. *)

@@ -1,0 +1,344 @@
+(** Observability substrate for the runtime and the machine simulator.
+
+    A sink collects three kinds of evidence while a schedule is built
+    and executed:
+
+    - {e counters}: cheap monotonic integers ([myo.page_faults],
+      [segbuf.allocs], ...) — the raw material of Table III;
+    - {e histograms}: distributions of a measured quantity (transfer
+      sizes, span durations), bucketed by powers of two;
+    - {e spans}: start/stop intervals on the simulated clock, tagged
+      with a {!kind} ([h2d], [kernel], [page_fault], ...) and an
+      optional byte payload — the event trace behind the [--profile]
+      breakdown.
+
+    Everything is optional at the call sites: instrumented functions
+    take [?obs] and do nothing when none is supplied, so the
+    uninstrumented paths stay exactly as cheap as before. *)
+
+(** Classification of spans (and of engine tasks).  The names mirror
+    the phases the paper's evaluation measures. *)
+type kind =
+  | H2d  (** host-to-device DMA *)
+  | D2h  (** device-to-host DMA *)
+  | Kernel  (** device computation *)
+  | Launch  (** kernel launch overhead *)
+  | Signal  (** COI signal/wait traffic (thread reuse) *)
+  | Page_fault  (** MYO on-demand page copies *)
+  | Seg_alloc  (** segmented-buffer segment creation *)
+  | Repack  (** host-side regularization work *)
+  | Host  (** other host work: glue, allocation bookkeeping *)
+
+let all_kinds =
+  [ H2d; D2h; Kernel; Launch; Signal; Page_fault; Seg_alloc; Repack; Host ]
+
+let kind_name = function
+  | H2d -> "h2d"
+  | D2h -> "d2h"
+  | Kernel -> "kernel"
+  | Launch -> "launch"
+  | Signal -> "signal"
+  | Page_fault -> "page_fault"
+  | Seg_alloc -> "seg_alloc"
+  | Repack -> "repack"
+  | Host -> "host"
+
+let kind_of_name = function
+  | "h2d" -> Some H2d
+  | "d2h" -> Some D2h
+  | "kernel" -> Some Kernel
+  | "launch" -> Some Launch
+  | "signal" -> Some Signal
+  | "page_fault" -> Some Page_fault
+  | "seg_alloc" -> Some Seg_alloc
+  | "repack" -> Some Repack
+  | "host" -> Some Host
+  | _ -> None
+
+(** A completed span on the simulated clock. *)
+type span = {
+  span_kind : kind;
+  span_label : string;
+  span_bytes : float;
+  span_start : float;
+  span_stop : float;
+}
+
+type open_span = {
+  o_id : int;
+  o_kind : kind;
+  o_label : string;
+  o_bytes : float;
+  o_start : float;
+}
+
+(** Histogram with power-of-two buckets: bucket [i] counts samples in
+    [[2^(i-1), 2^i)] (bucket 0 holds everything below 1). *)
+type histogram = {
+  mutable h_count : int;
+  mutable h_total : float;
+  mutable h_min : float;
+  mutable h_max : float;
+  h_buckets : int array;  (** 64 power-of-two buckets *)
+}
+
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  histograms : (string, histogram) Hashtbl.t;
+  mutable spans : span list;  (** completed, newest first *)
+  mutable nspans : int;
+  open_spans : (int, open_span) Hashtbl.t;
+  mutable next_span : int;
+}
+
+let create () =
+  {
+    counters = Hashtbl.create 32;
+    histograms = Hashtbl.create 16;
+    spans = [];
+    nspans = 0;
+    open_spans = Hashtbl.create 8;
+    next_span = 0;
+  }
+
+let reset t =
+  Hashtbl.reset t.counters;
+  Hashtbl.reset t.histograms;
+  t.spans <- [];
+  t.nspans <- 0;
+  Hashtbl.reset t.open_spans;
+  t.next_span <- 0
+
+(* {1 Counters} *)
+
+let add t name by =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r := !r + by
+  | None -> Hashtbl.replace t.counters name (ref by)
+
+let incr ?(by = 1) t name = add t name by
+
+let count t name =
+  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let counters t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(* {1 Histograms} *)
+
+let nbuckets = 64
+
+let bucket_of v =
+  if v < 1. then 0
+  else
+    let b = 1 + int_of_float (Float.log2 v) in
+    min (nbuckets - 1) (max 0 b)
+
+let observe t name v =
+  let h =
+    match Hashtbl.find_opt t.histograms name with
+    | Some h -> h
+    | None ->
+        let h =
+          {
+            h_count = 0;
+            h_total = 0.;
+            h_min = infinity;
+            h_max = neg_infinity;
+            h_buckets = Array.make nbuckets 0;
+          }
+        in
+        Hashtbl.replace t.histograms name h;
+        h
+  in
+  h.h_count <- h.h_count + 1;
+  h.h_total <- h.h_total +. v;
+  if v < h.h_min then h.h_min <- v;
+  if v > h.h_max then h.h_max <- v;
+  let b = bucket_of v in
+  h.h_buckets.(b) <- h.h_buckets.(b) + 1
+
+let histogram t name = Hashtbl.find_opt t.histograms name
+
+let histograms t =
+  Hashtbl.fold (fun k h acc -> (k, h) :: acc) t.histograms []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let mean h = if h.h_count = 0 then 0. else h.h_total /. float_of_int h.h_count
+
+(* {1 Spans} *)
+
+let span_begin ?(bytes = 0.) t kind ~label ~start =
+  let id = t.next_span in
+  t.next_span <- id + 1;
+  Hashtbl.replace t.open_spans id
+    { o_id = id; o_kind = kind; o_label = label; o_bytes = bytes;
+      o_start = start };
+  id
+
+let span_end t id ~stop =
+  match Hashtbl.find_opt t.open_spans id with
+  | None -> invalid_arg (Printf.sprintf "Obs.span_end: span %d not open" id)
+  | Some o ->
+      Hashtbl.remove t.open_spans id;
+      t.spans <-
+        {
+          span_kind = o.o_kind;
+          span_label = o.o_label;
+          span_bytes = o.o_bytes;
+          span_start = o.o_start;
+          span_stop = Float.max stop o.o_start;
+        }
+        :: t.spans;
+      t.nspans <- t.nspans + 1
+
+(** Record a complete span (begin + end in one call). *)
+let span ?bytes t kind ~label ~start ~stop =
+  let id = span_begin ?bytes t kind ~label ~start in
+  span_end t id ~stop
+
+let spans t = List.rev t.spans
+
+let span_count t = t.nspans
+
+let unclosed t =
+  Hashtbl.fold (fun _ o acc -> (o.o_kind, o.o_label) :: acc) t.open_spans []
+
+(* {1 Aggregates} *)
+
+type kind_stat = { ks_count : int; ks_bytes : float; ks_seconds : float }
+
+let empty_stat = { ks_count = 0; ks_bytes = 0.; ks_seconds = 0. }
+
+let stat_of_kind t kind =
+  List.fold_left
+    (fun acc s ->
+      if s.span_kind = kind then
+        {
+          ks_count = acc.ks_count + 1;
+          ks_bytes = acc.ks_bytes +. s.span_bytes;
+          ks_seconds = acc.ks_seconds +. (s.span_stop -. s.span_start);
+        }
+      else acc)
+    empty_stat t.spans
+
+(** Per-kind totals over all completed spans, in {!all_kinds} order,
+    kinds with no spans omitted. *)
+let by_kind t =
+  List.filter_map
+    (fun k ->
+      let s = stat_of_kind t k in
+      if s.ks_count = 0 then None else Some (k, s))
+    all_kinds
+
+let bytes_of_kind t kind = (stat_of_kind t kind).ks_bytes
+let seconds_of_kind t kind = (stat_of_kind t kind).ks_seconds
+let count_of_kind t kind = (stat_of_kind t kind).ks_count
+
+(* {1 JSON} *)
+
+(** A dependency-free JSON tree, enough for [--profile -o]. *)
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape s =
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  (* finite floats only; [write] maps non-finite values to null *)
+  let float_str f =
+    if Float.is_integer f && Float.abs f < 1e15 then
+      Printf.sprintf "%.1f" f
+    else Printf.sprintf "%.9g" f
+
+  let rec write buf = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (string_of_bool b)
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f ->
+        Buffer.add_string buf
+          (if Float.is_finite f then float_str f else "null")
+    | String s ->
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (escape s);
+        Buffer.add_char buf '"'
+    | List xs ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i x ->
+            if i > 0 then Buffer.add_char buf ',';
+            write buf x)
+          xs;
+        Buffer.add_char buf ']'
+    | Obj fields ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char buf ',';
+            Buffer.add_char buf '"';
+            Buffer.add_string buf (escape k);
+            Buffer.add_string buf "\":";
+            write buf v)
+          fields;
+        Buffer.add_char buf '}'
+
+  let to_string j =
+    let buf = Buffer.create 1024 in
+    write buf j;
+    Buffer.contents buf
+end
+
+let histogram_json h =
+  Json.Obj
+    [
+      ("count", Json.Int h.h_count);
+      ("total", Json.Float h.h_total);
+      ("mean", Json.Float (mean h));
+      ("min", Json.Float (if h.h_count = 0 then 0. else h.h_min));
+      ("max", Json.Float (if h.h_count = 0 then 0. else h.h_max));
+    ]
+
+(** Counters, per-kind span totals, and histogram summaries as a JSON
+    object (the ["counters"]/["kinds"]/["histograms"] sections of the
+    [--profile -o] schema). *)
+let to_json t =
+  Json.Obj
+    [
+      ( "counters",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (counters t)) );
+      ( "kinds",
+        Json.List
+          (List.map
+             (fun (k, s) ->
+               Json.Obj
+                 [
+                   ("kind", Json.String (kind_name k));
+                   ("count", Json.Int s.ks_count);
+                   ("bytes", Json.Float s.ks_bytes);
+                   ("seconds", Json.Float s.ks_seconds);
+                 ])
+             (by_kind t)) );
+      ( "histograms",
+        Json.Obj
+          (List.map (fun (k, h) -> (k, histogram_json h)) (histograms t)) );
+    ]

@@ -9,10 +9,11 @@ type t = {
   signals : (int, float) Hashtbl.t;  (** tag -> time signalled *)
   mutable signal_cost : float;
   mutable wait_cost : float;
+  obs : Obs.t option;
 }
 
-let create ?(signal_cost = 5.0e-6) ?(wait_cost = 1.0e-6) () =
-  { signals = Hashtbl.create 16; signal_cost; wait_cost }
+let create ?obs ?(signal_cost = 5.0e-6) ?(wait_cost = 1.0e-6) () =
+  { signals = Hashtbl.create 16; signal_cost; wait_cost; obs }
 
 exception Never_signalled of int
 
@@ -22,6 +23,14 @@ let signal t ~tag ~time =
   (match Hashtbl.find_opt t.signals tag with
   | Some earlier when earlier <= time -> ()
   | _ -> Hashtbl.replace t.signals tag time);
+  (match t.obs with
+  | None -> ()
+  | Some o ->
+      Obs.incr o "coi.signals";
+      Obs.span o Obs.Signal
+        ~label:(Printf.sprintf "signal#%d" tag)
+        ~start:time
+        ~stop:(time +. t.signal_cost));
   time +. t.signal_cost
 
 (** Device side: wait for [tag] starting at [time]; returns the time
@@ -30,7 +39,16 @@ let signal t ~tag ~time =
 let wait t ~tag ~time =
   match Hashtbl.find_opt t.signals tag with
   | None -> raise (Never_signalled tag)
-  | Some signalled -> Float.max time signalled +. t.wait_cost
+  | Some signalled ->
+      let resumed = Float.max time signalled +. t.wait_cost in
+      (match t.obs with
+      | None -> ()
+      | Some o ->
+          Obs.incr o "coi.waits";
+          Obs.span o Obs.Signal
+            ~label:(Printf.sprintf "wait#%d" tag)
+            ~start:time ~stop:resumed);
+      resumed
 
 let signalled t tag = Hashtbl.mem t.signals tag
 

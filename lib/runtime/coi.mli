@@ -6,7 +6,10 @@
 
 type t
 
-val create : ?signal_cost:float -> ?wait_cost:float -> unit -> t
+val create : ?obs:Obs.t -> ?signal_cost:float -> ?wait_cost:float -> unit -> t
+(** With [?obs], every signal/wait is counted ([coi.signals] /
+    [coi.waits]) and recorded as an {!Obs.Signal} span on the
+    simulated clock. *)
 
 exception Never_signalled of int
 

@@ -28,9 +28,10 @@ type t = {
   mutable next_addr : int;
   faulted : (int, unit) Hashtbl.t;  (** page number -> present on device *)
   mutable faults : int;
+  obs : Obs.t option;
 }
 
-let create (config : Machine.Config.myo) =
+let create ?obs (config : Machine.Config.myo) =
   {
     config;
     allocs = 0;
@@ -38,6 +39,7 @@ let create (config : Machine.Config.myo) =
     next_addr = 0x2000_0000;
     faulted = Hashtbl.create 1024;
     faults = 0;
+    obs;
   }
 
 (** [Offload_shared_malloc]: returns the address of a shared object of
@@ -55,6 +57,11 @@ let alloc t bytes =
     t.allocs <- t.allocs + 1;
     t.total_bytes <- t.total_bytes + bytes;
     t.next_addr <- t.next_addr + bytes;
+    (match t.obs with
+    | None -> ()
+    | Some o ->
+        Obs.incr o "myo.allocs";
+        Obs.add o "myo.alloc_bytes" bytes);
     Ok addr
   end
 
@@ -74,12 +81,20 @@ let touch t ~addr ~len =
       end
     done;
     t.faults <- t.faults + !fresh;
+    (match t.obs with
+    | None -> ()
+    | Some o ->
+        Obs.incr ~by:!fresh o "myo.page_faults";
+        Obs.add o "myo.fault_bytes" (!fresh * t.config.page_bytes);
+        Obs.observe o "myo.faults_per_touch" (float_of_int !fresh));
     !fresh
   end
 
 (** Synchronization boundary: MYO invalidates device copies when the
     offload region ends, so the next region faults again. *)
-let sync_boundary t = Hashtbl.reset t.faulted
+let sync_boundary t =
+  (match t.obs with None -> () | Some o -> Obs.incr o "myo.syncs");
+  Hashtbl.reset t.faulted
 
 type stats = { allocs : int; total_bytes : int; faults : int }
 

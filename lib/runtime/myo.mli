@@ -17,7 +17,10 @@ val pp_error : Format.formatter -> error -> unit
 
 type t
 
-val create : Machine.Config.myo -> t
+val create : ?obs:Obs.t -> Machine.Config.myo -> t
+(** With [?obs], allocations, page faults and sync boundaries bump the
+    [myo.allocs] / [myo.page_faults] / [myo.fault_bytes] / [myo.syncs]
+    counters (Table III's fault columns). *)
 
 val alloc : t -> int -> (int, error) result
 (** [Offload_shared_malloc]: address of a shared object of [bytes]

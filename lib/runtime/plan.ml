@@ -102,6 +102,67 @@ let streamed ?(nblocks = 20) ?(double_buffered = true) ?(persistent = false)
 
 let merged ?(streamed = false) ?(nblocks = 20) () = Merged { streamed; nblocks }
 
+(** The shared-structure description of a shape, defaulting (as the
+    schedule generator does) to "all of [bytes_in], one allocation,
+    one object access per iteration" when none is given. *)
+let shared_of_shape (s : shape) =
+  match s.shared with
+  | Some sh -> sh
+  | None ->
+      {
+        default_shared with
+        shared_bytes = int_of_float s.bytes_in;
+        shared_allocs = 1;
+        objects_touched = s.iters;
+      }
+
+(** Pages the device touches per MYO offload round. *)
+let myo_touched_pages (cfg : Machine.Config.t) (sh : shared) =
+  let pages =
+    (sh.shared_bytes + cfg.myo.page_bytes - 1) / cfg.myo.page_bytes
+  in
+  int_of_float (Float.round (float_of_int pages *. sh.myo_touched_frac))
+
+(** Transfer volumes a (shape, strategy) pair {e declares}: what the
+    lowered task graph must move.  [fault_bytes] is MYO page-fault
+    traffic (kind [page_fault]), kept apart from DMA [h2d_bytes].  The
+    conservation property test checks the observed span bytes against
+    exactly these numbers. *)
+type transfers = { h2d_bytes : float; d2h_bytes : float; fault_bytes : float }
+
+let declared_transfers (cfg : Machine.Config.t) (s : shape) = function
+  | Host_parallel -> { h2d_bytes = 0.; d2h_bytes = 0.; fault_bytes = 0. }
+  | Naive_offload | Streamed _ ->
+      let per = float_of_int (s.outer_repeats * s.inner_offloads) in
+      {
+        h2d_bytes = s.invariant_bytes +. (s.bytes_in *. per);
+        d2h_bytes = s.bytes_out *. per;
+        fault_bytes = 0.;
+      }
+  | Merged _ ->
+      {
+        h2d_bytes =
+          (s.bytes_in *. float_of_int s.inner_offloads) +. s.invariant_bytes;
+        d2h_bytes = s.bytes_out;
+        fault_bytes = 0.;
+      }
+  | Shared_myo ->
+      let sh = shared_of_shape s in
+      let touched = myo_touched_pages cfg sh in
+      let rounds = max 1 sh.myo_rounds in
+      {
+        h2d_bytes = 0.;
+        d2h_bytes = s.bytes_out;
+        fault_bytes = float_of_int (rounds * touched * cfg.myo.page_bytes);
+      }
+  | Shared_segbuf _ ->
+      let sh = shared_of_shape s in
+      {
+        h2d_bytes = float_of_int (max 0 sh.shared_bytes);
+        d2h_bytes = s.bytes_out;
+        fault_bytes = 0.;
+      }
+
 let strategy_name = function
   | Host_parallel -> "cpu"
   | Naive_offload -> "mic-naive"

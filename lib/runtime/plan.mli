@@ -80,3 +80,19 @@ val streamed :
 val merged : ?streamed:bool -> ?nblocks:int -> unit -> strategy
 
 val strategy_name : strategy -> string
+
+val shared_of_shape : shape -> shared
+(** The shared-structure description of a shape, with the schedule
+    generator's default when none is given. *)
+
+val myo_touched_pages : Machine.Config.t -> shared -> int
+(** Pages the device touches per MYO offload round. *)
+
+(** Transfer volumes a (shape, strategy) pair declares: what the
+    lowered task graph must move.  [fault_bytes] is MYO page-fault
+    traffic (kind [page_fault]), kept apart from DMA [h2d_bytes]. *)
+type transfers = { h2d_bytes : float; d2h_bytes : float; fault_bytes : float }
+
+val declared_transfers : Machine.Config.t -> shape -> strategy -> transfers
+(** The totals the observed span bytes must conserve
+    (property-tested). *)

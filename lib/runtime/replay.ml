@@ -37,9 +37,10 @@ let default_params = { bytes_per_cell = 65536.; seconds_per_stmt = 5e-5 }
 exception Unmatched_wait of int
 
 (** Build the task graph of an event trace. *)
-let tasks ?(params = default_params) (cfg : Config.t)
+let tasks ?obs ?(params = default_params) (cfg : Config.t)
     (events : Minic.Interp.event list) : Task.t list =
   let b = Task.builder () in
+  let bump name = match obs with None -> () | Some o -> Obs.incr o name in
   let signals : (int, int) Hashtbl.t = Hashtbl.create 16 in
   (* the host's synchronous progress: deps for the next sync op *)
   let host_prev = ref [] in
@@ -48,8 +49,9 @@ let tasks ?(params = default_params) (cfg : Config.t)
     let resource = if d2h > h2d then Task.Pcie_d2h else Task.Pcie_h2d in
     let dir = if d2h > h2d then Cost.D2h else Cost.H2d in
     let bytes = float_of_int (h2d + d2h) *. params.bytes_per_cell in
-    Task.add b ~deps ~label ~resource
-      ~duration:(Cost.transfer_time cfg dir ~bytes)
+    Task.add b ~deps ~label ~resource ~kind:(Cost.kind_of_direction dir)
+      ~bytes
+      ~duration:(Cost.transfer_time ?obs cfg dir ~bytes)
       ()
   in
   List.iteri
@@ -64,9 +66,11 @@ let tasks ?(params = default_params) (cfg : Config.t)
           match signal with
           | Some tag ->
               (* asynchronous: issued here, joined at the wait *)
+              bump "replay.signals";
               Hashtbl.replace signals tag id
           | None -> host_prev := [ id ])
       | Minic.Interp.Ev_wait tag -> (
+          bump "replay.waits";
           match Hashtbl.find_opt signals tag with
           | Some id -> host_prev := id :: !host_prev
           | None -> raise (Unmatched_wait tag))
@@ -75,17 +79,19 @@ let tasks ?(params = default_params) (cfg : Config.t)
             match wait with
             | None -> []
             | Some tag -> (
+                bump "replay.waits";
                 match Hashtbl.find_opt signals tag with
                 | Some id -> [ id ]
                 | None -> raise (Unmatched_wait tag))
           in
+          bump "runtime.launches";
           let id =
             Task.add b
               ~deps:(wait_dep @ !host_prev)
               ~label:(Printf.sprintf "kernel#%d" i)
-              ~resource:Task.Mic_exec
+              ~resource:Task.Mic_exec ~kind:Obs.Kernel
               ~duration:
-                (Cost.launch_time cfg
+                (Cost.launch_time ?obs cfg
                 +. (float_of_int work *. params.seconds_per_stmt))
               ()
           in
@@ -94,13 +100,14 @@ let tasks ?(params = default_params) (cfg : Config.t)
   Task.tasks b
 
 (** Schedule the replayed trace. *)
-let schedule ?params cfg events = Engine.schedule (tasks ?params cfg events)
+let schedule ?obs ?params cfg events =
+  Engine.schedule ?obs (tasks ?obs ?params cfg events)
 
 let makespan ?params cfg events = (schedule ?params cfg events).Engine.makespan
 
 (** Interpret a program and replay its trace; returns the outcome and
     the schedule.  Raises on interpreter errors. *)
-let of_program ?params ?(cfg = Config.paper_default) prog =
+let of_program ?obs ?params ?(cfg = Config.paper_default) prog =
   match Minic.Interp.run prog with
   | Error msg -> invalid_arg ("Replay.of_program: " ^ msg)
-  | Ok o -> (o, schedule ?params cfg o.Minic.Interp.events)
+  | Ok o -> (o, schedule ?obs ?params cfg o.Minic.Interp.events)

@@ -20,12 +20,16 @@ exception Unmatched_wait of int
     the deadlock a lost signal would cause, surfaced loudly. *)
 
 val tasks :
+  ?obs:Obs.t ->
   ?params:params ->
   Machine.Config.t ->
   Minic.Interp.event list ->
   Machine.Task.t list
+(** With [?obs], transfers/kernels are tagged and counted
+    ([replay.signals], [replay.waits], [runtime.launches]). *)
 
 val schedule :
+  ?obs:Obs.t ->
   ?params:params ->
   Machine.Config.t ->
   Minic.Interp.event list ->
@@ -35,6 +39,7 @@ val makespan :
   ?params:params -> Machine.Config.t -> Minic.Interp.event list -> float
 
 val of_program :
+  ?obs:Obs.t ->
   ?params:params ->
   ?cfg:Machine.Config.t ->
   Minic.Ast.program ->

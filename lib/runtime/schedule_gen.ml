@@ -22,16 +22,21 @@ let cpu_compute (cfg : Machine.Config.t) (s : P.shape) =
 (** Task graph for one (shape, strategy).  The graph covers the
     offloadable part of the application only; [host_serial_s] is added
     by {!total_time}. *)
-let tasks cfg (shape : P.shape) (strategy : P.strategy) : Task.t list =
+let tasks ?obs cfg (shape : P.shape) (strategy : P.strategy) : Task.t list =
   let b = Task.builder () in
-  (* half-duplex links serialize both directions on one channel *)
-  let add ?deps ~label ~resource ~duration () =
+  (* half-duplex links serialize both directions on one channel; the
+     observability kind survives the remap, so d2h traffic is still
+     accounted as d2h *)
+  let add ?deps ?kind ?bytes ~label ~resource ~duration () =
     let resource =
       match (cfg.Machine.Config.pcie.duplex, resource) with
       | Machine.Config.Half_duplex, Task.Pcie_d2h -> Task.Pcie_h2d
       | _ -> resource
     in
-    Task.add b ?deps ~label ~resource ~duration ()
+    Task.add b ?deps ?kind ?bytes ~label ~resource ~duration ()
+  in
+  let bump ?(by = 1) name =
+    match obs with None -> () | Some o -> Obs.incr ~by o name
   in
   (match strategy with
   | P.Host_parallel ->
@@ -71,22 +76,24 @@ let tasks cfg (shape : P.shape) (strategy : P.strategy) : Task.t list =
           let t_in =
             add ~deps:!prev
               ~label:(Printf.sprintf "h2d r%d.%d" r j)
-              ~resource:Task.Pcie_h2d
-              ~duration:(Cost.transfer_time cfg Cost.H2d ~bytes:h2d_bytes)
+              ~resource:Task.Pcie_h2d ~kind:Obs.H2d ~bytes:h2d_bytes
+              ~duration:(Cost.transfer_time ?obs cfg Cost.H2d ~bytes:h2d_bytes)
               ()
           in
+          bump "runtime.launches";
           let t_k =
             add ~deps:[ t_in ]
               ~label:(Printf.sprintf "kernel r%d.%d" r j)
-              ~resource:Task.Mic_exec
-              ~duration:(Cost.launch_time cfg +. compute)
+              ~resource:Task.Mic_exec ~kind:Obs.Kernel
+              ~duration:(Cost.launch_time ?obs cfg +. compute)
               ()
           in
           let t_out =
             add ~deps:[ t_k ]
               ~label:(Printf.sprintf "d2h r%d.%d" r j)
-              ~resource:Task.Pcie_d2h
-              ~duration:(Cost.transfer_time cfg Cost.D2h ~bytes:shape.bytes_out)
+              ~resource:Task.Pcie_d2h ~kind:Obs.D2h ~bytes:shape.bytes_out
+              ~duration:
+                (Cost.transfer_time ?obs cfg Cost.D2h ~bytes:shape.bytes_out)
               ()
           in
           prev := [ t_out ]
@@ -119,17 +126,17 @@ let tasks cfg (shape : P.shape) (strategy : P.strategy) : Task.t list =
       let n_in = if streamed then max 1 nblocks else 1 in
       let in_ids =
         List.init n_in (fun i ->
+            let blk_bytes = h2d_bytes /. float_of_int n_in in
             add
               ~label:(Printf.sprintf "h2d %d/%d" (i + 1) n_in)
-              ~resource:Task.Pcie_h2d
-              ~duration:
-                (Cost.transfer_time cfg Cost.H2d
-                   ~bytes:(h2d_bytes /. float_of_int n_in))
+              ~resource:Task.Pcie_h2d ~kind:Obs.H2d ~bytes:blk_bytes
+              ~duration:(Cost.transfer_time ?obs cfg Cost.H2d ~bytes:blk_bytes)
               ())
       in
+      bump "runtime.launches";
       let launch =
-        add ~label:"launch merged" ~resource:Task.Mic_exec
-          ~duration:(Cost.launch_time cfg) ()
+        add ~label:"launch merged" ~resource:Task.Mic_exec ~kind:Obs.Launch
+          ~duration:(Cost.launch_time ?obs cfg) ()
       in
       let first_dep =
         (* streamed: start once the first block landed; otherwise wait
@@ -143,7 +150,7 @@ let tasks cfg (shape : P.shape) (strategy : P.strategy) : Task.t list =
         let id =
           add ~deps:!prev
             ~label:(Printf.sprintf "merged chunk r%d" r)
-            ~resource:Task.Mic_exec ~duration:chunk ()
+            ~resource:Task.Mic_exec ~kind:Obs.Kernel ~duration:chunk ()
         in
         prev := [ id ];
         last := id
@@ -151,8 +158,10 @@ let tasks cfg (shape : P.shape) (strategy : P.strategy) : Task.t list =
       ignore
         (add
            ~deps:(!last :: in_ids)
-           ~label:"d2h all" ~resource:Task.Pcie_d2h
-           ~duration:(Cost.transfer_time cfg Cost.D2h ~bytes:shape.bytes_out)
+           ~label:"d2h all" ~resource:Task.Pcie_d2h ~kind:Obs.D2h
+           ~bytes:shape.bytes_out
+           ~duration:
+             (Cost.transfer_time ?obs cfg Cost.D2h ~bytes:shape.bytes_out)
            ())
   | P.Streamed { nblocks; double_buffered; persistent; repack } ->
       (* streamed pipeline per offload instance, chained across the
@@ -161,26 +170,35 @@ let tasks cfg (shape : P.shape) (strategy : P.strategy) : Task.t list =
       let compute_blk = mic_compute cfg shape /. float_of_int n in
       let in_blk = shape.bytes_in /. float_of_int n in
       let out_blk = shape.bytes_out /. float_of_int n in
+      (* one model evaluation here; the per-block signal/launch events
+         are counted as the blocks are laid down below *)
       let per_block_overhead =
-        if persistent then Cost.signal_time cfg else Cost.launch_time cfg
+        if persistent then Cost.signal_time ?obs cfg
+        else Cost.launch_time ?obs cfg
       in
       (* the invariant data and the persistent-kernel launch happen
          once, before everything *)
       let pre0 =
         if shape.invariant_bytes > 0. then
           [
-            add ~label:"h2d invariant" ~resource:Task.Pcie_h2d
+            add ~label:"h2d invariant" ~resource:Task.Pcie_h2d ~kind:Obs.H2d
+              ~bytes:shape.invariant_bytes
               ~duration:
-                (Cost.transfer_time cfg Cost.H2d ~bytes:shape.invariant_bytes)
+                (Cost.transfer_time ?obs cfg Cost.H2d
+                   ~bytes:shape.invariant_bytes)
               ();
           ]
         else []
       in
       let pre0 =
-        if persistent then
+        if persistent then begin
+          bump "runtime.launches";
           add ~deps:pre0 ~label:"launch persistent" ~resource:Task.Mic_exec
-            ~duration:(Cost.launch_time cfg) ()
+            ~kind:Obs.Launch
+            ~duration:(Cost.launch_time ?obs cfg)
+            ()
           :: pre0
+        end
         else pre0
       in
       let prev = ref pre0 in
@@ -203,10 +221,12 @@ let tasks cfg (shape : P.shape) (strategy : P.strategy) : Task.t list =
                      else [])
                     @ !prev
                   in
+                  bump "runtime.repacks";
                   let id =
                     add ~deps
                       ~label:(Printf.sprintf "repack r%d.%d b%d" r j blk)
-                      ~resource:Task.Cpu_exec ~duration:repack_s_per_block ()
+                      ~resource:Task.Cpu_exec ~kind:Obs.Repack
+                      ~duration:repack_s_per_block ()
                   in
                   repack_prev := [ id ];
                   [ id ]
@@ -221,17 +241,18 @@ let tasks cfg (shape : P.shape) (strategy : P.strategy) : Task.t list =
               add
                 ~deps:(!prev @ repack_dep @ buffer_dep)
                 ~label:(Printf.sprintf "h2d r%d.%d b%d" r j blk)
-                ~resource:Task.Pcie_h2d
-                ~duration:(Cost.transfer_time cfg Cost.H2d ~bytes:in_blk)
+                ~resource:Task.Pcie_h2d ~kind:Obs.H2d ~bytes:in_blk
+                ~duration:(Cost.transfer_time ?obs cfg Cost.H2d ~bytes:in_blk)
                 ()
             in
             let k_deps =
               t_in :: (if blk > 0 then [ kernel_ids.(blk - 1) ] else [])
             in
+            bump (if persistent then "runtime.signals" else "runtime.launches");
             let t_k =
               add ~deps:k_deps
                 ~label:(Printf.sprintf "kernel r%d.%d b%d" r j blk)
-                ~resource:Task.Mic_exec
+                ~resource:Task.Mic_exec ~kind:Obs.Kernel
                 ~duration:(per_block_overhead +. compute_blk)
                 ()
             in
@@ -239,8 +260,8 @@ let tasks cfg (shape : P.shape) (strategy : P.strategy) : Task.t list =
             let t_out =
               add ~deps:[ t_k ]
                 ~label:(Printf.sprintf "d2h r%d.%d b%d" r j blk)
-                ~resource:Task.Pcie_d2h
-                ~duration:(Cost.transfer_time cfg Cost.D2h ~bytes:out_blk)
+                ~resource:Task.Pcie_d2h ~kind:Obs.D2h ~bytes:out_blk
+                ~duration:(Cost.transfer_time ?obs cfg Cost.D2h ~bytes:out_blk)
                 ()
             in
             out_ids := t_out :: !out_ids
@@ -262,32 +283,19 @@ let tasks cfg (shape : P.shape) (strategy : P.strategy) : Task.t list =
          the device copies); each fault pays software handling plus a
          page-sized, non-DMA copy, and every device access pays a
          coherence-state check. *)
-      let sh =
-        match shape.shared with
-        | Some sh -> sh
-        | None ->
-            {
-              P.default_shared with
-              P.shared_bytes = int_of_float shape.bytes_in;
-              shared_allocs = 1;
-              objects_touched = shape.iters;
-            }
-      in
-      let pages =
-        (sh.shared_bytes + cfg.myo.page_bytes - 1) / cfg.myo.page_bytes
-      in
-      let touched =
-        int_of_float (Float.round (float_of_int pages *. sh.myo_touched_frac))
-      in
+      let sh = P.shared_of_shape shape in
+      let touched = P.myo_touched_pages cfg sh in
       let per_page =
         cfg.myo.fault_cost_s
         +. float_of_int cfg.myo.page_bytes /. (cfg.myo.page_bw_gbs *. 1e9)
       in
       let fault_per_round = float_of_int touched *. per_page in
+      let fault_bytes = float_of_int (touched * cfg.myo.page_bytes) in
       let rounds = max 1 sh.myo_rounds in
       let compute_per_round =
         mic_compute cfg shape *. sh.myo_access_penalty /. float_of_int rounds
       in
+      bump ~by:sh.shared_allocs "runtime.myo_allocs";
       (* allocation bookkeeping on the host *)
       let t_alloc =
         add ~label:"myo allocs" ~resource:Task.Cpu_exec
@@ -296,81 +304,82 @@ let tasks cfg (shape : P.shape) (strategy : P.strategy) : Task.t list =
       in
       let prev = ref [ t_alloc ] in
       for r = 0 to rounds - 1 do
+        bump ~by:touched "runtime.page_faults";
         let t_fault =
           add ~deps:!prev
             ~label:(Printf.sprintf "myo faults r%d" r)
-            ~resource:Task.Pcie_h2d ~duration:fault_per_round ()
+            ~resource:Task.Pcie_h2d ~kind:Obs.Page_fault ~bytes:fault_bytes
+            ~duration:fault_per_round ()
         in
+        bump "runtime.launches";
         let t_k =
           add ~deps:[ t_fault ]
             ~label:(Printf.sprintf "kernel r%d" r)
-            ~resource:Task.Mic_exec
-            ~duration:(Cost.launch_time cfg +. compute_per_round)
+            ~resource:Task.Mic_exec ~kind:Obs.Kernel
+            ~duration:(Cost.launch_time ?obs cfg +. compute_per_round)
             ()
         in
         prev := [ t_k ]
       done;
       ignore
         (add ~deps:!prev ~label:"d2h results" ~resource:Task.Pcie_d2h
-           ~duration:(Cost.transfer_time cfg Cost.D2h ~bytes:shape.bytes_out)
+           ~kind:Obs.D2h ~bytes:shape.bytes_out
+           ~duration:
+             (Cost.transfer_time ?obs cfg Cost.D2h ~bytes:shape.bytes_out)
            ())
   | P.Shared_segbuf { seg_bytes } ->
       (* our mechanism: whole preallocated segments moved by DMA; O(1)
          pointer translation via the delta table costs a small per-access
          overhead *)
-      let sh =
-        match shape.shared with
-        | Some sh -> sh
-        | None ->
-            {
-              P.default_shared with
-              P.shared_bytes = int_of_float shape.bytes_in;
-              shared_allocs = 1;
-              objects_touched = shape.iters;
-            }
-      in
+      let sh = P.shared_of_shape shape in
       let segs = max 1 ((sh.shared_bytes + seg_bytes - 1) / seg_bytes) in
+      bump ~by:sh.shared_allocs "runtime.segbuf_allocs";
+      bump ~by:segs "runtime.seg_allocs";
       let t_alloc =
-        add ~label:"segbuf allocs" ~resource:Task.Cpu_exec
+        add ~label:"segbuf allocs" ~resource:Task.Cpu_exec ~kind:Obs.Seg_alloc
           ~duration:(float_of_int sh.shared_allocs *. 0.05e-6)
           ()
       in
       let seg_tasks =
         List.init segs (fun i ->
+            let seg_xfer =
+              float_of_int
+                (max 0 (min seg_bytes (sh.shared_bytes - (i * seg_bytes))))
+            in
             add ~deps:[ t_alloc ]
               ~label:(Printf.sprintf "dma seg%d" i)
-              ~resource:Task.Pcie_h2d
-              ~duration:
-                (Cost.transfer_time cfg Cost.H2d
-                   ~bytes:
-                     (float_of_int
-                        (min seg_bytes
-                           (sh.shared_bytes - (i * seg_bytes)))))
+              ~resource:Task.Pcie_h2d ~kind:Obs.H2d ~bytes:seg_xfer
+              ~duration:(Cost.transfer_time ?obs cfg Cost.H2d ~bytes:seg_xfer)
               ())
       in
       let translate_overhead =
         float_of_int sh.objects_touched *. 1.0e-9
       in
+      bump "runtime.launches";
       let t_k =
         add ~deps:seg_tasks ~label:"kernel" ~resource:Task.Mic_exec
+          ~kind:Obs.Kernel
           ~duration:
-            (Cost.launch_time cfg +. mic_compute cfg shape
+            (Cost.launch_time ?obs cfg +. mic_compute cfg shape
            +. translate_overhead)
           ()
       in
       ignore
         (add ~deps:[ t_k ] ~label:"d2h results" ~resource:Task.Pcie_d2h
-           ~duration:(Cost.transfer_time cfg Cost.D2h ~bytes:shape.bytes_out)
+           ~kind:Obs.D2h ~bytes:shape.bytes_out
+           ~duration:
+             (Cost.transfer_time ?obs cfg Cost.D2h ~bytes:shape.bytes_out)
            ()));
   Task.tasks b
 
 (** Makespan of the offloadable part under a strategy. *)
-let region_time cfg shape strategy =
-  (Engine.schedule (tasks cfg shape strategy)).Engine.makespan
+let region_time ?obs cfg shape strategy =
+  (Engine.schedule ?obs (tasks ?obs cfg shape strategy)).Engine.makespan
 
 (** Whole-application time: region time plus the host serial part. *)
-let total_time cfg (shape : P.shape) strategy =
-  shape.host_serial_s +. region_time cfg shape strategy
+let total_time ?obs cfg (shape : P.shape) strategy =
+  shape.host_serial_s +. region_time ?obs cfg shape strategy
 
 (** Full schedule, for tracing. *)
-let schedule cfg shape strategy = Engine.schedule (tasks cfg shape strategy)
+let schedule ?obs cfg shape strategy =
+  Engine.schedule ?obs (tasks ?obs cfg shape strategy)

@@ -9,16 +9,30 @@ val mic_compute : Machine.Config.t -> Plan.shape -> float
 
 val cpu_compute : Machine.Config.t -> Plan.shape -> float
 
-val tasks : Machine.Config.t -> Plan.shape -> Plan.strategy -> Machine.Task.t list
+val tasks :
+  ?obs:Obs.t ->
+  Machine.Config.t ->
+  Plan.shape ->
+  Plan.strategy ->
+  Machine.Task.t list
 (** Task graph of the offloadable part (the host serial part is added
-    by {!total_time}). *)
+    by {!total_time}).  Every task is tagged with its observability
+    kind and byte payload; with [?obs], launches/signals/faults are
+    counted ([runtime.*]) and the cost-model evaluations recorded. *)
 
-val region_time : Machine.Config.t -> Plan.shape -> Plan.strategy -> float
+val region_time :
+  ?obs:Obs.t -> Machine.Config.t -> Plan.shape -> Plan.strategy -> float
 (** Makespan of the offloadable part. *)
 
-val total_time : Machine.Config.t -> Plan.shape -> Plan.strategy -> float
+val total_time :
+  ?obs:Obs.t -> Machine.Config.t -> Plan.shape -> Plan.strategy -> float
 (** Whole-application time: region time plus [host_serial_s]. *)
 
 val schedule :
-  Machine.Config.t -> Plan.shape -> Plan.strategy -> Machine.Engine.result
-(** Full schedule, for tracing / Gantt output. *)
+  ?obs:Obs.t ->
+  Machine.Config.t ->
+  Plan.shape ->
+  Plan.strategy ->
+  Machine.Engine.result
+(** Full schedule, for tracing / Gantt output.  With [?obs], the
+    engine records one span per placed task. *)

@@ -21,7 +21,19 @@ type t = {
   seg_cells : int;
   mutable segments : segment list;  (** newest first *)
   mutable allocs : int;  (** allocation count, for Table III *)
+  obs : Obs.t option;  (** observability sink, if any *)
 }
+
+(** Errors are values: allocation failures are reported, not escaped
+    with [failwith] (the front end's invariant, kept here too). *)
+type error = Out_of_buffer_ids of { max : int }
+
+exception Error of error
+
+let pp_error fmt = function
+  | Out_of_buffer_ids { max } ->
+      Format.fprintf fmt
+        "Segbuf: out of buffer ids (bid is one byte, max %d segments)" max
 
 let default_seg_cells = 1 lsl 16
 
@@ -29,9 +41,9 @@ let default_seg_cells = 1 lsl 16
    would: translation must not rely on contiguity. *)
 let base_of_bid ~seg_cells bid = 0x1000_0000 + (bid * (seg_cells + 0x1000))
 
-let create ?(seg_cells = default_seg_cells) () =
+let create ?obs ?(seg_cells = default_seg_cells) () =
   if seg_cells <= 0 then invalid_arg "Segbuf.create: seg_cells <= 0";
-  { seg_cells; segments = []; allocs = 0 }
+  { seg_cells; segments = []; allocs = 0; obs }
 
 let seg_count t = List.length t.segments
 
@@ -45,35 +57,56 @@ let alloc_count t = t.allocs
 let new_segment t =
   let bid = seg_count t in
   if bid >= Xptr.max_buffers then
-    failwith "Segbuf.alloc: out of buffer ids (bid is one byte)";
-  let s =
-    {
-      bid;
-      cpu_base = base_of_bid ~seg_cells:t.seg_cells bid;
-      cells = Array.make t.seg_cells 0;
-      used = 0;
-    }
-  in
-  t.segments <- s :: t.segments;
-  s
+    Result.Error (Out_of_buffer_ids { max = Xptr.max_buffers })
+  else begin
+    let s =
+      {
+        bid;
+        cpu_base = base_of_bid ~seg_cells:t.seg_cells bid;
+        cells = Array.make t.seg_cells 0;
+        used = 0;
+      }
+    in
+    t.segments <- s :: t.segments;
+    (match t.obs with
+    | None -> ()
+    | Some o -> Obs.incr o "segbuf.seg_allocs");
+    Ok s
+  end
 
-(** Allocate an object of [n] cells.  Objects never span segments and
-    never move.  When the current segment is full a new one is created
-    — no data is copied, which is the point of the scheme. *)
-let alloc t n =
+(** Allocate an object of [n] cells, or report buffer-id exhaustion as
+    a value.  Objects never span segments and never move.  When the
+    current segment is full a new one is created — no data is copied,
+    which is the point of the scheme.  Raises [Invalid_argument] only
+    for sizes that can never fit ([n <= 0] or larger than a segment). *)
+let try_alloc t n =
   if n <= 0 || n > t.seg_cells then
     invalid_arg
       (Printf.sprintf "Segbuf.alloc: size %d (segment holds %d)" n
          t.seg_cells);
   let seg =
     match t.segments with
-    | s :: _ when s.used + n <= t.seg_cells -> s
+    | s :: _ when s.used + n <= t.seg_cells -> Ok s
     | _ -> new_segment t
   in
-  let p = Xptr.make ~bid:seg.bid ~addr:(seg.cpu_base + seg.used) in
-  seg.used <- seg.used + n;
-  t.allocs <- t.allocs + 1;
-  p
+  Result.map
+    (fun seg ->
+      let p = Xptr.make ~bid:seg.bid ~addr:(seg.cpu_base + seg.used) in
+      seg.used <- seg.used + n;
+      t.allocs <- t.allocs + 1;
+      (match t.obs with
+      | None -> ()
+      | Some o ->
+          Obs.incr o "segbuf.allocs";
+          Obs.observe o "segbuf.alloc_cells" (float_of_int n));
+      p)
+    seg
+
+(** Exception-raising convenience over {!try_alloc}: raises {!Error}
+    (a typed exception, catchable at the allocation boundary) on
+    buffer-id exhaustion. *)
+let alloc t n =
+  match try_alloc t n with Ok p -> p | Result.Error e -> raise (Error e)
 
 let find_segment t bid =
   match List.find_opt (fun s -> s.bid = bid) t.segments with
@@ -142,6 +175,11 @@ module Image = struct
         bounds.(s.bid) <- (s.cpu_base, s.used, mic_base);
         ofs := !ofs + s.used)
       segs;
+    (match t.obs with
+    | None -> ()
+    | Some o ->
+        Obs.incr ~by:nseg o "segbuf.dma_segments";
+        Obs.add o "segbuf.dma_bytes" (total * bytes_per_cell));
     { arena; arena_base = device_base; delta; bounds; bytes_per_cell }
 
   (** Device-side read of cell [k] of the object at [p]: translates the

@@ -9,9 +9,21 @@
 
 type t
 
+(** Errors are values: allocation failures are reported, not escaped
+    with [failwith]. *)
+type error = Out_of_buffer_ids of { max : int }
+
+exception Error of error
+(** Raised only by the {!alloc} convenience wrapper. *)
+
+val pp_error : Format.formatter -> error -> unit
+
 val default_seg_cells : int
 
-val create : ?seg_cells:int -> unit -> t
+val create : ?obs:Obs.t -> ?seg_cells:int -> unit -> t
+(** With [?obs], allocations, segment creations and device transfers
+    bump [segbuf.allocs] / [segbuf.seg_allocs] / [segbuf.dma_*]
+    counters. *)
 
 val seg_count : t -> int
 val used_cells : t -> int
@@ -20,10 +32,15 @@ val capacity_cells : t -> int
 val alloc_count : t -> int
 (** Allocations performed — Table III's "dynamic" column. *)
 
+val try_alloc : t -> int -> (Xptr.t, error) result
+(** Allocate an object of [n] cells, or report buffer-id exhaustion
+    (256 segments; bid is one byte) as a value.  Objects never span
+    segments and never move.  Raises [Invalid_argument] only for sizes
+    that can never fit ([n <= 0] or larger than a segment). *)
+
 val alloc : t -> int -> Xptr.t
-(** Allocate an object of [n] cells.  Objects never span segments and
-    never move.  Raises [Invalid_argument] if [n] exceeds the segment
-    size and [Failure] past 256 segments (bid is one byte). *)
+(** Exception-raising convenience over {!try_alloc}: raises {!Error}
+    on buffer-id exhaustion. *)
 
 val get : t -> Xptr.t -> int -> int
 (** Host-side read of cell [k] of the object at [p]; bounds-checked. *)

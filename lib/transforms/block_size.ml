@@ -25,29 +25,52 @@ let streamed_time p ~nblocks =
   let c = p.compute_s /. n in
   d +. (Float.max (c +. p.launch_s) d *. (n -. 1.)) +. c +. p.launch_s
 
-(** The analytically optimal block count (at least 1). *)
+(** Block counts beyond this stop paying off in the model (the per-block
+    times vanish into rounding) and stopped being realistic on the
+    hardware; it also bounds the [K = 0] limit, where T(N) decreases
+    monotonically and has no finite optimum. *)
+let max_blocks = 4096
+
+let validate p =
+  let check name v =
+    if Float.is_nan v then
+      invalid_arg (Printf.sprintf "Block_size: %s is NaN" name);
+    if v < 0. then
+      invalid_arg (Printf.sprintf "Block_size: negative %s (%g)" name v)
+  in
+  check "transfer_s" p.transfer_s;
+  check "compute_s" p.compute_s;
+  check "launch_s" p.launch_s
+
+(** Round a real-valued candidate into the valid block range.  The
+    transfer-bound candidate [(D - C)/K] is negative whenever [C > D],
+    and either candidate overflows [int] for degenerate [K] — clamp in
+    float space before converting. *)
+let clamp_candidate n =
+  if Float.is_nan n then 1
+  else if n <= 1. then 1
+  else if n >= float_of_int max_blocks then max_blocks
+  else int_of_float (Float.round n)
+
+(** The analytically optimal block count (in [1, max_blocks]). *)
 let optimal_blocks p =
+  validate p;
   let d = p.transfer_s and c = p.compute_s and k = p.launch_s in
-  if k <= 0. then 50
+  if k <= 0. then
+    (* T(N) = D/N + max(C/N, D/N)(N-1) + C/N = max(C,D) + min(C,D)/N:
+       strictly decreasing in N, so the cap is the optimum *)
+    if Float.min c d <= 0. then 1 else max_blocks
   else
-    let n =
-      (* compute-bound at the optimum iff C/N + K > D/N there; test by
-         computing both candidates and taking the better *)
-      let n1 = sqrt (d /. k) in
-      let n2 = (d -. c) /. k in
-      let best_of cands =
-        List.fold_left
-          (fun best n ->
-            let n = max 1 (int_of_float (Float.round n)) in
-            if streamed_time p ~nblocks:n
-               < streamed_time p ~nblocks:best
-            then n
-            else best)
-          1 cands
-      in
-      best_of [ n1; n2 ]
-    in
-    max 1 n
+    (* compute-bound at the optimum iff C/N + K > D/N there; test by
+       computing both candidates and taking the better *)
+    let n1 = sqrt (d /. k) in
+    let n2 = (d -. c) /. k in
+    List.fold_left
+      (fun best n ->
+        let n = clamp_candidate n in
+        if streamed_time p ~nblocks:n < streamed_time p ~nblocks:best then n
+        else best)
+      1 [ n1; n2 ]
 
 (** Pick a block count the way the experiments did: try a small
     candidate set (the paper used 10, 20, 40, 50) and keep the best. *)

@@ -21,8 +21,14 @@ val naive_time : params -> float
 val streamed_time : params -> nblocks:int -> float
 (** The paper's T(N). *)
 
+val max_blocks : int
+(** Upper bound on any block count {!optimal_blocks} returns; also the
+    answer in the [K = 0] limit, where T(N) has no finite optimum. *)
+
 val optimal_blocks : params -> int
-(** The analytically optimal block count (>= 1). *)
+(** The analytically optimal block count, clamped to
+    [1, max_blocks].  Raises [Invalid_argument] if any parameter is
+    negative or NaN. *)
 
 val choose : ?candidates:int list -> params -> int
 (** Pick as the experiments did: best of a small candidate grid (the

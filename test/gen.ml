@@ -282,3 +282,93 @@ let multi_instance_gen =
 let arb_multi_instance =
   QCheck.make ~print:(fun (src, b) -> Printf.sprintf "blocks=%d\n%s" b src)
     multi_instance_gen
+
+(** {1 Offload plan generators}
+
+    Random (shape, strategy) pairs covering every execution strategy —
+    the input space of the observability conservation properties:
+    whatever plan is generated, the bytes its schedule's spans record
+    must match what the plan declares. *)
+
+let shape_gen =
+  let open QCheck.Gen in
+  let* iters = int_range 1_000 1_000_000 in
+  let* bytes_in = map float_of_int (int_range 1_000 10_000_000) in
+  let* bytes_out = map float_of_int (int_range 1_000 10_000_000) in
+  let* invariant_bytes = map float_of_int (int_range 0 1_000_000) in
+  let* outer_repeats = int_range 1 5 in
+  let* inner_offloads = int_range 1 4 in
+  let* host_glue_s = float_range 0. 1e-3 in
+  let* with_shared = bool in
+  let* shared_bytes = int_range 4096 (1 lsl 24) in
+  let* shared_allocs = int_range 1 64 in
+  let* myo_touched_frac = float_range 0.05 1.0 in
+  let* myo_rounds = int_range 1 4 in
+  return
+    {
+      Runtime.Plan.default_shape with
+      iters;
+      bytes_in;
+      bytes_out;
+      invariant_bytes;
+      outer_repeats;
+      inner_offloads;
+      host_glue_s;
+      shared =
+        (if with_shared then
+           Some
+             {
+               Runtime.Plan.default_shared with
+               shared_bytes;
+               shared_allocs;
+               objects_touched = iters;
+               myo_touched_frac;
+               myo_rounds;
+             }
+         else None);
+    }
+
+let strategy_gen =
+  let open QCheck.Gen in
+  oneof
+    [
+      return Runtime.Plan.Host_parallel;
+      return Runtime.Plan.Naive_offload;
+      (let* nblocks = int_range 1 40 in
+       let* double_buffered = bool in
+       let* persistent = bool in
+       let* repack =
+         oneof
+           [
+             return None;
+             (let* pipelined = bool in
+              return
+                (Some { Runtime.Plan.repack_s_per_block = 1e-4; pipelined }));
+           ]
+       in
+       return
+         (Runtime.Plan.streamed ~nblocks ~double_buffered ~persistent ?repack
+            ()));
+      (let* nblocks = int_range 1 40 in
+       let* streamed = bool in
+       return (Runtime.Plan.merged ~streamed ~nblocks ()));
+      return Runtime.Plan.Shared_myo;
+      (let* mb = int_range 1 64 in
+       return (Runtime.Plan.Shared_segbuf { seg_bytes = mb * 1024 * 1024 }));
+    ]
+
+let arb_plan =
+  QCheck.make
+    ~print:(fun ((s : Runtime.Plan.shape), strat) ->
+      Printf.sprintf
+        "%s iters=%d in=%g out=%g inv=%g outer=%d inner=%d shared=%s"
+        (Runtime.Plan.strategy_name strat)
+        s.Runtime.Plan.iters s.Runtime.Plan.bytes_in s.Runtime.Plan.bytes_out
+        s.Runtime.Plan.invariant_bytes s.Runtime.Plan.outer_repeats
+        s.Runtime.Plan.inner_offloads
+        (match s.Runtime.Plan.shared with
+        | None -> "none"
+        | Some sh ->
+            Printf.sprintf "%dB/%d rounds" sh.Runtime.Plan.shared_bytes
+              sh.Runtime.Plan.myo_rounds))
+    QCheck.Gen.(pair shape_gen strategy_gen)

@@ -73,4 +73,47 @@ let suite =
         float_close
           (B.speedup p ~nblocks:n)
           (B.naive_time p /. B.streamed_time p ~nblocks:n));
+    tc "K = 0 returns the cap, not a magic constant" (fun () ->
+        (* T(N) is strictly decreasing when K = 0: the answer is the
+           model's block cap, and must not exceed it *)
+        let p = { B.transfer_s = 1.0; compute_s = 1.0; launch_s = 0. } in
+        Alcotest.(check int) "N* = max_blocks" B.max_blocks
+          (B.optimal_blocks p);
+        let degenerate = { p with compute_s = 0. } in
+        Alcotest.(check int) "K = 0, C = 0: constant T, N* = 1" 1
+          (B.optimal_blocks degenerate));
+    tc "D < C keeps the transfer-bound candidate in range" (fun () ->
+        (* (D - C)/K is negative here; it must clamp to 1, not wrap *)
+        let p = { B.transfer_s = 0.1; compute_s = 10.0; launch_s = 1e-6 } in
+        let n = B.optimal_blocks p in
+        Alcotest.(check bool)
+          (Printf.sprintf "1 <= %d <= cap" n)
+          true
+          (n >= 1 && n <= B.max_blocks));
+    tc "tiny D stays clamped and sane" (fun () ->
+        let p = { B.transfer_s = 1e-12; compute_s = 5.0; launch_s = 1e-9 } in
+        let n = B.optimal_blocks p in
+        Alcotest.(check bool)
+          (Printf.sprintf "1 <= %d <= cap" n)
+          true
+          (n >= 1 && n <= B.max_blocks);
+        Alcotest.(check bool)
+          "no worse than naive" true
+          (B.streamed_time p ~nblocks:n <= B.naive_time p +. 1e-12));
+    tc "negative or NaN parameters are rejected" (fun () ->
+        let rejects name p =
+          match B.optimal_blocks p with
+          | _ -> Alcotest.fail (name ^ ": expected Invalid_argument")
+          | exception Invalid_argument _ -> ()
+        in
+        rejects "negative D"
+          { B.transfer_s = -1.0; compute_s = 1.0; launch_s = 0.1 };
+        rejects "negative C"
+          { B.transfer_s = 1.0; compute_s = -1.0; launch_s = 0.1 };
+        rejects "NaN K"
+          { B.transfer_s = 1.0; compute_s = 1.0; launch_s = Float.nan });
+    prop "optimal_blocks is always within [1, max_blocks]" ~count:300
+      arb_params (fun p ->
+        let n = B.optimal_blocks p in
+        n >= 1 && n <= B.max_blocks);
   ]

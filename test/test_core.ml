@@ -22,6 +22,7 @@ let () =
       ("replay", Test_replay.suite);
       ("fuzz", Test_fuzz.suite);
       ("engine", Test_engine.suite);
+      ("obs", Test_obs.suite);
       ("cost", Test_cost.suite);
       ("runtime", Test_runtime.suite);
       ("segbuf", Test_segbuf.suite);

@@ -30,13 +30,15 @@ let arb_dag =
                  | _ -> Task.Pcie_d2h);
                duration = d;
                deps;
+               kind = None;
+               bytes = 0.;
              })
            (List.combine durations dep_flags)))
   in
   QCheck.make gen
 
 let simple ~resource ~duration ~deps id =
-  { Task.id; label = "t"; resource; duration; deps }
+  { Task.id; label = "t"; resource; duration; deps; kind = None; bytes = 0. }
 
 let suite =
   [

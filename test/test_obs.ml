@@ -1,0 +1,236 @@
+open Helpers
+module P = Runtime.Plan
+
+let cfg = Machine.Config.paper_default
+
+(* Minimal recursive-descent JSON syntax checker — there is no JSON
+   parser in the dependency set, and the point is exactly that the
+   hand-rolled encoder emits valid syntax for arbitrary profiles. *)
+let json_ok (s : string) : bool =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let adv () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        adv ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    skip_ws ();
+    match peek () with
+    | Some x when x = c ->
+        adv ();
+        true
+    | _ -> false
+  in
+  let lit w =
+    let l = String.length w in
+    if !pos + l <= n && String.sub s !pos l = w then (
+      pos := !pos + l;
+      true)
+    else false
+  in
+  let string_rest () =
+    (* after the opening quote *)
+    let rec go () =
+      match peek () with
+      | None -> false
+      | Some '"' ->
+          adv ();
+          true
+      | Some '\\' ->
+          adv ();
+          if peek () = None then false
+          else (
+            adv ();
+            go ())
+      | Some _ ->
+          adv ();
+          go ()
+    in
+    go ()
+  in
+  let number () =
+    let start = !pos in
+    let numchar = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while match peek () with Some c when numchar c -> true | _ -> false do
+      adv ()
+    done;
+    !pos > start
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        adv ();
+        obj_first ()
+    | Some '[' ->
+        adv ();
+        arr_first ()
+    | Some '"' ->
+        adv ();
+        string_rest ()
+    | Some ('-' | '0' .. '9') -> number ()
+    | Some 't' -> lit "true"
+    | Some 'f' -> lit "false"
+    | Some 'n' -> lit "null"
+    | _ -> false
+  and pair () =
+    expect '"' && string_rest () && expect ':' && value ()
+  and obj_first () =
+    skip_ws ();
+    match peek () with
+    | Some '}' ->
+        adv ();
+        true
+    | _ -> pair () && obj_rest ()
+  and obj_rest () =
+    skip_ws ();
+    match peek () with
+    | Some '}' ->
+        adv ();
+        true
+    | Some ',' ->
+        adv ();
+        pair () && obj_rest ()
+    | _ -> false
+  and arr_first () =
+    skip_ws ();
+    match peek () with
+    | Some ']' ->
+        adv ();
+        true
+    | _ -> value () && arr_rest ()
+  and arr_rest () =
+    skip_ws ();
+    match peek () with
+    | Some ']' ->
+        adv ();
+        true
+    | Some ',' ->
+        adv ();
+        value () && arr_rest ()
+    | _ -> false
+  in
+  let ok = value () in
+  skip_ws ();
+  ok && !pos = n
+
+let close a b =
+  Float.abs (a -. b)
+  <= 1e-6 *. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
+
+let suite =
+  [
+    tc "counters accumulate and list sorted" (fun () ->
+        let o = Obs.create () in
+        Obs.incr o "b";
+        Obs.incr ~by:4 o "a";
+        Obs.add o "a" 2;
+        Alcotest.(check int) "a" 6 (Obs.count o "a");
+        Alcotest.(check int) "b" 1 (Obs.count o "b");
+        Alcotest.(check int) "absent" 0 (Obs.count o "zzz");
+        Alcotest.(check (list (pair string int)))
+          "sorted"
+          [ ("a", 6); ("b", 1) ]
+          (Obs.counters o));
+    tc "histogram tracks count/total/min/max" (fun () ->
+        let o = Obs.create () in
+        List.iter (Obs.observe o "x") [ 1.0; 3.0; 2.0 ];
+        match Obs.histogram o "x" with
+        | None -> Alcotest.fail "missing histogram"
+        | Some h ->
+            Alcotest.(check int) "count" 3 h.Obs.h_count;
+            Alcotest.(check (float 1e-12)) "total" 6.0 h.Obs.h_total;
+            Alcotest.(check (float 1e-12)) "min" 1.0 h.Obs.h_min;
+            Alcotest.(check (float 1e-12)) "max" 3.0 h.Obs.h_max;
+            Alcotest.(check (float 1e-12)) "mean" 2.0 (Obs.mean h));
+    tc "span begin/end round-trips" (fun () ->
+        let o = Obs.create () in
+        let id = Obs.span_begin ~bytes:7. o Obs.H2d ~label:"t" ~start:1.0 in
+        Alcotest.(check (list (pair string string)))
+          "open" [ ("h2d", "t") ]
+          (List.map
+             (fun (k, l) -> (Obs.kind_name k, l))
+             (Obs.unclosed o));
+        Obs.span_end o id ~stop:2.5;
+        Alcotest.(check int) "closed" 0 (List.length (Obs.unclosed o));
+        match Obs.spans o with
+        | [ sp ] ->
+            Alcotest.(check (float 1e-12)) "start" 1.0 sp.Obs.span_start;
+            Alcotest.(check (float 1e-12)) "stop" 2.5 sp.Obs.span_stop;
+            Alcotest.(check (float 1e-12)) "bytes" 7. sp.Obs.span_bytes
+        | l -> Alcotest.failf "expected 1 span, got %d" (List.length l));
+    tc "ending an unknown span is rejected" (fun () ->
+        let o = Obs.create () in
+        match Obs.span_end o 42 ~stop:1.0 with
+        | exception Invalid_argument _ -> ()
+        | () -> Alcotest.fail "expected invalid_arg");
+    tc "kind names round-trip" (fun () ->
+        List.iter
+          (fun k ->
+            match Obs.kind_of_name (Obs.kind_name k) with
+            | Some k' when k' = k -> ()
+            | _ -> Alcotest.failf "kind %s" (Obs.kind_name k))
+          Obs.all_kinds);
+    tc "json escapes and non-finite floats" (fun () ->
+        let j =
+          Obs.Json.(
+            Obj
+              [
+                ("q", String "a\"b\\c\nd");
+                ("nan", Float Float.nan);
+                ("inf", Float Float.infinity);
+              ])
+        in
+        let s = Obs.Json.to_string j in
+        Alcotest.(check bool) "valid" true (json_ok s);
+        Alcotest.(check bool) "nan is null" true (contains ~sub:"null" s);
+        Alcotest.(check bool)
+          "escaped quote" true
+          (contains ~sub:{|a\"b|} s));
+    prop "h2d/d2h/fault bytes conserved between plan and spans" ~count:150
+      Gen.arb_plan
+      (fun (shape, strat) ->
+        let obs = Obs.create () in
+        ignore (Runtime.Schedule_gen.schedule ~obs cfg shape strat);
+        let d = P.declared_transfers cfg shape strat in
+        close (Obs.bytes_of_kind obs Obs.H2d) d.P.h2d_bytes
+        && close (Obs.bytes_of_kind obs Obs.D2h) d.P.d2h_bytes
+        && close (Obs.bytes_of_kind obs Obs.Page_fault) d.P.fault_bytes);
+    prop "every span that starts also stops" ~count:100 Gen.arb_plan
+      (fun (shape, strat) ->
+        let obs = Obs.create () in
+        ignore (Runtime.Schedule_gen.schedule ~obs cfg shape strat);
+        Obs.unclosed obs = [] && Obs.span_count obs > 0);
+    prop "span clock never runs backwards" ~count:100 Gen.arb_plan
+      (fun (shape, strat) ->
+        let obs = Obs.create () in
+        ignore (Runtime.Schedule_gen.schedule ~obs cfg shape strat);
+        List.for_all
+          (fun sp -> sp.Obs.span_stop >= sp.Obs.span_start)
+          (Obs.spans obs));
+    prop "profile json is valid for any generated schedule" ~count:80
+      Gen.arb_plan
+      (fun (shape, strat) ->
+        let obs = Obs.create () in
+        let r = Runtime.Schedule_gen.schedule ~obs cfg shape strat in
+        json_ok
+          (Obs.Json.to_string (Machine.Trace.profile_json ~obs r)));
+    prop "replayed programs close their spans too" ~count:30
+      Gen.arb_size_seed
+      (fun (n, seed) ->
+        let prog =
+          Minic.Parser.program_of_string_exn
+            (Gen.streamable_program ~n ~seed)
+        in
+        let obs = Obs.create () in
+        ignore (Runtime.Replay.of_program ~obs prog);
+        Obs.unclosed obs = [] && Obs.count obs "runtime.launches" > 0);
+  ]

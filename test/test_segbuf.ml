@@ -64,6 +64,35 @@ let suite =
         match Segbuf.get t p 5 with
         | exception Invalid_argument _ -> ()
         | _ -> Alcotest.fail "expected bounds error");
+    tc "buffer-id exhaustion is a typed error, not a failwith" (fun () ->
+        (* one cell per segment: every alloc takes a fresh buffer id, so
+           Xptr.max_buffers allocations fit and the next must report
+           Out_of_buffer_ids (instead of the old Failure) *)
+        let t = Segbuf.create ~seg_cells:1 () in
+        for _ = 1 to Xptr.max_buffers do
+          match Segbuf.try_alloc t 1 with
+          | Ok _ -> ()
+          | Error e ->
+              Alcotest.failf "premature %s" (Format.asprintf "%a" Segbuf.pp_error e)
+        done;
+        (match Segbuf.try_alloc t 1 with
+        | Error (Segbuf.Out_of_buffer_ids { max }) ->
+            Alcotest.(check int) "max" Xptr.max_buffers max
+        | Ok _ -> Alcotest.fail "expected exhaustion");
+        (* the raising wrapper surfaces the same error as an exception *)
+        match Segbuf.alloc t 1 with
+        | exception Segbuf.Error (Segbuf.Out_of_buffer_ids _) -> ()
+        | _ -> Alcotest.fail "expected Segbuf.Error");
+    tc "segbuf counters feed the obs sink" (fun () ->
+        let obs = Obs.create () in
+        let t = Segbuf.create ~obs ~seg_cells:8 () in
+        ignore (Segbuf.alloc t 3);
+        ignore (Segbuf.alloc t 7);
+        ignore (Segbuf.Image.of_segbuf t);
+        Alcotest.(check int) "allocs" 2 (Obs.count obs "segbuf.allocs");
+        Alcotest.(check int) "segments" 2 (Obs.count obs "segbuf.seg_allocs");
+        Alcotest.(check int) "dma segments" 2
+          (Obs.count obs "segbuf.dma_segments"));
     tc "alloc count tracked (Table III dynamic column)" (fun () ->
         let t = Segbuf.create () in
         for _ = 1 to 37 do
