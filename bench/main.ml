@@ -322,18 +322,115 @@ let micro () =
         (List.map (fun b -> (Test.Elt.name b, benchmark b)) (Test.elements test)))
     tests
 
+(* Differential + metamorphic validation sweep over the whole workload
+   registry: every transform on every workload's kernel model must be
+   observationally equivalent (or inapplicable), and every (shape,
+   strategy) plan must respect the cost model's own invariants. *)
+let check_mode () =
+  let failures = ref 0 in
+  Printf.printf "== Differential check: workload kernel models ==\n";
+  Printf.printf "%-14s %s\n" "benchmark"
+    (String.concat " "
+       (List.map
+          (fun t -> Printf.sprintf "%-12s" (Check.transform_name t))
+          Check.all_transforms));
+  List.iter
+    (fun (w : Workloads.Workload.t) ->
+      let prog = Workloads.Workload.program w in
+      let cells =
+        List.map
+          (fun (r : Check.report) ->
+            if r.sites = 0 then "-"
+            else if Check.verdict_ok r.transform r.verdict then
+              Printf.sprintf "ok(%d)" r.sites
+            else begin
+              incr failures;
+              Printf.printf "%s/%s: %s\n" w.name
+                (Check.transform_name r.transform)
+                (Check.verdict_str r.verdict);
+              "FAIL"
+            end)
+          (Check.check_program prog)
+      in
+      Printf.printf "%-14s %s\n" w.name
+        (String.concat " " (List.map (Printf.sprintf "%-12s") cells)))
+    Workloads.Registry.all;
+  Printf.printf "\n== Metamorphic check: plan invariants ==\n";
+  let strategies =
+    [
+      Runtime.Plan.Host_parallel;
+      Runtime.Plan.Naive_offload;
+      Runtime.Plan.streamed ~nblocks:10 ();
+      Runtime.Plan.streamed ~nblocks:20 ~double_buffered:true ();
+      Runtime.Plan.streamed ~nblocks:40 ~persistent:true
+        ~repack:{ Runtime.Plan.repack_s_per_block = 1e-4; pipelined = true }
+        ();
+      Runtime.Plan.merged ();
+      Runtime.Plan.merged ~streamed:true ~nblocks:20 ();
+      Runtime.Plan.Shared_myo;
+      Runtime.Plan.Shared_segbuf { seg_bytes = 16 * 1024 * 1024 };
+    ]
+  in
+  let plans = ref 0 in
+  List.iter
+    (fun (w : Workloads.Workload.t) ->
+      List.iter
+        (fun strat ->
+          incr plans;
+          match Check.Metamorphic.check_plan w.shape strat with
+          | Ok () -> ()
+          | Error e ->
+              incr failures;
+              Printf.printf "%s under %s: %s\n" w.name
+                (Runtime.Plan.strategy_name strat)
+                e)
+        strategies)
+    Workloads.Registry.all;
+  Printf.printf "%d plans checked\n" !plans;
+  Printf.printf "\n== Metamorphic check: block-count model ==\n";
+  let params = ref 0 in
+  List.iter
+    (fun d ->
+      List.iter
+        (fun c ->
+          List.iter
+            (fun k ->
+              incr params;
+              let p =
+                {
+                  Transforms.Block_size.transfer_s = d;
+                  compute_s = c;
+                  launch_s = k;
+                }
+              in
+              match Check.Metamorphic.check_block_model p with
+              | Ok () -> ()
+              | Error e ->
+                  incr failures;
+                  Printf.printf "D=%g C=%g K=%g: %s\n" d c k e)
+            [ 1e-4; 1e-3; 1e-2 ])
+        [ 0.; 0.05; 0.5; 5. ])
+    [ 0.01; 0.1; 1.; 10. ];
+  Printf.printf "%d parameter points checked\n" !params;
+  if !failures > 0 then begin
+    Printf.printf "\n%d FAILURES\n" !failures;
+    exit 1
+  end
+  else Printf.printf "\nall checks passed\n"
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let run_named = function
     | "ablations" -> ablations ()
     | "profile" -> profile ()
     | "micro" -> micro ()
+    | "check" -> check_mode ()
     | name -> (
         match List.assoc_opt name Experiments.All.by_name with
         | Some f -> f ()
         | None ->
             Printf.eprintf
-              "unknown experiment %s; known: %s ablations profile micro\n"
+              "unknown experiment %s; known: %s ablations profile micro check\n"
               name
               (String.concat " " Experiments.All.names);
             exit 1)

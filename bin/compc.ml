@@ -272,6 +272,248 @@ let list_cmd =
     (Cmd.info "list" ~doc:"List benchmark models and applicable optimizations")
     Term.(const run $ const ())
 
+(* --- check --- *)
+
+let check_cmd =
+  let file = Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let transform =
+    let tconv =
+      Arg.enum
+        (("all", None)
+        :: List.map
+             (fun t -> (Check.transform_name t, Some t))
+             Check.all_transforms)
+    in
+    Arg.(
+      value & opt tconv None
+      & info [ "transform" ] ~docv:"T"
+          ~doc:
+            "Transform(s) to validate: all, streaming, regularize, merge, \
+             soa, or shared")
+  in
+  let runs =
+    Arg.(
+      value & opt int 0
+      & info [ "runs" ] ~docv:"N"
+          ~doc:
+            "Also check $(docv) generated program instances per pattern \
+             family (deterministic from --seed)")
+  in
+  let seed =
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"S" ~doc:"Generator seed")
+  in
+  let nblocks =
+    Arg.(value & opt int 4 & info [ "nblocks" ] ~doc:"Streaming block count")
+  in
+  let fuel =
+    Arg.(
+      value & opt int 10_000_000
+      & info [ "fuel" ] ~doc:"Interpreter statement budget per run")
+  in
+  let inject =
+    Arg.(
+      value & flag
+      & info [ "inject-bug" ]
+          ~doc:
+            "Deliberately corrupt every rewrite (off-by-one in the first \
+             offload assignment); the harness must catch it — exit 1 means \
+             caught, exit 2 means it slipped through")
+  in
+  let record =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "record" ] ~docv:"DIR"
+          ~doc:
+            "Append minimized diverging programs to $(docv) (e.g. \
+             test/corpus/regressions) for deterministic replay")
+  in
+  let run file transform runs seed nblocks fuel inject record =
+    let txfs =
+      match transform with None -> Check.all_transforms | Some t -> [ t ]
+    in
+    let failures = ref 0 in
+    let applicable_total = ref 0 in
+    let dumped : (Check.transform, unit) Hashtbl.t = Hashtbl.create 8 in
+    (* Report one transform's verdict on one program; on the first
+       divergence per transform, shrink, dump, and optionally record. *)
+    let handle ~what ~prog (r : Check.report) =
+      let name = Check.transform_name r.transform in
+      if r.sites = 0 then Printf.printf "  %-11s not applicable\n" name
+      else begin
+        incr applicable_total;
+        if Check.verdict_ok r.transform r.verdict then
+          Printf.printf "  %-11s %s (%d site%s)\n" name
+            (match r.verdict with
+            | Check.Orig_failed _ -> "enabled (original fails without it)"
+            | Check.Both_failed _ -> "both fail (pre-existing)"
+            | _ -> "equivalent")
+            r.sites
+            (if r.sites = 1 then "" else "s")
+        else begin
+          incr failures;
+          Printf.printf "  %-11s FAILED: %s\n" name
+            (Check.verdict_str r.verdict);
+          match r.verdict with
+          | Check.Diverged _ when not (Hashtbl.mem dumped r.transform) ->
+              Hashtbl.add dumped r.transform ();
+              let minimized =
+                Check.minimize_diverging ~fuel ~nblocks ~inject r.transform
+                  prog
+              in
+              Printf.printf "minimized counterexample (%s, %s):\n%s" name what
+                (Minic.Pretty.program_to_string minimized);
+              Option.iter
+                (fun dir ->
+                  let note =
+                    Printf.sprintf
+                      "minimized counterexample: transform=%s source=%s%s"
+                      name what
+                      (if inject then " (injected bug)" else "")
+                  in
+                  let path = Check.Corpus.record ~dir ~note minimized in
+                  Printf.printf "recorded: %s\n" path)
+                record
+          | _ -> ()
+        end
+      end
+    in
+    (match file with
+    | Some f ->
+        let prog = or_die (load f) in
+        Printf.printf "%s:\n" f;
+        List.iter
+          (handle ~what:f ~prog)
+          (Check.check_program ~fuel ~nblocks ~inject ~transforms:txfs prog)
+    | None -> ());
+    if runs > 0 then begin
+      (* per-transform (checked, applicable, divergences) counters *)
+      let stats = Hashtbl.create 8 in
+      let bump txf dc da dd =
+        let c, a, d =
+          Option.value (Hashtbl.find_opt stats txf) ~default:(0, 0, 0)
+        in
+        Hashtbl.replace stats txf (c + dc, a + da, d + dd)
+      in
+      for k = 0 to runs - 1 do
+        List.iter
+          (fun pat ->
+            let s = seed + k in
+            let src = Check.Genprog.generate pat ~seed:s in
+            let what =
+              Printf.sprintf "generated pattern=%s seed=%d"
+                (Check.Genprog.pattern_name pat)
+                s
+            in
+            let prog =
+              match Minic.Parser.program_of_string src with
+              | Error e ->
+                  Printf.eprintf "generator bug (%s): parse: %s\n%s" what e src;
+                  exit 1
+              | Ok p -> (
+                  match Minic.Typecheck.check_program p with
+                  | Error e ->
+                      Printf.eprintf "generator bug (%s): type: %s\n%s" what e
+                        src;
+                      exit 1
+                  | Ok _ -> p)
+            in
+            List.iter
+              (fun txf ->
+                let prog', sites = Check.apply ~nblocks txf prog in
+                (match Check.expected_applicable pat txf with
+                | Some b when b <> (sites > 0) ->
+                    incr failures;
+                    bump txf 1 0 1;
+                    Printf.printf
+                      "  %-11s FAILED: expected %sapplicable on %s\n"
+                      (Check.transform_name txf)
+                      (if b then "" else "NOT ")
+                      what
+                | _ -> bump txf 1 0 0);
+                if sites > 0 then begin
+                  incr applicable_total;
+                  bump txf 0 1 0;
+                  let prog' =
+                    if inject then Check.Inject.corrupt prog' else prog'
+                  in
+                  let verdict = Check.equiv ~fuel prog prog' in
+                  if not (Check.verdict_ok txf verdict) then begin
+                    incr failures;
+                    bump txf 0 0 1;
+                    Printf.printf "  %-11s FAILED on %s: %s\n"
+                      (Check.transform_name txf) what
+                      (Check.verdict_str verdict);
+                    match verdict with
+                    | Check.Diverged _ when not (Hashtbl.mem dumped txf) ->
+                        Hashtbl.add dumped txf ();
+                        let minimized =
+                          Check.minimize_diverging ~fuel ~nblocks ~inject txf
+                            prog
+                        in
+                        Printf.printf "minimized counterexample (%s, %s):\n%s"
+                          (Check.transform_name txf)
+                          what
+                          (Minic.Pretty.program_to_string minimized);
+                        Option.iter
+                          (fun dir ->
+                            let note =
+                              Printf.sprintf
+                                "minimized counterexample: transform=%s %s%s"
+                                (Check.transform_name txf)
+                                what
+                                (if inject then " (injected bug)" else "")
+                            in
+                            let path = Check.Corpus.record ~dir ~note minimized in
+                            Printf.printf "recorded: %s\n" path)
+                          record
+                    | _ -> ()
+                  end
+                end)
+              txfs)
+          Check.Genprog.all_patterns
+      done;
+      List.iter
+        (fun txf ->
+          match Hashtbl.find_opt stats txf with
+          | Some (checked, applicable, divergences) ->
+              Printf.printf
+                "%-11s checked %d instances, %d applicable, %d failures\n"
+                (Check.transform_name txf)
+                checked applicable divergences
+          | None -> ())
+        txfs
+    end;
+    if file = None && runs = 0 then begin
+      prerr_endline "check: need FILE and/or --runs N";
+      exit 1
+    end;
+    if inject then
+      if !failures > 0 then begin
+        Printf.printf "injected bug caught (%d finding%s)\n" !failures
+          (if !failures = 1 then "" else "s");
+        exit 1
+      end
+      else if !applicable_total > 0 then begin
+        prerr_endline "injected bug was NOT caught by the oracle";
+        exit 2
+      end
+      else begin
+        prerr_endline "inject-bug: no transform was applicable";
+        exit 2
+      end
+    else if !failures > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Differentially validate the COMP transforms: run original and \
+          transformed programs on the reference interpreter and compare \
+          output, return value, and final global state")
+    Term.(
+      const run $ file $ transform $ runs $ seed $ nblocks $ fuel $ inject
+      $ record)
+
 (* --- --profile (top-level) --- *)
 
 let profile_run file out =
@@ -335,5 +577,5 @@ let () =
        (Cmd.group ~default:default_term (Cmd.info "compc" ~doc)
           [
             parse_cmd; optimize_cmd; run_cmd; simulate_cmd; report_cmd;
-            analyze_cmd; list_cmd;
+            analyze_cmd; list_cmd; check_cmd;
           ]))

@@ -1,0 +1,298 @@
+(** Differential transform validation.
+
+    Every COMP optimization is a source-to-source rewrite that must be
+    observationally equivalent to the original program; this library is
+    the harness that checks it.  {!equiv} is the oracle: it runs the
+    original and the transformed program through the dual-address-space
+    reference interpreter ({!Minic.Interp}) and compares everything
+    observable — printed output, [main]'s return value, and the final
+    contents of global storage — returning a structured {!verdict}.
+
+    Around the oracle:
+    - {!Genprog} generates whole well-typed MiniC programs from
+      parameterized access-pattern families, so each transform's
+      [applicable] predicate is exercised positively and negatively;
+    - {!Shrink} minimizes any diverging program, and {!Corpus} records
+      it under [test/corpus/regressions/] for deterministic replay;
+    - {!Inject} seeds a deliberate rewrite bug, validating that the
+      harness catches, shrinks, and records what it is meant to catch;
+    - {!Metamorphic} checks the cost model's own invariants on
+      simulated plans, where there is no output to diff.
+
+    Drivers: [compc check] (files and generated instances) and the
+    [check] mode of [bench/main.ml] (the workload registry). *)
+
+module Genprog = Genprog
+module Shrink = Shrink
+module Corpus = Corpus
+module Inject = Inject
+module Metamorphic = Metamorphic
+
+(** {1 The transforms under test} *)
+
+type transform = Streaming | Regularize | Merge | Soa | Shared
+
+let all_transforms = [ Streaming; Regularize; Merge; Soa; Shared ]
+
+let transform_name = function
+  | Streaming -> "streaming"
+  | Regularize -> "regularize"
+  | Merge -> "merge"
+  | Soa -> "soa"
+  | Shared -> "shared"
+
+let transform_of_name s =
+  List.find_opt (fun t -> transform_name t = s) all_transforms
+
+(** [apply txf prog] runs one whole-program transform and returns the
+    rewritten program with the number of rewrite applications (0 means
+    the transform was not applicable anywhere — the identity). *)
+let apply ?(nblocks = 4) txf prog =
+  match txf with
+  | Streaming -> Transforms.Streaming.transform_all ~nblocks prog
+  | Regularize ->
+      let p, applied =
+        Transforms.Regularize.transform_all_kinds
+          ~kinds:[ Transforms.Regularize.Reorder; Transforms.Regularize.Split ]
+          prog
+      in
+      (p, List.length applied)
+  | Soa ->
+      let p, applied =
+        Transforms.Regularize.transform_all_kinds
+          ~kinds:[ Transforms.Regularize.Soa ] prog
+      in
+      (p, List.length applied)
+  | Merge -> Transforms.Merge_offload.transform_all prog
+  | Shared -> Transforms.Shared_mem.transform_all prog
+
+let applicable ?nblocks txf prog = snd (apply ?nblocks txf prog) > 0
+
+(** {1 The oracle} *)
+
+type divergence =
+  | Output_line of { line : int; orig : string; transformed : string }
+      (** first differing line of printed output (1-based) *)
+  | Return_value of { orig : string; transformed : string }
+  | Global_cell of {
+      name : string;
+      cell : int;
+      orig : string;
+      transformed : string;
+    }  (** first differing cell of a global's final storage *)
+
+type verdict =
+  | Equal
+  | Diverged of divergence
+  | Orig_failed of string
+      (** the original failed where the transformed program ran — for
+          an {e enabling} transform (shared-memory lowering of
+          pointer-based data the device cannot otherwise touch) this is
+          the expected success mode *)
+  | Transform_failed of string
+      (** the transformed program fails to typecheck or run where the
+          original ran: always a transform bug *)
+  | Both_failed of { orig_err : string; transformed_err : string }
+
+let value_str = function
+  | Minic.Interp.Vint n -> string_of_int n
+  | Minic.Interp.Vfloat f -> Printf.sprintf "%.6g" f
+  | Minic.Interp.Vbool b -> string_of_bool b
+  | Minic.Interp.Vptr _ -> "<ptr>"
+  | Minic.Interp.Vundef -> "<undef>"
+
+(* Cell-level comparison with wildcards: an undefined original cell
+   constrains nothing (the transform may initialize scratch), and
+   pointer values only have to stay pointers (allocation order shifts
+   legitimately under rewrites). *)
+let same_value a b =
+  match (a, b) with
+  | Minic.Interp.Vundef, _ -> true
+  | Minic.Interp.Vptr _, Minic.Interp.Vptr _ -> true
+  | a, b -> a = b
+
+let diff_output a b =
+  let la = String.split_on_char '\n' a in
+  let lb = String.split_on_char '\n' b in
+  let eof = "<end of output>" in
+  let rec go i la lb =
+    match (la, lb) with
+    | [], [] -> None
+    | x :: la', y :: lb' ->
+        if String.equal x y then go (i + 1) la' lb'
+        else Some (Output_line { line = i; orig = x; transformed = y })
+    | x :: _, [] -> Some (Output_line { line = i; orig = x; transformed = eof })
+    | [], y :: _ -> Some (Output_line { line = i; orig = eof; transformed = y })
+  in
+  go 1 la lb
+
+let diff_globals ga gb =
+  List.fold_left
+    (fun acc (name, cells) ->
+      match acc with
+      | Some _ -> acc
+      | None -> (
+          match List.assoc_opt name gb with
+          | None ->
+              Some
+                (Global_cell
+                   {
+                     name;
+                     cell = 0;
+                     orig = "<present>";
+                     transformed = "<missing>";
+                   })
+          | Some cells' ->
+              let rec go i xs ys =
+                match (xs, ys) with
+                | [], [] -> None
+                | x :: xs', y :: ys' ->
+                    if same_value x y then go (i + 1) xs' ys'
+                    else
+                      Some
+                        (Global_cell
+                           {
+                             name;
+                             cell = i;
+                             orig = value_str x;
+                             transformed = value_str y;
+                           })
+                | _ ->
+                    Some
+                      (Global_cell
+                         {
+                           name;
+                           cell = i;
+                           orig = Printf.sprintf "<%d cells>" (List.length cells);
+                           transformed =
+                             Printf.sprintf "<%d cells>" (List.length cells');
+                         })
+              in
+              go 0 cells cells'))
+    None ga
+
+let compare_outcomes (a : Minic.Interp.outcome) (b : Minic.Interp.outcome) =
+  match diff_output a.output b.output with
+  | Some d -> Diverged d
+  | None ->
+      if not (same_value a.ret b.ret) then
+        Diverged
+          (Return_value
+             { orig = value_str a.ret; transformed = value_str b.ret })
+      else (
+        match diff_globals a.globals b.globals with
+        | Some d -> Diverged d
+        | None -> Equal)
+
+(** [equiv ?fuel orig transformed] runs both programs and compares
+    printed output, return value, and final global storage.
+    [transformed] is typechecked first: a transform that produces
+    ill-typed code is a {!Transform_failed} before anything runs. *)
+let equiv ?fuel orig transformed =
+  match Minic.Typecheck.check_program transformed with
+  | Error e -> Transform_failed ("type error: " ^ e)
+  | Ok _ -> (
+      match (Minic.Interp.run ?fuel orig, Minic.Interp.run ?fuel transformed) with
+      | Error oe, Error te -> Both_failed { orig_err = oe; transformed_err = te }
+      | Error oe, Ok _ -> Orig_failed oe
+      | Ok _, Error te -> Transform_failed te
+      | Ok oa, Ok ob -> compare_outcomes oa ob)
+
+(** Is [verdict] acceptable for [txf]?  [Equal] always is; so is both
+    sides failing identically before the transform even matters.  An
+    original-only failure is acceptable only for the enabling
+    shared-memory transform (it exists to make previously-crashing
+    device code run). *)
+let verdict_ok txf = function
+  | Equal -> true
+  | Both_failed _ -> true
+  | Orig_failed _ -> txf = Shared
+  | Diverged _ | Transform_failed _ -> false
+
+let divergence_str = function
+  | Output_line { line; orig; transformed } ->
+      Printf.sprintf "output line %d: %S vs %S" line orig transformed
+  | Return_value { orig; transformed } ->
+      Printf.sprintf "return value: %s vs %s" orig transformed
+  | Global_cell { name; cell; orig; transformed } ->
+      Printf.sprintf "global %s[%d]: %s vs %s" name cell orig transformed
+
+let verdict_str = function
+  | Equal -> "equal"
+  | Diverged d -> "diverged at " ^ divergence_str d
+  | Orig_failed e -> "original failed: " ^ e
+  | Transform_failed e -> "transformed program failed: " ^ e
+  | Both_failed { orig_err; _ } -> "both failed: " ^ orig_err
+
+(** {1 Checking one program} *)
+
+type report = { transform : transform; sites : int; verdict : verdict }
+
+(** Every transform in [transforms] applied (independently) to [prog],
+    with its site count and oracle verdict.  [inject] corrupts each
+    rewritten program first — the harness must then flag it. *)
+let check_program ?fuel ?nblocks ?(inject = false)
+    ?(transforms = all_transforms) prog =
+  List.map
+    (fun txf ->
+      let prog', sites = apply ?nblocks txf prog in
+      if sites = 0 then { transform = txf; sites; verdict = Equal }
+      else
+        let prog' = if inject then Inject.corrupt prog' else prog' in
+        { transform = txf; sites; verdict = equiv ?fuel prog prog' })
+    transforms
+
+(** {1 Shrinking} *)
+
+(* A shrink candidate must keep failing the *same way*: well-typed,
+   transform still applicable, oracle still reporting a divergence. *)
+let diverges ?fuel ?nblocks ~inject txf prog =
+  match Minic.Typecheck.check_program prog with
+  | Error _ -> false
+  | Ok _ -> (
+      match apply ?nblocks txf prog with
+      | exception _ -> false
+      | _, 0 -> false
+      | prog', _ -> (
+          let prog' = if inject then Inject.corrupt prog' else prog' in
+          match equiv ?fuel prog prog' with
+          | Diverged _ -> true
+          | Equal | Orig_failed _ | Transform_failed _ | Both_failed _ ->
+              false))
+
+(** Minimize a program whose [txf]-rewrite diverges (with the same
+    [inject] setting used to find it). *)
+let minimize_diverging ?fuel ?nblocks ?(inject = false) ?max_tries txf prog =
+  Shrink.minimize ?max_tries
+    ~still_failing:(fun p -> diverges ?fuel ?nblocks ~inject txf p)
+    prog
+
+(** {1 Expected applicability}
+
+    The generator's truth table: for each pattern family, whether a
+    transform must ([Some true]), must not ([Some false]), or may
+    ([None], instance-dependent) find an applicable site.  Property
+    tests check [applicable] against every [Some]. *)
+let expected_applicable pattern transform =
+  let exp ~streaming ~regularize ~merge ~soa ~shared =
+    match transform with
+    | Streaming -> streaming
+    | Regularize -> regularize
+    | Merge -> merge
+    | Soa -> soa
+    | Shared -> shared
+  in
+  let y = Some true and n = Some false and u = None in
+  match (pattern : Genprog.pattern) with
+  | Dense -> exp ~streaming:y ~regularize:n ~merge:n ~soa:n ~shared:n
+  | Stencil -> exp ~streaming:y ~regularize:n ~merge:n ~soa:n ~shared:n
+  | Sparse_stride -> exp ~streaming:u ~regularize:y ~merge:n ~soa:n ~shared:n
+  | Step_loop -> exp ~streaming:n ~regularize:u ~merge:n ~soa:n ~shared:n
+  | Gather -> exp ~streaming:n ~regularize:y ~merge:n ~soa:n ~shared:n
+  | Guarded_gather -> exp ~streaming:n ~regularize:n ~merge:n ~soa:n ~shared:n
+  | Aos -> exp ~streaming:u ~regularize:u ~merge:n ~soa:y ~shared:n
+  | Chain -> exp ~streaming:u ~regularize:u ~merge:n ~soa:u ~shared:y
+  | Multi_offload -> exp ~streaming:u ~regularize:n ~merge:y ~soa:n ~shared:n
+  | Host_scalar -> exp ~streaming:u ~regularize:n ~merge:n ~soa:n ~shared:n
+  | Plain_loop -> exp ~streaming:n ~regularize:n ~merge:n ~soa:n ~shared:n
+  | Inout -> exp ~streaming:y ~regularize:n ~merge:n ~soa:n ~shared:n

@@ -1,0 +1,54 @@
+(** Regression-corpus recorder.
+
+    Every divergence the harness finds is worth keeping: the minimized
+    program goes into [test/corpus/regressions/] (or any [~dir]) under
+    a content-addressed name, and [test_corpus.ml] replays the whole
+    directory deterministically on every [dune runtest].  Recording is
+    idempotent — the same minimized program always maps to the same
+    file, so re-finding a known bug does not grow the corpus. *)
+
+let mkdir_p dir =
+  let rec go d =
+    if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+      go (Filename.dirname d);
+      (try Sys.mkdir d 0o755 with Sys_error _ -> ())
+    end
+  in
+  go dir
+
+(* short stable content hash for the filename *)
+let slug src = String.sub (Digest.to_hex (Digest.string src)) 0 12
+
+(** [record ~dir ?note prog] writes [prog] (pretty-printed, with an
+    optional [note] describing the provenance as a leading comment)
+    under [dir], creating it if needed.  Returns the path; if the same
+    program is already recorded, returns the existing path without
+    rewriting it. *)
+let record ~dir ?note prog =
+  let src = Minic.Pretty.program_to_string prog in
+  let path = Filename.concat dir ("reg_" ^ slug src ^ ".mc") in
+  if not (Sys.file_exists path) then begin
+    mkdir_p dir;
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        (match note with
+        | Some n ->
+            String.split_on_char '\n' n
+            |> List.iter (fun l -> output_string oc ("// " ^ l ^ "\n"))
+        | None -> ());
+        output_string oc src)
+  end;
+  path
+
+(** All recorded programs under [dir], sorted by filename (empty if the
+    directory does not exist yet). *)
+let entries ~dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | files ->
+      Array.to_list files
+      |> List.filter (fun f -> Filename.check_suffix f ".mc")
+      |> List.sort compare
+      |> List.map (Filename.concat dir)

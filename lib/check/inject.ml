@@ -1,0 +1,52 @@
+(** Deliberate transform corruption, for validating the harness
+    itself: a checker that cannot catch a seeded off-by-one is not
+    checking anything.  [corrupt] perturbs the {e first} assignment
+    inside the first offload body (falling back to the first assignment
+    anywhere), which models the classic rewrite bug — a transformed
+    kernel computing almost, but not exactly, the original values. *)
+
+open Minic.Ast
+
+let add_one rv = Binop (Add, rv, Int_lit 1)
+
+let corrupt_first_assign ~only_offload prog =
+  let hit = ref false in
+  let rec blk in_off = function
+    | [] -> []
+    | s :: tl ->
+        let s' = stm in_off s in
+        s' :: blk in_off tl
+  and stm in_off s =
+    if !hit then s
+    else
+      match s with
+      | Sassign (lv, rv) when in_off || not only_offload ->
+          hit := true;
+          Sassign (lv, add_one rv)
+      | Sif (c, a, b) ->
+          let a' = blk in_off a in
+          Sif (c, a', blk in_off b)
+      | Swhile (c, b) -> Swhile (c, blk in_off b)
+      | Sfor fl -> Sfor { fl with body = blk in_off fl.body }
+      | Sblock b -> Sblock (blk in_off b)
+      | Spragma (Offload sp, s) -> Spragma (Offload sp, stm true s)
+      | Spragma (p, s) -> Spragma (p, stm in_off s)
+      | (Sexpr _ | Sdecl _ | Sreturn _ | Sbreak | Scontinue | Sassign _) as s
+        -> s
+  in
+  let prog' =
+    List.map
+      (function
+        | Gfunc f -> Gfunc { f with body = blk false f.body }
+        | g -> g)
+      prog
+  in
+  (prog', !hit)
+
+(** Add [+ 1] to the right-hand side of the first assignment inside the
+    first offload body; if the program has none, to the first
+    assignment anywhere.  Programs with no assignment at all are
+    returned unchanged. *)
+let corrupt prog =
+  let prog', hit = corrupt_first_assign ~only_offload:true prog in
+  if hit then prog' else fst (corrupt_first_assign ~only_offload:false prog)

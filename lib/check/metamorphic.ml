@@ -1,0 +1,92 @@
+(** Metamorphic checks on the cost model and schedule generator.
+
+    For simulated plans there is no output to diff against, but the
+    model must still respect its own invariants, whatever the plan:
+
+    - {b conservation}: the bytes recorded by the schedule's [Obs]
+      spans (H2d / D2h / page-fault traffic) equal what the plan
+      declares via {!Runtime.Plan.declared_transfers}, and every span
+      is closed;
+    - {b pipelining bounds}: the makespan of any schedule lies between
+      the critical path (perfect overlap) and the serial sum of task
+      durations (no overlap) — "pipelined time <= serial time";
+    - {b block model}: the analytic optimum [N = sqrt(D/K)] is a valid
+      block count, [choose] stays within its candidate grid and is
+      optimal on it, and [T(1)] degenerates to the naive time.
+
+    Each check returns [Ok ()] or [Error msg] with the violated
+    inequality spelled out. *)
+
+let feps = 1e-6
+
+let close a b = Float.abs (a -. b) <= feps *. (1. +. Float.abs a +. Float.abs b)
+
+let errf fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+let ( let* ) = Result.bind
+
+(** Schedule [shape] under [strategy] and verify byte conservation and
+    the pipelining bounds. *)
+let check_plan ?(cfg = Machine.Config.paper_default) shape strategy =
+  let obs = Obs.create () in
+  let r = Runtime.Schedule_gen.schedule ~obs cfg shape strategy in
+  let d = Runtime.Plan.declared_transfers cfg shape strategy in
+  let conserved kind declared =
+    let got = Obs.bytes_of_kind obs kind in
+    if close got declared then Ok ()
+    else
+      errf "%s bytes not conserved: spans carry %g, plan declares %g"
+        (Obs.kind_name kind) got declared
+  in
+  let* () = conserved Obs.H2d d.Runtime.Plan.h2d_bytes in
+  let* () = conserved Obs.D2h d.Runtime.Plan.d2h_bytes in
+  let* () = conserved Obs.Page_fault d.Runtime.Plan.fault_bytes in
+  let* () =
+    match Obs.unclosed obs with
+    | [] -> Ok ()
+    | (k, label) :: _ ->
+        errf "unclosed span: %s %s" (Obs.kind_name k) label
+  in
+  let tasks = List.map (fun p -> p.Machine.Engine.task) r.Machine.Engine.placed in
+  let serial =
+    List.fold_left (fun acc (t : Machine.Task.t) -> acc +. t.duration) 0. tasks
+  in
+  let cp = Machine.Engine.critical_path tasks in
+  let mk = r.Machine.Engine.makespan in
+  let* () =
+    if mk <= serial +. (feps *. (1. +. serial)) then Ok ()
+    else errf "pipelined time %g exceeds serial time %g" mk serial
+  in
+  if cp <= mk +. (feps *. (1. +. mk)) then Ok ()
+  else errf "makespan %g beats the critical path %g" mk cp
+
+(** Verify the block-count model's internal consistency for [params]. *)
+let check_block_model ?candidates (p : Transforms.Block_size.params) =
+  let module B = Transforms.Block_size in
+  let n_opt = B.optimal_blocks p in
+  let* () =
+    if n_opt >= 1 && n_opt <= B.max_blocks then Ok ()
+    else errf "optimal_blocks %d outside [1, %d]" n_opt B.max_blocks
+  in
+  let grid =
+    match candidates with Some c -> c | None -> [ 10; 20; 40; 50 ]
+  in
+  let n = B.choose ?candidates p in
+  let* () =
+    if List.mem n grid then Ok ()
+    else errf "choose picked %d, not in its candidate grid" n
+  in
+  let t_n = B.streamed_time p ~nblocks:n in
+  let* () =
+    List.fold_left
+      (fun acc c ->
+        let* () = acc in
+        let t_c = B.streamed_time p ~nblocks:c in
+        if t_n <= t_c +. (feps *. (1. +. Float.abs t_c)) then Ok ()
+        else errf "choose picked %d (T=%g) but %d is better (T=%g)" n t_n c t_c)
+      (Ok ()) grid
+  in
+  let t1 = B.streamed_time p ~nblocks:1 in
+  let naive = B.naive_time p in
+  if close t1 naive then Ok ()
+  else errf "T(1) = %g does not degenerate to the naive time %g" t1 naive

@@ -1,0 +1,281 @@
+(** Greedy counterexample minimization.
+
+    Two reduction moves, applied to a fixpoint with a
+    first-improvement restart:
+
+    - {b statement deletion}: remove one statement (with everything
+      nested under it) anywhere in any function body;
+    - {b literal halving}: replace every occurrence of an integer
+      literal value [v] (|v| > 1) by [v/2] program-wide.  Replacing all
+      occurrences at once keeps array sizes, loop bounds, and data
+      clauses consistent, since generated programs share those
+      numerals.
+
+    Each candidate is accepted only if [still_failing] holds, so the
+    minimized program provably exhibits the same divergence.  The
+    caller's predicate must also reject programs that stop being
+    well-typed or where the transform no longer applies —
+    {!Check.still_diverges} does exactly that. *)
+
+open Minic.Ast
+
+(* Number of single-deletion candidates.  Must mirror [delete_nth]'s
+   traversal exactly: block members count, pragma carrier statements do
+   not (only the whole [Spragma] node is deletable), but blocks nested
+   under a carrier do. *)
+let count_stmts prog =
+  let n = ref 0 in
+  let rec blk b =
+    List.iter
+      (fun s ->
+        incr n;
+        nested s)
+      b
+  and nested = function
+    | Sif (_, a, b) ->
+        blk a;
+        blk b
+    | Swhile (_, b) -> blk b
+    | Sfor fl -> blk fl.body
+    | Sblock b -> blk b
+    | Spragma (_, s) -> nested s
+    | Sexpr _ | Sassign _ | Sdecl _ | Sreturn _ | Sbreak | Scontinue -> ()
+  in
+  List.iter (function Gfunc f -> blk f.body | _ -> ()) prog;
+  !n
+
+(* program with the [k]-th statement (preorder) deleted *)
+let delete_nth prog k =
+  let c = ref (-1) in
+  let rec blk b =
+    List.concat_map
+      (fun s ->
+        incr c;
+        if !c = k then []
+        else
+          [
+            (match s with
+            | Sif (e, a, b) ->
+                let a' = blk a in
+                Sif (e, a', blk b)
+            | Swhile (e, b) -> Swhile (e, blk b)
+            | Sfor fl -> Sfor { fl with body = blk fl.body }
+            | Sblock b -> Sblock (blk b)
+            | Spragma (p, s) -> Spragma (p, prag s)
+            | s -> s);
+          ])
+      b
+  (* a pragma's carrier statement is not individually deletable (that
+     would leave a dangling pragma); deleting the whole [Spragma] node
+     is already a candidate at the level above *)
+  and prag s =
+    match s with
+    | Sif (e, a, b) ->
+        let a' = blk a in
+        Sif (e, a', blk b)
+    | Swhile (e, b) -> Swhile (e, blk b)
+    | Sfor fl -> Sfor { fl with body = blk fl.body }
+    | Sblock b -> Sblock (blk b)
+    | Spragma (p, s) -> Spragma (p, prag s)
+    | s -> s
+  in
+  List.map
+    (function Gfunc f -> Gfunc { f with body = blk f.body } | g -> g)
+    prog
+
+(* distinct |values| > 1 of integer literals, large first *)
+let int_literals prog =
+  let vals = ref [] in
+  let rec expr = function
+    | Int_lit v -> if abs v > 1 && not (List.mem v !vals) then vals := v :: !vals
+    | Float_lit _ | Bool_lit _ | Var _ -> ()
+    | Index (a, b) | Binop (_, a, b) ->
+        expr a;
+        expr b
+    | Field (e, _) | Arrow (e, _) | Deref e | Addr e | Unop (_, e)
+    | Cast (_, e) ->
+        expr e
+    | Call (_, args) -> List.iter expr args
+  in
+  let section s =
+    expr s.start;
+    expr s.len;
+    match s.into with Some (_, e) -> expr e | None -> ()
+  in
+  let pragma = function
+    | Offload sp | Offload_transfer sp ->
+        List.iter section sp.ins;
+        List.iter section sp.outs;
+        List.iter section sp.inouts;
+        Option.iter expr sp.signal;
+        Option.iter expr sp.wait
+    | Offload_wait e -> expr e
+    | Omp_parallel_for | Omp_simd -> ()
+  in
+  let rec ty = function
+    | Tarray (t, sz) ->
+        Option.iter expr sz;
+        ty t
+    | Tptr t -> ty t
+    | _ -> ()
+  in
+  let rec stm = function
+    | Sexpr e -> expr e
+    | Sassign (a, b) ->
+        expr a;
+        expr b
+    | Sdecl (t, _, init) ->
+        ty t;
+        Option.iter expr init
+    | Sif (e, a, b) ->
+        expr e;
+        List.iter stm a;
+        List.iter stm b
+    | Swhile (e, b) ->
+        expr e;
+        List.iter stm b
+    | Sfor fl ->
+        expr fl.lo;
+        expr fl.hi;
+        expr fl.step;
+        List.iter stm fl.body
+    | Sreturn e -> Option.iter expr e
+    | Sblock b -> List.iter stm b
+    | Spragma (p, s) ->
+        pragma p;
+        stm s
+    | Sbreak | Scontinue -> ()
+  in
+  List.iter
+    (function
+      | Gfunc f -> List.iter stm f.body
+      | Gvar (t, _, init) ->
+          ty t;
+          Option.iter expr init
+      | Gstruct _ -> ())
+    prog;
+  List.sort (fun a b -> compare (abs b) (abs a)) !vals
+
+(* replace every Int_lit v by Int_lit v' (in expressions, types, and
+   data clauses alike) *)
+let replace_lit prog v v' =
+  let rec expr e =
+    match e with
+    | Int_lit x when x = v -> Int_lit v'
+    | Int_lit _ | Float_lit _ | Bool_lit _ | Var _ -> e
+    | Index (a, b) -> Index (expr a, expr b)
+    | Field (e, f) -> Field (expr e, f)
+    | Arrow (e, f) -> Arrow (expr e, f)
+    | Deref e -> Deref (expr e)
+    | Addr e -> Addr (expr e)
+    | Binop (op, a, b) ->
+        let a' = expr a in
+        Binop (op, a', expr b)
+    | Unop (op, e) -> Unop (op, expr e)
+    | Call (f, args) -> Call (f, List.map expr args)
+    | Cast (t, e) -> Cast (ty t, expr e)
+  and ty t =
+    match t with
+    | Tarray (t, sz) -> Tarray (ty t, Option.map expr sz)
+    | Tptr t -> Tptr (ty t)
+    | _ -> t
+  in
+  let section s =
+    {
+      s with
+      start = expr s.start;
+      len = expr s.len;
+      into = Option.map (fun (a, e) -> (a, expr e)) s.into;
+    }
+  in
+  let pragma = function
+    | Offload sp ->
+        Offload
+          {
+            sp with
+            ins = List.map section sp.ins;
+            outs = List.map section sp.outs;
+            inouts = List.map section sp.inouts;
+            signal = Option.map expr sp.signal;
+            wait = Option.map expr sp.wait;
+          }
+    | Offload_transfer sp ->
+        Offload_transfer
+          {
+            sp with
+            ins = List.map section sp.ins;
+            outs = List.map section sp.outs;
+            inouts = List.map section sp.inouts;
+            signal = Option.map expr sp.signal;
+            wait = Option.map expr sp.wait;
+          }
+    | Offload_wait e -> Offload_wait (expr e)
+    | (Omp_parallel_for | Omp_simd) as p -> p
+  in
+  let rec stm s =
+    match s with
+    | Sexpr e -> Sexpr (expr e)
+    | Sassign (a, b) ->
+        let a' = expr a in
+        Sassign (a', expr b)
+    | Sdecl (t, n, init) -> Sdecl (ty t, n, Option.map expr init)
+    | Sif (e, a, b) ->
+        let e' = expr e in
+        let a' = List.map stm a in
+        Sif (e', a', List.map stm b)
+    | Swhile (e, b) ->
+        let e' = expr e in
+        Swhile (e', List.map stm b)
+    | Sfor fl ->
+        Sfor
+          {
+            fl with
+            lo = expr fl.lo;
+            hi = expr fl.hi;
+            step = expr fl.step;
+            body = List.map stm fl.body;
+          }
+    | Sreturn e -> Sreturn (Option.map expr e)
+    | Sblock b -> Sblock (List.map stm b)
+    | Spragma (p, s) -> Spragma (pragma p, stm s)
+    | Sbreak | Scontinue -> s
+  in
+  List.map
+    (function
+      | Gfunc f -> Gfunc { f with body = List.map stm f.body }
+      | Gvar (t, n, init) -> Gvar (ty t, n, Option.map expr init)
+      | Gstruct s -> Gstruct s)
+    prog
+
+(** [minimize ~still_failing prog] greedily shrinks [prog] while
+    [still_failing] holds, trying at most [max_tries] candidates (each
+    costs two interpreter runs in the differential setting).  One round
+    is a deletion sweep (when the statement at [k] is deleted, the scan
+    stays at [k] — the next statement has shifted into place) followed
+    by a halving sweep; rounds repeat until neither changes the
+    program. *)
+let minimize ?(max_tries = 2000) ~still_failing prog =
+  let tries = ref 0 in
+  let attempt p = incr tries; !tries <= max_tries && still_failing p in
+  let rec del_pass prog k =
+    if k >= count_stmts prog then prog
+    else
+      let p' = delete_nth prog k in
+      if attempt p' then del_pass p' k else del_pass prog (k + 1)
+  in
+  let rec lit_pass prog =
+    let rec go = function
+      | [] -> prog
+      | v :: rest ->
+          let p' = replace_lit prog v (v / 2) in
+          if attempt p' then lit_pass p' else go rest
+    in
+    go (int_literals prog)
+  in
+  let rec improve prog =
+    if !tries > max_tries then prog
+    else
+      let p' = lit_pass (del_pass prog 0) in
+      if Minic.Ast.equal_program p' prog then prog else improve p'
+  in
+  improve prog

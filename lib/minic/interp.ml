@@ -733,6 +733,11 @@ type outcome = {
   output : string;
   stats : stats;
   events : event list;  (** offload-level trace, in program order *)
+  globals : (string * value list) list;
+      (** final contents of every global variable, in declaration
+          order: array/struct storage flattened cell by cell, scalars
+          as a single cell.  This is the "final heap state" the
+          differential oracle ({!Check.equiv}) compares. *)
 }
 
 let init_state prog =
@@ -761,6 +766,22 @@ let init_state prog =
     shadows = Hashtbl.create 16;
   }
 
+(* Flattened final contents of one global's storage, for the outcome
+   snapshot.  Sizes in bindings are resolved ([bind_decl] stores the
+   evaluated [Int_lit]), so [sizeof] is exact here. *)
+let snapshot_binding st (b : binding) =
+  match b.vty with
+  | Tarray (elt, Some (Int_lit n)) -> (
+      match load st b.cell with
+      | Vptr base ->
+          List.init (n * sizeof st elt) (fun k ->
+              load st { base with ofs = base.ofs + k })
+      | v -> [ v ])
+  | Tstruct _ ->
+      List.init (sizeof st b.vty) (fun k ->
+          load st { b.cell with ofs = b.cell.ofs + k })
+  | _ -> [ load st b.cell ]
+
 (** Run [main()].  [fuel] bounds the number of statements executed
     (default 10 million). *)
 let run ?(fuel = 10_000_000) prog =
@@ -788,6 +809,8 @@ let run ?(fuel = 10_000_000) prog =
             output = Buffer.contents st.output;
             stats = st.stats;
             events = List.rev st.events;
+            globals =
+              List.map (fun (n, b) -> (n, snapshot_binding st b)) globals;
           }
   with
   | Runtime_error msg -> Error msg

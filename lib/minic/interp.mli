@@ -60,6 +60,10 @@ type outcome = {
   output : string;
   stats : stats;
   events : event list;
+  globals : (string * value list) list;
+      (** final contents of every global, in declaration order:
+          array/struct storage flattened cell by cell, scalars as one
+          cell — the "final heap state" differential testing compares *)
 }
 
 val run : ?fuel:int -> Ast.program -> (outcome, string) result

@@ -145,11 +145,17 @@ and parse_unary st =
   match peek st with
   | Lexer.Tminus -> (
       advance st;
-      (* fold negated literals so printing and re-parsing round-trips *)
-      match parse_unary st with
-      | Int_lit n -> Int_lit (-n)
-      | Float_lit f -> Float_lit (-.f)
-      | e -> Unop (Neg, e))
+      (* fold only a directly adjacent literal token into a negative
+         literal: [-5] is [Int_lit (-5)], but [-(5)] stays a [Unop]
+         (the printer emits the parens to keep that distinction) *)
+      match peek st with
+      | Lexer.Tint_lit n ->
+          advance st;
+          Int_lit (-n)
+      | Lexer.Tfloat_lit f ->
+          advance st;
+          Float_lit (-.f)
+      | _ -> Unop (Neg, parse_unary st))
   | Lexer.Tbang ->
       advance st;
       Unop (Not, parse_unary st)

@@ -67,9 +67,15 @@ let rec expr_str ?(ctx = 0) e =
   | Deref e -> paren 6 ("*" ^ expr_str ~ctx:6 e)
   | Addr e -> paren 6 ("&" ^ expr_str ~ctx:6 e)
   | Unop (Neg, e) ->
-      (* avoid "--" (it would lex as decrement) *)
+      (* avoid "--" (it would lex as decrement), and parenthesize
+         literal operands so [-(5)] does not re-parse as the folded
+         literal [Int_lit (-5)] *)
       let s = expr_str ~ctx:6 e in
-      let s = if String.length s > 0 && s.[0] = '-' then "(" ^ s ^ ")" else s in
+      let starts_like_literal =
+        String.length s > 0
+        && (s.[0] = '-' || s.[0] = '.' || (s.[0] >= '0' && s.[0] <= '9'))
+      in
+      let s = if starts_like_literal then "(" ^ s ^ ")" else s in
       paren 6 ("-" ^ s)
   | Unop (Not, e) -> paren 6 ("!" ^ expr_str ~ctx:6 e)
   | Binop (op, a, b) ->

@@ -587,13 +587,16 @@ let aos_to_soa prog (region : Analysis.Offload_regions.region) =
   | prog' -> Ok prog'
   | exception Not_found -> Error No_offload_spec
 
-(** Apply whichever regularization rewrites fit each offloaded region.
-    Returns the program and the list of (function, kind) applications. *)
-let transform_all prog =
+(** Apply the regularization rewrites in [kinds] that fit each
+    offloaded region.  Returns the program and the list of
+    (function, kind) applications. *)
+let transform_all_kinds ~kinds:wanted prog =
   let regions = Analysis.Offload_regions.offloaded prog in
   List.fold_left
     (fun (prog, applied) region ->
-      let kinds = applicable_kinds prog region in
+      let kinds =
+        List.filter (fun k -> List.mem k wanted) (applicable_kinds prog region)
+      in
       List.fold_left
         (fun (prog, applied) kind ->
           let result =
@@ -607,3 +610,5 @@ let transform_all prog =
           | Error _ -> (prog, applied))
         (prog, applied) kinds)
     (prog, []) regions
+
+let transform_all prog = transform_all_kinds ~kinds:[ Reorder; Split; Soa ] prog

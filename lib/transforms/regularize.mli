@@ -58,7 +58,15 @@ val aos_to_soa :
   Analysis.Offload_regions.region ->
   (Minic.Ast.program, failure) result
 
+val transform_all_kinds :
+  kinds:kind list ->
+  Minic.Ast.program ->
+  Minic.Ast.program * (string * kind) list
+(** Apply the rewrites in [kinds] that fit each offloaded region;
+    returns the (function, kind) applications.  Lets callers (e.g. the
+    differential harness) validate reorder/split separately from
+    AoS-to-SoA. *)
+
 val transform_all :
   Minic.Ast.program -> Minic.Ast.program * (string * kind) list
-(** Apply whichever rewrites fit each offloaded region; returns the
-    (function, kind) applications. *)
+(** [transform_all_kinds ~kinds:[Reorder; Split; Soa]]. *)

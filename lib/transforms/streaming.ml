@@ -25,6 +25,7 @@ type failure =
   | Non_affine of string
   | Mixed_coeff of string
   | Nonconst_offset of string
+  | Nonscalar_element of string
   | Invariant_out of string
   | No_streamed_input
   | Unknown_function of string
@@ -38,6 +39,11 @@ let pp_failure fmt = function
       Format.fprintf fmt "array %s is accessed with several strides" a
   | Nonconst_offset a ->
       Format.fprintf fmt "array %s has a non-constant access offset" a
+  | Nonscalar_element a ->
+      Format.fprintf fmt
+        "array %s has struct or pointer elements (regularize to SoA or use \
+         shared memory first)"
+        a
   | Invariant_out a ->
       Format.fprintf fmt "output array %s is written at a loop-invariant index"
         a
@@ -213,6 +219,20 @@ let analyze ?(nblocks = 10) prog (region : Analysis.Offload_regions.region) =
       (spec.ins @ spec.outs @ spec.inouts)
   in
   let arrays = arrays @ extra in
+  (* blockwise device buffers are sized in elements: multi-cell (struct)
+     or pointer-valued elements would transfer wrong and carry stale
+     host addresses — those arrays belong to SoA regularization or the
+     shared-memory lowering, not to streaming *)
+  let* () =
+    match
+      List.find_opt
+        (fun a ->
+          match a.elem with Tint | Tfloat | Tbool -> false | _ -> true)
+        arrays
+    with
+    | Some a -> Error (Nonscalar_element a.name)
+    | None -> Ok ()
+  in
   let* () =
     if
       List.exists
@@ -247,8 +267,16 @@ let slice (fl : for_loop) a blk =
     Util.imin fl.hi (S.add fl.lo (S.mul (S.add blk (Int_lit 1)) (Var bsize_v)))
   in
   let c = Int_lit a.coeff in
+  (* clamp into [0, total]: an empty trailing block (bstart past the
+     iteration space) must yield a slice whose start is still a valid
+     address for its zero length; the clamp folds away when the lower
+     clamp already reduced the start to a constant 0 *)
   let start_elem =
-    Util.imax (Int_lit 0) (S.add (S.mul c bstart) (Int_lit a.min_off))
+    match
+      S.expr (Util.imax (Int_lit 0) (S.add (S.mul c bstart) (Int_lit a.min_off)))
+    with
+    | Int_lit 0 -> Int_lit 0
+    | s -> Util.imin a.total s
   in
   let end_elem =
     Util.imin a.total (S.add (S.mul c bend) (Int_lit a.max_off))

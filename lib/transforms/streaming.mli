@@ -20,6 +20,11 @@ type failure =
   | Non_affine of string
   | Mixed_coeff of string  (** one array, several strides *)
   | Nonconst_offset of string
+  | Nonscalar_element of string
+      (** struct- or pointer-element array: blockwise device buffers
+          would need element-size-aware slicing; AoS data is handled by
+          regularization (SoA) first, pointer data by the shared-memory
+          lowering *)
   | Invariant_out of string
   | No_streamed_input
   | Unknown_function of string

@@ -39,13 +39,7 @@ let expr_gen : expr QCheck.Gen.t =
                   map3
                     (fun op a b -> Binop (op, a, b))
                     binop_gen (self (n / 2)) (self (n / 2)) );
-                ( 1,
-                  map
-                    (fun e ->
-                      match e with
-                      | Int_lit i -> Int_lit (-i)
-                      | e -> Unop (Neg, e))
-                    (self (n - 1)) );
+                (1, map (fun e -> Unop (Neg, e)) (self (n - 1)));
                 (1, map (fun e -> Unop (Not, e)) (self (n - 1)));
                 ( 2,
                   map2 (fun a i -> Index (Var a, i)) var_name (self (n - 1))

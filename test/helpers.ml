@@ -47,9 +47,41 @@ let first_offloaded prog =
 
 let tc name f = Alcotest.test_case name `Quick f
 
-(** Register a qcheck property as an alcotest case. *)
+(** Seed policy for property tests.
+
+    Tier-1 ([dune runtest]) must be deterministic, so by default every
+    QCheck suite runs under a fixed seed.  Overrides:
+
+    - [QCHECK_SEED=<n>] pins a specific seed (replaying a failure);
+    - [QCHECK_LONG=true] (the [@fuzz] alias) self-initializes from the
+      clock and prints the chosen seed to stderr so a failing fuzz run
+      can be replayed with [QCHECK_SEED]. *)
+let default_seed = 413
+
+let seed =
+  match Sys.getenv_opt "QCHECK_SEED" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n -> n
+      | None -> default_seed)
+  | None ->
+      if Sys.getenv_opt "QCHECK_LONG" <> None then begin
+        Random.self_init ();
+        let n = Random.int 1_000_000_000 in
+        Printf.eprintf "qcheck random seed: %d (replay: QCHECK_SEED=%d)\n%!" n
+          n;
+        n
+      end
+      else default_seed
+
+let rand = Random.State.make [| seed |]
+
+(** Register a qcheck property as an alcotest case.  Runs [count]
+    trials under the pinned seed; the [@fuzz] alias ([QCHECK_LONG=true])
+    multiplies trials by [long_factor] and randomizes the seed. *)
 let prop name ?(count = 100) arb f =
-  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
+  QCheck_alcotest.to_alcotest ~rand
+    (QCheck.Test.make ~name ~count ~long_factor:10 arb f)
 
 let float_close ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps *. (1. +. Float.abs a +. Float.abs b)
 

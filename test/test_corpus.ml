@@ -85,4 +85,21 @@ let suite =
             "fig05a_blackscholes.mc"; "fig06_streamcluster.mc";
             "fig07_srad.mc"; "fig08_patterns.mc"; "fig03_shared.mc";
           ]);
+    tc "recorded regressions replay clean through every transform" (fun () ->
+        (* corpus/regressions/ holds minimized programs on which some
+           transform once diverged; replaying them pins the fix *)
+        let entries = Check.Corpus.entries ~dir:"corpus/regressions" in
+        Alcotest.(check bool) "at least one fixture committed" true
+          (entries <> []);
+        List.iter
+          (fun path ->
+            let prog = parse (read path) in
+            List.iter
+              (fun (r : Check.report) ->
+                if not (Check.verdict_ok r.transform r.verdict) then
+                  Alcotest.failf "%s/%s: %s" path
+                    (Check.transform_name r.transform)
+                    (Check.verdict_str r.verdict))
+              (Check.check_program prog))
+          entries);
   ]

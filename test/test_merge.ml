@@ -23,8 +23,44 @@ let merge_src =
       return 0;
     }|}
 
-let suite =
+(* differential coverage through the [Check] oracle: generated
+   multi-offload programs must survive merging bit-for-bit, and the
+   host-scalar variant (a host statement between the offloads) must
+   refuse to merge at all *)
+let arb_mergeable =
+  QCheck.make
+    ~print:(fun (pat, s) ->
+      Printf.sprintf "%s seed=%d\n%s"
+        (Check.Genprog.pattern_name pat)
+        s
+        (Check.Genprog.generate pat ~seed:s))
+    QCheck.Gen.(
+      pair
+        (oneofl [ Check.Genprog.Multi_offload; Check.Genprog.Host_scalar ])
+        (int_bound 999))
+
+let oracle_tests =
   [
+    prop "oracle: merged offload chains are observationally equal" ~count:50
+      arb_mergeable (fun (pat, seed) ->
+        let prog = parse (Check.Genprog.generate pat ~seed) in
+        match Check.check_program ~transforms:[ Check.Merge ] prog with
+        | [ (r : Check.report) ] ->
+            let sites_ok =
+              match pat with
+              | Check.Genprog.Multi_offload -> r.sites > 0
+              | _ -> r.sites = 0
+            in
+            (sites_ok
+            || QCheck.Test.fail_reportf "unexpected site count %d" r.sites)
+            && (Check.verdict_ok Check.Merge r.verdict
+               || QCheck.Test.fail_report (Check.verdict_str r.verdict))
+        | _ -> QCheck.Test.fail_report "expected one report");
+  ]
+
+let suite =
+  oracle_tests
+  @ [
     tc "site detection" (fun () ->
         let prog = parse merge_src in
         let sites = M.sites prog in

@@ -47,7 +47,53 @@ let transform_exn prog =
   | Ok p -> p
   | Error e -> Alcotest.failf "shared_mem failed: %a" Sm.pp_failure e
 
+(* differential coverage through the [Check] oracle: every generated
+   pointer-chain program must come out of the shared-memory lowering
+   either observationally equal (kernel never dereferences) or
+   *enabled* (the untouched program faults on a host pointer, the
+   lowered one runs) — and both modes must actually occur *)
+let arb_chain_seed =
+  QCheck.make
+    ~print:(fun s ->
+      Printf.sprintf "seed=%d\n%s"
+        s
+        (Check.Genprog.generate Check.Genprog.Chain ~seed:s))
+    QCheck.Gen.(int_bound 999)
+
+let oracle_tests =
+  [
+    prop "oracle: shared lowering is equivalent or enabling" ~count:50
+      arb_chain_seed (fun seed ->
+        let prog = parse (Check.Genprog.generate Check.Genprog.Chain ~seed) in
+        match Check.check_program ~transforms:[ Check.Shared ] prog with
+        | [ (r : Check.report) ] ->
+            (r.sites > 0
+            || QCheck.Test.fail_report "chain pattern must be rewritable")
+            && (Check.verdict_ok Check.Shared r.verdict
+               || QCheck.Test.fail_report (Check.verdict_str r.verdict))
+        | _ -> QCheck.Test.fail_report "expected one report");
+    tc "oracle: both the equal and the enabling mode occur" (fun () ->
+        let verdicts =
+          List.init 40 (fun seed ->
+            let prog =
+              parse (Check.Genprog.generate Check.Genprog.Chain ~seed)
+            in
+            match Check.check_program ~transforms:[ Check.Shared ] prog with
+            | [ r ] -> r.Check.verdict
+            | _ -> Alcotest.fail "expected one report")
+        in
+        let has p = List.exists p verdicts in
+        Alcotest.(check bool)
+          "some chain kernels run unchanged" true
+          (has (function Check.Equal -> true | _ -> false));
+        Alcotest.(check bool)
+          "some chain kernels only run once lowered" true
+          (has (function Check.Orig_failed _ -> true | _ -> false)));
+  ]
+
 let suite =
+  oracle_tests
+  @
   [
     tc "pointer-based clauses are detected" (fun () ->
         let prog = parse (chain_src ~inout:false) in
