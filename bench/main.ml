@@ -246,6 +246,69 @@ let profile () =
         (Obs.Json.to_string (Machine.Trace.profile_json ~obs r)))
     [ "blackscholes"; "streamcluster"; "ferret"; "kmeans" ]
 
+(* {1 Fault sweep} *)
+
+(* Robustness sweep: the optimized variant of each workload under a
+   grid of deterministic fault plans, with recovery on.  The JSON line
+   keeps the profile schema and only *adds* a "fault_sweep" key, so
+   existing consumers keep parsing. *)
+let faults_mode () =
+  Printf.printf "\n== Fault sweep (optimized variant, recovery on) ==\n";
+  let specs =
+    List.map
+      (fun s ->
+        match Fault.parse s with
+        | Ok v -> (s, v)
+        | Error e -> failwith ("fault sweep spec " ^ s ^ ": " ^ e))
+      [
+        "xfer=0.05,seed=1";
+        "xfer=0.2,seed=2";
+        "xfer@0*2,seed=3";
+        "reset@0.001,seed=4";
+        "kill@3,dead-after=1,seed=5";
+      ]
+  in
+  List.iter
+    (fun name ->
+      let w = Workloads.Registry.find_exn name in
+      let obs = Obs.create () in
+      let r_clean = Comp.schedule ~obs w Comp.Mic_optimized in
+      let clean = Comp.simulate w Comp.Mic_optimized in
+      Printf.printf "\n-- %s (clean %.4f s) --\n" w.Workloads.Workload.name
+        clean;
+      let rows =
+        List.map
+          (fun (label, spec) ->
+            let fcfg = Machine.Config.with_faults cfg spec in
+            let t, rec_ =
+              Comp.simulate_recovered ~cfg:fcfg w Comp.Mic_optimized
+            in
+            let fellback = rec_.Runtime.Schedule_gen.rec_fellback in
+            Printf.printf "  %-26s %10.4f s (%+6.1f%%)%s\n" label t
+              (100. *. (t -. clean) /. clean)
+              (if fellback then "  [cpu fallback]" else "");
+            Obs.Json.Obj
+              [
+                ("spec", Obs.Json.String label);
+                ("time_s", Obs.Json.Float t);
+                ("fellback", Obs.Json.Bool fellback);
+              ])
+          specs
+      in
+      let json =
+        match Machine.Trace.profile_json ~obs r_clean with
+        | Obs.Json.Obj fields ->
+            Obs.Json.Obj
+              (fields
+              @ [
+                  ("clean_s", Obs.Json.Float clean);
+                  ("fault_sweep", Obs.Json.List rows);
+                ])
+        | j -> j
+      in
+      Printf.printf "json: %s\n" (Obs.Json.to_string json))
+    [ "blackscholes"; "streamcluster"; "kmeans" ]
+
 (* {1 Bechamel microbenchmarks of the compiler itself} *)
 
 let micro () =
@@ -423,6 +486,7 @@ let () =
   let run_named = function
     | "ablations" -> ablations ()
     | "profile" -> profile ()
+    | "faults" -> faults_mode ()
     | "micro" -> micro ()
     | "check" -> check_mode ()
     | name -> (
@@ -430,7 +494,7 @@ let () =
         | Some f -> f ()
         | None ->
             Printf.eprintf
-              "unknown experiment %s; known: %s ablations profile micro check\n"
+              "unknown experiment %s; known: %s ablations profile faults micro check\n"
               name
               (String.concat " " Experiments.All.names);
             exit 1)

@@ -39,6 +39,34 @@ let or_die = function
       prerr_endline msg;
       exit 1
 
+(* --- --faults SPEC (shared by --profile and check) --- *)
+
+let fault_conv =
+  let parse s =
+    match Fault.parse s with Ok spec -> Ok spec | Error e -> Error (`Msg e)
+  in
+  let print fmt s = Format.pp_print_string fmt (Fault.to_string s) in
+  Arg.conv ~docv:"SPEC" (parse, print)
+
+let faults_arg =
+  Arg.(
+    value
+    & opt fault_conv Fault.none
+    & info [ "faults" ] ~docv:"SPEC"
+        ~doc:
+          "Inject a deterministic fault plan: comma-separated $(b,seed=N), \
+           $(b,xfer=P) (per-attempt transfer CRC-failure probability), \
+           $(b,xfer\\@I) / $(b,xfer\\@I*K) (force K failures at transfer I), \
+           $(b,kill\\@I) (transfer I fails every attempt), $(b,drop\\@TAG) / \
+           $(b,delay\\@TAG:SECS) (COI signal faults), $(b,reset\\@T) (device \
+           reset at time T), $(b,myo-stall=P:SECS), and recovery-policy \
+           overrides $(b,retries=N), $(b,backoff=BASE:CEIL), $(b,timeout=T), \
+           $(b,dead-after=N), $(b,fallback)/$(b,no-fallback), \
+           $(b,slowdown=F), $(b,reset-cost=S)")
+
+(* exit code for a device declared dead with no CPU fallback *)
+let exit_device_dead = 3
+
 (* --- parse --- *)
 
 let file_arg =
@@ -328,7 +356,7 @@ let check_cmd =
             "Append minimized diverging programs to $(docv) (e.g. \
              test/corpus/regressions) for deterministic replay")
   in
-  let run file transform runs seed nblocks fuel inject record =
+  let run file transform runs seed nblocks fuel inject record faults =
     let txfs =
       match transform with None -> Check.all_transforms | Some t -> [ t ]
     in
@@ -382,9 +410,40 @@ let check_cmd =
     | Some f ->
         let prog = or_die (load f) in
         Printf.printf "%s:\n" f;
-        List.iter
-          (handle ~what:f ~prog)
-          (Check.check_program ~fuel ~nblocks ~inject ~transforms:txfs prog)
+        if Fault.is_none faults then
+          List.iter
+            (handle ~what:f ~prog)
+            (Check.check_program ~fuel ~nblocks ~inject ~transforms:txfs prog)
+        else begin
+          (* differential oracle under an injected fault plan: the
+             rewrite must stay equivalent AND the faulted replay must
+             recover (retries / timeouts / CPU fallback) *)
+          Printf.printf "  fault plan: %s\n" (Fault.to_string faults);
+          List.iter
+            (fun (r : Check.faulted_report) ->
+              let name = Check.transform_name r.Check.f_transform in
+              if r.Check.f_sites = 0 then
+                Printf.printf "  %-11s not applicable\n" name
+              else begin
+                incr applicable_total;
+                if Check.faulted_ok r then
+                  Printf.printf
+                    "  %-11s equivalent; recovered%s (clean %.6f s -> \
+                     faulted %.6f s)\n"
+                    name
+                    (if r.Check.f_fellback then " on the CPU" else "")
+                    r.Check.f_clean_s r.Check.f_faulted_s
+                else begin
+                  incr failures;
+                  Printf.printf "  %-11s FAILED under faults: %s\n" name
+                    (if r.Check.f_died then
+                       "device died and the policy has no CPU fallback"
+                     else Check.verdict_str r.Check.f_verdict)
+                end
+              end)
+            (Check.check_faulted ~fuel ~nblocks ~transforms:txfs ~spec:faults
+               prog)
+        end
     | None -> ());
     if runs > 0 then begin
       (* per-transform (checked, applicable, divergences) counters *)
@@ -512,11 +571,11 @@ let check_cmd =
           output, return value, and final global state")
     Term.(
       const run $ file $ transform $ runs $ seed $ nblocks $ fuel $ inject
-      $ record)
+      $ record $ faults_arg)
 
 (* --- --profile (top-level) --- *)
 
-let profile_run file out =
+let profile_run ~faults file out =
   let prog = or_die (load file) in
   let obs = Obs.create () in
   match Minic.Interp.run prog with
@@ -524,9 +583,25 @@ let profile_run file out =
       Printf.eprintf "runtime error: %s\n" e;
       exit 1
   | Ok o ->
+      let cfg = Machine.Config.with_faults Machine.Config.paper_default faults in
       let r =
-        Runtime.Replay.schedule ~obs Machine.Config.paper_default
-          o.Minic.Interp.events
+        match
+          Runtime.Replay.schedule_recovered ~obs cfg o.Minic.Interp.events
+        with
+        | rec_ ->
+            (match rec_.Runtime.Replay.r_died_at with
+            | Some at ->
+                Printf.printf
+                  "// device declared dead at %.6f s; recovered on the CPU\n"
+                  at
+            | None -> ());
+            rec_.Runtime.Replay.r_result
+        | exception Fault.Device_dead { at; failures } ->
+            Printf.eprintf
+              "fault: device declared dead at %.6f s after %d failed \
+               attempts (no CPU fallback in policy)\n"
+              at failures;
+            exit exit_device_dead
       in
       Format.printf "%a" (Machine.Trace.pp_profile ~obs) r;
       Option.iter
@@ -563,12 +638,12 @@ let default_term =
       & info [ "o"; "output" ] ~docv:"STATS.json"
           ~doc:"With $(b,--profile), also write the profile as JSON to $(docv)")
   in
-  let run profile out =
+  let run profile out faults =
     match profile with
-    | Some file -> `Ok (profile_run file out)
+    | Some file -> `Ok (profile_run ~faults file out)
     | None -> `Help (`Pager, None)
   in
-  Term.(ret (const run $ profile $ out))
+  Term.(ret (const run $ profile $ out $ faults_arg))
 
 let () =
   let doc = "COMP: compiler optimizations for manycore processors" in

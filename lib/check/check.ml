@@ -242,6 +242,69 @@ let check_program ?fuel ?nblocks ?(inject = false)
         { transform = txf; sites; verdict = equiv ?fuel prog prog' })
     transforms
 
+(** {1 Fault-plan differential checking}
+
+    The oracle above validates the rewrite's semantics; this validates
+    the fault-model runtime around it.  The transformed program is
+    replayed on the machine model twice — fault-free, and under an
+    injected fault plan with full recovery (retries, timeouts, CPU
+    fallback) — and must still produce the oracle answer: injected
+    faults change {e when} things finish, never {e what} the program
+    computes, and recovery must complete rather than deadlock. *)
+
+type faulted_report = {
+  f_transform : transform;
+  f_sites : int;
+  f_verdict : verdict;  (** oracle verdict on the transformed program *)
+  f_clean_s : float;  (** fault-free replay makespan *)
+  f_faulted_s : float;  (** recovered makespan under the fault plan *)
+  f_fellback : bool;  (** the device died and the CPU took over *)
+  f_died : bool;  (** device death the policy could not recover *)
+}
+
+(** Each transform applied to [prog], oracle-checked, then replayed
+    clean and under [spec] with recovery. *)
+let check_faulted ?fuel ?nblocks ?(transforms = all_transforms) ~spec prog =
+  List.map
+    (fun txf ->
+      let prog', sites = apply ?nblocks txf prog in
+      let verdict = if sites = 0 then Equal else equiv ?fuel prog prog' in
+      let events =
+        match Minic.Interp.run ?fuel prog' with
+        | Ok o -> o.Minic.Interp.events
+        | Error _ -> []
+      in
+      let clean_cfg = Machine.Config.paper_default in
+      let fault_cfg = Machine.Config.with_faults clean_cfg spec in
+      let clean_s =
+        (Runtime.Replay.schedule clean_cfg events).Machine.Engine.makespan
+      in
+      let faulted_s, fellback, died =
+        match Runtime.Replay.schedule_recovered fault_cfg events with
+        | r ->
+            ( r.Runtime.Replay.r_result.Machine.Engine.makespan,
+              r.Runtime.Replay.r_fellback,
+              false )
+        | exception Fault.Device_dead _ -> (Float.nan, false, true)
+      in
+      {
+        f_transform = txf;
+        f_sites = sites;
+        f_verdict = verdict;
+        f_clean_s = clean_s;
+        f_faulted_s = faulted_s;
+        f_fellback = fellback;
+        f_died = died;
+      })
+    transforms
+
+(** Acceptable faulted run: the oracle verdict holds and recovery
+    completed (no unrecovered device death, makespan finite). *)
+let faulted_ok r =
+  verdict_ok r.f_transform r.f_verdict
+  && (not r.f_died)
+  && Float.is_finite r.f_faulted_s
+
 (** {1 Shrinking} *)
 
 (* A shrink candidate must keep failing the *same way*: well-typed,

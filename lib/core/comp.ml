@@ -205,6 +205,21 @@ let simulate_region ?obs ?(cfg = Machine.Config.paper_default)
   let strategy, shape = plan_of_variant w a variant in
   Runtime.Schedule_gen.region_time ?obs cfg shape strategy
 
+(** Whole-application time with device death absorbed: like
+    {!simulate}, but when [cfg.fault] kills the device and the policy
+    allows CPU fallback, the returned record carries the recovered
+    makespan instead of escaping with {!Fault.Device_dead}. *)
+let simulate_recovered ?obs ?(cfg = Machine.Config.paper_default)
+    (w : Workloads.Workload.t) variant =
+  let a = analyze w in
+  let strategy, shape = plan_of_variant w a variant in
+  let r = Runtime.Schedule_gen.schedule_recovered ?obs cfg shape strategy in
+  let time =
+    shape.Runtime.Plan.host_serial_s
+    +. r.Runtime.Schedule_gen.rec_result.Machine.Engine.makespan
+  in
+  (time, r)
+
 (** Full schedule of a variant, for tracing/Gantt output.  With [?obs],
     every counter/span the runtime and engine record lands in the given
     sink. *)

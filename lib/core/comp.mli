@@ -103,6 +103,17 @@ val simulate_region :
   ?obs:Obs.t -> ?cfg:Machine.Config.t -> Workloads.Workload.t -> variant -> float
 (** Offload-region time only (no host serial part). *)
 
+val simulate_recovered :
+  ?obs:Obs.t ->
+  ?cfg:Machine.Config.t ->
+  Workloads.Workload.t ->
+  variant ->
+  float * Runtime.Schedule_gen.recovered
+(** Whole-application time with [cfg.fault] injected and device death
+    absorbed by the CPU fallback when the policy allows it.  Without
+    [cpu_fallback] an unrecoverable death escapes as
+    {!Fault.Device_dead}. *)
+
 val schedule :
   ?obs:Obs.t ->
   ?cfg:Machine.Config.t ->

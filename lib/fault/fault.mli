@@ -1,0 +1,130 @@
+(** Fault injection and recovery for the machine simulator.
+
+    A {!spec} is a deterministic, seeded fault plan — transfer CRC
+    errors by block index or probability, dropped/delayed COI signals,
+    a device reset at time t, MYO page-service stalls — plus the
+    {!policy} the runtime recovers with (retry budget, exponential
+    backoff, wait timeout, device-death threshold, CPU fallback).  The
+    spec travels inside [Machine.Config.t]; each consumer instantiates
+    a mutable plan {!t} from it.  All randomness is a pure hash of
+    [(seed, stream, index)], so runs are reproducible and draws are
+    independent of evaluation order. *)
+
+(** {1 Recovery policy} *)
+
+type policy = {
+  max_retries : int;
+      (** retry budget per transfer round (retries, not attempts) *)
+  backoff_base_s : float;  (** first retry delay *)
+  backoff_ceiling_s : float;  (** exponential backoff saturates here *)
+  wait_timeout_s : float;
+      (** [Coi.wait] gives up after this long and raises a recoverable
+          [Timeout] instead of deadlocking *)
+  dead_after : int;
+      (** consecutive exhausted retry rounds before the device is
+          declared dead *)
+  cpu_fallback : bool;  (** re-run the region on the host after death *)
+  fallback_slowdown : float;
+      (** host-vs-device slowdown applied to replayed kernel work when
+          falling back *)
+  reset_recovery_s : float;  (** time one device reset costs *)
+}
+
+val default_policy : policy
+
+(** {1 Specification} *)
+
+type spec = {
+  seed : int;
+  xfer_prob : float;  (** per-attempt CRC-failure probability *)
+  xfer_fail : (int * int) list;
+      (** (transfer index, forced consecutive failures) *)
+  kill : int list;  (** transfer indices that fail every attempt *)
+  drop_signals : int list;  (** tags whose next signal is lost *)
+  delay_signals : (int * float) list;  (** tag -> delivery delay *)
+  reset_at : float option;  (** spontaneous device reset time *)
+  myo_stall_prob : float;  (** per-page-fault stall probability *)
+  myo_stall_s : float;  (** duration of one page-service stall *)
+  policy : policy;
+}
+
+val none : spec
+(** No faults; the config default.  Consumers short-circuit on it. *)
+
+val is_none : spec -> bool
+
+val parse : string -> (spec, string) result
+(** The [--faults] grammar: comma-separated [seed=N], [xfer=P],
+    [xfer@I], [xfer@I*K], [kill@I], [drop@TAG], [delay@TAG:SECS],
+    [reset@T], [myo-stall=P:SECS], and policy overrides [retries=N],
+    [backoff=BASE:CEIL], [timeout=T], [dead-after=N],
+    [fallback]/[no-fallback], [slowdown=F], [reset-cost=S]. *)
+
+val to_string : spec -> string
+(** Canonical spec string; [parse (to_string s)] round-trips. *)
+
+(** {1 Plans} *)
+
+type t
+(** A mutable plan instantiated from a spec: tracks the transfer
+    index, the consecutive-failure count for the degradation policy,
+    and which one-shot faults were already consumed. *)
+
+val plan : ?obs:Obs.t -> spec -> t
+(** With [?obs], every injection/retry/reset/timeout/fallback bumps a
+    [fault.*] counter and recovery times land in the [fault.recovery_s]
+    histogram. *)
+
+val plan_of : ?obs:Obs.t -> spec -> t option
+(** [None] for {!none} — the no-overhead fast path. *)
+
+val spec : t -> spec
+val policy : t -> policy
+
+exception Device_dead of { at : float; failures : int }
+(** The degradation policy declared the device dead at simulated time
+    [at] after [failures] failed attempts.  Raised by the engine;
+    recovered (CPU fallback) or surfaced by the strategy layer. *)
+
+val backoff_total : t -> failures:int -> float
+(** Total backoff delay after [failures] failed attempts:
+    [sum min(base * 2^(j-1), ceiling)]. *)
+
+(** {2 Transfers} *)
+
+type xfer_report = {
+  xr_index : int;
+  xr_failures : int;  (** failed attempts before success (or death) *)
+  xr_resets : int;  (** device resets taken while recovering *)
+  xr_dead : bool;  (** the degradation policy gave up *)
+}
+
+val next_transfer : t -> xfer_report
+(** Outcome of the next transfer: retries until one attempt succeeds,
+    paying a device reset per exhausted retry round, until
+    [dead_after] consecutive exhausted rounds declare death. *)
+
+(** {2 Signals} *)
+
+type fate = Deliver | Dropped | Delayed of float
+
+val signal_fate : t -> tag:int -> fate
+(** Each [drop@TAG]/[delay@TAG] clause is consumed once: the re-signal
+    after a drop goes through. *)
+
+(** {2 Device reset} *)
+
+val take_reset : t -> start:float -> stop:float -> (float * float) option
+(** If the one-shot [reset@T] falls inside [[start, stop)], consume it
+    and return [(reset_time, recovery_cost)]. *)
+
+(** {2 MYO stalls} *)
+
+val myo_stall : t -> float option
+(** Stall duration (if any) for the next batch of page faults. *)
+
+(** {2 Bookkeeping} *)
+
+val note_fallback : t -> unit
+val note_timeout : t -> unit
+val observe_recovery : t -> float -> unit

@@ -53,7 +53,15 @@ type myo = {
   max_total_bytes : int;
 }
 
-type t = { cpu : cpu; mic : mic; pcie : pcie; myo : myo }
+type t = {
+  cpu : cpu;
+  mic : mic;
+  pcie : pcie;
+  myo : myo;
+  fault : Fault.spec;
+      (** injected-failure plan and recovery policy; {!Fault.none}
+          (the default) costs nothing anywhere *)
+}
 
 let gib = 1024 * 1024 * 1024
 
@@ -98,7 +106,10 @@ let paper_default =
         max_allocs = 4096;
         max_total_bytes = 512 * 1024 * 1024;
       };
+    fault = Fault.none;
   }
+
+let with_faults t fault = { t with fault }
 
 (** Effective SIMD lanes for [float] (32-bit) elements. *)
 let simd_lanes bits = bits / 32

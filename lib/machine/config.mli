@@ -52,7 +52,18 @@ type myo = {
   max_total_bytes : int;
 }
 
-type t = { cpu : cpu; mic : mic; pcie : pcie; myo : myo }
+type t = {
+  cpu : cpu;
+  mic : mic;
+  pcie : pcie;
+  myo : myo;
+  fault : Fault.spec;
+      (** injected-failure plan and recovery policy; [Fault.none] (the
+          default) costs nothing anywhere *)
+}
+
+val with_faults : t -> Fault.spec -> t
+(** The config with a fault plan installed. *)
 
 val gib : int
 val paper_default : t

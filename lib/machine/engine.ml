@@ -90,7 +90,63 @@ module Heap = struct
     end
 end
 
-let schedule ?obs (tasks : Task.t list) : result =
+(* Synthetic placed entry covering the recovery tail of a faulted task
+   (retransfers' backoff, device resets): accounted as kind [Retry] so
+   it shows up as its own phase in profiles and keeps the resource
+   busy-time conservation honest.  The negative id keeps it clear of
+   every real task id. *)
+let recovery_task (t : Task.t) ~duration =
+  {
+    Task.id = -1 - t.Task.id;
+    label = t.Task.label ^ "+recovery";
+    resource = t.Task.resource;
+    duration;
+    deps = [];
+    kind = Some Obs.Retry;
+    bytes = 0.;
+  }
+
+(* Fault consultation for one task about to run at [start]: returns
+   [(busy, recovery)] — the time the task itself occupies its resource
+   (including retransfers or a killed-and-rerun kernel) and the extra
+   recovery tail (backoff, resets).  Raises {!Fault.Device_dead} when
+   the degradation policy gives up. *)
+let faulted_times plan (t : Task.t) ~start =
+  let dur = t.Task.duration in
+  match t.Task.resource with
+  | (Task.Pcie_h2d | Task.Pcie_d2h) when dur > 0. ->
+      let rep = Fault.next_transfer plan in
+      let p = Fault.policy plan in
+      let overhead failures resets =
+        Fault.backoff_total plan ~failures
+        +. (float_of_int resets *. p.Fault.reset_recovery_s)
+      in
+      if rep.Fault.xr_dead then
+        raise
+          (Fault.Device_dead
+             {
+               at =
+                 start
+                 +. (float_of_int rep.Fault.xr_failures *. dur)
+                 +. overhead rep.Fault.xr_failures rep.Fault.xr_resets;
+               failures = rep.Fault.xr_failures;
+             })
+      else if rep.Fault.xr_failures = 0 then (dur, 0.)
+      else
+        (* only the failed block is retransferred: busy grows by one
+           block per failed attempt, never by the whole offload *)
+        ( float_of_int (rep.Fault.xr_failures + 1) *. dur,
+          overhead rep.Fault.xr_failures rep.Fault.xr_resets )
+  | Task.Mic_exec when dur > 0. -> (
+      match Fault.take_reset plan ~start ~stop:(start +. dur) with
+      | None -> (dur, 0.)
+      | Some (reset_time, recovery) ->
+          (* the kernel's progress up to the reset is lost; after the
+             device recovers, it runs again from scratch *)
+          ((reset_time -. start) +. dur, recovery))
+  | _ -> (dur, 0.)
+
+let schedule ?obs ?faults (tasks : Task.t list) : result =
   let n = List.length tasks in
   let by_id = Hashtbl.create (max 16 n) in
   List.iter (fun (t : Task.t) -> Hashtbl.replace by_id t.id t) tasks;
@@ -136,10 +192,22 @@ let schedule ?obs (tasks : Task.t list) : result =
     | None -> ()
     | Some { Heap.key = ready; task = t; _ } ->
         let start = Float.max ready (free_of t.Task.resource) in
-        let fin = start +. t.Task.duration in
+        let busy, recovery =
+          match faults with
+          | None -> (t.Task.duration, 0.)
+          | Some plan -> faulted_times plan t ~start
+        in
+        let fin = start +. busy +. recovery in
         Hashtbl.replace finish t.Task.id fin;
         Hashtbl.replace resource_free t.Task.resource fin;
-        placed := { task = t; start; finish = fin } :: !placed;
+        placed := { task = { t with Task.duration = busy }; start;
+                    finish = start +. busy }
+                  :: !placed;
+        if recovery > 0. then
+          placed :=
+            { task = recovery_task t ~duration:recovery;
+              start = start +. busy; finish = fin }
+            :: !placed;
         (match obs with
         | None -> ()
         | Some o ->
@@ -154,11 +222,16 @@ let schedule ?obs (tasks : Task.t list) : result =
               Obs.span_begin ~bytes:t.Task.bytes o kind ~label:t.Task.label
                 ~start
             in
-            Obs.span_end o sid ~stop:fin;
+            Obs.span_end o sid ~stop:(start +. busy);
             Obs.incr o "engine.tasks";
-            Obs.observe o
-              ("span_s." ^ Obs.kind_name kind)
-              t.Task.duration);
+            Obs.observe o ("span_s." ^ Obs.kind_name kind) busy;
+            if busy +. recovery > t.Task.duration then begin
+              Obs.span o Obs.Retry
+                ~label:(t.Task.label ^ "+recovery")
+                ~start:(start +. busy) ~stop:fin;
+              Obs.observe o "fault.recovery_s"
+                (busy +. recovery -. t.Task.duration)
+            end);
         incr scheduled;
         List.iter
           (fun d_id ->

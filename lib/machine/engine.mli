@@ -18,11 +18,21 @@ type result = {
 
 exception Cycle of string
 
-val schedule : ?obs:Obs.t -> Task.t list -> result
+val schedule : ?obs:Obs.t -> ?faults:Fault.t -> Task.t list -> result
 (** Raises {!Cycle} on cyclic dependencies and [Invalid_argument] on
     dangling ones.  With [?obs], every placed task is recorded as one
     span (kind from the task, or {!Task.default_kind} of its resource)
-    plus an [engine.tasks] counter and per-kind duration histograms. *)
+    plus an [engine.tasks] counter and per-kind duration histograms.
+
+    With [?faults], PCIe tasks consult the plan: a failed attempt
+    retransfers {e only that block} (busy time grows by one block per
+    failure) and pays exponential backoff plus any device resets as an
+    [Obs.Retry] recovery tail — a synthetic placed entry, so profiles
+    show recovery as its own phase.  A kernel crossing the plan's
+    [reset@T] loses its progress and reruns after the reset recovery.
+    When the degradation policy declares the device dead, the engine
+    raises {!Fault.Device_dead}; recovery (CPU fallback) happens at
+    the strategy layer ([Schedule_gen] / [Replay]). *)
 
 val makespan : Task.t list -> float
 

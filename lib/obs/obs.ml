@@ -27,10 +27,12 @@ type kind =
   | Page_fault  (** MYO on-demand page copies *)
   | Seg_alloc  (** segmented-buffer segment creation *)
   | Repack  (** host-side regularization work *)
+  | Retry  (** fault recovery: retransfers, backoff, resets, fallback *)
   | Host  (** other host work: glue, allocation bookkeeping *)
 
 let all_kinds =
-  [ H2d; D2h; Kernel; Launch; Signal; Page_fault; Seg_alloc; Repack; Host ]
+  [ H2d; D2h; Kernel; Launch; Signal; Page_fault; Seg_alloc; Repack; Retry;
+    Host ]
 
 let kind_name = function
   | H2d -> "h2d"
@@ -41,6 +43,7 @@ let kind_name = function
   | Page_fault -> "page_fault"
   | Seg_alloc -> "seg_alloc"
   | Repack -> "repack"
+  | Retry -> "retry"
   | Host -> "host"
 
 let kind_of_name = function
@@ -52,6 +55,7 @@ let kind_of_name = function
   | "page_fault" -> Some Page_fault
   | "seg_alloc" -> Some Seg_alloc
   | "repack" -> Some Repack
+  | "retry" -> Some Retry
   | "host" -> Some Host
   | _ -> None
 

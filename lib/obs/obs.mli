@@ -17,6 +17,7 @@ type kind =
   | Page_fault  (** MYO on-demand page copies *)
   | Seg_alloc  (** segmented-buffer segment creation *)
   | Repack  (** host-side regularization work *)
+  | Retry  (** fault recovery: retransfers, backoff, resets, fallback *)
   | Host  (** other host work: glue, allocation bookkeeping *)
 
 val all_kinds : kind list

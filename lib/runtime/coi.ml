@@ -3,26 +3,51 @@
     kernel [wait]s for each data block's signal instead of being
     relaunched.  This is a functional simulation with timestamps so the
     ordering logic can be unit-tested independently of the event
-    engine. *)
+    engine.
+
+    Under a fault plan, a signal can be dropped (lost on the wire —
+    never delivered, though the host still pays the send cost) or
+    delayed.  [signals] holds only {e delivered} signals, which is what
+    makes the re-signal semantics right: a dropped signal followed by a
+    re-signal keeps the re-signal's delivered time, and {!signalled}
+    reports only deliveries. *)
 
 type t = {
-  signals : (int, float) Hashtbl.t;  (** tag -> time signalled *)
+  signals : (int, float) Hashtbl.t;  (** tag -> time delivered *)
   mutable signal_cost : float;
   mutable wait_cost : float;
   obs : Obs.t option;
+  plan : Fault.t option;
 }
 
-let create ?obs ?(signal_cost = 5.0e-6) ?(wait_cost = 1.0e-6) () =
-  { signals = Hashtbl.create 16; signal_cost; wait_cost; obs }
+let create ?obs ?plan ?(signal_cost = 5.0e-6) ?(wait_cost = 1.0e-6) () =
+  { signals = Hashtbl.create 16; signal_cost; wait_cost; obs; plan }
 
 exception Never_signalled of int
 
+exception Timeout of { tag : int; waited_s : float }
+
 (** Host side: raise signal [tag] at [time]; returns the time the host
-    continues (signalling is cheap but not free). *)
+    continues (signalling is cheap but not free).  Under a fault plan
+    the signal may be dropped (nothing is delivered) or delayed (the
+    delivered time is late); among delivered signals the earliest
+    delivery wins. *)
 let signal t ~tag ~time =
-  (match Hashtbl.find_opt t.signals tag with
-  | Some earlier when earlier <= time -> ()
-  | _ -> Hashtbl.replace t.signals tag time);
+  let delivery =
+    match t.plan with
+    | None -> Some time
+    | Some plan -> (
+        match Fault.signal_fate plan ~tag with
+        | Fault.Deliver -> Some time
+        | Fault.Dropped -> None
+        | Fault.Delayed d -> Some (time +. d))
+  in
+  (match delivery with
+  | None -> ()
+  | Some at -> (
+      match Hashtbl.find_opt t.signals tag with
+      | Some earlier when earlier <= at -> ()
+      | _ -> Hashtbl.replace t.signals tag at));
   (match t.obs with
   | None -> ()
   | Some o ->
@@ -34,13 +59,39 @@ let signal t ~tag ~time =
   time +. t.signal_cost
 
 (** Device side: wait for [tag] starting at [time]; returns the time
-    the kernel resumes.  Raises {!Never_signalled} if the tag was never
-    raised — which is how a lost-signal deadlock shows up in tests. *)
-let wait t ~tag ~time =
+    the kernel resumes.  A tag never delivered is a deadlock: with a
+    timeout (given explicitly or by the fault plan's recovery policy)
+    it surfaces as a recoverable {!Timeout} after the timeout has been
+    waited out; without one it raises {!Never_signalled} — which is how
+    a lost-signal deadlock shows up in tests. *)
+let wait ?timeout t ~tag ~time =
+  let timeout =
+    match (timeout, t.plan) with
+    | Some _, _ -> timeout
+    | None, Some plan -> Some (Fault.policy plan).Fault.wait_timeout_s
+    | None, None -> None
+  in
   match Hashtbl.find_opt t.signals tag with
-  | None -> raise (Never_signalled tag)
-  | Some signalled ->
-      let resumed = Float.max time signalled +. t.wait_cost in
+  | None -> (
+      match timeout with
+      | None -> raise (Never_signalled tag)
+      | Some waited_s ->
+          (match t.obs with
+          | None -> ()
+          | Some o ->
+              Obs.span o Obs.Retry
+                ~label:(Printf.sprintf "wait-timeout#%d" tag)
+                ~start:time
+                ~stop:(time +. waited_s));
+          (match t.plan with
+          | Some plan -> Fault.note_timeout plan
+          | None -> (
+              match t.obs with
+              | Some o -> Obs.incr o "fault.timeouts"
+              | None -> ()));
+          raise (Timeout { tag; waited_s }))
+  | Some delivered ->
+      let resumed = Float.max time delivered +. t.wait_cost in
       (match t.obs with
       | None -> ()
       | Some o ->
@@ -50,6 +101,7 @@ let wait t ~tag ~time =
             ~start:time ~stop:resumed);
       resumed
 
+(** Only delivered signals count: a dropped signal is invisible here. *)
 let signalled t tag = Hashtbl.mem t.signals tag
 
 (** Per-block synchronization cost of a persistent kernel versus a

@@ -2,27 +2,45 @@
     thread reuse (Section III-C): the persistent kernel waits for each
     data block's signal instead of being relaunched.  A functional
     simulation with timestamps, so ordering logic is testable
-    independently of the event engine. *)
+    independently of the event engine.  Under a fault plan a signal can
+    be dropped or delayed; only {e delivered} signals exist. *)
 
 type t
 
-val create : ?obs:Obs.t -> ?signal_cost:float -> ?wait_cost:float -> unit -> t
+val create :
+  ?obs:Obs.t ->
+  ?plan:Fault.t ->
+  ?signal_cost:float ->
+  ?wait_cost:float ->
+  unit ->
+  t
 (** With [?obs], every signal/wait is counted ([coi.signals] /
-    [coi.waits]) and recorded as an {!Obs.Signal} span on the
-    simulated clock. *)
+    [coi.waits]) and recorded as an {!Obs.Signal} span on the simulated
+    clock.  With [?plan], signals may be dropped or delayed and waits
+    default to the plan's recovery timeout. *)
 
 exception Never_signalled of int
 
+exception Timeout of { tag : int; waited_s : float }
+(** The wait gave up after [waited_s]: the recoverable form of a
+    lost-signal deadlock (the caller can re-signal, poll, or fall
+    back), as opposed to {!Never_signalled}. *)
+
 val signal : t -> tag:int -> time:float -> float
 (** Host raises [tag] at [time]; returns when the host continues.
-    Re-signalling keeps the earliest time. *)
+    Under a fault plan the signal may be dropped ({e not} delivered —
+    a later re-signal delivers at its own time) or delayed.  Among
+    delivered signals the earliest delivery wins. *)
 
-val wait : t -> tag:int -> time:float -> float
+val wait : ?timeout:float -> t -> tag:int -> time:float -> float
 (** Device waits for [tag] from [time]; returns when the kernel
-    resumes.  Raises {!Never_signalled} for a tag never raised — a
-    lost-signal deadlock, surfaced loudly. *)
+    resumes.  For a tag never delivered: raises {!Timeout} after the
+    timeout (explicit, or the fault plan's [wait_timeout_s]), or
+    {!Never_signalled} when there is no timeout — a lost-signal
+    deadlock, surfaced loudly. *)
 
 val signalled : t -> int -> bool
+(** Whether [tag] has been {e delivered}; dropped signals don't count. *)
 
 val saving_per_block : Machine.Config.t -> float
 (** Launch overhead minus signal cost: what thread reuse saves per

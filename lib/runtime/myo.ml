@@ -28,10 +28,13 @@ type t = {
   mutable next_addr : int;
   faulted : (int, unit) Hashtbl.t;  (** page number -> present on device *)
   mutable faults : int;
+  mutable stalls : int;  (** injected page-service stalls *)
+  mutable stall_s : float;  (** total injected stall time *)
   obs : Obs.t option;
+  plan : Fault.t option;
 }
 
-let create ?obs (config : Machine.Config.myo) =
+let create ?obs ?plan (config : Machine.Config.myo) =
   {
     config;
     allocs = 0;
@@ -39,7 +42,10 @@ let create ?obs (config : Machine.Config.myo) =
     next_addr = 0x2000_0000;
     faulted = Hashtbl.create 1024;
     faults = 0;
+    stalls = 0;
+    stall_s = 0.;
     obs;
+    plan;
   }
 
 (** [Offload_shared_malloc]: returns the address of a shared object of
@@ -81,6 +87,16 @@ let touch t ~addr ~len =
       end
     done;
     t.faults <- t.faults + !fresh;
+    (* fault plan: the page-service daemon can stall while handling a
+       batch of fresh faults (one draw per faulting touch) *)
+    (match t.plan with
+    | Some plan when !fresh > 0 -> (
+        match Fault.myo_stall plan with
+        | Some stall ->
+            t.stalls <- t.stalls + 1;
+            t.stall_s <- t.stall_s +. stall
+        | None -> ())
+    | _ -> ());
     (match t.obs with
     | None -> ()
     | Some o ->
@@ -96,19 +112,31 @@ let sync_boundary t =
   (match t.obs with None -> () | Some o -> Obs.incr o "myo.syncs");
   Hashtbl.reset t.faulted
 
-type stats = { allocs : int; total_bytes : int; faults : int }
+type stats = {
+  allocs : int;
+  total_bytes : int;
+  faults : int;
+  stalls : int;
+  stall_s : float;
+}
 
 let stats (t : t) =
-  { allocs = t.allocs; total_bytes = t.total_bytes; faults = t.faults }
+  {
+    allocs = t.allocs;
+    total_bytes = t.total_bytes;
+    faults = t.faults;
+    stalls = t.stalls;
+    stall_s = t.stall_s;
+  }
 
 (** Time spent in fault handling and page copies for the faults
-    recorded so far. *)
+    recorded so far, including any injected page-service stalls. *)
 let fault_time (cfg : Machine.Config.t) (t : t) =
   let per_page =
     cfg.myo.fault_cost_s
     +. (float_of_int cfg.myo.page_bytes /. (cfg.myo.page_bw_gbs *. 1e9))
   in
-  float_of_int t.faults *. per_page
+  (float_of_int t.faults *. per_page) +. t.stall_s
 
 (** Time our segmented scheme would take for the same data: whole
     segments over DMA at full PCIe bandwidth. *)

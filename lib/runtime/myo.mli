@@ -17,10 +17,13 @@ val pp_error : Format.formatter -> error -> unit
 
 type t
 
-val create : ?obs:Obs.t -> Machine.Config.myo -> t
+val create : ?obs:Obs.t -> ?plan:Fault.t -> Machine.Config.myo -> t
 (** With [?obs], allocations, page faults and sync boundaries bump the
     [myo.allocs] / [myo.page_faults] / [myo.fault_bytes] / [myo.syncs]
-    counters (Table III's fault columns). *)
+    counters (Table III's fault columns).  With [?plan], the
+    page-service daemon can stall while handling a faulting touch
+    ([myo-stall=P:SECS]); stalls are visible in {!stats} and included
+    in {!fault_time}. *)
 
 val alloc : t -> int -> (int, error) result
 (** [Offload_shared_malloc]: address of a shared object of [bytes]
@@ -34,12 +37,19 @@ val sync_boundary : t -> unit
 (** Offload-region boundary: device copies are invalidated, so the
     next region re-faults. *)
 
-type stats = { allocs : int; total_bytes : int; faults : int }
+type stats = {
+  allocs : int;
+  total_bytes : int;
+  faults : int;
+  stalls : int;  (** injected page-service stalls *)
+  stall_s : float;  (** total injected stall time *)
+}
 
 val stats : t -> stats
 
 val fault_time : Machine.Config.t -> t -> float
-(** Time spent in fault handling and page copies so far. *)
+(** Time spent in fault handling and page copies so far, including
+    injected page-service stalls. *)
 
 val segbuf_time : Machine.Config.t -> bytes:int -> seg_bytes:int -> float
 (** What our segmented scheme takes for the same data: whole segments

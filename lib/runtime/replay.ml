@@ -36,12 +36,47 @@ let default_params = { bytes_per_cell = 65536.; seconds_per_stmt = 5e-5 }
 
 exception Unmatched_wait of int
 
-(** Build the task graph of an event trace. *)
-let tasks ?obs ?(params = default_params) (cfg : Config.t)
+(** Build the task graph of an event trace.  Under [?plan] each
+    asynchronous signal is assigned its fate at the point it is raised:
+    a dropped signal makes the matching wait burn the recovery timeout
+    before polling the transfer directly, a delayed one stalls the
+    waiter by the delay. *)
+let tasks ?obs ?plan ?(params = default_params) (cfg : Config.t)
     (events : Minic.Interp.event list) : Task.t list =
   let b = Task.builder () in
   let bump name = match obs with None -> () | Some o -> Obs.incr o name in
-  let signals : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let signals : (int, int * Fault.fate) Hashtbl.t = Hashtbl.create 16 in
+  (* deps that stand for "the wait on [tag] has completed" *)
+  let join tag =
+    match Hashtbl.find_opt signals tag with
+    | None -> raise (Unmatched_wait tag)
+    | Some (id, Fault.Deliver) -> [ id ]
+    | Some (id, Fault.Delayed d) ->
+        (* the signal arrives late: the waiter stalls for [d] after the
+           transfer completes before it can resume *)
+        let late =
+          Task.add b ~deps:[ id ]
+            ~label:(Printf.sprintf "late-signal#%d" tag)
+            ~resource:Task.Cpu_exec ~kind:Obs.Signal ~duration:d ()
+        in
+        [ late ]
+    | Some (id, Fault.Dropped) ->
+        (* the signal never arrives: the waiter burns the full timeout,
+           then recovers by polling the transfer itself — a recoverable
+           stall, not a deadlock *)
+        let timeout_s =
+          match plan with
+          | Some p -> (Fault.policy p).Fault.wait_timeout_s
+          | None -> 0.
+        in
+        (match plan with Some p -> Fault.note_timeout p | None -> ());
+        let t =
+          Task.add b ~deps:[ id ]
+            ~label:(Printf.sprintf "wait-timeout#%d" tag)
+            ~resource:Task.Cpu_exec ~kind:Obs.Retry ~duration:timeout_s ()
+        in
+        [ t ]
+  in
   (* the host's synchronous progress: deps for the next sync op *)
   let host_prev = ref [] in
   let transfer_task ~label ~h2d ~d2h ~deps =
@@ -65,24 +100,26 @@ let tasks ?obs ?(params = default_params) (cfg : Config.t)
           in
           match signal with
           | Some tag ->
-              (* asynchronous: issued here, joined at the wait *)
+              (* asynchronous: issued here, joined at the wait; its
+                 fate (delivered / dropped / delayed) is fixed now *)
               bump "replay.signals";
-              Hashtbl.replace signals tag id
+              let fate =
+                match plan with
+                | None -> Fault.Deliver
+                | Some p -> Fault.signal_fate p ~tag
+              in
+              Hashtbl.replace signals tag (id, fate)
           | None -> host_prev := [ id ])
-      | Minic.Interp.Ev_wait tag -> (
+      | Minic.Interp.Ev_wait tag ->
           bump "replay.waits";
-          match Hashtbl.find_opt signals tag with
-          | Some id -> host_prev := id :: !host_prev
-          | None -> raise (Unmatched_wait tag))
+          host_prev := join tag @ !host_prev
       | Minic.Interp.Ev_kernel { work; wait } ->
           let wait_dep =
             match wait with
             | None -> []
-            | Some tag -> (
+            | Some tag ->
                 bump "replay.waits";
-                match Hashtbl.find_opt signals tag with
-                | Some id -> [ id ]
-                | None -> raise (Unmatched_wait tag))
+                join tag
           in
           bump "runtime.launches";
           let id =
@@ -99,11 +136,89 @@ let tasks ?obs ?(params = default_params) (cfg : Config.t)
     events;
   Task.tasks b
 
-(** Schedule the replayed trace. *)
-let schedule ?obs ?params cfg events =
-  Engine.schedule ?obs (tasks ?obs ?params cfg events)
+(** Schedule the replayed trace.  When [cfg.fault] is a live fault
+    plan, signal fates and transfer retries are injected; recovery time
+    lands in the makespan.  An unrecoverable device death escapes as
+    {!Fault.Device_dead} — use {!schedule_recovered} to absorb it. *)
+let schedule ?obs ?params (cfg : Config.t) events =
+  match Fault.plan_of ?obs cfg.Config.fault with
+  | None -> Engine.schedule ?obs (tasks ?obs ?params cfg events)
+  | Some plan ->
+      Engine.schedule ?obs ~faults:plan (tasks ?obs ~plan ?params cfg events)
 
 let makespan ?params cfg events = (schedule ?params cfg events).Engine.makespan
+
+type recovered = {
+  r_result : Engine.result;
+  r_fellback : bool;  (** the device died and the CPU took over *)
+  r_died_at : float option;  (** when the device was declared dead *)
+}
+
+(* What the host runs when the device is declared dead: the work lost
+   up to the death, then every kernel re-executed on the CPU at the
+   fallback slowdown.  Transfers vanish (the data is already host
+   resident); everything chains on the host. *)
+let fallback_tasks ?(params = default_params) (cfg : Config.t) ~died_at
+    (events : Minic.Interp.event list) =
+  let b = Task.builder () in
+  let prev =
+    ref
+      [
+        Task.add b ~label:"device-dead (lost work)" ~resource:Task.Cpu_exec
+          ~kind:Obs.Retry ~duration:died_at ();
+      ]
+  in
+  let slowdown = cfg.Config.fault.Fault.policy.Fault.fallback_slowdown in
+  List.iteri
+    (fun i (ev : Minic.Interp.event) ->
+      match ev with
+      | Minic.Interp.Ev_kernel { work; _ } ->
+          let id =
+            Task.add b ~deps:!prev
+              ~label:(Printf.sprintf "cpu-fallback#%d" i)
+              ~resource:Task.Cpu_exec ~kind:Obs.Retry
+              ~duration:
+                (float_of_int work *. params.seconds_per_stmt *. slowdown)
+              ()
+          in
+          prev := [ id ]
+      | _ -> ())
+    events;
+  Task.tasks b
+
+(** Like {!schedule}, but a device declared dead is recovered on the
+    CPU when the policy allows it: the whole program re-runs host-side
+    at [fallback_slowdown], with the lost device time charged up
+    front.  Without [cpu_fallback] the death re-escapes. *)
+let schedule_recovered ?obs ?params (cfg : Config.t) events =
+  match Fault.plan_of ?obs cfg.Config.fault with
+  | None ->
+      {
+        r_result = Engine.schedule ?obs (tasks ?obs ?params cfg events);
+        r_fellback = false;
+        r_died_at = None;
+      }
+  | Some plan -> (
+      try
+        {
+          r_result =
+            Engine.schedule ?obs ~faults:plan
+              (tasks ?obs ~plan ?params cfg events);
+          r_fellback = false;
+          r_died_at = None;
+        }
+      with Fault.Device_dead { at; failures } ->
+        if not (Fault.policy plan).Fault.cpu_fallback then
+          raise (Fault.Device_dead { at; failures })
+        else begin
+          Fault.note_fallback plan;
+          let fb = fallback_tasks ?params cfg ~died_at:at events in
+          {
+            r_result = Engine.schedule ?obs fb;
+            r_fellback = true;
+            r_died_at = Some at;
+          }
+        end)
 
 (** Interpret a program and replay its trace; returns the outcome and
     the schedule.  Raises on interpreter errors. *)

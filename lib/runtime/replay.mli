@@ -21,12 +21,17 @@ exception Unmatched_wait of int
 
 val tasks :
   ?obs:Obs.t ->
+  ?plan:Fault.t ->
   ?params:params ->
   Machine.Config.t ->
   Minic.Interp.event list ->
   Machine.Task.t list
 (** With [?obs], transfers/kernels are tagged and counted
-    ([replay.signals], [replay.waits], [runtime.launches]). *)
+    ([replay.signals], [replay.waits], [runtime.launches]).  With
+    [?plan], each asynchronous signal is assigned its fate when raised:
+    a dropped signal makes the matching wait burn the recovery timeout
+    before polling the transfer directly; a delayed one stalls the
+    waiter by the delay. *)
 
 val schedule :
   ?obs:Obs.t ->
@@ -34,6 +39,27 @@ val schedule :
   Machine.Config.t ->
   Minic.Interp.event list ->
   Machine.Engine.result
+(** When [cfg.fault] is a live fault plan, signal fates and transfer
+    retries are injected and all recovery time lands in the makespan.
+    An unrecoverable device death escapes as {!Fault.Device_dead} —
+    use {!schedule_recovered} to absorb it. *)
+
+type recovered = {
+  r_result : Machine.Engine.result;
+  r_fellback : bool;  (** the device died and the CPU took over *)
+  r_died_at : float option;  (** when the device was declared dead *)
+}
+
+val schedule_recovered :
+  ?obs:Obs.t ->
+  ?params:params ->
+  Machine.Config.t ->
+  Minic.Interp.event list ->
+  recovered
+(** Like {!schedule}, but a device declared dead is recovered on the
+    CPU when the policy allows it: the whole program re-runs host-side
+    at the policy's [fallback_slowdown], with the lost device time
+    charged up front.  Without [cpu_fallback] the death re-escapes. *)
 
 val makespan :
   ?params:params -> Machine.Config.t -> Minic.Interp.event list -> float

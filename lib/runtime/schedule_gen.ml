@@ -372,14 +372,72 @@ let tasks ?obs cfg (shape : P.shape) (strategy : P.strategy) : Task.t list =
            ()));
   Task.tasks b
 
+(** Full schedule, for tracing.  When [cfg.fault] is a live fault
+    plan, transfer retries and device resets are injected by the
+    engine; an unrecoverable device death escapes as
+    {!Fault.Device_dead} — use {!schedule_recovered} to absorb it. *)
+let schedule ?obs (cfg : Machine.Config.t) shape strategy =
+  let faults = Fault.plan_of ?obs cfg.Machine.Config.fault in
+  Engine.schedule ?obs ?faults (tasks ?obs cfg shape strategy)
+
 (** Makespan of the offloadable part under a strategy. *)
 let region_time ?obs cfg shape strategy =
-  (Engine.schedule ?obs (tasks ?obs cfg shape strategy)).Engine.makespan
+  (schedule ?obs cfg shape strategy).Engine.makespan
 
 (** Whole-application time: region time plus the host serial part. *)
 let total_time ?obs cfg (shape : P.shape) strategy =
   shape.host_serial_s +. region_time ?obs cfg shape strategy
 
-(** Full schedule, for tracing. *)
-let schedule ?obs cfg shape strategy =
-  Engine.schedule ?obs (tasks ?obs cfg shape strategy)
+type recovered = {
+  rec_result : Engine.result;
+  rec_fellback : bool;  (** the device died and the CPU took over *)
+  rec_died_at : float option;  (** when the device was declared dead *)
+}
+
+(** Like {!schedule}, but a device declared dead is recovered on the
+    host when the policy allows it: the lost device time is charged up
+    front, then the whole region re-runs as [Host_parallel] (which
+    needs no PCIe and no device).  Without [cpu_fallback] the death
+    re-escapes. *)
+let schedule_recovered ?obs (cfg : Machine.Config.t) shape strategy =
+  match Fault.plan_of ?obs cfg.Machine.Config.fault with
+  | None ->
+      {
+        rec_result = Engine.schedule ?obs (tasks ?obs cfg shape strategy);
+        rec_fellback = false;
+        rec_died_at = None;
+      }
+  | Some plan -> (
+      try
+        {
+          rec_result =
+            Engine.schedule ?obs ~faults:plan (tasks ?obs cfg shape strategy);
+          rec_fellback = false;
+          rec_died_at = None;
+        }
+      with Fault.Device_dead { at; failures } ->
+        if not (Fault.policy plan).Fault.cpu_fallback then
+          raise (Fault.Device_dead { at; failures })
+        else begin
+          Fault.note_fallback plan;
+          let clean = { cfg with Machine.Config.fault = Fault.none } in
+          let b = Task.builder () in
+          let lost =
+            Task.add b ~label:"device-dead (lost work)"
+              ~resource:Task.Cpu_exec ~kind:Obs.Retry ~duration:at ()
+          in
+          ignore
+            (Task.add b ~deps:[ lost ] ~label:"cpu fallback"
+               ~resource:Task.Cpu_exec ~kind:Obs.Retry
+               ~duration:(region_time clean shape P.Host_parallel)
+               ());
+          {
+            rec_result = Engine.schedule ?obs (Task.tasks b);
+            rec_fellback = true;
+            rec_died_at = Some at;
+          }
+        end)
+
+(** Region makespan with device death absorbed by the CPU fallback. *)
+let recovered_region_time ?obs cfg shape strategy =
+  (schedule_recovered ?obs cfg shape strategy).rec_result.Engine.makespan

@@ -22,7 +22,10 @@ val tasks :
 
 val region_time :
   ?obs:Obs.t -> Machine.Config.t -> Plan.shape -> Plan.strategy -> float
-(** Makespan of the offloadable part. *)
+(** Makespan of the offloadable part.  When [cfg.fault] is a live
+    fault plan, transfer retries and device resets are injected and
+    all recovery time lands in the makespan; an unrecoverable device
+    death escapes as {!Fault.Device_dead}. *)
 
 val total_time :
   ?obs:Obs.t -> Machine.Config.t -> Plan.shape -> Plan.strategy -> float
@@ -35,4 +38,26 @@ val schedule :
   Plan.strategy ->
   Machine.Engine.result
 (** Full schedule, for tracing / Gantt output.  With [?obs], the
-    engine records one span per placed task. *)
+    engine records one span per placed task.  Injects [cfg.fault] like
+    {!region_time}. *)
+
+type recovered = {
+  rec_result : Machine.Engine.result;
+  rec_fellback : bool;  (** the device died and the CPU took over *)
+  rec_died_at : float option;  (** when the device was declared dead *)
+}
+
+val schedule_recovered :
+  ?obs:Obs.t ->
+  Machine.Config.t ->
+  Plan.shape ->
+  Plan.strategy ->
+  recovered
+(** Like {!schedule}, but a device declared dead is recovered on the
+    host when the policy allows it: the lost device time is charged up
+    front, then the whole region re-runs as {!Plan.Host_parallel}.
+    Without [cpu_fallback] the death re-escapes. *)
+
+val recovered_region_time :
+  ?obs:Obs.t -> Machine.Config.t -> Plan.shape -> Plan.strategy -> float
+(** Region makespan with device death absorbed by the CPU fallback. *)

@@ -156,8 +156,11 @@ module Image = struct
 
   let device_base = 0x7f00_0000
 
-  (** Transfer all segments of [t] to the device. *)
-  let of_segbuf ?(bytes_per_cell = 8) (t : t) =
+  (** Transfer all segments of [t] to the device.  Under a fault plan
+      each segment's DMA is one transfer: failed attempts retransfer
+      only that segment (counted as [segbuf.dma_retries]); a device
+      declared dead raises {!Fault.Device_dead}. *)
+  let of_segbuf ?(bytes_per_cell = 8) ?plan (t : t) =
     let segs =
       List.sort (fun a b -> compare a.bid b.bid) t.segments
     in
@@ -167,8 +170,19 @@ module Image = struct
     let delta = Array.make (max 1 nseg) 0 in
     let bounds = Array.make (max 1 nseg) (0, 0, 0) in
     let ofs = ref 0 in
+    let retries = ref 0 in
     List.iter
       (fun s ->
+        (* one DMA per segment; a CRC failure re-DMAs this segment only *)
+        (match plan with
+        | None -> ()
+        | Some p ->
+            let rep = Fault.next_transfer p in
+            if rep.Fault.xr_dead then
+              raise
+                (Fault.Device_dead
+                   { at = 0.; failures = rep.Fault.xr_failures });
+            retries := !retries + rep.Fault.xr_failures);
         Array.blit s.cells 0 arena !ofs s.used;
         let mic_base = device_base + !ofs in
         delta.(s.bid) <- mic_base - s.cpu_base;
@@ -179,7 +193,8 @@ module Image = struct
     | None -> ()
     | Some o ->
         Obs.incr ~by:nseg o "segbuf.dma_segments";
-        Obs.add o "segbuf.dma_bytes" (total * bytes_per_cell));
+        Obs.add o "segbuf.dma_bytes" (total * bytes_per_cell);
+        if !retries > 0 then Obs.incr ~by:!retries o "segbuf.dma_retries");
     { arena; arena_base = device_base; delta; bounds; bytes_per_cell }
 
   (** Device-side read of cell [k] of the object at [p]: translates the

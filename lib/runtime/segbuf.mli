@@ -67,8 +67,11 @@ module Image : sig
 
   val device_base : int
 
-  val of_segbuf : ?bytes_per_cell:int -> t -> image
-  (** Transfer all segments to the device. *)
+  val of_segbuf : ?bytes_per_cell:int -> ?plan:Fault.t -> t -> image
+  (** Transfer all segments to the device.  Under [?plan] each
+      segment's DMA is one transfer: a failed attempt re-DMAs only
+      that segment (counted as [segbuf.dma_retries]); a device
+      declared dead raises {!Fault.Device_dead}. *)
 
   val get : image -> Xptr.t -> int -> int
   (** Device-side read: translates the CPU address through the delta

@@ -29,6 +29,7 @@ let () =
       ("shared-lang", Test_shared_lang.suite);
       ("shared-mem", Test_shared_mem.suite);
       ("myo-coi", Test_myo_coi.suite);
+      ("fault", Test_fault.suite);
       ("check", Test_check.suite);
       ("workloads", Test_workloads.suite);
       ("experiments", Test_experiments.suite);

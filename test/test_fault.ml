@@ -1,0 +1,307 @@
+(* Fault-model runtime: injected PCIe/COI/device failures with retry,
+   timeout, and CPU-fallback recovery. *)
+
+open Helpers
+open Runtime
+
+let cfg = Machine.Config.paper_default
+
+let parse_ok s =
+  match Fault.parse s with
+  | Ok spec -> spec
+  | Error e -> Alcotest.failf "parse %S: %s" s e
+
+(* n sequential h2d transfers of [dur] seconds each, chained *)
+let chain_tasks n dur =
+  let b = Machine.Task.builder () in
+  let prev = ref [] in
+  for i = 0 to n - 1 do
+    let id =
+      Machine.Task.add b ~deps:!prev
+        ~label:(Printf.sprintf "xfer%d" i)
+        ~resource:Machine.Task.Pcie_h2d ~kind:Obs.H2d ~bytes:1e6
+        ~duration:dur ()
+    in
+    prev := [ id ]
+  done;
+  Machine.Task.tasks b
+
+let events_simple =
+  [
+    Minic.Interp.Ev_transfer { h2d_cells = 10; d2h_cells = 0; signal = None };
+    Minic.Interp.Ev_kernel { work = 100; wait = None };
+    Minic.Interp.Ev_transfer { h2d_cells = 0; d2h_cells = 10; signal = None };
+  ]
+
+let events_signalled =
+  [
+    Minic.Interp.Ev_transfer { h2d_cells = 10; d2h_cells = 0; signal = Some 1 };
+    Minic.Interp.Ev_kernel { work = 100; wait = Some 1 };
+    Minic.Interp.Ev_transfer { h2d_cells = 0; d2h_cells = 10; signal = None };
+  ]
+
+let suite =
+  [
+    (* --- spec grammar --- *)
+    tc "parse/to_string round-trips" (fun () ->
+        let s =
+          "seed=9,xfer=0.25,xfer@3,xfer@5*2,kill@7,drop@1,delay@2:0.001,\
+           reset@0.5,myo-stall=0.1:0.002,retries=4,backoff=0.0002:0.01,\
+           timeout=0.02,dead-after=2,no-fallback,slowdown=8,reset-cost=0.1"
+        in
+        let spec = parse_ok s in
+        Alcotest.(check int) "seed" 9 spec.Fault.seed;
+        Alcotest.(check bool) "kill" true (List.mem 7 spec.Fault.kill);
+        Alcotest.(check int) "retries" 4 spec.Fault.policy.Fault.max_retries;
+        Alcotest.(check bool)
+          "no-fallback" false spec.Fault.policy.Fault.cpu_fallback;
+        let spec' = parse_ok (Fault.to_string spec) in
+        Alcotest.(check bool) "round-trip" true (spec = spec'));
+    tc "parse rejects junk with a message" (fun () ->
+        List.iter
+          (fun s ->
+            match Fault.parse s with
+            | Ok _ -> Alcotest.failf "accepted %S" s
+            | Error e ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "message for %S nonempty" s)
+                  true
+                  (String.length e > 0))
+          [ "xfer"; "xfer=2"; "kill@x"; "frobnicate=1"; "delay@1"; "xfer=-1" ]);
+    tc "empty spec is none" (fun () ->
+        Alcotest.(check bool) "none" true (Fault.is_none (parse_ok ""));
+        Alcotest.(check bool) "not none" false (Fault.is_none (parse_ok "xfer=0.5")));
+    (* --- determinism --- *)
+    tc "draws are deterministic per (seed, index)" (fun () ->
+        let spec = parse_ok "xfer=0.3,seed=11" in
+        let outcomes plan =
+          List.init 50 (fun _ -> (Fault.next_transfer plan).Fault.xr_failures)
+        in
+        let a = outcomes (Fault.plan spec) in
+        let b = outcomes (Fault.plan spec) in
+        Alcotest.(check (list int)) "same seed, same faults" a b;
+        let c = outcomes (Fault.plan (parse_ok "xfer=0.3,seed=12")) in
+        Alcotest.(check bool) "different seed differs" true (a <> c));
+    (* --- COI signal faults (satellite: re-signal keeps delivered time) --- *)
+    tc "dropped signal + re-signal keeps the delivered time" (fun () ->
+        let plan = Fault.plan (parse_ok "drop@3") in
+        let ch = Coi.create ~plan ~signal_cost:0. ~wait_cost:0. () in
+        ignore (Coi.signal ch ~tag:3 ~time:4.0);
+        (* the drop consumed the first signal: not delivered *)
+        Alcotest.(check bool) "dropped not delivered" false (Coi.signalled ch 3);
+        ignore (Coi.signal ch ~tag:3 ~time:10.0);
+        Alcotest.(check bool) "re-signal delivered" true (Coi.signalled ch 3);
+        (* the waiter sees the re-signal's own time, not the dropped one *)
+        Alcotest.(check (float 1e-12))
+          "delivered time is the re-signal's" 10.0
+          (Coi.wait ch ~tag:3 ~time:0.0));
+    tc "delayed signal delivers late; earliest delivery wins" (fun () ->
+        let plan = Fault.plan (parse_ok "delay@5:2.5") in
+        let ch = Coi.create ~plan ~signal_cost:0. ~wait_cost:0. () in
+        ignore (Coi.signal ch ~tag:5 ~time:1.0);
+        Alcotest.(check (float 1e-12))
+          "delivered at time + delay" 3.5
+          (Coi.wait ch ~tag:5 ~time:0.0);
+        (* a second, on-time signal earlier than the delayed delivery *)
+        ignore (Coi.signal ch ~tag:5 ~time:2.0);
+        Alcotest.(check (float 1e-12))
+          "earliest delivery wins" 2.0
+          (Coi.wait ch ~tag:5 ~time:0.0));
+    tc "wait timeout is recoverable; no timeout deadlocks loudly" (fun () ->
+        let obs = Obs.create () in
+        let plan = Fault.plan ~obs (parse_ok "drop@9,timeout=0.25") in
+        let ch = Coi.create ~obs ~plan () in
+        ignore (Coi.signal ch ~tag:9 ~time:0.0);
+        (match Coi.wait ch ~tag:9 ~time:1.0 with
+        | exception Coi.Timeout { tag = 9; waited_s } ->
+            Alcotest.(check (float 1e-12)) "waited the timeout" 0.25 waited_s
+        | _ -> Alcotest.fail "expected Timeout");
+        Alcotest.(check int) "timeout counted" 1 (Obs.count obs "fault.timeouts");
+        (* without a plan or explicit timeout: the old loud deadlock *)
+        let ch2 = Coi.create () in
+        match Coi.wait ch2 ~tag:9 ~time:1.0 with
+        | exception Coi.Never_signalled 9 -> ()
+        | _ -> Alcotest.fail "expected Never_signalled");
+    (* --- engine retry/recovery --- *)
+    tc "single-block fault: only that block retransfers" (fun () ->
+        let dur = 1e-3 in
+        let tasks = chain_tasks 5 dur in
+        let clean = (Machine.Engine.schedule tasks).Machine.Engine.makespan in
+        let obs = Obs.create () in
+        let spec = parse_ok "xfer@2" in
+        let plan = Fault.plan ~obs spec in
+        let r = Machine.Engine.schedule ~obs ~faults:plan tasks in
+        Alcotest.(check int) "one retry" 1 (Obs.count obs "fault.retries");
+        Alcotest.(check int) "one injection" 1 (Obs.count obs "fault.injected");
+        (* a synthetic recovery task shows up as its own Retry phase *)
+        let retry_spans =
+          List.filter
+            (fun (p : Machine.Engine.placed) ->
+              p.Machine.Engine.task.Machine.Task.kind = Some Obs.Retry)
+            r.Machine.Engine.placed
+        in
+        Alcotest.(check int) "one recovery span" 1 (List.length retry_spans);
+        (* recovery retransfers one block (plus backoff), not the lot *)
+        let p = spec.Fault.policy in
+        let bound = clean +. dur +. p.Fault.backoff_ceiling_s in
+        Alcotest.(check bool)
+          (Printf.sprintf "makespan %.6f in (%.6f, %.6f]"
+             r.Machine.Engine.makespan clean bound)
+          true
+          (r.Machine.Engine.makespan > clean
+          && r.Machine.Engine.makespan <= bound +. 1e-12));
+    prop "k forced faults cost between 0 and k*(block + backoff ceiling)"
+      ~count:60
+      QCheck.(
+        pair
+          (int_range 1 8)
+          (small_list (pair (int_range 0 7) (int_range 1 3))))
+      (fun (n, faults) ->
+        (* distinct indices within range, failure counts <= max_retries
+           so no round is exhausted and no reset is taken *)
+        let faults =
+          List.sort_uniq
+            (fun (a, _) (b, _) -> compare a b)
+            (List.filter (fun (i, _) -> i < n) faults)
+        in
+        let dur = 2e-4 in
+        let tasks = chain_tasks n dur in
+        let clean = (Machine.Engine.schedule tasks).Machine.Engine.makespan in
+        let spec =
+          { (parse_ok "") with Fault.xfer_fail = faults; seed = 99 }
+        in
+        let plan = Fault.plan spec in
+        let faulted =
+          (Machine.Engine.schedule ~faults:plan tasks).Machine.Engine.makespan
+        in
+        let k = List.fold_left (fun acc (_, f) -> acc + f) 0 faults in
+        let ceiling = spec.Fault.policy.Fault.backoff_ceiling_s in
+        faulted >= clean -. 1e-12
+        && faulted
+           <= clean +. (float_of_int k *. (dur +. ceiling)) +. 1e-12);
+    tc "killed transfer exhausts retries and declares the device dead"
+      (fun () ->
+        let tasks = chain_tasks 3 1e-3 in
+        let plan = Fault.plan (parse_ok "kill@1,dead-after=1") in
+        match Machine.Engine.schedule ~faults:plan tasks with
+        | exception Fault.Device_dead { failures; _ } ->
+            (* max_retries + 1 attempts in the exhausted round *)
+            Alcotest.(check int) "attempts" 4 failures
+        | _ -> Alcotest.fail "expected Device_dead");
+    tc "resets recover until dead-after rounds are exhausted" (fun () ->
+        let tasks = chain_tasks 1 1e-3 in
+        let obs = Obs.create () in
+        (* retries=0: every failed attempt exhausts its round; the first
+           two rounds each pay a reset, the third kills the device *)
+        let plan = Fault.plan ~obs (parse_ok "xfer@0*2,retries=0,dead-after=3") in
+        let r = Machine.Engine.schedule ~obs ~faults:plan tasks in
+        Alcotest.(check int) "two resets" 2 (Obs.count obs "fault.resets");
+        Alcotest.(check bool)
+          "reset recovery time in makespan" true
+          (r.Machine.Engine.makespan >= 2. *. 5e-2));
+    (* --- replay-level recovery --- *)
+    tc "device death falls back to the CPU and completes" (fun () ->
+        let spec = parse_ok "kill@0,dead-after=1" in
+        let fcfg = Machine.Config.with_faults cfg spec in
+        let r = Replay.schedule_recovered fcfg events_simple in
+        Alcotest.(check bool) "fell back" true r.Replay.r_fellback;
+        Alcotest.(check bool) "died" true (r.Replay.r_died_at <> None);
+        Alcotest.(check bool)
+          "completed with positive makespan" true
+          (r.Replay.r_result.Machine.Engine.makespan > 0.));
+    tc "no-fallback policy re-raises the death" (fun () ->
+        let spec = parse_ok "kill@0,dead-after=1,no-fallback" in
+        let fcfg = Machine.Config.with_faults cfg spec in
+        match Replay.schedule_recovered fcfg events_simple with
+        | exception Fault.Device_dead _ -> ()
+        | _ -> Alcotest.fail "expected Device_dead to escape");
+    tc "dropped replay signal burns the timeout, then completes" (fun () ->
+        let clean =
+          (Replay.schedule cfg events_signalled).Machine.Engine.makespan
+        in
+        let spec = parse_ok "drop@1,timeout=0.01" in
+        let fcfg = Machine.Config.with_faults cfg spec in
+        let r = Replay.schedule fcfg events_signalled in
+        Alcotest.(check bool)
+          "timeout adds delay" true
+          (r.Machine.Engine.makespan >= clean +. 0.01 -. 1e-12));
+    tc "recovery time is charged to the makespan (strategy layer)"
+      (fun () ->
+        let w = Workloads.Registry.find_exn "blackscholes" in
+        let clean = Comp.simulate w Comp.Mic_optimized in
+        let fcfg =
+          Machine.Config.with_faults cfg (parse_ok "xfer@1,seed=5")
+        in
+        let t, r = Comp.simulate_recovered ~cfg:fcfg w Comp.Mic_optimized in
+        Alcotest.(check bool) "no fallback needed" false
+          r.Schedule_gen.rec_fellback;
+        Alcotest.(check bool) "slower than clean" true (t > clean);
+        Alcotest.(check bool)
+          "cheaper than a second full run" true
+          (t < 2. *. clean));
+    (* --- MYO stalls --- *)
+    tc "page-service stalls are injected and timed" (fun () ->
+        let spec = parse_ok "myo-stall=1:0.005" in
+        let plan = Fault.plan spec in
+        let t = Myo.create ~plan cfg.Machine.Config.myo in
+        let addr = Result.get_ok (Myo.alloc t 4096) in
+        ignore (Myo.touch t ~addr ~len:4096);
+        let st = Myo.stats t in
+        Alcotest.(check int) "one stall" 1 st.Myo.stalls;
+        Alcotest.(check (float 1e-12)) "stall time" 0.005 st.Myo.stall_s;
+        let without = Myo.create cfg.Machine.Config.myo in
+        let addr' = Result.get_ok (Myo.alloc without 4096) in
+        ignore (Myo.touch without ~addr:addr' ~len:4096);
+        Alcotest.(check bool)
+          "stall lands in fault_time" true
+          (Myo.fault_time cfg t > Myo.fault_time cfg without));
+    (* --- segbuf DMA retries --- *)
+    tc "segment DMA retries only the failed segment" (fun () ->
+        let obs = Obs.create () in
+        let t = Segbuf.create ~obs ~seg_cells:8 () in
+        for i = 0 to 30 do
+          Segbuf.set t (Segbuf.alloc t 2) 0 i
+        done;
+        let plan = Fault.plan ~obs (parse_ok "xfer@1") in
+        ignore (Segbuf.Image.of_segbuf ~plan t);
+        Alcotest.(check int) "one DMA retry" 1
+          (Obs.count obs "segbuf.dma_retries"));
+    (* --- differential check under faults --- *)
+    tc "faulted replay still matches the oracle" (fun () ->
+        let prog =
+          parse
+            (Workloads.Registry.find_exn "blackscholes").Workloads.Workload
+              .source
+        in
+        let spec = parse_ok "xfer=0.3,drop@0,seed=3" in
+        List.iter
+          (fun (r : Check.faulted_report) ->
+            if r.Check.f_sites > 0 then
+              Alcotest.(check bool)
+                (Printf.sprintf "%s recovers equivalent"
+                   (Check.transform_name r.Check.f_transform))
+                true (Check.faulted_ok r))
+          (Check.check_faulted ~spec prog));
+    (* --- recorded regression fixture --- *)
+    tc "fixture: dropped signal on a streamed program recovers via timeout"
+      (fun () ->
+        (* reg_db421a658c07.mc is a streamed saxpy carrying explicit
+           signal/wait pragmas; dropping tag 0 must convert the wait into
+           a recoverable timeout, not a deadlock or a stale delivery. *)
+        let src =
+          In_channel.with_open_text
+            "corpus/regressions/reg_db421a658c07.mc" In_channel.input_all
+        in
+        let events = (run_ok src).Minic.Interp.events in
+        let obs = Obs.create () in
+        let clean = (Replay.schedule cfg events).Machine.Engine.makespan in
+        let fcfg = Machine.Config.with_faults cfg (parse_ok "drop@0,seed=7") in
+        let r = Replay.schedule_recovered ~obs fcfg events in
+        Alcotest.(check bool) "no fallback needed" false r.Replay.r_fellback;
+        Alcotest.(check int) "one wait timed out" 1
+          (Obs.count obs "fault.timeouts");
+        Alcotest.(check bool)
+          "timeout charged but bounded" true
+          (let m = r.Replay.r_result.Machine.Engine.makespan in
+           m >= clean && m <= clean +. 0.1));
+  ]
