@@ -8,9 +8,22 @@
 
     Usage: [dune exec bench/main.exe] (everything), or pass experiment
     names ([fig1 fig4 table2 fig10 fig11 fig12 fig13 fig14 fig15
-    table3 ablations micro]). *)
+    table3 ablations profile faults check selfperf micro]).
+
+    The sweep modes ([profile], [faults], [check], [selfperf]) run
+    their independent per-workload / per-fault-point tasks on a domain
+    pool ([--jobs N], [COMP_JOBS], default
+    [Domain.recommended_domain_count]).  Each task writes into a
+    private buffer and a private {!Obs.t} sink; buffers are printed
+    and sinks merged in submission order, so stdout and JSON are
+    byte-identical at any [--jobs]. *)
 
 let cfg = Machine.Config.paper_default
+
+(* Pool width for the sweep modes, settable with --jobs N. *)
+let jobs : int option ref = ref None
+
+let pmap f xs = Parallel.map ?jobs:!jobs f xs
 
 (* {1 Ablations} *)
 
@@ -232,19 +245,23 @@ let ablations () =
    actually did while simulating the optimized variant — launches,
    signals, faults, DMA bytes — next to the per-phase time breakdown.
    One JSON line per workload for machine consumption. *)
+let profile_workloads =
+  [ "blackscholes"; "streamcluster"; "ferret"; "kmeans" ]
+
+(* One workload's profile section, rendered into a string on whichever
+   domain picks the task up; its sink is private to the task. *)
+let profile_section name =
+  let w = Workloads.Registry.find_exn name in
+  let obs = Obs.create () in
+  let r = Comp.schedule ~obs w Comp.Mic_optimized in
+  Printf.sprintf "\n-- %s (%s) --\n%sjson: %s\n" w.Workloads.Workload.name
+    w.Workloads.Workload.input_desc
+    (Format.asprintf "%a" (Machine.Trace.pp_profile ~obs) r)
+    (Obs.Json.to_string (Machine.Trace.profile_json ~obs r))
+
 let profile () =
   Printf.printf "\n== Workload profiles (optimized variant, runtime counters) ==\n";
-  List.iter
-    (fun name ->
-      let w = Workloads.Registry.find_exn name in
-      let obs = Obs.create () in
-      let r = Comp.schedule ~obs w Comp.Mic_optimized in
-      Printf.printf "\n-- %s (%s) --\n" w.Workloads.Workload.name
-        w.Workloads.Workload.input_desc;
-      Format.printf "%a" (Machine.Trace.pp_profile ~obs) r;
-      Printf.printf "json: %s\n"
-        (Obs.Json.to_string (Machine.Trace.profile_json ~obs r)))
-    [ "blackscholes"; "streamcluster"; "ferret"; "kmeans" ]
+  List.iter print_string (pmap profile_section profile_workloads)
 
 (* {1 Fault sweep} *)
 
@@ -252,47 +269,84 @@ let profile () =
    grid of deterministic fault plans, with recovery on.  The JSON line
    keeps the profile schema and only *adds* a "fault_sweep" key, so
    existing consumers keep parsing. *)
+let fault_sweep_specs () =
+  List.map
+    (fun s ->
+      match Fault.parse s with
+      | Ok v -> (s, v)
+      | Error e -> failwith ("fault sweep spec " ^ s ^ ": " ^ e))
+    [
+      "xfer=0.05,seed=1";
+      "xfer=0.2,seed=2";
+      "xfer@0*2,seed=3";
+      "reset@0.001,seed=4";
+      "kill@3,dead-after=1,seed=5";
+    ]
+
+let fault_workloads = [ "blackscholes"; "streamcluster"; "kmeans" ]
+
+(* The sweep's task grid, flattened: one clean-profile task per
+   workload plus one task per (workload, fault point).  Results merge
+   per workload in submission order, so the report is byte-identical
+   to the sequential one at any pool width. *)
+type fault_task_result =
+  | Fr_clean of Obs.t * Machine.Engine.result * float
+  | Fr_point of { label : string; time_s : float; fellback : bool }
+
 let faults_mode () =
   Printf.printf "\n== Fault sweep (optimized variant, recovery on) ==\n";
-  let specs =
-    List.map
-      (fun s ->
-        match Fault.parse s with
-        | Ok v -> (s, v)
-        | Error e -> failwith ("fault sweep spec " ^ s ^ ": " ^ e))
-      [
-        "xfer=0.05,seed=1";
-        "xfer=0.2,seed=2";
-        "xfer@0*2,seed=3";
-        "reset@0.001,seed=4";
-        "kill@3,dead-after=1,seed=5";
-      ]
+  let specs = fault_sweep_specs () in
+  let tasks =
+    List.concat_map
+      (fun name ->
+        let w = Workloads.Registry.find_exn name in
+        (fun () ->
+          let obs = Obs.create () in
+          let r_clean = Comp.schedule ~obs w Comp.Mic_optimized in
+          Fr_clean (obs, r_clean, Comp.simulate w Comp.Mic_optimized))
+        :: List.map
+             (fun (label, spec) () ->
+               let fcfg = Machine.Config.with_faults cfg spec in
+               let t, rec_ =
+                 Comp.simulate_recovered ~cfg:fcfg w Comp.Mic_optimized
+               in
+               Fr_point
+                 {
+                   label;
+                   time_s = t;
+                   fellback = rec_.Runtime.Schedule_gen.rec_fellback;
+                 })
+             specs)
+      fault_workloads
   in
-  List.iter
-    (fun name ->
+  let results = pmap (fun task -> task ()) tasks in
+  (* regroup: each workload owns 1 + |specs| consecutive results *)
+  let stride = 1 + List.length specs in
+  List.iteri
+    (fun wi name ->
       let w = Workloads.Registry.find_exn name in
-      let obs = Obs.create () in
-      let r_clean = Comp.schedule ~obs w Comp.Mic_optimized in
-      let clean = Comp.simulate w Comp.Mic_optimized in
+      let obs, r_clean, clean =
+        match List.nth results (wi * stride) with
+        | Fr_clean (o, r, c) -> (o, r, c)
+        | Fr_point _ -> assert false
+      in
       Printf.printf "\n-- %s (clean %.4f s) --\n" w.Workloads.Workload.name
         clean;
       let rows =
-        List.map
-          (fun (label, spec) ->
-            let fcfg = Machine.Config.with_faults cfg spec in
-            let t, rec_ =
-              Comp.simulate_recovered ~cfg:fcfg w Comp.Mic_optimized
-            in
-            let fellback = rec_.Runtime.Schedule_gen.rec_fellback in
-            Printf.printf "  %-26s %10.4f s (%+6.1f%%)%s\n" label t
-              (100. *. (t -. clean) /. clean)
-              (if fellback then "  [cpu fallback]" else "");
-            Obs.Json.Obj
-              [
-                ("spec", Obs.Json.String label);
-                ("time_s", Obs.Json.Float t);
-                ("fellback", Obs.Json.Bool fellback);
-              ])
+        List.mapi
+          (fun si _ ->
+            match List.nth results ((wi * stride) + 1 + si) with
+            | Fr_point { label; time_s = t; fellback } ->
+                Printf.printf "  %-26s %10.4f s (%+6.1f%%)%s\n" label t
+                  (100. *. (t -. clean) /. clean)
+                  (if fellback then "  [cpu fallback]" else "");
+                Obs.Json.Obj
+                  [
+                    ("spec", Obs.Json.String label);
+                    ("time_s", Obs.Json.Float t);
+                    ("fellback", Obs.Json.Bool fellback);
+                  ]
+            | Fr_clean _ -> assert false)
           specs
       in
       let json =
@@ -307,7 +361,7 @@ let faults_mode () =
         | j -> j
       in
       Printf.printf "json: %s\n" (Obs.Json.to_string json))
-    [ "blackscholes"; "streamcluster"; "kmeans" ]
+    fault_workloads
 
 (* {1 Bechamel microbenchmarks of the compiler itself} *)
 
@@ -389,6 +443,31 @@ let micro () =
    registry: every transform on every workload's kernel model must be
    observationally equivalent (or inapplicable), and every (shape,
    strategy) plan must respect the cost model's own invariants. *)
+(* One registry row of the differential check: every transform on one
+   workload's kernel model, fully independent of the other rows. *)
+let check_row (w : Workloads.Workload.t) =
+  let prog = Workloads.Workload.program w in
+  let buf = Buffer.create 256 in
+  let row_failures = ref 0 in
+  let cells =
+    List.map
+      (fun (r : Check.report) ->
+        if r.sites = 0 then "-"
+        else if Check.verdict_ok r.transform r.verdict then
+          Printf.sprintf "ok(%d)" r.sites
+        else begin
+          incr row_failures;
+          Printf.bprintf buf "%s/%s: %s\n" w.name
+            (Check.transform_name r.transform)
+            (Check.verdict_str r.verdict);
+          "FAIL"
+        end)
+      (Check.check_program prog)
+  in
+  Printf.bprintf buf "%-14s %s\n" w.name
+    (String.concat " " (List.map (Printf.sprintf "%-12s") cells));
+  (Buffer.contents buf, !row_failures)
+
 let check_mode () =
   let failures = ref 0 in
   Printf.printf "== Differential check: workload kernel models ==\n";
@@ -398,26 +477,10 @@ let check_mode () =
           (fun t -> Printf.sprintf "%-12s" (Check.transform_name t))
           Check.all_transforms));
   List.iter
-    (fun (w : Workloads.Workload.t) ->
-      let prog = Workloads.Workload.program w in
-      let cells =
-        List.map
-          (fun (r : Check.report) ->
-            if r.sites = 0 then "-"
-            else if Check.verdict_ok r.transform r.verdict then
-              Printf.sprintf "ok(%d)" r.sites
-            else begin
-              incr failures;
-              Printf.printf "%s/%s: %s\n" w.name
-                (Check.transform_name r.transform)
-                (Check.verdict_str r.verdict);
-              "FAIL"
-            end)
-          (Check.check_program prog)
-      in
-      Printf.printf "%-14s %s\n" w.name
-        (String.concat " " (List.map (Printf.sprintf "%-12s") cells)))
-    Workloads.Registry.all;
+    (fun (section, n) ->
+      print_string section;
+      failures := !failures + n)
+    (pmap check_row Workloads.Registry.all);
   Printf.printf "\n== Metamorphic check: plan invariants ==\n";
   let strategies =
     [
@@ -436,19 +499,26 @@ let check_mode () =
   in
   let plans = ref 0 in
   List.iter
-    (fun (w : Workloads.Workload.t) ->
-      List.iter
-        (fun strat ->
-          incr plans;
-          match Check.Metamorphic.check_plan w.shape strat with
-          | Ok () -> ()
-          | Error e ->
-              incr failures;
-              Printf.printf "%s under %s: %s\n" w.name
-                (Runtime.Plan.strategy_name strat)
-                e)
-        strategies)
-    Workloads.Registry.all;
+    (fun (section, n, nplans) ->
+      print_string section;
+      failures := !failures + n;
+      plans := !plans + nplans)
+    (pmap
+       (fun (w : Workloads.Workload.t) ->
+         let buf = Buffer.create 64 in
+         let n = ref 0 in
+         List.iter
+           (fun strat ->
+             match Check.Metamorphic.check_plan w.shape strat with
+             | Ok () -> ()
+             | Error e ->
+                 incr n;
+                 Printf.bprintf buf "%s under %s: %s\n" w.name
+                   (Runtime.Plan.strategy_name strat)
+                   e)
+           strategies;
+         (Buffer.contents buf, !n, List.length strategies))
+       Workloads.Registry.all);
   Printf.printf "%d plans checked\n" !plans;
   Printf.printf "\n== Metamorphic check: block-count model ==\n";
   let params = ref 0 in
@@ -481,20 +551,117 @@ let check_mode () =
   end
   else Printf.printf "\nall checks passed\n"
 
+(* {1 Self-performance: sequential vs parallel sweep wall-clock} *)
+
+(* The paper's argument applied to ourselves: a sweep of independent
+   work items on one stream underutilizes the machine.  Run the
+   registry sweep (schedule the optimized variant + differential-check
+   every transform, per workload) once at --jobs 1 and once at the
+   requested width, and report measured wall-clock — the speedup is
+   measured, not claimed.  The per-worker sinks merged in submission
+   order must reproduce the sequential profile exactly; selfperf
+   verifies that too and fails loudly if they differ.  (Timing lines
+   are of course not part of the byte-identical-output guarantee.) *)
+let selfperf () =
+  let sweep_task (w : Workloads.Workload.t) =
+    let obs = Obs.create () in
+    let r = Comp.schedule ~obs w Comp.Mic_optimized in
+    let _, row_failures = check_row w in
+    (w.name, obs, r.Machine.Engine.makespan, row_failures)
+  in
+  let run_sweep ~jobs =
+    let t0 = Unix.gettimeofday () in
+    let results = Parallel.map ~jobs sweep_task Workloads.Registry.all in
+    let wall_s = Unix.gettimeofday () -. t0 in
+    let merged = Obs.create () in
+    List.iter (fun (_, o, _, _) -> Obs.merge merged o) results;
+    let digest =
+      List.map (fun (name, _, mk, fails) -> (name, mk, fails)) results
+    in
+    (wall_s, merged, digest)
+  in
+  let njobs = Parallel.jobs_of !jobs in
+  let ntasks = List.length Workloads.Registry.all in
+  Printf.printf "\n== Self-performance: registry sweep, 1 vs %d jobs ==\n"
+    njobs;
+  let seq_s, seq_obs, seq_digest = run_sweep ~jobs:1 in
+  let par_s, par_obs, par_digest = run_sweep ~jobs:njobs in
+  let profile_equal =
+    Obs.Json.to_string (Obs.to_json seq_obs)
+    = Obs.Json.to_string (Obs.to_json par_obs)
+    && Obs.spans seq_obs = Obs.spans par_obs
+    && seq_digest = par_digest
+  in
+  let speedup = if par_s > 0. then seq_s /. par_s else 0. in
+  Printf.printf "  %-24s %d\n" "tasks" ntasks;
+  Printf.printf "  %-24s %.3f s\n" "sequential (1 job)" seq_s;
+  Printf.printf "  %-24s %.3f s\n"
+    (Printf.sprintf "parallel (%d jobs)" njobs)
+    par_s;
+  Printf.printf "  %-24s %.2fx\n" "speedup" speedup;
+  Printf.printf "  %-24s %s\n" "merged profile equal"
+    (if profile_equal then "yes" else "NO");
+  Printf.printf "json: %s\n"
+    (Obs.Json.to_string
+       (Obs.Json.Obj
+          [
+            ("tasks", Obs.Json.Int ntasks);
+            ("jobs", Obs.Json.Int njobs);
+            ("seq_s", Obs.Json.Float seq_s);
+            ("par_s", Obs.Json.Float par_s);
+            ("speedup", Obs.Json.Float speedup);
+            ("profile_equal", Obs.Json.Bool profile_equal);
+          ]));
+  if not profile_equal then begin
+    Printf.eprintf
+      "selfperf: merged parallel profile differs from the sequential one\n";
+    exit 1
+  end
+
+(* [--jobs N] / [--jobs=N] anywhere on the command line sets the sweep
+   width; everything else is an experiment name.  Output is identical
+   at any width, so --jobs never needs quoting in expected-output
+   tests. *)
+let parse_jobs args =
+  let set v =
+    match int_of_string_opt v with
+    | Some n when n >= 1 -> jobs := Some n
+    | _ ->
+        Printf.eprintf "bench: --jobs expects a positive integer, got %s\n" v;
+        exit 2
+  in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | "--jobs" :: v :: rest ->
+        set v;
+        go acc rest
+    | [ "--jobs" ] ->
+        Printf.eprintf "bench: --jobs expects an argument\n";
+        exit 2
+    | arg :: rest when String.length arg > 7 && String.sub arg 0 7 = "--jobs="
+      ->
+        set (String.sub arg 7 (String.length arg - 7));
+        go acc rest
+    | arg :: rest -> go (arg :: acc) rest
+  in
+  go [] args
+
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
+  let args = parse_jobs (List.tl (Array.to_list Sys.argv)) in
   let run_named = function
     | "ablations" -> ablations ()
     | "profile" -> profile ()
     | "faults" -> faults_mode ()
     | "micro" -> micro ()
     | "check" -> check_mode ()
+    | "selfperf" -> selfperf ()
     | name -> (
         match List.assoc_opt name Experiments.All.by_name with
         | Some f -> f ()
         | None ->
             Printf.eprintf
-              "unknown experiment %s; known: %s ablations profile faults micro check\n"
+              "unknown experiment %s; known: %s ablations profile faults micro \
+               check selfperf\n"
               name
               (String.concat " " Experiments.All.names);
             exit 1)

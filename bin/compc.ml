@@ -302,6 +302,21 @@ let list_cmd =
 
 (* --- check --- *)
 
+(* One (pattern, transform) outcome within a generated-program run.
+   Generation, detection and differential execution happen inside
+   parallel tasks; printing, statistics, minimization and corpus
+   recording replay on the calling domain in submission order, so the
+   report is byte-identical at any --jobs width. *)
+type gen_outcome = {
+  g_txf : Check.transform;
+  g_what : string;  (** "generated pattern=... seed=..." provenance *)
+  g_prog : Minic.Ast.program;  (** original, for on-demand minimization *)
+  g_app_mismatch : bool option;
+      (** [Some expected] when detection disagreed with the pattern *)
+  g_sites : int;
+  g_verdict : Check.verdict option;  (** [None] when not applicable *)
+}
+
 let check_cmd =
   let file = Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE") in
   let transform =
@@ -330,6 +345,16 @@ let check_cmd =
   let seed =
     Arg.(value & opt int 0 & info [ "seed" ] ~docv:"S" ~doc:"Generator seed")
   in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Domain-pool width for the --runs sweep (default: \
+             $(b,COMP_JOBS) if set, else the recommended domain count). \
+             Output and exit code are identical at any width")
+  in
   let nblocks =
     Arg.(value & opt int 4 & info [ "nblocks" ] ~doc:"Streaming block count")
   in
@@ -356,7 +381,7 @@ let check_cmd =
             "Append minimized diverging programs to $(docv) (e.g. \
              test/corpus/regressions) for deterministic replay")
   in
-  let run file transform runs seed nblocks fuel inject record faults =
+  let run file transform runs seed nblocks fuel inject record faults jobs =
     let txfs =
       match transform with None -> Check.all_transforms | Some t -> [ t ]
     in
@@ -454,10 +479,14 @@ let check_cmd =
         in
         Hashtbl.replace stats txf (c + dc, a + da, d + dd)
       in
-      for k = 0 to runs - 1 do
-        List.iter
+      (* All detection and differential execution for run [k]: pure
+         work, safe on any domain.  The run's seed derives from the
+         root seed by splitmix, so the pool width never changes which
+         programs are tested. *)
+      let run_tasks k =
+        let s = Parallel.derive_seed ~root:seed k in
+        List.concat_map
           (fun pat ->
-            let s = seed + k in
             let src = Check.Genprog.generate pat ~seed:s in
             let what =
               Printf.sprintf "generated pattern=%s seed=%d"
@@ -467,71 +496,108 @@ let check_cmd =
             let prog =
               match Minic.Parser.program_of_string src with
               | Error e ->
-                  Printf.eprintf "generator bug (%s): parse: %s\n%s" what e src;
-                  exit 1
+                  failwith
+                    (Printf.sprintf "generator bug (%s): parse: %s\n%s" what e
+                       src)
               | Ok p -> (
                   match Minic.Typecheck.check_program p with
                   | Error e ->
-                      Printf.eprintf "generator bug (%s): type: %s\n%s" what e
-                        src;
-                      exit 1
+                      failwith
+                        (Printf.sprintf "generator bug (%s): type: %s\n%s" what
+                           e src)
                   | Ok _ -> p)
             in
-            List.iter
+            List.map
               (fun txf ->
                 let prog', sites = Check.apply ~nblocks txf prog in
-                (match Check.expected_applicable pat txf with
-                | Some b when b <> (sites > 0) ->
-                    incr failures;
-                    bump txf 1 0 1;
-                    Printf.printf
-                      "  %-11s FAILED: expected %sapplicable on %s\n"
-                      (Check.transform_name txf)
-                      (if b then "" else "NOT ")
-                      what
-                | _ -> bump txf 1 0 0);
-                if sites > 0 then begin
-                  incr applicable_total;
-                  bump txf 0 1 0;
-                  let prog' =
-                    if inject then Check.Inject.corrupt prog' else prog'
-                  in
-                  let verdict = Check.equiv ~fuel prog prog' in
-                  if not (Check.verdict_ok txf verdict) then begin
-                    incr failures;
-                    bump txf 0 0 1;
-                    Printf.printf "  %-11s FAILED on %s: %s\n"
-                      (Check.transform_name txf) what
-                      (Check.verdict_str verdict);
-                    match verdict with
-                    | Check.Diverged _ when not (Hashtbl.mem dumped txf) ->
-                        Hashtbl.add dumped txf ();
-                        let minimized =
-                          Check.minimize_diverging ~fuel ~nblocks ~inject txf
-                            prog
-                        in
-                        Printf.printf "minimized counterexample (%s, %s):\n%s"
-                          (Check.transform_name txf)
-                          what
-                          (Minic.Pretty.program_to_string minimized);
-                        Option.iter
-                          (fun dir ->
-                            let note =
-                              Printf.sprintf
-                                "minimized counterexample: transform=%s %s%s"
-                                (Check.transform_name txf)
-                                what
-                                (if inject then " (injected bug)" else "")
-                            in
-                            let path = Check.Corpus.record ~dir ~note minimized in
-                            Printf.printf "recorded: %s\n" path)
-                          record
-                    | _ -> ()
+                let g_app_mismatch =
+                  match Check.expected_applicable pat txf with
+                  | Some b when b <> (sites > 0) -> Some b
+                  | _ -> None
+                in
+                let g_verdict =
+                  if sites > 0 then begin
+                    let prog' =
+                      if inject then Check.Inject.corrupt prog' else prog'
+                    in
+                    Some (Check.equiv ~fuel prog prog')
                   end
-                end)
+                  else None
+                in
+                {
+                  g_txf = txf;
+                  g_what = what;
+                  g_prog = prog;
+                  g_app_mismatch;
+                  g_sites = sites;
+                  g_verdict;
+                })
               txfs)
           Check.Genprog.all_patterns
-      done;
+      in
+      let outcomes =
+        try Parallel.run ?jobs runs run_tasks
+        with Failure msg ->
+          prerr_endline msg;
+          exit 1
+      in
+      (* Replay in submission order: same prints, same counters, same
+         first-divergence-per-transform minimization as sequentially. *)
+      List.iter
+        (List.iter (fun o ->
+             (match o.g_app_mismatch with
+             | Some b ->
+                 incr failures;
+                 bump o.g_txf 1 0 1;
+                 Printf.printf "  %-11s FAILED: expected %sapplicable on %s\n"
+                   (Check.transform_name o.g_txf)
+                   (if b then "" else "NOT ")
+                   o.g_what
+             | None -> bump o.g_txf 1 0 0);
+             if o.g_sites > 0 then begin
+               incr applicable_total;
+               bump o.g_txf 0 1 0;
+               match o.g_verdict with
+               | Some verdict when not (Check.verdict_ok o.g_txf verdict) ->
+                   begin
+                     incr failures;
+                     bump o.g_txf 0 0 1;
+                     Printf.printf "  %-11s FAILED on %s: %s\n"
+                       (Check.transform_name o.g_txf)
+                       o.g_what
+                       (Check.verdict_str verdict);
+                     match verdict with
+                     | Check.Diverged _ when not (Hashtbl.mem dumped o.g_txf)
+                       ->
+                         Hashtbl.add dumped o.g_txf ();
+                         let minimized =
+                           Check.minimize_diverging ~fuel ~nblocks ~inject
+                             o.g_txf o.g_prog
+                         in
+                         Printf.printf
+                           "minimized counterexample (%s, %s):\n%s"
+                           (Check.transform_name o.g_txf)
+                           o.g_what
+                           (Minic.Pretty.program_to_string minimized);
+                         Option.iter
+                           (fun dir ->
+                             let note =
+                               Printf.sprintf
+                                 "minimized counterexample: transform=%s %s%s"
+                                 (Check.transform_name o.g_txf)
+                                 o.g_what
+                                 (if inject then " (injected bug)" else "")
+                             in
+                             let path =
+                               Check.Corpus.record ~dir ~note minimized
+                             in
+                             Printf.printf "recorded: %s\n" path)
+                           record
+                     | _ -> ()
+                   end
+               | _ -> ()
+             end))
+        outcomes;
       List.iter
         (fun txf ->
           match Hashtbl.find_opt stats txf with
@@ -571,7 +637,7 @@ let check_cmd =
           output, return value, and final global state")
     Term.(
       const run $ file $ transform $ runs $ seed $ nblocks $ fuel $ inject
-      $ record $ faults_arg)
+      $ record $ faults_arg $ jobs)
 
 (* --- --profile (top-level) --- *)
 

@@ -48,6 +48,9 @@ let transform_of_name s =
     rewritten program with the number of rewrite applications (0 means
     the transform was not applicable anywhere — the identity). *)
 let apply ?(nblocks = 4) txf prog =
+  (* deterministic generated names per (program, transform), whichever
+     domain of a parallel sweep runs the rewrite *)
+  Transforms.Util.reset_fresh ();
   match txf with
   | Streaming -> Transforms.Streaming.transform_all ~nblocks prog
   | Regularize ->

@@ -80,6 +80,9 @@ let pass_of_name n =
     (the relative order is always the fixed one above). *)
 let optimize ?(passes = all_passes) ?(nblocks = 10)
     ?(memory = Transforms.Streaming.Double_buffered) prog =
+  (* generated names restart per program: a rewrite is a pure function
+     of its input, whichever domain runs it and in whatever order *)
+  Transforms.Util.reset_fresh ();
   let on p = List.mem p passes in
   let run p f prog = if on p then f prog else (prog, 0) in
   let prog, offloads_inserted =

@@ -59,16 +59,33 @@ type state = {
       (** CPU base offset -> MIC shadow buffer, reused across offloads *)
 }
 
-(** Variable bindings: name -> (cell address, static type).  Innermost
-    scope first. *)
+(** Variable bindings: name -> (cell address, static type). *)
 type binding = { cell : addr; vty : ty }
 
-type _frame = (string * binding) list
+(** One function activation's environment.  Scoping uses [Hashtbl]'s
+    own stack semantics: [Hashtbl.add] shadows, [Hashtbl.remove]
+    unshadows, so block entry/exit is push/pop per declared name and
+    every lookup is O(1) — the interpreter's hottest operation, which
+    the old innermost-first assoc list made O(live bindings). *)
+type frame = (string, binding) Hashtbl.t
 
 exception Runtime_error of string
 exception Out_of_fuel
 
 let error fmt = Printf.ksprintf (fun s -> raise (Runtime_error s)) fmt
+
+let lookup (frame : frame) v = Hashtbl.find_opt frame v
+let bind (frame : frame) name b = Hashtbl.add frame name b
+let unbind (frame : frame) name = Hashtbl.remove frame name
+
+(** Typed lookup for data-clause variables: a section naming an
+    unbound array must surface as a located runtime error (the
+    differential harness runs untypechecked rewrites), never as a bare
+    [Not_found] escaping {!run}. *)
+let clause_binding frame ~clause arr =
+  match lookup frame arr with
+  | Some b -> b
+  | None -> error "%s clause on unbound variable %s" clause arr
 
 let new_heap () = { cells = Array.make 1024 Vundef; next = 0 }
 
@@ -163,7 +180,7 @@ let rec static_ty st frame expr =
   | Float_lit _ -> Tfloat
   | Bool_lit _ -> Tbool
   | Var v -> (
-      match List.assoc_opt v frame with
+      match lookup frame v with
       | Some b -> b.vty
       | None -> error "unbound variable %s" v)
   | Index (a, _) -> (
@@ -230,7 +247,7 @@ let rec eval st mode frame expr : value =
   | Float_lit f -> Vfloat f
   | Bool_lit b -> Vbool b
   | Var v -> (
-      match List.assoc_opt v frame with
+      match lookup frame v with
       | Some b -> load st b.cell
       | None -> error "unbound variable %s" v)
   | Index _ | Field _ | Arrow _ | Deref _ ->
@@ -320,7 +337,7 @@ and eval_binop st mode frame op a b =
 and eval_lvalue st mode frame expr : addr * ty =
   match expr with
   | Var v -> (
-      match List.assoc_opt v frame with
+      match lookup frame v with
       | Some b -> (b.cell, b.vty)
       | None -> error "unbound variable %s" v)
   | Index (a, i) -> (
@@ -394,7 +411,10 @@ and eval_call st mode frame fname args =
               | None -> error "unknown function %s" fname)))
 
 and call_user st mode (f : func) vs =
-  let frame =
+  (* a call opens a fresh activation: parameters only, no caller (or
+     global) bindings are visible in the body *)
+  let frame : frame = Hashtbl.create 16 in
+  let params =
     List.map2
       (fun p v ->
         let cell = alloc st mode.space 1 in
@@ -406,13 +426,17 @@ and call_user st mode (f : func) vs =
         (p.pname, { cell; vty }))
       f.params vs
   in
+  (* bind in reverse so, under Hashtbl.add shadowing, the first of two
+     same-named parameters wins — as the old assoc list resolved it *)
+  List.iter (fun (name, b) -> bind frame name b) (List.rev params);
   match exec_block st mode frame f.body with
   | Return v -> v
   | Normal -> Vundef
   | Break | Continue -> error "break/continue outside loop"
 
 and exec_block st mode frame block : flow =
-  let rec loop frame = function
+  let declared = ref [] in
+  let rec loop = function
     | [] -> Normal
     | stmt :: rest -> (
         match exec_stmt st mode frame stmt with
@@ -421,10 +445,16 @@ and exec_block st mode frame block : flow =
             match stmt with
             | Sdecl (ty, name, init) ->
                 let b = bind_decl st mode frame ty name init in
-                loop ((name, b) :: frame) rest
-            | _ -> loop frame rest))
+                bind frame name b;
+                declared := name :: !declared;
+                loop rest
+            | _ -> loop rest))
   in
-  loop frame block
+  let fl = loop block in
+  (* pop this block's bindings on every exit path (Runtime_error /
+     Out_of_fuel abort the whole run, so they need no unwinding) *)
+  List.iter (unbind frame) !declared;
+  fl
 
 and bind_decl st mode frame ty _name init =
   match ty with
@@ -486,16 +516,18 @@ and exec_stmt st mode frame stmt : flow =
       loop ()
   | Sfor { index; lo; hi; step; body } ->
       let cell = alloc st mode.space 1 in
-      let frame' = (index, { cell; vty = Tint }) :: frame in
-      store st cell (eval st mode frame lo);
+      (* [lo] is evaluated before the index is in scope *)
+      let lo_v = eval st mode frame lo in
+      bind frame index { cell; vty = Tint };
+      store st cell lo_v;
       let rec loop () =
         burn st;
         let i = as_int (load st cell) in
-        let hi_v = as_int (eval st mode frame' hi) in
+        let hi_v = as_int (eval st mode frame hi) in
         if i < hi_v then begin
-          match exec_block st mode frame' body with
+          match exec_block st mode frame body with
           | Normal | Continue ->
-              let stepv = as_int (eval st mode frame' step) in
+              let stepv = as_int (eval st mode frame step) in
               store st cell (Vint (i + stepv));
               loop ()
           | Break -> Normal
@@ -503,7 +535,9 @@ and exec_stmt st mode frame stmt : flow =
         end
         else Normal
       in
-      loop ()
+      let fl = loop () in
+      unbind frame index;
+      fl
   | Sreturn None -> Return Vundef
   | Sreturn (Some e) -> Return (eval st mode frame e)
   | Sblock b -> exec_block st mode frame b
@@ -534,11 +568,7 @@ and exec_pragma st mode frame pragma stmt : flow =
 
 (** Resolve a section to (cpu-side base address, cell count, elem size). *)
 and resolve_section st mode frame (s : section) =
-  let b =
-    match List.assoc_opt s.arr frame with
-    | Some b -> b
-    | None -> error "data clause on unbound variable %s" s.arr
-  in
+  let b = clause_binding frame ~clause:"data" s.arr in
   let elt =
     match b.vty with
     | Tarray (t, _) | Tptr t -> t
@@ -610,18 +640,14 @@ and do_transfers st mode frame spec =
     let translated = List.mem s.arr spec.translate in
     match s.into with
     | Some (dst_name, dofs_e) ->
-        let dst_b =
-          match List.assoc_opt dst_name frame with
-          | Some b -> b
-          | None -> error "into() on unbound variable %s" dst_name
-        in
+        let dst_b = clause_binding frame ~clause:"into()" dst_name in
         let dst = as_ptr (load st dst_b.cell) in
         let dofs = as_int (eval st mode frame dofs_e) in
         let dst = { dst with ofs = dst.ofs + (dofs * esz) } in
         copy_cells st ~src ~dst n;
         if translated then translate_cells st ~src ~dst n
     | None ->
-        let b = List.assoc s.arr frame in
+        let b = clause_binding frame ~clause:"in()" s.arr in
         let cpu_base = as_ptr (load st b.cell) in
         let start_cells = src.ofs - cpu_base.ofs in
         let mic_base =
@@ -637,11 +663,7 @@ and do_transfers st mode frame spec =
     | Some (dst_name, dofs_e) ->
         (* out(dev[a:l] : into(host[b:l])): device-to-host copy *)
         let src, n, esz = resolve_section st mode frame s in
-        let dst_b =
-          match List.assoc_opt dst_name frame with
-          | Some b -> b
-          | None -> error "into() on unbound variable %s" dst_name
-        in
+        let dst_b = clause_binding frame ~clause:"into()" dst_name in
         let dst = as_ptr (load st dst_b.cell) in
         let dofs = as_int (eval st mode frame dofs_e) in
         let dst = { dst with ofs = dst.ofs + (dofs * esz) } in
@@ -649,7 +671,7 @@ and do_transfers st mode frame spec =
         if translated then translate_cells st ~src ~dst n
     | None ->
         let dst, n, _ = resolve_section st mode frame s in
-        let b = List.assoc s.arr frame in
+        let b = clause_binding frame ~clause:"out()" s.arr in
         let cpu_base = as_ptr (load st b.cell) in
         let start_cells = dst.ofs - cpu_base.ofs in
         let mic_base =
@@ -679,7 +701,7 @@ and exec_offload st mode frame spec stmt : flow =
   let rebind acc (s : section) =
     if Option.is_some s.into || List.mem_assoc s.arr acc then acc
     else
-      let b = List.assoc s.arr frame in
+      let b = clause_binding frame ~clause:"offload data" s.arr in
       let cpu_base = as_ptr (load st b.cell) in
       match Hashtbl.find_opt st.shadows cpu_base.ofs with
       | None -> acc (* out-only array: shadow created below *)
@@ -692,7 +714,7 @@ and exec_offload st mode frame spec stmt : flow =
   let ensure_shadow (s : section) =
     if Option.is_none s.into then begin
       let addr, n, _ = resolve_section st mode frame s in
-      let b = List.assoc s.arr frame in
+      let b = clause_binding frame ~clause:"out()" s.arr in
       let cpu_base = as_ptr (load st b.cell) in
       let start_cells = addr.ofs - cpu_base.ofs in
       ignore (shadow_for st ~cpu_base ~cells_needed:(start_cells + n))
@@ -702,10 +724,13 @@ and exec_offload st mode frame spec stmt : flow =
   let rebinds =
     List.fold_left rebind [] (spec.ins @ spec.inouts @ spec.outs)
   in
-  let frame' = rebinds @ frame in
+  List.iter (fun (name, b) -> bind frame name b) rebinds;
   (* 3. run the body in MIC mode *)
   let fuel0 = st.fuel in
-  let fl = exec_stmt st { space = Mic } frame' stmt in
+  let fl = exec_stmt st { space = Mic } frame stmt in
+  (* the rebinds scope over the body only: the out/inout copies below
+     resolve sections against the host bindings again *)
+  List.iter (fun (name, _) -> unbind frame name) rebinds;
   let work = fuel0 - st.fuel in
   let wait =
     Option.map (fun e -> as_int (eval st mode frame e)) spec.wait
@@ -789,19 +814,24 @@ let run ?(fuel = 10_000_000) prog =
   st.fuel <- fuel;
   let mode = { space = Cpu } in
   try
-    (* bind globals *)
+    (* bind globals; initializers see no other bindings, as before *)
+    let empty : frame = Hashtbl.create 1 in
     let globals =
       List.filter_map
         (function
           | Gvar (ty, name, init) ->
-              Some (name, bind_decl st mode [] ty name init)
+              Some (name, bind_decl st mode empty ty name init)
           | _ -> None)
         prog
     in
+    let genv : frame = Hashtbl.create 32 in
+    (* reverse so the first of two same-named globals shadows, as the
+       old declaration-order assoc list resolved it *)
+    List.iter (fun (name, b) -> bind genv name b) (List.rev globals);
     match List.assoc_opt "main" st.funcs with
     | None -> Error "no main function"
     | Some f ->
-        let fl = exec_block st mode globals f.body in
+        let fl = exec_block st mode genv f.body in
         let ret = match fl with Return v -> v | _ -> Vundef in
         Ok
           {

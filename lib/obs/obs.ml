@@ -171,6 +171,58 @@ let histograms t =
 
 let mean h = if h.h_count = 0 then 0. else h.h_total /. float_of_int h.h_count
 
+(* Fold [src] into an existing histogram.  An empty histogram carries
+   the neutral [min = infinity] / [max = neg_infinity] pair (never 0 —
+   a zero there would clamp the merged minimum of all-positive
+   samples), so Float.min/max are the correct combiners even when one
+   side has no samples. *)
+let merge_histogram ~into:h src =
+  h.h_count <- h.h_count + src.h_count;
+  h.h_total <- h.h_total +. src.h_total;
+  h.h_min <- Float.min h.h_min src.h_min;
+  h.h_max <- Float.max h.h_max src.h_max;
+  Array.iteri
+    (fun i n -> h.h_buckets.(i) <- h.h_buckets.(i) + n)
+    src.h_buckets
+
+(* {1 Merging} *)
+
+(** [merge dst src] folds [src] into [dst]: counters add, histograms
+    combine (counts/totals/buckets add, min/max widen), and [src]'s
+    completed spans are prepended to [dst]'s.
+
+    Both sinks store completed spans {e newest-first}, so when each
+    parallel task records into a private sink and the per-task sinks
+    are merged in submission order ([merge acc s0; merge acc s1; ...]),
+    the accumulated span list — and therefore every aggregate and the
+    profile JSON — is exactly what one shared sink would have seen in
+    the sequential run.
+
+    [src] is left untouched and may not have open spans (an open span
+    has no defined owner after the merge); [dst]'s open spans keep
+    their ids. *)
+let merge dst src =
+  if Hashtbl.length src.open_spans > 0 then
+    invalid_arg "Obs.merge: source sink has open spans";
+  Hashtbl.iter (fun name r -> add dst name !r) src.counters;
+  Hashtbl.iter
+    (fun name sh ->
+      match Hashtbl.find_opt dst.histograms name with
+      | Some dh -> merge_histogram ~into:dh sh
+      | None ->
+          Hashtbl.replace dst.histograms name
+            {
+              h_count = sh.h_count;
+              h_total = sh.h_total;
+              h_min = sh.h_min;
+              h_max = sh.h_max;
+              h_buckets = Array.copy sh.h_buckets;
+            })
+    src.histograms;
+  (* src's spans are newer than everything already in dst *)
+  dst.spans <- src.spans @ dst.spans;
+  dst.nspans <- dst.nspans + src.nspans
+
 (* {1 Spans} *)
 
 let span_begin ?(bytes = 0.) t kind ~label ~start =

@@ -48,6 +48,24 @@ type t
 val create : unit -> t
 val reset : t -> unit
 
+val merge : t -> t -> unit
+(** [merge dst src] folds [src] into [dst]: counters add, histograms
+    combine (counts, totals and buckets add; min/max widen — an empty
+    histogram contributes the neutral [infinity]/[neg_infinity] pair,
+    never 0), and [src]'s completed spans are prepended to [dst]'s.
+
+    Completed spans are stored {e newest-first} internally (and
+    reversed by {!spans}); [merge] relies on that ordering and
+    preserves it.  When parallel tasks record into private sinks and
+    the sinks are merged {e in submission order}, the result is
+    identical — spans, aggregates, and JSON — to the single sink of
+    the sequential run.  Merging is associative; counters, histograms
+    and per-kind aggregates are also commutative (span {e order} is
+    not: it follows merge order).
+
+    [src] is left untouched.  Raises [Invalid_argument] if [src] has
+    open spans — an open span would have no owner after the merge. *)
+
 (** {1 Counters} *)
 
 val incr : ?by:int -> t -> string -> unit
@@ -78,7 +96,9 @@ val span : ?bytes:float -> t -> kind -> label:string -> start:float -> stop:floa
 (** Record a complete span (begin + end in one call). *)
 
 val spans : t -> span list
-(** Completed spans, oldest first. *)
+(** Completed spans, oldest first (internal storage is newest-first;
+    this accessor reverses — see {!merge} for why the storage order is
+    part of the contract). *)
 
 val span_count : t -> int
 val unclosed : t -> (kind * string) list

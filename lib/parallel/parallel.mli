@@ -1,0 +1,45 @@
+(** Bounded domain pool for embarrassingly parallel sweeps.
+
+    Every sweep surface (the [bench] registry sweeps, [compc check
+    --runs N], the fault grids) is a list of independent tasks whose
+    results are printed in submission order.  This module runs such a
+    list on OCaml 5 domains while keeping the output {e bit-identical}
+    to the sequential run:
+
+    - tasks are indexed at submission; results land in a slot per
+      index and are returned in submission order, whatever the
+      completion order;
+    - [jobs = 1] executes inline on the calling domain — no domains
+      are spawned, so it is byte-for-byte the sequential run;
+    - a task exception is captured per slot and re-raised on the
+      calling domain for the {e lowest} failing index, so the failure
+      a caller observes does not depend on scheduling either.
+
+    Tasks must not share mutable state; give each task its own
+    {!Obs.t} sink and merge the sinks in submission order afterwards
+    ({!Obs.merge} preserves the sequential profile exactly). *)
+
+val default_jobs : unit -> int
+(** Pool width when the caller gives none: [COMP_JOBS] if set to a
+    positive integer, else [Domain.recommended_domain_count ()]. *)
+
+val jobs_of : int option -> int
+(** [jobs_of (Some n)] is [n] clamped to at least 1; [jobs_of None] is
+    {!default_jobs}[ ()]. *)
+
+val run : ?jobs:int -> int -> (int -> 'a) -> 'a list
+(** [run ~jobs n f] computes [[f 0; f 1; ...; f (n-1)]] on a pool of
+    [min jobs n] domains and returns the results in index order.  If
+    any task raised, the exception of the lowest failing index is
+    re-raised after all workers have joined. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f xs] is [List.map f xs] with the applications run on
+    the pool; result order follows [xs]. *)
+
+val derive_seed : root:int -> int -> int
+(** Per-task seed for task [index], by a splitmix64 finalizer over
+    [(root, index)].  The derivation depends only on [root] and the
+    task index — never on the pool width — so [--jobs] cannot change
+    which seeds (and hence which generated programs) a sweep tests.
+    The result is non-negative and fits in 62 bits. *)

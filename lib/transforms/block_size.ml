@@ -45,12 +45,19 @@ let validate p =
 (** Round a real-valued candidate into the valid block range.  The
     transfer-bound candidate [(D - C)/K] is negative whenever [C > D],
     and either candidate overflows [int] for degenerate [K] — clamp in
-    float space before converting. *)
-let clamp_candidate n =
+    float space before converting.  T(N) is evaluated at {e both}
+    integer neighbours of an interior candidate: the analytic optimum
+    rarely falls on an integer, and [Float.round] can pick the worse
+    side of it (T is not symmetric around the optimum). *)
+let clamp_candidate p n =
   if Float.is_nan n then 1
   else if n <= 1. then 1
   else if n >= float_of_int max_blocks then max_blocks
-  else int_of_float (Float.round n)
+  else
+    let lo = max 1 (int_of_float (Float.floor n)) in
+    let hi = min max_blocks (int_of_float (Float.ceil n)) in
+    if streamed_time p ~nblocks:lo <= streamed_time p ~nblocks:hi then lo
+    else hi
 
 (** The analytically optimal block count (in [1, max_blocks]). *)
 let optimal_blocks p =
@@ -67,20 +74,27 @@ let optimal_blocks p =
     let n2 = (d -. c) /. k in
     List.fold_left
       (fun best n ->
-        let n = clamp_candidate n in
+        let n = clamp_candidate p n in
         if streamed_time p ~nblocks:n < streamed_time p ~nblocks:best then n
         else best)
       1 [ n1; n2 ]
 
 (** Pick a block count the way the experiments did: try a small
-    candidate set (the paper used 10, 20, 40, 50) and keep the best. *)
+    candidate set (the paper used 10, 20, 40, 50) and keep the best.
+    Candidates are clamped into [1, max_blocks]; the parameters are
+    validated like {!optimal_blocks}; an empty candidate list is a
+    caller bug and rejected rather than answered with a constant that
+    was never evaluated. *)
 let choose ?(candidates = [ 10; 20; 40; 50 ]) p =
-  List.fold_left
-    (fun best n ->
-      if streamed_time p ~nblocks:n < streamed_time p ~nblocks:best then n
-      else best)
-    (match candidates with n :: _ -> n | [] -> 10)
-    candidates
+  validate p;
+  match List.map (fun n -> max 1 (min max_blocks n)) candidates with
+  | [] -> invalid_arg "Block_size.choose: empty candidate list"
+  | first :: rest ->
+      List.fold_left
+        (fun best n ->
+          if streamed_time p ~nblocks:n < streamed_time p ~nblocks:best then n
+          else best)
+        first rest
 
 (** Speedup of streaming with [nblocks] over the naive offload. *)
 let speedup p ~nblocks = naive_time p /. streamed_time p ~nblocks

@@ -32,7 +32,10 @@ val optimal_blocks : params -> int
 
 val choose : ?candidates:int list -> params -> int
 (** Pick as the experiments did: best of a small candidate grid (the
-    paper used 10, 20, 40, 50). *)
+    paper used 10, 20, 40, 50), each candidate clamped into
+    [1, ]{!max_blocks}.  Validates the parameters like
+    {!optimal_blocks}; raises [Invalid_argument] on an empty candidate
+    list. *)
 
 val speedup : params -> nblocks:int -> float
 (** [naive_time / streamed_time]. *)

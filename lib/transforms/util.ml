@@ -6,14 +6,22 @@ open Minic.Ast
 (** Fresh-name generation.  Generated names use a [__] suffix so they
     cannot collide with user identifiers (the MiniC front end could
     forbid [__] in user code; in practice the benchmarks never use
-    it). *)
-let fresh_counter = ref 0
+    it).
 
-let reset_fresh () = fresh_counter := 0
+    The counter is {e domain-local}: parallel sweeps run transforms on
+    worker domains, and a shared counter would both race and make the
+    generated names depend on scheduling.  Entry points that rewrite a
+    whole program ([Comp.optimize], [Check.apply]) call {!reset_fresh}
+    first, so the names in a rewritten program are a pure function of
+    the input program — identical at any [--jobs]. *)
+let fresh_counter = Domain.DLS.new_key (fun () -> ref 0)
+
+let reset_fresh () = Domain.DLS.get fresh_counter := 0
 
 let fresh base =
-  incr fresh_counter;
-  Printf.sprintf "%s__%d" base !fresh_counter
+  let c = Domain.DLS.get fresh_counter in
+  incr c;
+  Printf.sprintf "%s__%d" base !c
 
 (** Device-buffer name for a host array, as in the paper's examples
     ([sptprice] -> [sptprice_mic], [sptprice1], [sptprice2]). *)

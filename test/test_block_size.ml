@@ -116,4 +116,32 @@ let suite =
       arb_params (fun p ->
         let n = B.optimal_blocks p in
         n >= 1 && n <= B.max_blocks);
+    tc "choose rejects an empty candidate list" (fun () ->
+        let p = { B.transfer_s = 1.0; compute_s = 1.0; launch_s = 0.01 } in
+        match B.choose ~candidates:[] p with
+        | _ -> Alcotest.fail "expected Invalid_argument"
+        | exception Invalid_argument _ -> ());
+    tc "choose validates parameters like optimal_blocks" (fun () ->
+        let p = { B.transfer_s = -1.0; compute_s = 1.0; launch_s = 0.01 } in
+        match B.choose p with
+        | _ -> Alcotest.fail "expected Invalid_argument"
+        | exception Invalid_argument _ -> ());
+    tc "choose clamps wild candidates into [1, max_blocks]" (fun () ->
+        let p = { B.transfer_s = 1.0; compute_s = 1.0; launch_s = 0.001 } in
+        let n = B.choose ~candidates:[ -7; 0; max_int; B.max_blocks * 2 ] p in
+        Alcotest.(check bool)
+          (Printf.sprintf "1 <= %d <= cap" n)
+          true
+          (n >= 1 && n <= B.max_blocks));
+    prop "choose result is always within [1, max_blocks]" ~count:200
+      QCheck.(pair arb_params (small_list small_int))
+      (fun (p, cands) ->
+        match cands with
+        | [] -> (
+            match B.choose ~candidates:[] p with
+            | _ -> false
+            | exception Invalid_argument _ -> true)
+        | _ ->
+            let n = B.choose ~candidates:cands p in
+            n >= 1 && n <= B.max_blocks);
   ]

@@ -23,6 +23,7 @@ let () =
       ("fuzz", Test_fuzz.suite);
       ("engine", Test_engine.suite);
       ("obs", Test_obs.suite);
+      ("parallel", Test_parallel.suite);
       ("cost", Test_cost.suite);
       ("runtime", Test_runtime.suite);
       ("segbuf", Test_segbuf.suite);

@@ -165,6 +165,33 @@ let suite =
           }
           return acc;
         }|};
+    (* regression: a pragma clause naming a variable that was never
+       declared used to escape as a bare Not_found from List.assoc;
+       it must be an ordinary runtime error naming the variable *)
+    runtime_error "in() clause on unbound variable"
+      ~expect:"unbound variable a"
+      {|int main(void) {
+          int n = 2;
+          float b[2];
+          #pragma offload target(mic:0) in(a[0:n]) out(b[0:n])
+          #pragma omp parallel for
+          for (i = 0; i < n; i++) { b[i] = 0.0; }
+          return 0;
+        }|};
+    runtime_error "offload_transfer in() on unbound variable"
+      ~expect:"unbound variable ghost"
+      {|int main(void) {
+          #pragma offload_transfer target(mic:0) in(ghost[0:4])
+          return 0;
+        }|};
+    runtime_error "into() clause on unbound destination"
+      ~expect:"unbound variable d"
+      {|int main(void) {
+          float a[4];
+          for (i = 0; i < 4; i++) { a[i] = 0.0; }
+          #pragma offload_transfer target(mic:0) in(a[0:4] : into(d[0:4]))
+          return 0;
+        }|};
     tc "offload stats count transfers and launches" (fun () ->
         let o =
           run_ok

@@ -151,6 +151,16 @@ let suite =
             Alcotest.(check (float 1e-12)) "min" 1.0 h.Obs.h_min;
             Alcotest.(check (float 1e-12)) "max" 3.0 h.Obs.h_max;
             Alcotest.(check (float 1e-12)) "mean" 2.0 (Obs.mean h));
+    tc "histogram min is the first sample, not zero" (fun () ->
+        (* regression guard: a zero-initialized running minimum would
+           report 0 for any all-positive sample stream *)
+        let o = Obs.create () in
+        Obs.observe o "lat" 3.5;
+        match Obs.histogram o "lat" with
+        | None -> Alcotest.fail "missing histogram"
+        | Some h ->
+            Alcotest.(check (float 1e-12)) "min" 3.5 h.Obs.h_min;
+            Alcotest.(check (float 1e-12)) "max" 3.5 h.Obs.h_max);
     tc "span begin/end round-trips" (fun () ->
         let o = Obs.create () in
         let id = Obs.span_begin ~bytes:7. o Obs.H2d ~label:"t" ~start:1.0 in
