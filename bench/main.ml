@@ -551,6 +551,109 @@ let check_mode () =
   end
   else Printf.printf "\nall checks passed\n"
 
+(* {1 Interpreter throughput: reference vs compiled evaluator} *)
+
+(* Where selfperf records its throughput JSON (--bench-out FILE); the
+   committed BENCH_*.json perf trajectory is regenerated this way. *)
+let bench_out : string option ref = ref None
+
+(* Statements/sec for one (engine, program).  One warm-up run yields
+   [work] (fuel consumed: statements + iterations + calls) and, for the
+   compiled engine, populates the per-domain compile cache — the cached
+   regime is the one the check sweeps actually run in.  Then enough
+   timed repetitions to make each measurement a few milliseconds. *)
+let stmts_per_sec run prog =
+  let work =
+    match run prog with
+    | Ok (o : Minic.Interp.outcome) -> o.Minic.Interp.work
+    | Error e -> failwith ("selfperf: workload failed: " ^ e)
+  in
+  let reps = max 3 (200_000 / max work 1) in
+  (* best of 3 trials: a background process stealing the core inflates
+     a single trial by 2x or more, and min is far more stable than
+     mean under that kind of noise *)
+  let best = ref infinity in
+  for _ = 1 to 3 do
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      ignore (run prog)
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt
+  done;
+  (work, float_of_int (work * reps) /. !best)
+
+(* Print-formatting micro-benchmark: a print-dominated loop, so the
+   direct-to-Buffer formatting path in the print builtins is what is
+   being timed rather than expression evaluation. *)
+let print_micro_src =
+  "int main(void) {\n\
+  \  float x = 0.0;\n\
+  \  for (i = 0; i < 500; i++) {\n\
+  \    x = 0.125 * (float)i;\n\
+  \    print_float(x);\n\
+  \    print_int(i);\n\
+  \  }\n\
+  \  return 0;\n\
+   }"
+
+let engine_throughput () =
+  Printf.printf "\n== Interpreter throughput: reference vs compiled ==\n";
+  Printf.printf "  %-14s %9s %14s %14s %9s\n" "workload" "stmts" "ref stmt/s"
+    "compiled" "speedup";
+  let row name prog =
+    let work, ref_sps = stmts_per_sec Minic.Interp.run prog in
+    let _, comp_sps = stmts_per_sec Minic.Compile_eval.run_compiled prog in
+    let speedup = comp_sps /. ref_sps in
+    Printf.printf "  %-14s %9d %14.0f %14.0f %8.2fx\n" name work ref_sps
+      comp_sps speedup;
+    (name, work, ref_sps, comp_sps, speedup)
+  in
+  let rows =
+    List.map
+      (fun (w : Workloads.Workload.t) ->
+        row w.name (Workloads.Workload.program w))
+      Workloads.Registry.all
+  in
+  let geomean =
+    exp
+      (List.fold_left (fun a (_, _, _, _, s) -> a +. log s) 0. rows
+      /. float_of_int (List.length rows))
+  in
+  let micro =
+    row "print-micro" (Minic.Parser.program_of_string_exn print_micro_src)
+  in
+  Printf.printf "  %-24s %.2fx\n" "geomean speedup" geomean;
+  let row_json (name, work, ref_sps, comp_sps, speedup) =
+    Obs.Json.Obj
+      [
+        ("name", Obs.Json.String name);
+        ("stmts", Obs.Json.Int work);
+        ("ref_stmts_per_s", Obs.Json.Float ref_sps);
+        ("compiled_stmts_per_s", Obs.Json.Float comp_sps);
+        ("speedup", Obs.Json.Float speedup);
+      ]
+  in
+  let json =
+    Obs.Json.Obj
+      [
+        ("bench", Obs.Json.String "interp-throughput");
+        ("geomean_speedup", Obs.Json.Float geomean);
+        ("workloads", Obs.Json.List (List.map row_json rows));
+        ("print_micro", row_json micro);
+      ]
+  in
+  Printf.printf "json: %s\n" (Obs.Json.to_string json);
+  Option.iter
+    (fun path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          output_string oc (Obs.Json.to_string json);
+          output_char oc '\n'))
+    !bench_out
+
 (* {1 Self-performance: sequential vs parallel sweep wall-clock} *)
 
 (* The paper's argument applied to ourselves: a sweep of independent
@@ -616,7 +719,8 @@ let selfperf () =
     Printf.eprintf
       "selfperf: merged parallel profile differs from the sequential one\n";
     exit 1
-  end
+  end;
+  engine_throughput ()
 
 (* [--jobs N] / [--jobs=N] anywhere on the command line sets the sweep
    width; everything else is an experiment name.  Output is identical
@@ -642,6 +746,12 @@ let parse_jobs args =
       ->
         set (String.sub arg 7 (String.length arg - 7));
         go acc rest
+    | "--bench-out" :: v :: rest ->
+        bench_out := Some v;
+        go acc rest
+    | [ "--bench-out" ] ->
+        Printf.eprintf "bench: --bench-out expects a file name\n";
+        exit 2
     | arg :: rest -> go (arg :: acc) rest
   in
   go [] args

@@ -67,6 +67,33 @@ let faults_arg =
 (* exit code for a device declared dead with no CPU fallback *)
 let exit_device_dead = 3
 
+(* --- --eval ENGINE (shared by run, check and --profile) --- *)
+
+let engine_conv =
+  let parse s =
+    match Minic.Interp.engine_of_string s with
+    | Some e -> Ok e
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown engine %S (expected reference or compiled)"
+                s))
+  in
+  let print fmt e = Format.pp_print_string fmt (Minic.Interp.engine_name e) in
+  Arg.conv ~docv:"ENGINE" (parse, print)
+
+let eval_arg =
+  Arg.(
+    value
+    & opt engine_conv Minic.Interp.Compiled
+    & info [ "eval" ] ~docv:"ENGINE"
+        ~doc:
+          "Evaluator: $(b,compiled) (default: the closure-compiling fast \
+           evaluator) or $(b,reference) (the tree-walking interpreter). The \
+           two are observationally identical — same output, stats, event \
+           trace, and fuel accounting — so this only trades speed for \
+           directness when debugging the evaluators themselves")
+
 (* --- parse --- *)
 
 let file_arg =
@@ -152,10 +179,10 @@ let run_cmd =
              model and print the reconstructed schedule (execution-driven \
              timing)")
   in
-  let run file fuel opt replay =
+  let run file fuel opt replay engine =
     let prog = or_die (load file) in
     let prog = if opt then fst (Comp.optimize prog) else prog in
-    match Minic.Interp.run ~fuel prog with
+    match Minic.Compile_eval.run ~engine ~fuel prog with
     | Ok o ->
         print_string o.Minic.Interp.output;
         Printf.eprintf
@@ -180,7 +207,7 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Interpret a MiniC program (dual-space reference)")
-    Term.(const run $ file_arg $ fuel $ optimize_first $ replay)
+    Term.(const run $ file_arg $ fuel $ optimize_first $ replay $ eval_arg)
 
 (* --- simulate --- *)
 
@@ -381,7 +408,8 @@ let check_cmd =
             "Append minimized diverging programs to $(docv) (e.g. \
              test/corpus/regressions) for deterministic replay")
   in
-  let run file transform runs seed nblocks fuel inject record faults jobs =
+  let run file transform runs seed nblocks fuel inject record faults jobs
+      engine =
     let txfs =
       match transform with None -> Check.all_transforms | Some t -> [ t ]
     in
@@ -411,8 +439,8 @@ let check_cmd =
           | Check.Diverged _ when not (Hashtbl.mem dumped r.transform) ->
               Hashtbl.add dumped r.transform ();
               let minimized =
-                Check.minimize_diverging ~fuel ~nblocks ~inject r.transform
-                  prog
+                Check.minimize_diverging ~engine ~fuel ~nblocks ~inject
+                  r.transform prog
               in
               Printf.printf "minimized counterexample (%s, %s):\n%s" name what
                 (Minic.Pretty.program_to_string minimized);
@@ -438,7 +466,8 @@ let check_cmd =
         if Fault.is_none faults then
           List.iter
             (handle ~what:f ~prog)
-            (Check.check_program ~fuel ~nblocks ~inject ~transforms:txfs prog)
+            (Check.check_program ~engine ~fuel ~nblocks ~inject
+               ~transforms:txfs prog)
         else begin
           (* differential oracle under an injected fault plan: the
              rewrite must stay equivalent AND the faulted replay must
@@ -466,8 +495,8 @@ let check_cmd =
                      else Check.verdict_str r.Check.f_verdict)
                 end
               end)
-            (Check.check_faulted ~fuel ~nblocks ~transforms:txfs ~spec:faults
-               prog)
+            (Check.check_faulted ~engine ~fuel ~nblocks ~transforms:txfs
+               ~spec:faults prog)
         end
     | None -> ());
     if runs > 0 then begin
@@ -520,7 +549,7 @@ let check_cmd =
                     let prog' =
                       if inject then Check.Inject.corrupt prog' else prog'
                     in
-                    Some (Check.equiv ~fuel prog prog')
+                    Some (Check.equiv ~engine ~fuel prog prog')
                   end
                   else None
                 in
@@ -571,8 +600,8 @@ let check_cmd =
                        ->
                          Hashtbl.add dumped o.g_txf ();
                          let minimized =
-                           Check.minimize_diverging ~fuel ~nblocks ~inject
-                             o.g_txf o.g_prog
+                           Check.minimize_diverging ~engine ~fuel ~nblocks
+                             ~inject o.g_txf o.g_prog
                          in
                          Printf.printf
                            "minimized counterexample (%s, %s):\n%s"
@@ -637,14 +666,14 @@ let check_cmd =
           output, return value, and final global state")
     Term.(
       const run $ file $ transform $ runs $ seed $ nblocks $ fuel $ inject
-      $ record $ faults_arg $ jobs)
+      $ record $ faults_arg $ jobs $ eval_arg)
 
 (* --- --profile (top-level) --- *)
 
-let profile_run ~faults file out =
+let profile_run ~faults ~engine file out =
   let prog = or_die (load file) in
   let obs = Obs.create () in
-  match Minic.Interp.run prog with
+  match Minic.Compile_eval.run ~engine prog with
   | Error e ->
       Printf.eprintf "runtime error: %s\n" e;
       exit 1
@@ -704,12 +733,12 @@ let default_term =
       & info [ "o"; "output" ] ~docv:"STATS.json"
           ~doc:"With $(b,--profile), also write the profile as JSON to $(docv)")
   in
-  let run profile out faults =
+  let run profile out faults engine =
     match profile with
-    | Some file -> `Ok (profile_run ~faults file out)
+    | Some file -> `Ok (profile_run ~faults ~engine file out)
     | None -> `Help (`Pager, None)
   in
-  Term.(ret (const run $ profile $ out $ faults_arg))
+  Term.(ret (const run $ profile $ out $ faults_arg $ eval_arg))
 
 let () =
   let doc = "COMP: compiler optimizations for manycore processors" in

@@ -187,15 +187,23 @@ let compare_outcomes (a : Minic.Interp.outcome) (b : Minic.Interp.outcome) =
         | Some d -> Diverged d
         | None -> Equal)
 
-(** [equiv ?fuel orig transformed] runs both programs and compares
-    printed output, return value, and final global storage.
+(** [equiv ?engine ?fuel orig transformed] runs both programs and
+    compares printed output, return value, and final global storage.
     [transformed] is typechecked first: a transform that produces
-    ill-typed code is a {!Transform_failed} before anything runs. *)
-let equiv ?fuel orig transformed =
+    ill-typed code is a {!Transform_failed} before anything runs.
+
+    [engine] selects the evaluator — {!Minic.Interp.Compiled} (the
+    default: the closure-compiling fast evaluator, whose per-domain
+    cache means the N rewrites of one original compile it once) or
+    {!Minic.Interp.Reference} (the tree-walking interpreter, the
+    [--eval reference] escape hatch).  Both produce identical verdicts;
+    the engine-equivalence suite and the [@perf] alias enforce it. *)
+let equiv ?(engine = Minic.Interp.Compiled) ?fuel orig transformed =
+  let run = Minic.Compile_eval.run ~engine ?fuel in
   match Minic.Typecheck.check_program transformed with
   | Error e -> Transform_failed ("type error: " ^ e)
   | Ok _ -> (
-      match (Minic.Interp.run ?fuel orig, Minic.Interp.run ?fuel transformed) with
+      match (run orig, run transformed) with
       | Error oe, Error te -> Both_failed { orig_err = oe; transformed_err = te }
       | Error oe, Ok _ -> Orig_failed oe
       | Ok _, Error te -> Transform_failed te
@@ -234,7 +242,7 @@ type report = { transform : transform; sites : int; verdict : verdict }
 (** Every transform in [transforms] applied (independently) to [prog],
     with its site count and oracle verdict.  [inject] corrupts each
     rewritten program first — the harness must then flag it. *)
-let check_program ?fuel ?nblocks ?(inject = false)
+let check_program ?engine ?fuel ?nblocks ?(inject = false)
     ?(transforms = all_transforms) prog =
   List.map
     (fun txf ->
@@ -242,7 +250,7 @@ let check_program ?fuel ?nblocks ?(inject = false)
       if sites = 0 then { transform = txf; sites; verdict = Equal }
       else
         let prog' = if inject then Inject.corrupt prog' else prog' in
-        { transform = txf; sites; verdict = equiv ?fuel prog prog' })
+        { transform = txf; sites; verdict = equiv ?engine ?fuel prog prog' })
     transforms
 
 (** {1 Fault-plan differential checking}
@@ -267,13 +275,16 @@ type faulted_report = {
 
 (** Each transform applied to [prog], oracle-checked, then replayed
     clean and under [spec] with recovery. *)
-let check_faulted ?fuel ?nblocks ?(transforms = all_transforms) ~spec prog =
+let check_faulted ?engine ?fuel ?nblocks ?(transforms = all_transforms) ~spec
+    prog =
   List.map
     (fun txf ->
       let prog', sites = apply ?nblocks txf prog in
-      let verdict = if sites = 0 then Equal else equiv ?fuel prog prog' in
+      let verdict =
+        if sites = 0 then Equal else equiv ?engine ?fuel prog prog'
+      in
       let events =
-        match Minic.Interp.run ?fuel prog' with
+        match Minic.Compile_eval.run ?engine ?fuel prog' with
         | Ok o -> o.Minic.Interp.events
         | Error _ -> []
       in
@@ -312,7 +323,7 @@ let faulted_ok r =
 
 (* A shrink candidate must keep failing the *same way*: well-typed,
    transform still applicable, oracle still reporting a divergence. *)
-let diverges ?fuel ?nblocks ~inject txf prog =
+let diverges ?engine ?fuel ?nblocks ~inject txf prog =
   match Minic.Typecheck.check_program prog with
   | Error _ -> false
   | Ok _ -> (
@@ -321,16 +332,17 @@ let diverges ?fuel ?nblocks ~inject txf prog =
       | _, 0 -> false
       | prog', _ -> (
           let prog' = if inject then Inject.corrupt prog' else prog' in
-          match equiv ?fuel prog prog' with
+          match equiv ?engine ?fuel prog prog' with
           | Diverged _ -> true
           | Equal | Orig_failed _ | Transform_failed _ | Both_failed _ ->
               false))
 
 (** Minimize a program whose [txf]-rewrite diverges (with the same
     [inject] setting used to find it). *)
-let minimize_diverging ?fuel ?nblocks ?(inject = false) ?max_tries txf prog =
+let minimize_diverging ?engine ?fuel ?nblocks ?(inject = false) ?max_tries txf
+    prog =
   Shrink.minimize ?max_tries
-    ~still_failing:(fun p -> diverges ?fuel ?nblocks ~inject txf p)
+    ~still_failing:(fun p -> diverges ?engine ?fuel ?nblocks ~inject txf p)
     prog
 
 (** {1 Expected applicability}

@@ -1,0 +1,44 @@
+(** Compile-to-closures evaluator for MiniC.
+
+    One pass over the AST resolves every variable occurrence to an
+    integer slot in a per-activation binding array, binds calls to the
+    target function's compiled closure, precomputes struct field
+    offsets and section element sizes, and specializes operator
+    dispatch — then running the program is pure closure invocation.
+
+    Observationally identical to {!Interp}: same output, return value,
+    globals snapshot, stats, event trace, fuel accounting (identical
+    [Timeout] points), and the same runtime error messages raised at
+    the same evaluation points, so {!Check} and [Runtime.Replay]
+    consume its outcomes unchanged.  The engine-equivalence test suite
+    and the [@perf] alias enforce this. *)
+
+type compiled
+(** A compiled program, ready to execute any number of times. *)
+
+val compile : Ast.program -> compiled
+(** Compile without caching.  Static resolution failures (unbound
+    variables, unknown structs, bad clauses) do not fail here: they
+    compile to code that raises the reference interpreter's error at
+    the same evaluation point. *)
+
+val source : compiled -> Ast.program
+val exec : ?fuel:int -> compiled -> (Interp.outcome, string) result
+(** Execute a compiled program; [fuel] as in {!Interp.run}. *)
+
+val run_compiled :
+  ?fuel:int -> Ast.program -> (Interp.outcome, string) result
+(** Compile (through the per-domain cache) and execute. *)
+
+val run :
+  ?engine:Interp.engine ->
+  ?fuel:int ->
+  Ast.program ->
+  (Interp.outcome, string) result
+(** Engine-dispatched execution: [Reference] delegates to
+    {!Interp.run}, [Compiled] (the default) to {!run_compiled}. *)
+
+val compile_count : unit -> int
+(** Number of cache-miss compilations performed by the calling domain —
+    the cache, like [Transforms.Util.fresh], is domain-local state, so
+    the PR-4 domain pool never contends on it. *)

@@ -49,8 +49,10 @@ type event =
 type state = {
   cpu : heap;
   mic : heap;
-  structs : (string * struct_def) list;
-  funcs : (string * func) list;
+  structs : (string, struct_def) Hashtbl.t;
+      (** first definition wins, as the old declaration-order assoc
+          list resolved duplicates *)
+  funcs : (string, func) Hashtbl.t;  (** first definition wins *)
   output : Buffer.t;
   mutable fuel : int;
   stats : stats;
@@ -74,6 +76,11 @@ exception Out_of_fuel
 
 let error fmt = Printf.ksprintf (fun s -> raise (Runtime_error s)) fmt
 
+external format_float : string -> float -> string = "caml_format_float"
+(* The runtime primitive Printf itself uses for [%g]; calling it
+   directly skips the CamlinternalFormat interpreter (~2x faster per
+   print) while producing byte-identical text. *)
+
 let lookup (frame : frame) v = Hashtbl.find_opt frame v
 let bind (frame : frame) name b = Hashtbl.add frame name b
 let unbind (frame : frame) name = Hashtbl.remove frame name
@@ -87,7 +94,10 @@ let clause_binding frame ~clause arr =
   | Some b -> b
   | None -> error "%s clause on unbound variable %s" clause arr
 
-let new_heap () = { cells = Array.make 1024 Vundef; next = 0 }
+(* 256 words keeps the initial arrays in the minor heap (larger arrays
+   are allocated directly on the major heap, which costs ~1us per run
+   for short programs); [alloc] doubles capacity on demand. *)
+let new_heap () = { cells = Array.make 256 Vundef; next = 0 }
 
 let heap_of st = function Cpu -> st.cpu | Mic -> st.mic
 
@@ -105,17 +115,21 @@ let alloc st space n =
   if space = Mic then st.stats.mic_alloc_cells <- st.stats.mic_alloc_cells + n;
   { space; ofs = base }
 
+(* The explicit range check against [h.next] subsumes the array bounds
+   check ([next <= length] is an allocator invariant), so the access
+   itself is unsafe_get/set — [load]/[store] are the hottest operations
+   in both evaluation engines. *)
 let load st addr =
   let h = heap_of st addr.space in
   if addr.ofs < 0 || addr.ofs >= h.next then
     error "load out of bounds at %s:%d" (space_name addr.space) addr.ofs;
-  h.cells.(addr.ofs)
+  Array.unsafe_get h.cells addr.ofs
 
 let store st addr v =
   let h = heap_of st addr.space in
   if addr.ofs < 0 || addr.ofs >= h.next then
     error "store out of bounds at %s:%d" (space_name addr.space) addr.ofs;
-  h.cells.(addr.ofs) <- v
+  Array.unsafe_set h.cells addr.ofs v
 
 (** {1 Type sizes, in heap cells} *)
 
@@ -126,13 +140,13 @@ let rec sizeof st ty =
   | Tarray (t, Some (Int_lit n)) -> n * sizeof st t
   | Tarray (_, _) -> error "sizeof of unsized array"
   | Tstruct name -> (
-      match List.assoc_opt name st.structs with
+      match Hashtbl.find_opt st.structs name with
       | Some s ->
           List.fold_left (fun acc (t, _) -> acc + sizeof st t) 0 s.sfields
       | None -> error "unknown struct %s" name)
 
 let field_offset st sname fname =
-  match List.assoc_opt sname st.structs with
+  match Hashtbl.find_opt st.structs sname with
   | None -> error "unknown struct %s" sname
   | Some s ->
       let rec loop acc = function
@@ -217,7 +231,7 @@ let rec static_ty st frame expr =
       match Builtins.find fname with
       | Some s -> s.ret
       | None -> (
-          match List.assoc_opt fname st.funcs with
+          match Hashtbl.find_opt st.funcs fname with
           | Some f -> f.ret
           | None -> error "unknown function %s" fname))
   | Cast (t, _) -> t
@@ -237,6 +251,72 @@ let check_deref (mode : mode) (addr : addr) =
 let burn st =
   st.fuel <- st.fuel - 1;
   if st.fuel <= 0 then raise Out_of_fuel
+
+(** {1 Transfer machinery}
+
+    Shared verbatim by the compiled evaluator ({!Compile_eval}) — both
+    engines must move exactly the same cells and count them in the same
+    [stats] fields. *)
+
+let copy_cells st ~(src : addr) ~(dst : addr) n =
+  let hs = heap_of st src.space and hd = heap_of st dst.space in
+  if src.ofs + n > hs.next then
+    error "transfer source out of bounds (%d cells at %s:%d)" n
+      (space_name src.space) src.ofs;
+  if dst.ofs + n > hd.next then
+    error "transfer destination out of bounds (%d cells at %s:%d)" n
+      (space_name dst.space) dst.ofs;
+  Array.blit hs.cells src.ofs hd.cells dst.ofs n;
+  st.stats.transfers <- st.stats.transfers + 1;
+  if src.space = Cpu && dst.space = Mic then
+    st.stats.cells_h2d <- st.stats.cells_h2d + n
+  else if src.space = Mic && dst.space = Cpu then
+    st.stats.cells_d2h <- st.stats.cells_d2h + n
+
+(* Shadow MIC buffer for a CPU array (for clauses without into()).  The
+   shadow covers the array from index 0 so device indexing matches host
+   indexing; it is sized on first use and grown on demand. *)
+let shadow_for st ~cpu_base ~cells_needed =
+  match Hashtbl.find_opt st.shadows cpu_base.ofs with
+  | Some mic_base ->
+      let h = heap_of st Mic in
+      if mic_base.ofs + cells_needed <= h.next then mic_base
+      else begin
+        (* grow: allocate a bigger shadow; stale data is re-copied by
+           the in() clauses, which is the LEO behaviour *)
+        let bigger = alloc st Mic cells_needed in
+        Hashtbl.replace st.shadows cpu_base.ofs bigger;
+        bigger
+      end
+  | None ->
+      let mic_base = alloc st Mic cells_needed in
+      Hashtbl.add st.shadows cpu_base.ofs mic_base;
+      mic_base
+
+(* The delta-table pointer translation of Section V-B, as transfer
+   semantics: after copying a section, pointer-valued cells that point
+   into the source range are rebased onto the destination copy (the
+   delta is [dst.ofs - src.ofs]).  Without this, a pointer-based
+   structure arrives on the device with host addresses and faults on
+   first dereference — exactly the problem the paper's augmented
+   pointers solve. *)
+let translate_cells st ~(src : addr) ~(dst : addr) n =
+  let hd = heap_of st dst.space in
+  for i = dst.ofs to dst.ofs + n - 1 do
+    match hd.cells.(i) with
+    | Vptr p
+      when p.space = src.space && p.ofs >= src.ofs && p.ofs < src.ofs + n ->
+        hd.cells.(i) <-
+          Vptr { space = dst.space; ofs = dst.ofs + (p.ofs - src.ofs) }
+    | _ -> ()
+  done
+
+(* Implicit conversions at assignment / initialization. *)
+let coerce ty v =
+  match (ty, v) with
+  | Tint, Vfloat f -> Vint (int_of_float f)
+  | Tfloat, Vint n -> Vfloat (float_of_int n)
+  | _ -> v
 
 (* Result of running a block *)
 type flow = Normal | Break | Continue | Return of value
@@ -386,7 +466,7 @@ and eval_call st mode frame fname args =
       Buffer.add_char st.output '\n';
       Vundef
   | "print_float", [ v ] ->
-      Buffer.add_string st.output (Printf.sprintf "%.6g" (as_float v));
+      Buffer.add_string st.output (format_float "%.6g" (as_float v));
       Buffer.add_char st.output '\n';
       Vundef
   | "print_bool", [ v ] ->
@@ -406,7 +486,7 @@ and eval_call st mode frame fname args =
           match (Builtins.eval_float2 fname, vs) with
           | Some f, [ a; b ] -> Vfloat (f (as_float a) (as_float b))
           | _ -> (
-              match List.assoc_opt fname st.funcs with
+              match Hashtbl.find_opt st.funcs fname with
               | Some f -> call_user st mode f vs
               | None -> error "unknown function %s" fname)))
 
@@ -478,12 +558,6 @@ and bind_decl st mode frame ty _name init =
       | Some e -> store st cell (coerce ty (eval st mode frame e))
       | None -> ());
       { cell; vty = ty }
-
-and coerce ty v =
-  match (ty, v) with
-  | Tint, Vfloat f -> Vint (int_of_float f)
-  | Tfloat, Vint n -> Vfloat (float_of_int n)
-  | _ -> v
 
 and exec_stmt st mode frame stmt : flow =
   burn st;
@@ -580,59 +654,6 @@ and resolve_section st mode frame (s : section) =
   let len = as_int (eval st mode frame s.len) in
   if len < 0 then error "negative section length for %s" s.arr;
   ({ base with ofs = base.ofs + (start * esz) }, len * esz, esz)
-
-and copy_cells st ~(src : addr) ~(dst : addr) n =
-  let hs = heap_of st src.space and hd = heap_of st dst.space in
-  if src.ofs + n > hs.next then
-    error "transfer source out of bounds (%d cells at %s:%d)" n
-      (space_name src.space) src.ofs;
-  if dst.ofs + n > hd.next then
-    error "transfer destination out of bounds (%d cells at %s:%d)" n
-      (space_name dst.space) dst.ofs;
-  Array.blit hs.cells src.ofs hd.cells dst.ofs n;
-  st.stats.transfers <- st.stats.transfers + 1;
-  if src.space = Cpu && dst.space = Mic then
-    st.stats.cells_h2d <- st.stats.cells_h2d + n
-  else if src.space = Mic && dst.space = Cpu then
-    st.stats.cells_d2h <- st.stats.cells_d2h + n
-
-(* Shadow MIC buffer for a CPU array (for clauses without into()).  The
-   shadow covers the array from index 0 so device indexing matches host
-   indexing; it is sized on first use and grown on demand. *)
-and shadow_for st ~cpu_base ~cells_needed =
-  match Hashtbl.find_opt st.shadows cpu_base.ofs with
-  | Some mic_base ->
-      let h = heap_of st Mic in
-      if mic_base.ofs + cells_needed <= h.next then mic_base
-      else begin
-        (* grow: allocate a bigger shadow; stale data is re-copied by
-           the in() clauses, which is the LEO behaviour *)
-        let bigger = alloc st Mic cells_needed in
-        Hashtbl.replace st.shadows cpu_base.ofs bigger;
-        bigger
-      end
-  | None ->
-      let mic_base = alloc st Mic cells_needed in
-      Hashtbl.add st.shadows cpu_base.ofs mic_base;
-      mic_base
-
-(* The delta-table pointer translation of Section V-B, as transfer
-   semantics: after copying a section, pointer-valued cells that point
-   into the source range are rebased onto the destination copy (the
-   delta is [dst.ofs - src.ofs]).  Without this, a pointer-based
-   structure arrives on the device with host addresses and faults on
-   first dereference — exactly the problem the paper's augmented
-   pointers solve. *)
-and translate_cells st ~(src : addr) ~(dst : addr) n =
-  let hd = heap_of st dst.space in
-  for i = dst.ofs to dst.ofs + n - 1 do
-    match hd.cells.(i) with
-    | Vptr p
-      when p.space = src.space && p.ofs >= src.ofs && p.ofs < src.ofs + n ->
-        hd.cells.(i) <-
-          Vptr { space = dst.space; ofs = dst.ofs + (p.ofs - src.ofs) }
-    | _ -> ()
-  done
 
 and do_transfers st mode frame spec =
   let transfer_in (s : section) =
@@ -763,20 +784,48 @@ type outcome = {
           order: array/struct storage flattened cell by cell, scalars
           as a single cell.  This is the "final heap state" the
           differential oracle ({!Check.equiv}) compares. *)
+  work : int;
+      (** fuel consumed = statements + loop iterations + calls
+          executed; the unit the interpreter-throughput benchmark
+          counts, and a fuel-parity check between engines *)
 }
+
+(** Which evaluator executes a program.  [Reference] is the
+    tree-walking interpreter in this module; [Compiled] is the
+    closure-compiling evaluator ({!Compile_eval}), which must be
+    observationally identical — same output, return value, globals,
+    stats, events, and fuel accounting. *)
+type engine = Reference | Compiled
+
+let engine_name = function Reference -> "reference" | Compiled -> "compiled"
+
+let engine_of_string = function
+  | "reference" -> Some Reference
+  | "compiled" -> Some Compiled
+  | _ -> None
+
+(* Build a name table where the FIRST definition of a name wins, the
+   resolution the old declaration-order assoc lists gave duplicate
+   structs/functions.  [Hashtbl.add] would make the last one win. *)
+let first_wins pairs =
+  let h = Hashtbl.create 16 in
+  List.iter (fun (k, v) -> if not (Hashtbl.mem h k) then Hashtbl.add h k v) pairs;
+  h
 
 let init_state prog =
   {
     cpu = new_heap ();
     mic = new_heap ();
     structs =
-      List.filter_map
-        (function Gstruct s -> Some (s.sname, s) | _ -> None)
-        prog;
+      first_wins
+        (List.filter_map
+           (function Gstruct s -> Some (s.sname, s) | _ -> None)
+           prog);
     funcs =
-      List.filter_map
-        (function Gfunc f -> Some (f.fname, f) | _ -> None)
-        prog;
+      first_wins
+        (List.filter_map
+           (function Gfunc f -> Some (f.fname, f) | _ -> None)
+           prog);
     output = Buffer.create 256;
     fuel = 0;
     stats =
@@ -828,7 +877,7 @@ let run ?(fuel = 10_000_000) prog =
     (* reverse so the first of two same-named globals shadows, as the
        old declaration-order assoc list resolved it *)
     List.iter (fun (name, b) -> bind genv name b) (List.rev globals);
-    match List.assoc_opt "main" st.funcs with
+    match Hashtbl.find_opt st.funcs "main" with
     | None -> Error "no main function"
     | Some f ->
         let fl = exec_block st mode genv f.body in
@@ -841,6 +890,7 @@ let run ?(fuel = 10_000_000) prog =
             events = List.rev st.events;
             globals =
               List.map (fun (n, b) -> (n, snapshot_binding st b)) globals;
+            work = fuel - st.fuel;
           }
   with
   | Runtime_error msg -> Error msg

@@ -64,11 +64,81 @@ type outcome = {
       (** final contents of every global, in declaration order:
           array/struct storage flattened cell by cell, scalars as one
           cell — the "final heap state" differential testing compares *)
+  work : int;
+      (** fuel consumed over the whole run: statements + loop
+          iterations + calls executed *)
 }
 
+(** Which evaluator executes a program: this tree-walking reference
+    interpreter, or the closure-compiling fast evaluator
+    ({!Compile_eval}).  The two are observationally identical — same
+    output, return value, globals snapshot, stats, event trace, and
+    fuel accounting — which the engine-equivalence test suite and the
+    [@perf] alias enforce. *)
+type engine = Reference | Compiled
+
+val engine_name : engine -> string
+val engine_of_string : string -> engine option
+
 val run : ?fuel:int -> Ast.program -> (outcome, string) result
-(** Run [main()].  [fuel] bounds the number of statements executed
-    (default 10 million); exhaustion reports ["out of fuel"]. *)
+(** Run [main()] under the reference interpreter.  [fuel] bounds the
+    number of statements executed (default 10 million); exhaustion
+    reports ["out of fuel"]. *)
 
 val run_output : ?fuel:int -> Ast.program -> string
 (** Printed output of a run; raises [Invalid_argument] on any error. *)
+
+(** {1 Runtime core, shared with {!Compile_eval}}
+
+    The compiled evaluator reuses this module's heaps, allocator,
+    transfer machinery, and value coercions so that both engines
+    produce bit-identical heap layouts, stats, and error messages.
+    Nothing below is meant for ordinary callers. *)
+
+val space_name : space -> string
+
+type heap = { mutable cells : value array; mutable next : int }
+(** Concrete so {!Compile_eval} can inline cell access into its
+    closures; [next <= Array.length cells] is the allocator invariant
+    that makes a range check against [next] sufficient. *)
+
+type state = {
+  cpu : heap;
+  mic : heap;
+  structs : (string, Ast.struct_def) Hashtbl.t;
+      (** first definition of a name wins *)
+  funcs : (string, Ast.func) Hashtbl.t;  (** first definition wins *)
+  output : Buffer.t;
+  mutable fuel : int;
+  stats : stats;
+  mutable events : event list;  (** reversed *)
+  shadows : (int, addr) Hashtbl.t;
+      (** CPU base offset -> MIC shadow buffer, reused across offloads *)
+}
+
+type binding = { cell : addr; vty : Ast.ty }
+(** A variable's storage: cell address plus static type. *)
+
+val error : ('a, unit, string, 'b) format4 -> 'a
+(** Raise {!Runtime_error} with a formatted message. *)
+
+external format_float : string -> float -> string = "caml_format_float"
+(** The runtime primitive behind [Printf]'s [%g] — byte-identical
+    output, without the format-interpreter overhead per print. *)
+
+val init_state : Ast.program -> state
+val alloc : state -> space -> int -> addr
+val load : state -> addr -> value
+val store : state -> addr -> value -> unit
+val as_int : value -> int
+val as_float : value -> float
+val as_bool : value -> bool
+val as_ptr : value -> addr
+val coerce : Ast.ty -> value -> value
+val burn : state -> unit
+(** Consume one unit of fuel; raises {!Out_of_fuel} at zero. *)
+
+val copy_cells : state -> src:addr -> dst:addr -> int -> unit
+val shadow_for : state -> cpu_base:addr -> cells_needed:int -> addr
+val translate_cells : state -> src:addr -> dst:addr -> int -> unit
+val snapshot_binding : state -> binding -> value list

@@ -22,6 +22,7 @@ let () =
       ("replay", Test_replay.suite);
       ("fuzz", Test_fuzz.suite);
       ("engine", Test_engine.suite);
+      ("interp-engines", Test_engines.suite);
       ("obs", Test_obs.suite);
       ("parallel", Test_parallel.suite);
       ("cost", Test_cost.suite);

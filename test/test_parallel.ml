@@ -186,4 +186,40 @@ let suite =
         Alcotest.(check int)
           "span streams identical" 0
           (compare (Obs.spans seq) (Obs.spans merged)));
+    (* {1 Compiled-engine cache under domains} *)
+    tc "compile cache is per-domain and coherent under the pool" (fun () ->
+        (* every domain compiles the program at most once no matter how
+           many tasks it runs, and compiled results equal the reference
+           at any pool width *)
+        let prog =
+          Minic.Parser.program_of_string_exn
+            "int main(void) { int s = 0; for (i = 0; i < 40; i++) { s = s \
+             + i * i; } return s; }"
+        in
+        let expect =
+          match Minic.Interp.run prog with
+          | Ok o -> o.Minic.Interp.ret
+          | Error e -> Alcotest.failf "reference failed: %s" e
+        in
+        let outcomes =
+          Parallel.run ~jobs:4 16 (fun _ ->
+              let before = Minic.Compile_eval.compile_count () in
+              let r =
+                match Minic.Compile_eval.run_compiled prog with
+                | Ok o -> o.Minic.Interp.ret
+                | Error e -> Alcotest.failf "compiled failed: %s" e
+              in
+              let after = Minic.Compile_eval.compile_count () in
+              (r, after - before))
+        in
+        List.iter
+          (fun (r, compiles) ->
+            Alcotest.(check bool) "same return" true (compare expect r = 0);
+            (* this task observed its own domain's counter: it grew by
+               at most one compile (zero when a pool mate or an earlier
+               task on the same domain already filled the cache) *)
+            Alcotest.(check bool)
+              "at most one compile per task" true
+              (compiles <= 1))
+          outcomes);
   ]
