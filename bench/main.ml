@@ -644,15 +644,95 @@ let engine_throughput () =
       ]
   in
   Printf.printf "json: %s\n" (Obs.Json.to_string json);
-  Option.iter
-    (fun path ->
-      let oc = open_out path in
-      Fun.protect
-        ~finally:(fun () -> close_out oc)
-        (fun () ->
-          output_string oc (Obs.Json.to_string json);
-          output_char oc '\n'))
-    !bench_out
+  json
+
+(* {1 Optimizer payoff: mid-end-optimized vs unoptimized} *)
+
+(* Wall-clock per run of each registry kernel, unoptimized vs after
+   the lib/opt pipeline, on the compiled engine (the regime the check
+   sweeps actually run in).  Statements/sec are reported per side, but
+   the optimized program executes {e fewer} statements — folding
+   deletes them, DCE removes them, inlining drops call frames — so the
+   honest payoff metric is time per run, which is what the speedup
+   column is. *)
+(* Paired A/B timing for the payoff rows: base and optimized trials
+   interleave, so a background-load phase inflates both sides instead
+   of one, and per-side best-of-7 discards the inflated trials.  The
+   speedup is a ratio of ~milliseconds, which plain [stmts_per_sec]
+   per side measures too noisily to trust near 1.00x. *)
+let ab_stmts_per_sec prog0 prog1 =
+  let work p =
+    match Minic.Compile_eval.run_compiled p with
+    | Ok (o : Minic.Interp.outcome) -> o.Minic.Interp.work
+    | Error e -> failwith ("selfperf: workload failed: " ^ e)
+  in
+  let w0 = work prog0 and w1 = work prog1 in
+  let reps = max 3 (400_000 / max w0 1) in
+  let best0 = ref infinity and best1 = ref infinity in
+  for _ = 1 to 7 do
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      ignore (Minic.Compile_eval.run_compiled prog0)
+    done;
+    let t1 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      ignore (Minic.Compile_eval.run_compiled prog1)
+    done;
+    let t2 = Unix.gettimeofday () in
+    if t1 -. t0 < !best0 then best0 := t1 -. t0;
+    if t2 -. t1 < !best1 then best1 := t2 -. t1
+  done;
+  ( (w0, float_of_int (w0 * reps) /. !best0),
+    (w1, float_of_int (w1 * reps) /. !best1) )
+
+let opt_throughput () =
+  Printf.printf
+    "\n== Optimizer payoff: unoptimized vs -O (compiled engine) ==\n";
+  Printf.printf "  %-14s %9s %9s %14s %14s %9s\n" "workload" "stmts"
+    "-O stmts" "base stmt/s" "-O stmt/s" "speedup";
+  let row name prog =
+    let optimized = Opt.run prog in
+    let (work0, sps0), (work1, sps1) = ab_stmts_per_sec prog optimized in
+    let speedup =
+      float_of_int work0 /. sps0 /. (float_of_int work1 /. sps1)
+    in
+    Printf.printf "  %-14s %9d %9d %14.0f %14.0f %8.2fx\n" name work0 work1
+      sps0 sps1 speedup;
+    (name, work0, work1, sps0, sps1, speedup)
+  in
+  let rows =
+    List.map
+      (fun (w : Workloads.Workload.t) ->
+        row w.name (Workloads.Workload.program w))
+      Workloads.Registry.all
+  in
+  let geomean =
+    exp
+      (List.fold_left (fun a (_, _, _, _, _, s) -> a +. log s) 0. rows
+      /. float_of_int (List.length rows))
+  in
+  Printf.printf "  %-24s %.2fx\n" "geomean speedup" geomean;
+  let row_json (name, work0, work1, sps0, sps1, speedup) =
+    Obs.Json.Obj
+      [
+        ("name", Obs.Json.String name);
+        ("stmts", Obs.Json.Int work0);
+        ("opt_stmts", Obs.Json.Int work1);
+        ("base_stmts_per_s", Obs.Json.Float sps0);
+        ("opt_stmts_per_s", Obs.Json.Float sps1);
+        ("speedup", Obs.Json.Float speedup);
+      ]
+  in
+  let json =
+    Obs.Json.Obj
+      [
+        ("bench", Obs.Json.String "opt-midend");
+        ("geomean_speedup", Obs.Json.Float geomean);
+        ("workloads", Obs.Json.List (List.map row_json rows));
+      ]
+  in
+  Printf.printf "json: %s\n" (Obs.Json.to_string json);
+  json
 
 (* {1 Self-performance: sequential vs parallel sweep wall-clock} *)
 
@@ -720,7 +800,27 @@ let selfperf () =
       "selfperf: merged parallel profile differs from the sequential one\n";
     exit 1
   end;
-  engine_throughput ()
+  let interp_json = engine_throughput () in
+  let opt_json = opt_throughput () in
+  (* --bench-out: this PR's benchmark (the optimizer payoff) at the
+     top level, with the interpreter-throughput rows nested so the
+     BENCH_5 trajectory stays reproducible from the same file. *)
+  Option.iter
+    (fun path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          let json =
+            match opt_json with
+            | Obs.Json.Obj fields ->
+                Obs.Json.Obj
+                  (fields @ [ ("interp_throughput", interp_json) ])
+            | j -> j
+          in
+          output_string oc (Obs.Json.to_string json);
+          output_char oc '\n'))
+    !bench_out
 
 (* [--jobs N] / [--jobs=N] anywhere on the command line sets the sweep
    width; everything else is an experiment name.  Output is identical

@@ -94,6 +94,50 @@ let eval_arg =
            trace, and fuel accounting — so this only trades speed for \
            directness when debugging the evaluators themselves")
 
+(* --- -O / --passes / --report (the lib/opt mid-end; shared by
+   optimize, run and check) --- *)
+
+let midend_flag ~doc = Arg.(value & flag & info [ "O" ] ~doc)
+
+let midend_passes_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "passes" ] ~docv:"PASSES"
+        ~doc:
+          "Comma-separated subset of mid-end passes to run, in pipeline \
+           order (implies $(b,-O)): inline, fold, licm, cse, strength, dce")
+
+let midend_report_flag =
+  Arg.(
+    value & flag
+    & info [ "report" ]
+        ~doc:
+          "Print the mid-end's per-pass $(b,opt.<pass>.fired) / \
+           $(b,opt.<pass>.blocked.<reason>) counter table to stderr \
+           (implies $(b,-O))")
+
+let midend_pass_list names =
+  List.map
+    (fun n ->
+      match Opt.pass_of_name (String.trim n) with
+      | Some p -> p
+      | None ->
+          Printf.eprintf "unknown optimizer pass %s (known: %s)\n" n
+            (String.concat ", " Opt.pass_names);
+          exit 1)
+    (String.split_on_char ',' names)
+
+(* [Some passes] when any of -O / --passes / --report asks for the
+   mid-end. *)
+let midend ~o ~passes ~report =
+  if o || passes <> None || report then
+    Some
+      (match passes with
+      | None -> Opt.all_passes
+      | Some s -> midend_pass_list s)
+  else None
+
 (* --- parse --- *)
 
 let file_arg =
@@ -129,7 +173,13 @@ let optimize_cmd =
              shared-memory, regularization, merge-offloads, \
              data-streaming, vectorization)")
   in
-  let run file nblocks full only =
+  let o =
+    midend_flag
+      ~doc:
+        "Run the classic optimizer mid-end (inline, fold, licm, cse, \
+         strength, dce) before the source-to-source pipeline"
+  in
+  let run file nblocks full only o mpasses report =
     let prog = or_die (load file) in
     let memory =
       if full then Transforms.Streaming.Full
@@ -150,14 +200,19 @@ let optimize_cmd =
                   exit 1)
             (String.split_on_char ',' names)
     in
-    let prog', applied = Comp.optimize ~passes ~nblocks ~memory prog in
+    let obs = if report then Some (Obs.create ()) else None in
+    let opt = midend ~o ~passes:mpasses ~report in
+    let prog', applied = Comp.optimize ?opt ?obs ~passes ~nblocks ~memory prog in
+    Option.iter (fun s -> Printf.eprintf "%s\n" (Opt.report s)) obs;
     Format.eprintf "// %a@." Comp.pp_applied applied;
     print_string (Minic.Pretty.program_to_string prog')
   in
   Cmd.v
     (Cmd.info "optimize"
        ~doc:"Apply the COMP source-to-source optimizations to a MiniC file")
-    Term.(const run $ file_arg $ nblocks $ full_buffers $ only)
+    Term.(
+      const run $ file_arg $ nblocks $ full_buffers $ only $ o
+      $ midend_passes_arg $ midend_report_flag)
 
 (* --- run --- *)
 
@@ -166,9 +221,10 @@ let run_cmd =
     Arg.(value & opt int 10_000_000 & info [ "fuel" ] ~doc:"Statement budget")
   in
   let optimize_first =
-    Arg.(
-      value & flag
-      & info [ "O" ] ~doc:"Optimize before running (checks the rewrite too)")
+    midend_flag
+      ~doc:
+        "Optimize before running — the classic mid-end, then the COMP \
+         source-to-source pipeline (checks the rewrites too)"
   in
   let replay =
     Arg.(
@@ -179,9 +235,15 @@ let run_cmd =
              model and print the reconstructed schedule (execution-driven \
              timing)")
   in
-  let run file fuel opt replay engine =
+  let run file fuel o mpasses report replay engine =
     let prog = or_die (load file) in
-    let prog = if opt then fst (Comp.optimize prog) else prog in
+    let obs = if report then Some (Obs.create ()) else None in
+    let prog =
+      match midend ~o ~passes:mpasses ~report with
+      | Some mid -> fst (Comp.optimize ?obs ~opt:mid prog)
+      | None -> prog
+    in
+    Option.iter (fun s -> Printf.eprintf "%s\n" (Opt.report s)) obs;
     match Minic.Compile_eval.run ~engine ~fuel prog with
     | Ok o ->
         print_string o.Minic.Interp.output;
@@ -207,7 +269,9 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Interpret a MiniC program (dual-space reference)")
-    Term.(const run $ file_arg $ fuel $ optimize_first $ replay $ eval_arg)
+    Term.(
+      const run $ file_arg $ fuel $ optimize_first $ midend_passes_arg
+      $ midend_report_flag $ replay $ eval_arg)
 
 (* --- simulate --- *)
 
@@ -408,14 +472,45 @@ let check_cmd =
             "Append minimized diverging programs to $(docv) (e.g. \
              test/corpus/regressions) for deterministic replay")
   in
+  let o =
+    midend_flag
+      ~doc:
+        "Also validate the classic optimizer mid-end on every checked \
+         program: the optimized program must behave identically to the \
+         original under the same differential oracle.  Silent on success, \
+         so the report is byte-identical with and without $(b,-O)"
+  in
   let run file transform runs seed nblocks fuel inject record faults jobs
-      engine =
+      engine o mpasses =
     let txfs =
       match transform with None -> Check.all_transforms | Some t -> [ t ]
     in
     let failures = ref 0 in
     let applicable_total = ref 0 in
     let dumped : (Check.transform, unit) Hashtbl.t = Hashtbl.create 8 in
+    let opt_passes = midend ~o ~passes:mpasses ~report:false in
+    (* The mid-end oracle: the optimizer may not change behaviour, so
+       only [Equal] (and identical pre-existing failure) is acceptable —
+       in particular an optimized program must not "fix" a program that
+       trapped.  Verdict computation is pure and runs inside the
+       parallel tasks; printing replays on the calling domain. *)
+    let opt_verdict prog =
+      Option.map
+        (fun mid -> Check.equiv ~engine ~fuel prog (Opt.run ~passes:mid prog))
+        opt_passes
+    in
+    let opt_ok = function
+      | Check.Equal | Check.Both_failed _ -> true
+      | _ -> false
+    in
+    let handle_opt ~what v =
+      match v with
+      | Some v when not (opt_ok v) ->
+          incr failures;
+          Printf.printf "  %-11s FAILED on %s: %s\n" "optimizer" what
+            (Check.verdict_str v)
+      | _ -> ()
+    in
     (* Report one transform's verdict on one program; on the first
        divergence per transform, shrink, dump, and optionally record. *)
     let handle ~what ~prog (r : Check.report) =
@@ -463,6 +558,7 @@ let check_cmd =
     | Some f ->
         let prog = or_die (load f) in
         Printf.printf "%s:\n" f;
+        handle_opt ~what:f (opt_verdict prog);
         if Fault.is_none faults then
           List.iter
             (handle ~what:f ~prog)
@@ -514,7 +610,7 @@ let check_cmd =
          programs are tested. *)
       let run_tasks k =
         let s = Parallel.derive_seed ~root:seed k in
-        List.concat_map
+        List.map
           (fun pat ->
             let src = Check.Genprog.generate pat ~seed:s in
             let what =
@@ -536,8 +632,10 @@ let check_cmd =
                            e src)
                   | Ok _ -> p)
             in
-            List.map
-              (fun txf ->
+            let opt_v = opt_verdict prog in
+            let outs =
+              List.map
+                (fun txf ->
                 let prog', sites = Check.apply ~nblocks txf prog in
                 let g_app_mismatch =
                   match Check.expected_applicable pat txf with
@@ -561,7 +659,9 @@ let check_cmd =
                   g_sites = sites;
                   g_verdict;
                 })
-              txfs)
+                txfs
+            in
+            (what, opt_v, outs))
           Check.Genprog.all_patterns
       in
       let outcomes =
@@ -573,7 +673,9 @@ let check_cmd =
       (* Replay in submission order: same prints, same counters, same
          first-divergence-per-transform minimization as sequentially. *)
       List.iter
-        (List.iter (fun o ->
+        (List.iter (fun (what, opt_v, outs) ->
+             handle_opt ~what opt_v;
+             List.iter (fun o ->
              (match o.g_app_mismatch with
              | Some b ->
                  incr failures;
@@ -625,7 +727,8 @@ let check_cmd =
                      | _ -> ()
                    end
                | _ -> ()
-             end))
+             end)
+               outs))
         outcomes;
       List.iter
         (fun txf ->
@@ -666,7 +769,7 @@ let check_cmd =
           output, return value, and final global state")
     Term.(
       const run $ file $ transform $ runs $ seed $ nblocks $ fuel $ inject
-      $ record $ faults_arg $ jobs $ eval_arg)
+      $ record $ faults_arg $ jobs $ eval_arg $ o $ midend_passes_arg)
 
 (* --- --profile (top-level) --- *)
 

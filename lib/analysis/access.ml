@@ -24,6 +24,8 @@ type t = {
   guarded : bool;  (** under a conditional inside the loop body *)
 }
 
+exception Unknown_array of string
+
 let is_affine a = match a.kind with Affine _ -> true | _ -> false
 let is_gather a = match a.kind with Gather _ -> true | _ -> false
 
@@ -176,5 +178,11 @@ let summarize accesses =
       in
       Hashtbl.replace tbl a.arr s)
     accesses;
-  (* preserve first-access order *)
-  List.map (Hashtbl.find tbl) (arrays accesses)
+  (* preserve first-access order; a miss would otherwise escape as a
+     bare [Not_found] with no hint of which array was involved *)
+  List.map
+    (fun arr ->
+      match Hashtbl.find_opt tbl arr with
+      | Some s -> s
+      | None -> raise (Unknown_array arr))
+    (arrays accesses)

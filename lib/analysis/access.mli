@@ -19,6 +19,12 @@ type t = {
   guarded : bool;  (** under a conditional inside the loop body *)
 }
 
+exception Unknown_array of string
+(** Raised by {!summarize} on an array with no recorded access — the
+    analysis-level analogue of the interpreter's
+    ["clause on unbound variable"] runtime error, instead of a bare
+    [Not_found] that names nothing. *)
+
 val is_affine : t -> bool
 val is_gather : t -> bool
 

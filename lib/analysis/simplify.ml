@@ -1,6 +1,13 @@
 (** Smart constructors with constant folding.  Used both by the
     analyses (to normalize affine offsets) and by the transformations
-    (so generated source stays readable). *)
+    (so generated source stays readable).
+
+    Folds that {e delete} an operand ([0 * e -> 0], [e - e -> 0], the
+    equal-operand [imin]/[imax] cases) only fire when the deleted
+    expression is proven free of calls, loads through pointers, and
+    trapping [Div]/[Mod] — [Ast.pure].  Identities that keep their
+    operand ([e + 0 -> e], [e * 1 -> e], [e / 1 -> e]) need no guard:
+    nothing observable is removed. *)
 
 open Minic.Ast
 
@@ -16,12 +23,13 @@ let sub a b =
   | Int_lit x, Int_lit y -> Int_lit (x - y)
   | e, Int_lit 0 -> e
   | Binop (Add, e, Int_lit x), Int_lit y -> add e (Int_lit (x - y))
-  | _ -> if equal_expr a b then Int_lit 0 else Binop (Sub, a, b)
+  | _ ->
+      if equal_expr a b && pure a then Int_lit 0 else Binop (Sub, a, b)
 
 let mul a b =
   match (a, b) with
   | Int_lit x, Int_lit y -> Int_lit (x * y)
-  | Int_lit 0, _ | _, Int_lit 0 -> Int_lit 0
+  | Int_lit 0, e | e, Int_lit 0 when pure e -> Int_lit 0
   | Int_lit 1, e | e, Int_lit 1 -> e
   | _ -> Binop (Mul, a, b)
 
@@ -55,20 +63,23 @@ let rec const_int = function
 
 (* fold the [imin]/[imax] builtins the transformations generate:
    constants, equal operands, and nested min/max against the same
-   bound *)
+   bound.  Each fold drops one evaluation of an expression that also
+   survives in the result, so a no-call guard is enough: a call-free
+   duplicate evaluates to the same value (and traps iff the kept copy
+   traps), while a call may print or allocate a second time. *)
 let minmax name a b =
   let pick = if String.equal name "imin" then min else max in
   match (a, b) with
   | Int_lit x, Int_lit y -> Int_lit (pick x y)
-  | _ when equal_expr a b -> a
-  | _, Call (name', [ a'; e ]) when String.equal name name' && equal_expr a a'
-    ->
+  | _ when equal_expr a b && not (has_call a) -> a
+  | _, Call (name', [ a'; e ])
+    when String.equal name name' && equal_expr a a' && not (has_call a) ->
       Call (name, [ a; e ])
-  | _, Call (name', [ e; a' ]) when String.equal name name' && equal_expr a a'
-    ->
+  | _, Call (name', [ e; a' ])
+    when String.equal name name' && equal_expr a a' && not (has_call a) ->
       Call (name, [ a; e ])
-  | Call (name', [ a'; e ]), _ when String.equal name name' && equal_expr b a'
-    ->
+  | Call (name', [ a'; e ]), _
+    when String.equal name name' && equal_expr b a' && not (has_call b) ->
       Call (name, [ b; e ])
   | _ -> Call (name, [ a; b ])
 

@@ -78,11 +78,18 @@ let pass_of_name n =
     memory rewrite must pull pointer-bearing arrays out of the clauses
     before streaming could slice them.  [passes] restricts the pipeline
     (the relative order is always the fixed one above). *)
-let optimize ?(passes = all_passes) ?(nblocks = 10)
+let optimize ?opt ?obs ?(passes = all_passes) ?(nblocks = 10)
     ?(memory = Transforms.Streaming.Double_buffered) prog =
   (* generated names restart per program: a rewrite is a pure function
      of its input, whichever domain runs it and in whatever order *)
   Transforms.Util.reset_fresh ();
+  (* the classic mid-end runs first so the paper's source-to-source
+     passes see cleaned-up code (folded bounds, hoisted invariants) *)
+  let prog =
+    match opt with
+    | None -> prog
+    | Some mid -> Opt.run ?obs ~passes:mid prog
+  in
   let on p = List.mem p passes in
   let run p f prog = if on p then f prog else (prog, 0) in
   let prog, offloads_inserted =

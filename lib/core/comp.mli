@@ -45,6 +45,8 @@ val pass_name : pass -> string
 val pass_of_name : string -> pass option
 
 val optimize :
+  ?opt:Opt.pass list ->
+  ?obs:Obs.t ->
   ?passes:pass list ->
   ?nblocks:int ->
   ?memory:Transforms.Streaming.memory ->
@@ -56,7 +58,14 @@ val optimize :
     merging must see the individual offloads before streaming rewrites
     them, and the shared-memory rewrite must pull pointer-bearing
     arrays out of the clauses before streaming could slice them.
-    [passes] restricts the pipeline; the relative order stays fixed. *)
+    [passes] restricts the pipeline; the relative order stays fixed.
+
+    [opt] runs the classic optimizer mid-end ({!Opt.run}) with the
+    given passes {e before} the source-to-source pipeline, so the
+    paper's transforms see folded bounds and hoisted invariants; it is
+    off by default.  With [obs], the mid-end records its
+    [opt.<pass>.fired] / [opt.<pass>.blocked.<reason>] counters there
+    (rendered by {!Opt.report}). *)
 
 (** {1 Applicability analysis (Table II)} *)
 

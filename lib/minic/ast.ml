@@ -275,3 +275,115 @@ let expr_vars expr =
     (fun acc e -> match e with Var v -> v :: acc | _ -> acc)
     [] expr
   |> List.rev
+
+(** {1 Effect and purity analysis}
+
+    Conservative, type-free approximations used by the optimizer
+    ([lib/opt]) and the [Simplify] smart constructors to decide when
+    an expression may be deleted, duplicated, or hoisted.  Everything
+    errs on the side of "has an effect". *)
+
+(** [has_call e]: [e] contains a call, builtin or user-defined.  Calls
+    may print, allocate, write globals, trap, or burn fuel, so an
+    expression containing one must never be folded away. *)
+let has_call e =
+  fold_expr (fun acc e -> match e with Call _ -> true | _ -> acc) false e
+
+(** [may_trap e]: evaluating [e] may raise a runtime error.  Int
+    [Div]/[Mod] trap on a zero divisor (a [Float_lit] divisor is float
+    division, which yields inf/nan instead); [Index]/[Deref]/[Arrow]
+    loads trap out of bounds or across the host/device address spaces;
+    calls may trap inside the callee.  [&a[i]] is treated like the
+    load it addresses. *)
+let rec may_trap e =
+  match e with
+  | Int_lit _ | Float_lit _ | Bool_lit _ | Var _ -> false
+  | Index _ | Deref _ | Arrow _ -> true
+  | Field (e, _) | Addr e | Unop (_, e) | Cast (_, e) -> may_trap e
+  | Binop ((Div | Mod), a, b) -> (
+      may_trap a
+      ||
+      match b with
+      | Int_lit n -> n = 0
+      | Float_lit _ -> false
+      | _ -> true)
+  | Binop (_, a, b) -> may_trap a || may_trap b
+  | Call _ -> true
+
+(** [pure e]: evaluating [e] has no observable effect and cannot fail,
+    so deleting or re-evaluating it is always safe. *)
+let pure e = (not (has_call e)) && not (may_trap e)
+
+(** Expressions evaluated by a pragma itself (section bounds, signal
+    and wait tags) — [stmt_exprs] deliberately excludes these. *)
+let pragma_exprs = function
+  | Omp_parallel_for | Omp_simd -> []
+  | Offload_wait e -> [ e ]
+  | Offload s | Offload_transfer s ->
+      let sec_exprs sec =
+        (sec.start :: sec.len :: [])
+        @ match sec.into with Some (_, o) -> [ o ] | None -> []
+      in
+      List.concat_map sec_exprs (s.ins @ s.outs @ s.inouts)
+      @ Option.to_list s.signal @ Option.to_list s.wait
+
+(** Base variable of an lvalue path, when it can be named: [a[i].f]
+    writes into [a]; [*p] and [p->f] write through a pointer whose
+    target cannot be named syntactically. *)
+let rec lvalue_base = function
+  | Var v -> Some v
+  | Index (e, _) | Field (e, _) | Cast (_, e) -> lvalue_base e
+  | _ -> None
+
+(** What a block may write, conservatively. *)
+type write_set = {
+  w_vars : string list;
+      (** scalars assigned or declared directly ([v = e], [int v],
+          loop indexes), sorted *)
+  w_mem : string list;
+      (** named arrays/structs written through [a[i]]/[s.f] lvalues or
+          offload out/inout/into clauses, sorted *)
+  w_unknown : bool;
+      (** writes that cannot be attributed to a name: [*p = e],
+          [p->f = e], or any call (a callee may write globals) *)
+}
+
+let writes block =
+  let vars = ref [] and mem = ref [] and unknown = ref false in
+  let add r v = if not (List.mem v !r) then r := v :: !r in
+  let written lv =
+    match lv with
+    | Var v -> add vars v
+    | _ -> (
+        match lvalue_base lv with
+        | Some v -> add mem v
+        | None -> unknown := true)
+  in
+  let spec_writes (s : offload_spec) =
+    List.iter (fun sec -> add mem sec.arr) (s.outs @ s.inouts);
+    List.iter
+      (fun sec ->
+        match sec.into with Some (dst, _) -> add mem dst | None -> ())
+      (s.ins @ s.outs @ s.inouts)
+  in
+  fold_stmts
+    (fun () s ->
+      let exprs =
+        match s with
+        | Spragma (p, _) -> pragma_exprs p
+        | _ -> stmt_exprs s
+      in
+      List.iter (fun e -> if has_call e then unknown := true) exprs;
+      match s with
+      | Sassign (lv, _) -> written lv
+      | Sdecl (_, v, _) -> add vars v
+      | Sfor { index; _ } -> add vars index
+      | Spragma ((Offload spec | Offload_transfer spec), _) ->
+          spec_writes spec
+      | _ -> ())
+    () block;
+  {
+    w_vars = List.sort compare !vars;
+    w_mem = List.sort compare !mem;
+    w_unknown = !unknown;
+  }

@@ -1,0 +1,351 @@
+(** Constant folding and sparse constant propagation.
+
+    Folding mirrors the reference interpreter bit for bit: integer
+    arithmetic is OCaml's (native width, [/] and [mod] truncating
+    toward zero), float arithmetic is OCaml's IEEE double ops, and
+    comparisons go through polymorphic [compare] exactly as
+    [Interp.eval_binop] does — including its total order on floats.
+    A literal int division or modulo by zero is {e not} folded (the
+    interpreter traps there) and is counted as
+    [opt.fold.blocked.div-by-zero]; the short-circuit-looking
+    [false && e] / [true || e] folds delete [e] and therefore require
+    [Ast.pure e] (the interpreter evaluates both operands).  The
+    integer identities [e + 0], [e - 0], [e * 1] and [e / 1] fold to
+    [e] only when [e] is statically [int] {e and} its own root is
+    arithmetic: that root still traps on an undefined operand exactly
+    where the discarded operation would have, and restricting to [int]
+    sidesteps the float non-identity [-0.0 + 0 = 0.0].
+
+    Propagation tracks scalar variables currently holding a literal.
+    The store-side [coerce] of the interpreter is simulated
+    ([int x = 2.7] tracks [2]), address-taken variables are never
+    tracked, and — because a MiniC callee's activation holds
+    {e parameters only}, so callees cannot name a caller local or a
+    global — calls kill nothing.  Loop bodies are folded under the
+    entry environment minus everything the body writes; [if] joins
+    intersect the two arms. *)
+
+open Minic.Ast
+module E = Effects
+module SM = Map.Make (String)
+
+let pass = "fold"
+
+let is_literal = function
+  | Int_lit _ | Float_lit _ | Bool_lit _ -> true
+  | _ -> false
+
+(* What the cell holds after [store (coerce ty v)] of a literal. *)
+let stored_literal ty e =
+  match (ty, e) with
+  | Tint, Float_lit f -> Int_lit (int_of_float f)
+  | Tfloat, Int_lit n -> Float_lit (float_of_int n)
+  | _ -> e
+
+let as_f = function
+  | Int_lit n -> float_of_int n
+  | Float_lit f -> f
+  | _ -> invalid_arg "as_f"
+
+let int_op = function
+  | Add -> ( + )
+  | Sub -> ( - )
+  | Mul -> ( * )
+  | Div -> ( / )
+  | Mod -> ( mod )
+  | _ -> invalid_arg "int_op"
+
+let float_op = function
+  | Add -> ( +. )
+  | Sub -> ( -. )
+  | Mul -> ( *. )
+  | Div -> ( /. )
+  | _ -> invalid_arg "float_op"
+
+let cmp_op op c =
+  match op with
+  | Eq -> c = 0
+  | Ne -> c <> 0
+  | Lt -> c < 0
+  | Le -> c <= 0
+  | Gt -> c > 0
+  | Ge -> c >= 0
+  | _ -> invalid_arg "cmp_op"
+
+(* An expression whose root performs integer arithmetic.  Replacing
+   [e + 0] by [e] is only sound for these: [e]'s own root still does
+   the arithmetic that would trap on an undefined operand, so every
+   trap is kept, and at type [int] the value is bit-identical.  Float
+   identities are never folded — [-0.0 + 0] evaluates to [0.0], so
+   [+ 0] is not even the float identity. *)
+let int_arith_root tyof e =
+  (match e with
+  | Binop ((Add | Sub | Mul | Div | Mod), _, _) | Unop (Neg, _) -> true
+  | _ -> false)
+  && match tyof e with Some Tint -> true | _ -> false
+
+(* One folding step at an already-deeply-folded node.  [tyof] is
+   static typing under the scope at this program point; [None] (the
+   caller could not type the node) just disables the typed folds. *)
+let fold1 ctx tyof e =
+  let hit e' =
+    E.fired ctx pass;
+    e'
+  in
+  let miss reason =
+    E.blocked ctx pass reason;
+    e
+  in
+  match e with
+  | Binop (((Div | Mod) as op), Int_lit x, Int_lit y) ->
+      if y = 0 then miss "div-by-zero" else hit (Int_lit (int_op op x y))
+  | Binop (((Add | Sub | Mul) as op), Int_lit x, Int_lit y) ->
+      hit (Int_lit (int_op op x y))
+  | Binop
+      ( ((Add | Sub | Mul | Div) as op),
+        ((Int_lit _ | Float_lit _) as a),
+        ((Int_lit _ | Float_lit _) as b) ) ->
+      (* at least one float: the interpreter promotes both to float *)
+      hit (Float_lit (float_op op (as_f a) (as_f b)))
+  | Binop
+      ( ((Eq | Ne | Lt | Le | Gt | Ge) as op),
+        ((Int_lit _ | Float_lit _) as a),
+        ((Int_lit _ | Float_lit _) as b) ) ->
+      let c =
+        match (a, b) with
+        | Int_lit x, Int_lit y -> compare x y
+        | _ -> compare (as_f a) (as_f b)
+      in
+      hit (Bool_lit (cmp_op op c))
+  | Binop (((Eq | Ne | Lt | Le | Gt | Ge) as op), Bool_lit x, Bool_lit y) ->
+      hit (Bool_lit (cmp_op op (compare x y)))
+  | Binop (And, Bool_lit x, Bool_lit y) -> hit (Bool_lit (x && y))
+  | Binop (Or, Bool_lit x, Bool_lit y) -> hit (Bool_lit (x || y))
+  | Binop (And, Bool_lit true, e1) | Binop (And, e1, Bool_lit true) ->
+      hit e1 (* both operands are evaluated either way *)
+  | Binop (Or, Bool_lit false, e1) | Binop (Or, e1, Bool_lit false) -> hit e1
+  | Binop (And, Bool_lit false, e1) | Binop (And, e1, Bool_lit false) ->
+      if pure e1 then hit (Bool_lit false) else miss "effect"
+  | Binop (Or, Bool_lit true, e1) | Binop (Or, e1, Bool_lit true) ->
+      if pure e1 then hit (Bool_lit true) else miss "effect"
+  | Binop (Add, e1, Int_lit 0)
+  | Binop (Add, Int_lit 0, e1)
+  | Binop (Sub, e1, Int_lit 0)
+  | Binop (Mul, e1, Int_lit 1)
+  | Binop (Mul, Int_lit 1, e1)
+  | Binop (Div, e1, Int_lit 1)
+    when int_arith_root tyof e1 ->
+      hit e1
+  | Unop (Neg, Int_lit n) -> hit (Int_lit (-n))
+  | Unop (Neg, Float_lit f) -> hit (Float_lit (-.f))
+  | Unop (Not, Bool_lit b) -> hit (Bool_lit (not b))
+  | Cast (Tint, Int_lit n) -> hit (Int_lit n)
+  | Cast (Tint, Float_lit f) -> hit (Int_lit (int_of_float f))
+  | Cast (Tint, Bool_lit b) -> hit (Int_lit (if b then 1 else 0))
+  | Cast (Tfloat, Int_lit n) -> hit (Float_lit (float_of_int n))
+  | Cast (Tfloat, Float_lit f) -> hit (Float_lit f)
+  | Cast (Tbool, Bool_lit b) -> hit (Bool_lit b)
+  | Call ("abs", [ Int_lit n ]) -> hit (Int_lit (abs n))
+  | Call ("imin", [ Int_lit x; Int_lit y ]) -> hit (Int_lit (min x y))
+  | Call ("imax", [ Int_lit x; Int_lit y ]) -> hit (Int_lit (max x y))
+  | e -> e
+
+let rec deep ?(tyof = fun _ -> None) ctx e =
+  let d = deep ~tyof ctx in
+  let e' =
+    match e with
+    | Int_lit _ | Float_lit _ | Bool_lit _ | Var _ -> e
+    | Index (a, i) -> Index (d a, d i)
+    | Field (a, f) -> Field (d a, f)
+    | Arrow (a, f) -> Arrow (d a, f)
+    | Deref a -> Deref (d a)
+    | Addr a -> Addr (d a)
+    | Binop (op, a, b) -> Binop (op, d a, d b)
+    | Unop (op, a) -> Unop (op, d a)
+    | Call (f, args) -> Call (f, List.map d args)
+    | Cast (t, a) -> Cast (t, d a)
+  in
+  fold1 ctx tyof e'
+
+(* Substitute tracked literals for variable reads.  Lvalue spines
+   (assignment targets, [&] operands) are walked but their base
+   variable is left alone: only index/offset subexpressions are value
+   positions there. *)
+let rec subst ctx env e =
+  let s = subst ctx env in
+  match e with
+  | Var v -> (
+      match SM.find_opt v env with
+      | Some lit ->
+          E.fired ctx pass;
+          lit
+      | None -> e)
+  | Int_lit _ | Float_lit _ | Bool_lit _ -> e
+  | Index (a, i) -> Index (s a, s i)
+  | Field (a, f) -> Field (s a, f)
+  | Arrow (a, f) -> Arrow (s a, f)
+  | Deref a -> Deref (s a)
+  | Addr a -> Addr (subst_lvalue ctx env a)
+  | Binop (op, a, b) -> Binop (op, s a, s b)
+  | Unop (op, a) -> Unop (op, s a)
+  | Call (f, args) -> Call (f, List.map s args)
+  | Cast (t, a) -> Cast (t, s a)
+
+and subst_lvalue ctx env lv =
+  match lv with
+  | Var _ -> lv
+  | Index (b, i) -> Index (subst_lvalue ctx env b, subst ctx env i)
+  | Field (b, f) -> Field (subst_lvalue ctx env b, f)
+  | Arrow (b, f) -> Arrow (subst ctx env b, f)
+  | Deref e -> Deref (subst ctx env e)
+  | Cast (t, b) -> Cast (t, subst_lvalue ctx env b)
+  | e -> subst ctx env e
+
+let fx ctx scope env e =
+  deep ~tyof:(E.type_of ctx scope) ctx (subst ctx env e)
+
+let fx_lvalue ctx env lv = subst_lvalue ctx env lv
+
+let remove_all names env = List.fold_left (fun m v -> SM.remove v m) env names
+
+(* Facts that hold at every iteration boundary of a loop whose body is
+   [body]: the entry facts minus everything the body (or the loop
+   protocol) writes.  Calls cannot write scalars — a callee's frame
+   holds parameters only — and offload clauses move arrays, so
+   [w_vars] is the whole kill set. *)
+let loop_env env ?index body =
+  let w = writes body in
+  let env = remove_all w.w_vars env in
+  match index with Some i -> SM.remove i env | None -> env
+
+let var_ty ctx scope v =
+  match List.assoc_opt v scope with
+  | Some t -> Some t
+  | None -> List.assoc_opt v ctx.E.genv.Minic.Typecheck.vars
+
+let rec go_block ctx at scope env block =
+  let decls =
+    List.filter_map (function Sdecl (_, v, _) -> Some v | _ -> None) block
+  in
+  let rec loop scope env acc = function
+    | [] -> (List.rev acc, env)
+    | s :: rest ->
+        let s', scope', env' = go_stmt ctx at scope env s in
+        loop scope' env' (s' :: acc) rest
+  in
+  let block', env' = loop scope env [] block in
+  (block', remove_all decls env')
+
+and go_stmt ctx at scope env stmt =
+  let keep s env = (s, scope, env) in
+  match stmt with
+  | Sexpr e -> keep (Sexpr (fx ctx scope env e)) env
+  | Sreturn e -> keep (Sreturn (Option.map (fx ctx scope env) e)) env
+  | Sbreak | Scontinue -> keep stmt env
+  | Sassign (lv, rv) ->
+      let rv' = fx ctx scope env rv in
+      let lv' = fx_lvalue ctx env lv in
+      let env' =
+        match lv' with
+        | Var v when is_literal rv' && not (E.SS.mem v at) -> (
+            match var_ty ctx scope v with
+            | Some ty -> SM.add v (stored_literal ty rv') env
+            | None -> SM.remove v env)
+        | Var v -> SM.remove v env
+        | _ -> env (* memory stores do not touch tracked scalars *)
+      in
+      keep (Sassign (lv', rv')) env'
+  | Sdecl (ty, v, init) ->
+      let ty' =
+        match ty with
+        | Tarray (t, Some n) -> Tarray (t, Some (fx ctx scope env n))
+        | _ -> ty
+      in
+      let init' = Option.map (fx ctx scope env) init in
+      let env' =
+        match init' with
+        | Some lit when is_literal lit && not (E.SS.mem v at) ->
+            SM.add v (stored_literal ty lit) env
+        | _ -> SM.remove v env
+      in
+      (Sdecl (ty', v, init'), (v, ty) :: scope, env')
+  | Sif (c, b1, b2) ->
+      let c' = fx ctx scope env c in
+      let b1', env1 = go_block ctx at scope env b1 in
+      let b2', env2 = go_block ctx at scope env b2 in
+      let env' =
+        match c' with
+        | Bool_lit true | Int_lit _ when c' <> Int_lit 0 -> env1
+        | Bool_lit false | Int_lit 0 -> env2
+        | _ ->
+            SM.merge
+              (fun _ a b ->
+                match (a, b) with
+                | Some x, Some y when equal_expr x y -> Some x
+                | _ -> None)
+              env1 env2
+      in
+      keep (Sif (c', b1', b2')) env'
+  | Swhile (c, b) ->
+      let env_red = loop_env env b in
+      let c' = fx ctx scope env_red c in
+      let b', _ = go_block ctx at scope env_red b in
+      keep (Swhile (c', b')) env_red
+  | Sfor fl ->
+      let lo' = fx ctx scope env fl.lo in
+      let env_red = loop_env env ~index:fl.index fl.body in
+      let iscope = (fl.index, Tint) :: scope in
+      let hi' = fx ctx iscope env_red fl.hi in
+      let step' = fx ctx iscope env_red fl.step in
+      let body', _ = go_block ctx at iscope env_red fl.body in
+      keep
+        (Sfor { fl with lo = lo'; hi = hi'; step = step'; body = body' })
+        env_red
+  | Sblock b ->
+      let b', env' = go_block ctx at scope env b in
+      keep (Sblock b') env'
+  | Spragma (((Offload_transfer _ | Offload_wait _) as p), s) ->
+      (* the child statement is never executed: rewrite it for form,
+         keep the incoming facts *)
+      let s', _, _ = go_stmt ctx at scope env s in
+      keep (Spragma (p, s')) env
+  | Spragma (p, s) ->
+      let s', _, env' = go_stmt ctx at scope env s in
+      keep (Spragma (p, s')) env'
+
+(* Literal-initialized global scalars visible at [main]'s entry.  Only
+   [main] can read globals (callee activations hold parameters only),
+   and nothing but [main]'s own statements can write them, so the walk
+   above keeps these facts honest. *)
+let global_env prog =
+  List.fold_left
+    (fun env g ->
+      match g with
+      | Gvar (ty, v, Some lit) when is_literal lit ->
+          SM.add v (stored_literal ty lit) env
+      | Gvar (_, v, _) -> SM.remove v env
+      | _ -> env)
+    SM.empty prog
+
+let run ctx prog =
+  let genv0 = global_env prog in
+  let prog =
+    List.map
+      (function
+        | Gvar (ty, v, Some e) ->
+            Gvar (ty, v, Some (deep ~tyof:(E.type_of ctx []) ctx e))
+        | g -> g)
+      prog
+  in
+  map_funcs
+    (fun fn ->
+      let at = E.addr_taken fn.body in
+      let scope = List.map (fun p -> (p.pname, p.pty)) fn.params in
+      let env0 =
+        if String.equal fn.fname "main" then
+          remove_all (List.map fst scope) genv0
+        else SM.empty
+      in
+      let body, _ = go_block ctx at scope env0 fn.body in
+      { fn with body })
+    prog

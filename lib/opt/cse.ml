@@ -1,0 +1,274 @@
+(** Common-subexpression elimination over straight-line runs.
+
+    A {e run} is a maximal sequence of simple statements (expression,
+    assignment, declaration, return) inside one block; compound
+    statements — loops, branches, pragmas — are barriers.  Within a
+    run the pass looks for a call-free subexpression that occurs at
+    least twice with no intervening write that could change its value,
+    declares a fresh temporary initialized with the expression just
+    before its first occurrence, and replaces the occurrences.  The
+    declaration is itself a dispatched statement, so sharing is gated
+    on profitability — [(count - 1) * size >= 8] — and too-small
+    groups are refused ([opt.cse.blocked.unprofitable]).  Runs inside
+    a loop are never rewritten at all: the declaration would be
+    re-dispatched every iteration, which costs more than the sharing
+    saves under the statement-dispatch-dominated interpreters, so a
+    group that would otherwise fire there is refused instead
+    ([opt.cse.blocked.loop-body]).
+
+    Unlike LICM candidates, CSE candidates {e may} contain loads
+    ([a[i]], [*p], [p->f]): the temporary's initializer performs the
+    same load (including the same trap, if any) at the same program
+    point as the first occurrence did.  That is exactly why the kill
+    discipline must be airtight:
+
+    - a statement containing a call clears the table — the callee may
+      print or write through any pointer it received
+      ([opt.cse.blocked.call-barrier]);
+    - a store through memory ([a[i] = e], [*p = e]) kills every
+      candidate containing a load and every candidate reading an
+      address-taken variable, with no aliasing questions asked
+      ([opt.cse.blocked.aliased-store]);
+    - an assignment to (or re-declaration of) a scalar [v] kills the
+      candidates that read [v] ([opt.cse.blocked.killed-var]).
+
+    In an assignment the right-hand side is counted before the
+    left-hand side's subscripts (matching the interpreter's evaluation
+    order), and the spine of an lvalue — the part naming the cell
+    being stored to — is never counted or replaced; only its
+    subscript/offset positions are value reads.  Initializers of
+    struct and array declarations are skipped entirely: the
+    interpreter never evaluates them. *)
+
+open Minic.Ast
+module E = Effects
+
+let pass = "cse"
+
+let is_simple = function
+  | Sexpr _ | Sassign _ | Sdecl _ | Sreturn _ -> true
+  | _ -> false
+
+(* Value reads of an lvalue: subscripts and pointer-valued bases, but
+   not the named spine of the cell being stored to. *)
+let rec spine_reads lv =
+  match lv with
+  | Var _ -> []
+  | Index (b, i) -> spine_reads b @ [ i ]
+  | Field (b, _) -> spine_reads b
+  | Arrow (b, _) -> [ b ]
+  | Deref e -> [ e ]
+  | Cast (_, b) -> spine_reads b
+  | e -> [ e ]
+
+(* Expressions a simple statement evaluates, in evaluation order. *)
+let read_exprs = function
+  | Sexpr e -> [ e ]
+  | Sreturn (Some e) -> [ e ]
+  | Sreturn None -> []
+  | Sassign (lv, rv) -> rv :: spine_reads lv
+  | Sdecl (Tarray (_, Some n), _, _) -> [ n ]
+  | Sdecl ((Tarray (_, None) | Tstruct _), _, _) -> []
+  | Sdecl (_, _, init) -> Option.to_list init
+  | _ -> []
+
+let rec replace_lvalue ~target ~by lv =
+  let r = E.replace_expr ~target ~by in
+  match lv with
+  | Var _ -> lv
+  | Index (b, i) -> Index (replace_lvalue ~target ~by b, r i)
+  | Field (b, f) -> Field (replace_lvalue ~target ~by b, f)
+  | Arrow (b, f) -> Arrow (r b, f)
+  | Deref e -> Deref (r e)
+  | Cast (t, b) -> Cast (t, replace_lvalue ~target ~by b)
+  | e -> r e
+
+let replace_in_stmt ~target ~by s =
+  let r = E.replace_expr ~target ~by in
+  match s with
+  | Sexpr e -> Sexpr (r e)
+  | Sreturn e -> Sreturn (Option.map r e)
+  | Sassign (lv, rv) -> Sassign (replace_lvalue ~target ~by lv, r rv)
+  | Sdecl (Tarray (t, Some n), v, init) -> Sdecl (Tarray (t, Some (r n)), v, init)
+  | Sdecl ((Tarray (_, None) | Tstruct _), _, _) -> s
+  | Sdecl (t, v, init) -> Sdecl (t, v, Option.map r init)
+  | s -> s
+
+type entry = {
+  expr : expr;
+  ty : ty;
+  count : int;
+  first : int;  (** statement index of the first occurrence *)
+  last : int;  (** statement index of the latest occurrence *)
+}
+
+type group = { g : entry }
+
+(* One scan of a run: the best firable group, if any.  [scope0] is the
+   variable scope at the head of the run. *)
+let scan ctx at scope0 stmts =
+  let table : entry list ref = ref [] in
+  let groups : entry list ref = ref [] in
+  let kill reason pred =
+    let killed, kept = List.partition pred !table in
+    table := kept;
+    List.iter
+      (fun en ->
+        if en.count >= 2 then groups := en :: !groups
+        else E.blocked ctx pass reason)
+      killed
+  in
+  let candidate scope i e =
+    if E.size e >= 3 && not (has_call e) then
+      match List.find_opt (fun en -> equal_expr en.expr e) !table with
+      | Some en ->
+          table :=
+            { en with count = en.count + 1; last = i }
+            :: List.filter (fun x -> x != en) !table
+      | None -> (
+          match E.type_of ctx scope e with
+          | Some ty when E.cacheable_ty ty ->
+              table := { expr = e; ty; count = 1; first = i; last = i } :: !table
+          | _ -> ())
+  in
+  let scope = ref scope0 in
+  List.iteri
+    (fun i s ->
+      let reads = read_exprs s in
+      if List.exists has_call reads then kill "call-barrier" (fun _ -> true)
+      else begin
+        List.iter
+          (fun top -> fold_expr (fun () e -> candidate !scope i e) () top)
+          reads;
+        (match s with
+        | Sassign (lv, _) -> (
+            match lv with
+            | Var v ->
+                kill "killed-var" (fun en -> List.mem v (expr_vars en.expr))
+            | _ ->
+                kill "aliased-store" (fun en ->
+                    E.has_load en.expr
+                    || List.exists
+                         (fun v -> E.SS.mem v at)
+                         (expr_vars en.expr)))
+        | Sdecl (_, v, _) ->
+            kill "killed-var" (fun en -> List.mem v (expr_vars en.expr))
+        | _ -> ());
+        match s with
+        | Sdecl (t, v, _) -> scope := (v, t) :: !scope
+        | _ -> ()
+      end)
+    stmts;
+  List.iter
+    (fun en -> if en.count >= 2 then groups := en :: !groups)
+    !table;
+  table := [];
+  (* Profitability: the temporary's declaration is one more statement
+     the interpreter dispatches every time the run executes, and a
+     dispatched statement costs more than a handful of expression
+     nodes.  Each shared occurrence saves [size - 1] node evaluations,
+     so demand [(count - 1) * size >= 8] before naming anything.
+     Unprofitable groups are counted once, on the scan that finds no
+     profitable group left to extract. *)
+  let profitable en = (en.count - 1) * E.size en.expr >= 8 in
+  match List.filter profitable !groups with
+  | [] ->
+      List.iter (fun _ -> E.blocked ctx pass "unprofitable") !groups;
+      None
+  | gs ->
+      (* largest expression first; ties to the earliest first site *)
+      let best =
+        List.fold_left
+          (fun a b ->
+            let sa = E.size a.expr and sb = E.size b.expr in
+            if sb > sa || (sb = sa && b.first < a.first) then b else a)
+          (List.hd gs) (List.tl gs)
+      in
+      Some { g = best }
+
+(* Repeatedly extract the best group until the run is dry.  Each
+   application removes every counted occurrence of the group's
+   expression, so the process terminates. *)
+let rec process_run ctx at scope0 stmts =
+  match scan ctx at scope0 stmts with
+  | None -> stmts
+  | Some { g } ->
+      let tmp = E.fresh ctx "cse" in
+      E.fired ctx pass;
+      let stmts =
+        List.concat
+          (List.mapi
+             (fun i s ->
+               let s =
+                 if i >= g.first && i <= g.last then
+                   replace_in_stmt ~target:g.expr ~by:(Var tmp) s
+                 else s
+               in
+               if i = g.first then [ Sdecl (g.ty, tmp, Some g.expr); s ]
+               else [ s ])
+             stmts)
+      in
+      process_run ctx at scope0 stmts
+
+let rec go_block ctx at scope ~inloop block =
+  let flush scope0 run acc =
+    if run = [] then acc
+    else
+      let stmts = List.rev run in
+      let stmts =
+        if inloop then (
+          (* A run inside a loop is scanned but never rewritten: the
+             temporary's declaration would be re-dispatched on every
+             iteration, and a dispatched statement costs more than the
+             expression nodes it saves (measured in [bench selfperf]
+             under both engines).  A group that would otherwise fire
+             is counted as a refusal. *)
+          (match scan ctx at scope0 stmts with
+          | Some _ -> E.blocked ctx pass "loop-body"
+          | None -> ());
+          stmts)
+        else process_run ctx at scope0 stmts
+      in
+      List.rev_append stmts acc
+  in
+  let rec loop scope scope0 run acc = function
+    | [] -> List.rev (flush scope0 run acc)
+    | s :: rest when is_simple s ->
+        let scope' =
+          match s with Sdecl (t, v, _) -> (v, t) :: scope | _ -> scope
+        in
+        loop scope' scope0 (s :: run) acc rest
+    | s :: rest ->
+        let acc = flush scope0 run acc in
+        let s' = go_compound ctx at scope ~inloop s in
+        loop scope scope [] (s' :: acc) rest
+  in
+  loop scope scope [] [] block
+
+and go_compound ctx at scope ~inloop s =
+  match s with
+  | Sif (c, b1, b2) ->
+      Sif (c, go_block ctx at scope ~inloop b1, go_block ctx at scope ~inloop b2)
+  | Swhile (c, b) -> Swhile (c, go_block ctx at scope ~inloop:true b)
+  | Sfor fl ->
+      Sfor
+        {
+          fl with
+          body =
+            go_block ctx at ((fl.index, Tint) :: scope) ~inloop:true fl.body;
+        }
+  | Sblock b -> Sblock (go_block ctx at scope ~inloop b)
+  | Spragma (p, child) ->
+      let child' =
+        if is_simple child then child else go_compound ctx at scope ~inloop child
+      in
+      Spragma (p, child')
+  | s -> s
+
+let run ctx prog =
+  E.map_bodies
+    (fun fn body ->
+      let at = E.addr_taken body in
+      let scope = List.map (fun p -> (p.pname, p.pty)) fn.params in
+      go_block ctx at scope ~inloop:false body)
+    prog

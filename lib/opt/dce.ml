@@ -1,0 +1,132 @@
+(** Dead-code elimination, to a local fixpoint:
+
+    - pure expression statements vanish; a call-free but possibly
+      trapping one is kept and counted ([opt.dce.blocked.trapping]) —
+      deleting it could hide a runtime error the program relies on
+      observing;
+    - branches on a literal condition collapse to the taken arm (kept
+      as a block: its declarations must stay scoped); an [if] whose
+      arms are both empty degrades to its condition, which then
+      vanishes if pure;
+    - [while (false)] disappears, and so does a counted loop with
+      literal bounds that can never trip — the interpreter evaluates
+      nothing of it but [lo]/[hi], both literals;
+    - statements following a [return]/[break]/[continue] in the same
+      block are unreachable and dropped;
+    - a declaration whose variable is never mentioned again in the
+      rest of its block is dropped when its evaluated parts (the
+      initializer — or for local arrays the size expression; struct
+      and array initializers are never evaluated) are call-free and
+      trap-free.  The "never mentioned" check covers reads, writes,
+      address-taking, and offload clause names, so a dropped binding
+      can't expose a shadowed outer variable to a leftover use.
+
+    The child of a pragma is never deleted — if its content dies, an
+    empty block keeps the pragma (and its transfer semantics)
+    attached. *)
+
+open Minic.Ast
+module E = Effects
+
+let pass = "dce"
+
+(* Expressions of a declaration the interpreter actually evaluates. *)
+let decl_evaluated ty init =
+  match ty with
+  | Tarray (_, Some n) -> [ n ]
+  | Tarray (_, None) | Tstruct _ -> []
+  | _ -> Option.to_list init
+
+let rec process_block ctx block =
+  let stmts = List.filter_map (process_stmt ctx) block in
+  (* drop unreachable statements after a terminator *)
+  let rec cut acc = function
+    | [] -> List.rev acc
+    | ((Sreturn _ | Sbreak | Scontinue) as s) :: rest ->
+        if rest <> [] then E.fired ctx pass;
+        List.rev (s :: acc)
+    | s :: rest -> cut (s :: acc) rest
+  in
+  let stmts = cut [] stmts in
+  (* drop never-mentioned declarations, scanning backwards so one
+     removal can expose another *)
+  let rec sweep kept = function
+    | [] -> kept
+    | (Sdecl (ty, v, init) as s) :: before ->
+        if E.block_reads_var v kept then sweep (s :: kept) before
+        else
+          let evaluated = decl_evaluated ty init in
+          if List.exists has_call evaluated then sweep (s :: kept) before
+          else if List.exists may_trap evaluated then (
+            E.blocked ctx pass "trapping";
+            sweep (s :: kept) before)
+          else (
+            E.fired ctx pass;
+            sweep kept before)
+    | s :: before -> sweep (s :: kept) before
+  in
+  sweep [] (List.rev stmts)
+
+and process_stmt ctx s =
+  match s with
+  | Sexpr e ->
+      if pure e then (
+        E.fired ctx pass;
+        None)
+      else if not (has_call e) then (
+        E.blocked ctx pass "trapping";
+        Some s)
+      else Some s
+  | Sif (c, b1, b2) -> (
+      let b1 = process_block ctx b1 and b2 = process_block ctx b2 in
+      let taken =
+        match c with
+        | Bool_lit b -> Some b
+        | Int_lit n -> Some (n <> 0)
+        | _ -> None
+      in
+      match taken with
+      | Some b ->
+          E.fired ctx pass;
+          let arm = if b then b1 else b2 in
+          if arm = [] then None else Some (Sblock arm)
+      | None ->
+          if b1 = [] && b2 = [] then (
+            E.fired ctx pass;
+            if pure c then None else Some (Sexpr c))
+          else Some (Sif (c, b1, b2)))
+  | Swhile ((Bool_lit false | Int_lit 0), _) ->
+      E.fired ctx pass;
+      None
+  | Swhile (c, b) -> Some (Swhile (c, process_block ctx b))
+  | Sfor fl -> (
+      match (fl.lo, fl.hi) with
+      | Int_lit a, Int_lit b when a >= b ->
+          E.fired ctx pass;
+          None
+      | _ -> Some (Sfor { fl with body = process_block ctx fl.body }))
+  | Sblock b -> (
+      match process_block ctx b with
+      | [] ->
+          E.fired ctx pass;
+          None
+      | b' -> Some (Sblock b'))
+  | Spragma (p, child) ->
+      let child' =
+        match process_stmt ctx child with
+        | Some c -> c
+        | None -> Sblock []
+      in
+      Some (Spragma (p, child'))
+  | Sdecl _ | Sassign _ | Sreturn _ | Sbreak | Scontinue -> Some s
+
+let run ctx prog =
+  E.map_bodies
+    (fun _fn body ->
+      let rec fix n body =
+        let body' = process_block ctx body in
+        if n = 0 || List.equal equal_stmt body' body then body'
+        else fix (n - 1) body'
+      in
+      fix 8 body)
+    prog

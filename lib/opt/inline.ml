@@ -1,0 +1,160 @@
+(** Bounded function inlining, for callees that are a single
+    [return e].
+
+    The interpreter's calling convention makes substitution exact in a
+    way it would not be in C: a callee activation holds {e parameters
+    only} — no globals, no caller locals — so [e]'s free variables are
+    necessarily parameters; arguments are bound {e uncoerced}; and
+    [return v] hands the raw value back.  Replacing [f(a1..an)] by
+    [e[p1:=a1..]] therefore reproduces the call exactly, provided:
+
+    - [e] contains no call (also rules out recursion) and no [&] — an
+      address-of in [e] names the parameter's private cell, which has
+      no analogue after substitution;
+    - every argument is pure, since substitution may duplicate a
+      parameter used twice or delete one never used;
+    - each argument's static type matches the parameter's (up to array
+      decay), and [e]'s type matches the declared return type — the
+      interpreter consults static types for pointer arithmetic, so a
+      type shift could change address math
+      ([opt.inline.blocked.type-mismatch]);
+    - [e] stays under a size bound: this is an enabling transform for
+      the folder, not a code-growth engine. *)
+
+open Minic.Ast
+module E = Effects
+
+let pass = "inline"
+let max_body = 24
+
+type target = { tparams : (string * ty) list; texpr : expr }
+
+let has_addr e =
+  fold_expr (fun acc e -> match e with Addr _ -> true | _ -> acc) false e
+
+let eligible ctx prog =
+  List.filter_map
+    (function
+      | Gfunc f -> (
+          match f.body with
+          | [ Sreturn (Some e) ] -> (
+              let pnames = List.map (fun p -> p.pname) f.params in
+              let scope = List.map (fun p -> (p.pname, p.pty)) f.params in
+              if
+                (not (has_call e))
+                && (not (has_addr e))
+                && E.size e <= max_body
+                && List.length (List.sort_uniq compare pnames)
+                   = List.length pnames
+                && List.for_all (fun v -> List.mem v pnames) (expr_vars e)
+              then
+                match E.type_of ctx scope e with
+                | Some t when E.norm_ty t = E.norm_ty f.ret ->
+                    Some (f.fname, { tparams = scope; texpr = e })
+                | _ -> None
+              else None)
+          | _ -> None)
+      | _ -> None)
+    prog
+
+(* Simultaneous substitution: one traversal, so an argument expression
+   that happens to mention a name equal to another parameter is never
+   substituted twice. *)
+let subst_many map e =
+  let rec s e =
+    match e with
+    | Var v -> ( match List.assoc_opt v map with Some a -> a | None -> e)
+    | Int_lit _ | Float_lit _ | Bool_lit _ -> e
+    | Index (a, i) -> Index (s a, s i)
+    | Field (a, f) -> Field (s a, f)
+    | Arrow (a, f) -> Arrow (s a, f)
+    | Deref a -> Deref (s a)
+    | Addr a -> Addr (s a)
+    | Binop (op, a, b) -> Binop (op, s a, s b)
+    | Unop (op, a) -> Unop (op, s a)
+    | Call (f, args) -> Call (f, List.map s args)
+    | Cast (t, a) -> Cast (t, s a)
+  in
+  s e
+
+let rec rw ctx tbl scope e =
+  let r = rw ctx tbl scope in
+  let e =
+    match e with
+    | Int_lit _ | Float_lit _ | Bool_lit _ | Var _ -> e
+    | Index (a, i) -> Index (r a, r i)
+    | Field (a, f) -> Field (r a, f)
+    | Arrow (a, f) -> Arrow (r a, f)
+    | Deref a -> Deref (r a)
+    | Addr a -> Addr (r a)
+    | Binop (op, a, b) -> Binop (op, r a, r b)
+    | Unop (op, a) -> Unop (op, r a)
+    | Call (f, args) -> Call (f, List.map r args)
+    | Cast (t, a) -> Cast (t, r a)
+  in
+  match e with
+  | Call (fname, args) -> (
+      match List.assoc_opt fname tbl with
+      | Some t when List.length args = List.length t.tparams ->
+          if not (List.for_all pure args) then (
+            E.blocked ctx pass "impure-arg";
+            e)
+          else if
+            not
+              (List.for_all2
+                 (fun (_, pty) a ->
+                   match E.type_of ctx scope a with
+                   | Some ta -> E.norm_ty ta = E.norm_ty pty
+                   | None -> false)
+                 t.tparams args)
+          then (
+            E.blocked ctx pass "type-mismatch";
+            e)
+          else (
+            E.fired ctx pass;
+            subst_many
+              (List.map2 (fun (pn, _) a -> (pn, a)) t.tparams args)
+              t.texpr)
+      | _ -> e)
+  | e -> e
+
+let rec go_block ctx tbl scope block =
+  let rec loop scope acc = function
+    | [] -> List.rev acc
+    | s :: rest ->
+        let s' = go_stmt ctx tbl scope s in
+        let scope =
+          match s with Sdecl (t, v, _) -> (v, t) :: scope | _ -> scope
+        in
+        loop scope (s' :: acc) rest
+  in
+  loop scope [] block
+
+and go_stmt ctx tbl scope s =
+  let f = rw ctx tbl scope in
+  match s with
+  | Sif (c, b1, b2) ->
+      Sif (f c, go_block ctx tbl scope b1, go_block ctx tbl scope b2)
+  | Swhile (c, b) -> Swhile (f c, go_block ctx tbl scope b)
+  | Sfor fl ->
+      Sfor
+        {
+          fl with
+          lo = f fl.lo;
+          hi = f fl.hi;
+          step = f fl.step;
+          body = go_block ctx tbl ((fl.index, Tint) :: scope) fl.body;
+        }
+  | Sblock b -> Sblock (go_block ctx tbl scope b)
+  | Spragma (p, child) -> Spragma (p, go_stmt ctx tbl scope child)
+  | s -> E.map_stmt_exprs f s
+
+let run ctx prog =
+  match eligible ctx prog with
+  | [] -> prog
+  | tbl ->
+      E.map_bodies
+        (fun fn body ->
+          let scope = List.map (fun p -> (p.pname, p.pty)) fn.params in
+          go_block ctx tbl scope body)
+        prog

@@ -1,0 +1,145 @@
+(** Loop-invariant code motion.
+
+    A candidate is a pure ([Ast.pure]: call-free {e and} trap-free, so
+    in particular load-free) subexpression of a counted loop's body,
+    upper bound, or step whose variables are disjoint from everything
+    the loop can write: the body's scalar writes, the loop index, and
+    every address-taken variable of the function (a [*p = ...] inside
+    the body could target those).  [hi] and [step] are legitimate
+    sources because the interpreter re-evaluates both on every
+    iteration.
+
+    Purity makes the motion unconditional: a hoisted expression
+    evaluates to the same value on every iteration, and evaluating it
+    once before a zero-trip loop is unobservable.
+
+    Loops that are the direct child of a pragma are skipped
+    ([opt.licm.blocked.pragma-loop]): a hoisted declaration between
+    the pragma and its loop would detach the annotation, and offload
+    clause sets are kept exactly as the programmer wrote them.  A call
+    in a loop bound blocks the whole loop
+    ([opt.licm.blocked.effectful-bound]).
+
+    Only {e outermost} loops hoist.  For a loop nested inside another
+    loop, the hoisted declaration would land in the enclosing loop's
+    body and be re-dispatched on every outer iteration — under the
+    statement-dispatch-dominated interpreters that costs more than the
+    saved re-evaluations (measured in [bench selfperf]).  An inner
+    loop with candidates is refused instead
+    ([opt.licm.blocked.nested-loop]); an expression invariant for the
+    {e whole} nest is still hoisted, once, by the outermost loop,
+    whose candidate scan sees the entire nest. *)
+
+open Minic.Ast
+module E = Effects
+
+let pass = "licm"
+
+let loop_exprs (fl : for_loop) = fl.hi :: fl.step :: block_exprs fl.body
+
+let count_occ target exprs =
+  List.fold_left
+    (fun n top ->
+      fold_expr (fun n e -> if equal_expr e target then n + 1 else n) n top)
+    0 exprs
+
+(* Invariant pure candidates, first-occurrence order. *)
+let candidates at (fl : for_loop) =
+  let w = writes fl.body in
+  let kill = E.SS.add fl.index (E.SS.union (E.SS.of_list w.w_vars) at) in
+  let ok e =
+    E.size e >= 3 && pure e
+    && List.for_all (fun v -> not (E.SS.mem v kill)) (expr_vars e)
+  in
+  let seen = ref [] in
+  List.iter
+    (fun top ->
+      fold_expr
+        (fun () e ->
+          if ok e && not (List.exists (equal_expr e) !seen) then
+            seen := e :: !seen)
+        () top)
+    (loop_exprs fl);
+  List.rev !seen
+
+let hoist ctx at scope (fl : for_loop) =
+  if has_call fl.hi || has_call fl.step then (
+    E.blocked ctx pass "effectful-bound";
+    ([], fl))
+  else
+    let cands =
+      candidates at fl
+      |> List.stable_sort (fun a b -> compare (E.size b) (E.size a))
+    in
+    List.fold_left
+      (fun (decls, fl) e ->
+        (* an earlier, larger hoist may have consumed every occurrence *)
+        if count_occ e (loop_exprs fl) = 0 then (decls, fl)
+        else
+          match E.type_of ctx scope e with
+          | Some ty when E.cacheable_ty ty ->
+              let tmp = E.fresh ctx "licm" in
+              E.fired ctx pass;
+              let r ex = E.replace_expr ~target:e ~by:(Var tmp) ex in
+              let fl =
+                {
+                  fl with
+                  hi = r fl.hi;
+                  step = r fl.step;
+                  body = E.map_block_exprs r fl.body;
+                }
+              in
+              (Sdecl (ty, tmp, Some e) :: decls, fl)
+          | Some _ -> (decls, fl)
+          | None ->
+              E.blocked ctx pass "untyped";
+              (decls, fl))
+      ([], fl) cands
+    |> fun (decls, fl) -> (List.rev decls, fl)
+
+let rec go_block ctx at scope ~inloop block =
+  let rec loop scope acc = function
+    | [] -> List.rev acc
+    | s :: rest ->
+        let pre, s' = go_stmt ctx at scope ~pragma:false ~inloop s in
+        let scope =
+          match s with Sdecl (t, v, _) -> (v, t) :: scope | _ -> scope
+        in
+        loop scope (s' :: List.rev_append pre acc) rest
+  in
+  loop scope [] block
+
+and go_stmt ctx at scope ~pragma ~inloop stmt =
+  match stmt with
+  | Sfor fl ->
+      let body =
+        go_block ctx at ((fl.index, Tint) :: scope) ~inloop:true fl.body
+      in
+      let fl = { fl with body } in
+      if pragma || inloop then (
+        if candidates at fl <> [] then
+          E.blocked ctx pass (if pragma then "pragma-loop" else "nested-loop");
+        ([], Sfor fl))
+      else
+        let decls, fl = hoist ctx at scope fl in
+        (decls, Sfor fl)
+  | Sif (c, b1, b2) ->
+      ( [],
+        Sif
+          ( c,
+            go_block ctx at scope ~inloop b1,
+            go_block ctx at scope ~inloop b2 ) )
+  | Swhile (c, b) -> ([], Swhile (c, go_block ctx at scope ~inloop:true b))
+  | Sblock b -> ([], Sblock (go_block ctx at scope ~inloop b))
+  | Spragma (p, s) ->
+      let _, s' = go_stmt ctx at scope ~pragma:true ~inloop s in
+      ([], Spragma (p, s'))
+  | s -> ([], s)
+
+let run ctx prog =
+  E.map_bodies
+    (fun fn body ->
+      let at = E.addr_taken body in
+      let scope = List.map (fun p -> (p.pname, p.pty)) fn.params in
+      go_block ctx at scope ~inloop:false body)
+    prog

@@ -1,0 +1,177 @@
+(** Strength reduction: turn [k * i] (constant [k], loop index [i])
+    into an accumulator that starts at [k * lo] and advances by
+    [k * step] at the end of every iteration.
+
+    The rewrite is only attempted when the bookkeeping provably stays
+    in lockstep with the index:
+
+    - the step is an integer literal — the interpreter re-evaluates
+      the step expression every iteration, so a variable step could
+      change mid-loop ([opt.strength.blocked.variable-step]);
+    - the index is never assigned, re-declared (including as a nested
+      loop's index), or address-taken in the body
+      ([opt.strength.blocked.index-mutated]);
+    - the body has no [continue] at the loop's own level — [continue]
+      would skip the accumulator update at the end of the body
+      ([opt.strength.blocked.continue]); [break] is fine because the
+      accumulator is dead after the loop;
+    - the lower bound is pure, since its value is needed a second
+      time to seed the accumulator ([opt.strength.blocked.effectful-lo]);
+    - the loop is not the direct child of a pragma, mirroring LICM's
+      clause discipline ([opt.strength.blocked.pragma-loop]);
+    - the multiplier occurs at least three times in the body — the
+      accumulator update is one more dispatched statement per
+      iteration, which fewer uses cannot amortize
+      ([opt.strength.blocked.unprofitable]). *)
+
+open Minic.Ast
+module E = Effects
+
+let pass = "strength"
+
+(* [continue] at the loop's own level: look through if/blocks/pragmas
+   but not into nested loops, whose [continue] is their own. *)
+let rec own_continue block =
+  List.exists
+    (fun s ->
+      match s with
+      | Scontinue -> true
+      | Sif (_, a, b) -> own_continue a || own_continue b
+      | Sblock b -> own_continue b
+      | Spragma (_, s) -> own_continue [ s ]
+      | _ -> false)
+    block
+
+(* Distinct literal multipliers of the index with their occurrence
+   counts, in first-occurrence order. *)
+let multipliers index body =
+  let ks = ref [] in
+  List.iter
+    (fun top ->
+      fold_expr
+        (fun () e ->
+          match e with
+          | Binop (Mul, Int_lit k, Var v) | Binop (Mul, Var v, Int_lit k)
+            when String.equal v index ->
+              ks :=
+                if List.mem_assoc k !ks then
+                  List.map
+                    (fun (k', n) -> if k' = k then (k', n + 1) else (k', n))
+                    !ks
+                else !ks @ [ (k, 1) ]
+          | _ -> ())
+        () top)
+    (block_exprs body);
+  !ks
+
+let reduce ctx (fl : for_loop) =
+  match multipliers fl.index fl.body with
+  | [] -> ([], fl)
+  | ks -> (
+      match fl.step with
+      | Int_lit s ->
+          if has_call fl.lo || may_trap fl.lo then (
+            E.blocked ctx pass "effectful-lo";
+            ([], fl))
+          else if
+            List.mem fl.index (writes fl.body).w_vars
+            || E.SS.mem fl.index (E.addr_taken fl.body)
+          then (
+            E.blocked ctx pass "index-mutated";
+            ([], fl))
+          else if own_continue fl.body then (
+            E.blocked ctx pass "continue";
+            ([], fl))
+          else
+            (* Profitability: the accumulator update is one more
+               dispatched statement per iteration, while each replaced
+               [k * i] saves only two expression nodes — a multiplier
+               must occur at least three times to come out ahead. *)
+            let ks =
+              List.filter_map
+                (fun (k, n) ->
+                  if n >= 3 then Some k
+                  else (
+                    E.blocked ctx pass "unprofitable";
+                    None))
+                ks
+            in
+            let decls, body =
+              List.fold_left
+                (fun (decls, body) k ->
+                  let tmp = E.fresh ctx "sr" in
+                  E.fired ctx pass;
+                  let swap e =
+                    match e with
+                    | Binop (Mul, Int_lit k', Var v)
+                    | Binop (Mul, Var v, Int_lit k')
+                      when k' = k && String.equal v fl.index ->
+                        Var tmp
+                    | e -> e
+                  in
+                  let rec deep e =
+                    let e =
+                      match e with
+                      | Int_lit _ | Float_lit _ | Bool_lit _ | Var _ -> e
+                      | Index (a, i) -> Index (deep a, deep i)
+                      | Field (a, f) -> Field (deep a, f)
+                      | Arrow (a, f) -> Arrow (deep a, f)
+                      | Deref a -> Deref (deep a)
+                      | Addr a -> Addr (deep a)
+                      | Binop (op, a, b) -> Binop (op, deep a, deep b)
+                      | Unop (op, a) -> Unop (op, deep a)
+                      | Call (f, args) -> Call (f, List.map deep args)
+                      | Cast (t, a) -> Cast (t, deep a)
+                    in
+                    swap e
+                  in
+                  let body = E.map_block_exprs deep body in
+                  let body =
+                    body
+                    @ [
+                        Sassign
+                          (Var tmp, Binop (Add, Var tmp, Int_lit (k * s)));
+                      ]
+                  in
+                  let seed =
+                    match fl.lo with
+                    | Int_lit a -> Int_lit (k * a)
+                    | lo -> Binop (Mul, Int_lit k, lo)
+                  in
+                  (Sdecl (Tint, tmp, Some seed) :: decls, body))
+                ([], fl.body) ks
+            in
+            (List.rev decls, { fl with body })
+      | _ ->
+          E.blocked ctx pass "variable-step";
+          ([], fl))
+
+let rec go_block ctx block =
+  let rec loop acc = function
+    | [] -> List.rev acc
+    | s :: rest ->
+        let pre, s' = go_stmt ctx ~pragma:false s in
+        loop (s' :: List.rev_append pre acc) rest
+  in
+  loop [] block
+
+and go_stmt ctx ~pragma stmt =
+  match stmt with
+  | Sfor fl ->
+      let fl = { fl with body = go_block ctx fl.body } in
+      if pragma then (
+        if multipliers fl.index fl.body <> [] then
+          E.blocked ctx pass "pragma-loop";
+        ([], Sfor fl))
+      else
+        let decls, fl = reduce ctx fl in
+        (decls, Sfor fl)
+  | Sif (c, b1, b2) -> ([], Sif (c, go_block ctx b1, go_block ctx b2))
+  | Swhile (c, b) -> ([], Swhile (c, go_block ctx b))
+  | Sblock b -> ([], Sblock (go_block ctx b))
+  | Spragma (p, s) ->
+      let _, s' = go_stmt ctx ~pragma:true s in
+      ([], Spragma (p, s'))
+  | s -> ([], s)
+
+let run ctx prog = E.map_bodies (fun _fn body -> go_block ctx body) prog

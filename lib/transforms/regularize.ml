@@ -138,22 +138,29 @@ let applicable prog region = applicable_kinds prog region <> []
 
 (** {1 Array reordering} *)
 
-(* distinct (array, index-expression) patterns to pack *)
+(* distinct (array, index-expression) patterns to pack.  The table
+   restamps a key on every touch and lists keys by ascending final
+   stamp: the same last-touch order as the move-to-front assoc list
+   this replaces, without its O(n^2) [remove_assoc] scans. *)
 let reorder_patterns accesses =
   let targets = List.filter (reorder_target_in accesses) accesses in
-  let tbl = ref [] in
+  let tbl = Hashtbl.create 8 in
+  let stamp = ref 0 in
   List.iter
     (fun (a : A.t) ->
       let key = (a.arr, a.index) in
-      match List.assoc_opt key !tbl with
-      | Some (r, w, g) ->
-          tbl :=
-            (key, (r || a.dir = A.Read, w || a.dir = A.Write, g || a.guarded))
-            :: List.remove_assoc key !tbl
-      | None ->
-          tbl := (key, (a.dir = A.Read, a.dir = A.Write, a.guarded)) :: !tbl)
+      incr stamp;
+      let r, w, g =
+        match Hashtbl.find_opt tbl key with
+        | Some (_, (r, w, g)) -> (r, w, g)
+        | None -> (false, false, false)
+      in
+      Hashtbl.replace tbl key
+        (!stamp, (r || a.dir = A.Read, w || a.dir = A.Write, g || a.guarded)))
     targets;
-  List.rev !tbl
+  Hashtbl.fold (fun key (st, v) acc -> (st, (key, v)) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.map snd
 
 (** Reorder the irregular accesses of one offloaded region
     (Figure 8).  The packed arrays are built on the host before the
@@ -181,12 +188,12 @@ let reorder prog (region : Analysis.Offload_regions.region) =
     (* index expression evaluated at iteration [lo + r] *)
     subst_expr ~name:fl.index ~by:(S.add fl.lo (Var r)) e
   in
-  let pk_of_idx = ref [] in
+  let pk_of_idx = Hashtbl.create 8 in
   let items =
     List.map
       (fun ((arr, idx), (reads, writes, _)) ->
         let pk = Util.fresh (arr ^ "_pk") in
-        pk_of_idx := ((arr, idx), pk) :: !pk_of_idx;
+        Hashtbl.replace pk_of_idx (arr, idx) pk;
         let elem =
           match Util.elem_ty prog f arr with Some t -> t | None -> Tfloat
         in
@@ -241,7 +248,7 @@ let reorder prog (region : Analysis.Offload_regions.region) =
   let rec rewrite_expr e =
     match e with
     | Index (Var arr, idx) -> (
-        match List.assoc_opt (arr, idx) !pk_of_idx with
+        match Hashtbl.find_opt pk_of_idx (arr, idx) with
         | Some pk ->
             Index (Var pk, S.sub (Var fl.index) fl.lo)
         | None -> Index (Var arr, rewrite_expr idx))
@@ -397,16 +404,21 @@ let aos_to_soa prog (region : Analysis.Offload_regions.region) =
       (spec.ins @ spec.outs @ spec.inouts)
   in
   let* () = if struct_arrays = [] then Error No_irregular_access else Ok () in
-  (* collect field accesses a[e].f in the body *)
-  let field_uses = ref [] in
+  (* collect field accesses a[e].f in the body.  Restamped on every
+     touch and read back by descending final stamp: the same
+     most-recent-touch-first order as the move-to-front assoc list
+     this replaces, without its O(n^2) [remove_assoc] scans. *)
+  let field_uses = Hashtbl.create 8 in
+  let fu_stamp = ref 0 in
   let record arr fld ~write =
     let key = (arr, fld) in
-    match List.assoc_opt key !field_uses with
-    | Some (r, w) ->
-        field_uses :=
-          (key, (r || not write, w || write))
-          :: List.remove_assoc key !field_uses
-    | None -> field_uses := (key, (not write, write)) :: !field_uses
+    incr fu_stamp;
+    let r, w =
+      match Hashtbl.find_opt field_uses key with
+      | Some (_, (r, w)) -> (r, w)
+      | None -> (false, false)
+    in
+    Hashtbl.replace field_uses key (!fu_stamp, (r || not write, w || write))
   in
   let rec scan_expr ~write e =
     match e with
@@ -451,7 +463,14 @@ let aos_to_soa prog (region : Analysis.Offload_regions.region) =
     | Sbreak | Scontinue -> ()
   in
   List.iter scan_stmt fl.body;
-  let* () = if !field_uses = [] then Error No_irregular_access else Ok () in
+  let* () =
+    if Hashtbl.length field_uses = 0 then Error No_irregular_access else Ok ()
+  in
+  let uses =
+    Hashtbl.fold (fun key (st, v) acc -> (st, (key, v)) :: acc) field_uses []
+    |> List.sort (fun (a, _) (b, _) -> compare b a)
+    |> List.map snd
+  in
   (* per-field arrays *)
   let j = "j__" in
   let items =
@@ -471,7 +490,7 @@ let aos_to_soa prog (region : Analysis.Offload_regions.region) =
           | None -> Tfloat
         in
         (arr, fld, arr ^ "_" ^ fld, fty, total, reads, writes))
-      !field_uses
+      uses
   in
   let decls =
     List.map

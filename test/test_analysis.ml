@@ -73,6 +73,35 @@ let suite =
         Alcotest.(check bool)
           "cancel" true
           (equal_expr (S.sub (Var "x") (Var "x")) (Int_lit 0)));
+    (* Purity guards: folds that would delete an effect must not fire.
+       These fail on the unguarded seed constructors. *)
+    tc "0 * call() is not folded away" (fun () ->
+        let call = e "print_int(7)" in
+        Alcotest.(check bool)
+          "0 * print_int(7) keeps the call" true
+          (equal_expr (S.mul (Int_lit 0) call) (Binop (Mul, Int_lit 0, call)));
+        Alcotest.(check bool)
+          "call * 0 keeps the call" true
+          (equal_expr (S.mul call (Int_lit 0)) (Binop (Mul, call, Int_lit 0)));
+        Alcotest.(check bool)
+          "0 * a[i] keeps the possibly-trapping load" true
+          (equal_expr
+             (S.mul (Int_lit 0) (e "a[i]"))
+             (Binop (Mul, Int_lit 0, e "a[i]"))));
+    tc "e - e with a division is not cancelled" (fun () ->
+        let d = e "x / y" in
+        Alcotest.(check bool)
+          "x/y - x/y keeps the possible trap" true
+          (equal_expr (S.sub d d) (Binop (Sub, d, d)));
+        (* a nonzero literal divisor cannot trap: still cancels *)
+        Alcotest.(check bool)
+          "x/2 - x/2 = 0" true
+          (equal_expr (S.sub (e "x / 2") (e "x / 2")) (Int_lit 0)));
+    tc "imin of equal calls is not deduplicated" (fun () ->
+        let c = e "imin(f(x), f(x))" in
+        Alcotest.(check bool)
+          "imin(f(x), f(x)) keeps both calls" true
+          (equal_expr (S.expr c) c));
     tc "const_int" (fun () ->
         Alcotest.(check (option int)) "closed" (Some 11)
           (S.const_int (e "(2 + 9 * 1)"));

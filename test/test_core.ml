@@ -33,6 +33,7 @@ let () =
       ("myo-coi", Test_myo_coi.suite);
       ("fault", Test_fault.suite);
       ("check", Test_check.suite);
+      ("opt", Test_opt.suite);
       ("workloads", Test_workloads.suite);
       ("experiments", Test_experiments.suite);
     ]

@@ -1,0 +1,215 @@
+open Helpers
+
+(** The classic optimizer mid-end (lib/opt): positive per-pass cases,
+    the committed legality corpus — one fixture per pass where it must
+    {e refuse} to fire, with the refusal counted — and differential
+    validation over the generator families, all under both evaluator
+    engines. *)
+
+let read path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let corpus name = read (Filename.concat "corpus" name)
+
+let typed src =
+  let prog = parse src in
+  (match Minic.Typecheck.check_program prog with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "typecheck: %s" e);
+  prog
+
+let counter obs name =
+  Option.value (List.assoc_opt name (Obs.counters obs)) ~default:0
+
+let contains s frag =
+  let n = String.length s and m = String.length frag in
+  let rec go i = i + m <= n && (String.equal (String.sub s i m) frag || go (i + 1)) in
+  m = 0 || go 0
+
+let engines = [ Minic.Interp.Reference; Minic.Interp.Compiled ]
+
+(* The optimizer oracle: optimized and original must be
+   indistinguishable (output, return value, final globals) under both
+   engines; identical pre-existing failure is the only excuse. *)
+let assert_equiv name prog prog' =
+  List.iter
+    (fun engine ->
+      match Check.equiv ~engine prog prog' with
+      | Check.Equal | Check.Both_failed _ -> ()
+      | v ->
+          Alcotest.failf "%s [%s]: optimizer changed behaviour: %s\n%s" name
+            (Minic.Interp.engine_name engine)
+            (Check.verdict_str v)
+            (Minic.Pretty.program_to_string prog'))
+    engines
+
+(* One legality fixture: running [pass] alone must fire 0 times, count
+   the named refusal, keep the [survives] fragments in the printed
+   program, and preserve behaviour. *)
+let refusal ~file ~pass ~reason ~survives =
+  tc (Printf.sprintf "%s refuses on %s" (Opt.pass_name pass) file) (fun () ->
+      let prog = typed (corpus file) in
+      let obs = Obs.create () in
+      let prog' = Opt.run ~obs ~passes:[ pass ] prog in
+      let name = Opt.pass_name pass in
+      Alcotest.(check int)
+        (Printf.sprintf "opt.%s.fired" name)
+        0
+        (counter obs (Printf.sprintf "opt.%s.fired" name));
+      let blocked = Printf.sprintf "opt.%s.blocked.%s" name reason in
+      if counter obs blocked < 1 then
+        Alcotest.failf "expected %s to be counted; report:\n%s" blocked
+          (Opt.report obs);
+      let printed = Minic.Pretty.program_to_string prog' in
+      List.iter
+        (fun frag ->
+          if not (contains printed frag) then
+            Alcotest.failf "%s must survive in:\n%s" frag printed)
+        survives;
+      assert_equiv file prog prog')
+
+(* One positive case: [pass] alone fires at least once, the [expect]
+   fragments appear, and behaviour is preserved. *)
+let fires ~name ~src ~pass ~expect =
+  tc name (fun () ->
+      let prog = typed src in
+      let obs = Obs.create () in
+      let prog' = Opt.run ~obs ~passes:[ pass ] prog in
+      let pn = Opt.pass_name pass in
+      if counter obs (Printf.sprintf "opt.%s.fired" pn) < 1 then
+        Alcotest.failf "expected opt.%s.fired >= 1; report:\n%s" pn
+          (Opt.report obs);
+      let printed = Minic.Pretty.program_to_string prog' in
+      List.iter
+        (fun frag ->
+          if not (contains printed frag) then
+            Alcotest.failf "expected %s in:\n%s" frag printed)
+        expect;
+      assert_equiv name prog prog')
+
+let suite =
+  [
+    (* --- each pass fires where it is allowed to --- *)
+    fires ~name:"fold: literal arithmetic and propagation"
+      ~src:
+        "int main(void) { int a = 2 + 3; int b = a * a; print_int(b + 1); \
+         return 0; }"
+      ~pass:Opt.Fold ~expect:[ "26" ];
+    fires ~name:"licm: invariant subexpression hoists"
+      ~src:
+        "int main(void) { int a = 3; int n = 4; int s = 0; for (i = 0; i < \
+         n; i++) { s = s + (a * a + n); } print_int(s); return 0; }"
+      ~pass:Opt.Licm
+      ~expect:[ "licm__" ];
+    fires ~name:"cse: repeated pure subexpression shares a temp"
+      ~src:
+        "int main(void) { int u = 2; int v = 3; int w = 4; int p = (u + v) \
+         * w; int q = (u + v) * w; int r = (u + v) * w; print_int(p + q + \
+         r); return 0; }"
+      ~pass:Opt.Cse
+      ~expect:[ "cse__" ];
+    fires ~name:"strength: k * i becomes an accumulator"
+      ~src:
+        "int main(void) { int s = 0; int t = 0; int u = 0; for (i = 0; i < \
+         6; i++) { s = s + 3 * i; t = t + 3 * i; u = u + 3 * i; } \
+         print_int(s + t + u); return 0; }"
+      ~pass:Opt.Strength
+      ~expect:[ "sr__" ];
+    fires ~name:"dce: dead declaration and dead branch vanish"
+      ~src:
+        "int main(void) { int dead = 41; if (1) { print_int(1); } else { \
+         print_int(2); } return 0; }"
+      ~pass:Opt.Dce
+      ~expect:[ "print_int(1)" ];
+    fires ~name:"inline: pure one-return callee substitutes"
+      ~src:
+        "int sq(int x) { return x * x; } int main(void) { print_int(sq(7)); \
+         return 0; }"
+      ~pass:Opt.Inline
+      ~expect:[ "7 * 7" ];
+    (* --- the legality corpus: refusals, counted and preserved --- *)
+    refusal ~file:"opt_cse_alias.mc" ~pass:Opt.Cse ~reason:"aliased-store"
+      ~survives:[ "a[0] + a[1]" ];
+    refusal ~file:"opt_licm_callbound.mc" ~pass:Opt.Licm
+      ~reason:"effectful-bound"
+      ~survives:[ "a + a + a" ];
+    refusal ~file:"opt_fold_trap.mc" ~pass:Opt.Fold ~reason:"div-by-zero"
+      ~survives:[ "1 / 0" ];
+    refusal ~file:"opt_dce_trap.mc" ~pass:Opt.Dce ~reason:"trapping"
+      ~survives:[ "10 / d" ];
+    refusal ~file:"opt_strength_continue.mc" ~pass:Opt.Strength
+      ~reason:"continue"
+      ~survives:[ "4 * i" ];
+    refusal ~file:"opt_cse_loop.mc" ~pass:Opt.Cse ~reason:"loop-body"
+      ~survives:[ "a * b + c" ];
+    refusal ~file:"opt_licm_nested.mc" ~pass:Opt.Licm ~reason:"nested-loop"
+      ~survives:[ "i * i + n" ];
+    refusal ~file:"opt_strength_single.mc" ~pass:Opt.Strength
+      ~reason:"unprofitable"
+      ~survives:[ "5 * i" ];
+    refusal ~file:"opt_inline_impure.mc" ~pass:Opt.Inline
+      ~reason:"impure-arg"
+      ~survives:[ "sq(a[0])" ];
+    (* --- the pipeline end to end --- *)
+    tc "full pipeline preserves the corpus programs" (fun () ->
+        List.iter
+          (fun file ->
+            let prog = typed (corpus file) in
+            assert_equiv file prog (Opt.run prog))
+          [
+            "fig05a_blackscholes.mc"; "fig06_streamcluster.mc";
+            "fig07_srad.mc"; "fig08_patterns.mc"; "opt_cse_alias.mc";
+            "opt_licm_callbound.mc"; "opt_fold_trap.mc"; "opt_dce_trap.mc";
+            "opt_strength_continue.mc"; "opt_inline_impure.mc";
+            "opt_cse_loop.mc"; "opt_licm_nested.mc"; "opt_strength_single.mc";
+          ]);
+    tc "Comp.optimize ~opt runs the mid-end before the COMP passes" (fun () ->
+        let prog = typed (corpus "fig05a_blackscholes.mc") in
+        let obs = Obs.create () in
+        let prog', _ = Comp.optimize ~opt:Opt.all_passes ~obs prog in
+        if
+          List.for_all
+            (fun (k, _) -> not (contains k "opt."))
+            (Obs.counters obs)
+        then Alcotest.fail "expected opt.* counters from the mid-end";
+        assert_equiv "fig05a via Comp.optimize" prog prog');
+    tc "generator families: every pass and the pipeline preserve semantics"
+      (fun () ->
+        let pass_sets =
+          List.map (fun p -> [ p ]) Opt.all_passes @ [ Opt.all_passes ]
+        in
+        List.iter
+          (fun pat ->
+            List.iter
+              (fun seed ->
+                let prog = typed (Check.Genprog.generate pat ~seed) in
+                List.iter
+                  (fun passes ->
+                    let what =
+                      Printf.sprintf "%s seed=%d passes=%s"
+                        (Check.Genprog.pattern_name pat)
+                        seed
+                        (String.concat "," (List.map Opt.pass_name passes))
+                    in
+                    assert_equiv what prog (Opt.run ~passes prog))
+                  pass_sets)
+              [ 1; 42; 1234 ])
+          Check.Genprog.all_patterns);
+    tc "the report renders fired and blocked counters" (fun () ->
+        let prog =
+          typed
+            "int main(void) { int a = 1 + 2; if (0) { print_int(1 / 0); } \
+             print_int(a); return 0; }"
+        in
+        let obs = Obs.create () in
+        ignore (Opt.run ~obs prog);
+        let r = Opt.report obs in
+        List.iter
+          (fun frag ->
+            if not (contains r frag) then
+              Alcotest.failf "expected %s in report:\n%s" frag r)
+          [ "opt.fold.fired"; "opt.fold.blocked.div-by-zero" ]);
+  ]

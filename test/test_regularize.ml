@@ -58,8 +58,30 @@ let soa_src =
       return 0;
     }|}
 
+let read path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Differential pin for the pattern/field accumulator tables: the
+   rewritten output on these order-sensitive fixtures (repeated,
+   interleaved pattern touches) must stay byte-identical to the
+   captured output of the original assoc-list implementation. *)
+let check_fixture name =
+  let prog = parse (read (Filename.concat "corpus" (name ^ ".mc"))) in
+  let prog', _ = Comp.optimize ~passes:[ Comp.Regularization ] prog in
+  Alcotest.(check string)
+    (name ^ ": output unchanged by the table refactor")
+    (read (Filename.concat "corpus" (name ^ ".expected")))
+    (Minic.Pretty.program_to_string prog')
+
 let suite =
   [
+    tc "reorder pattern table keeps last-touch order" (fun () ->
+        check_fixture "reorder_order");
+    tc "soa field table keeps last-touch order" (fun () ->
+        check_fixture "soa_order");
     tc "gather reorder preserves semantics" (fun () ->
         let prog = parse (Gen.gather_program ~n:16 ~m:40 ~seed:3) in
         check_semantics_preserved ~name:"gather" prog (reorder_exn prog));
