@@ -551,11 +551,112 @@ let check_mode () =
   end
   else Printf.printf "\nall checks passed\n"
 
-(* {1 Interpreter throughput: reference vs compiled evaluator} *)
-
-(* Where selfperf records its throughput JSON (--bench-out FILE); the
+(* Where selfperf/residency record their JSON (--bench-out FILE); the
    committed BENCH_*.json perf trajectory is regenerated this way. *)
 let bench_out : string option ref = ref None
+
+(* {1 Residency payoff: bytes moved and makespan, A/B over the registry} *)
+
+(* One registry row: the workload's kernel model run plain and with the
+   inter-offload residency rewrite, compared on actual cells moved
+   (interpreter stats) and replayed makespan (machine model).  Pure per
+   row, so the sweep parallelizes with byte-identical output. *)
+let residency_row (w : Workloads.Workload.t) =
+  let prog = Workloads.Workload.program w in
+  let r = Check.check_residency prog in
+  let bpc = Runtime.Replay.default_params.Runtime.Replay.bytes_per_cell in
+  let makespan p =
+    match Minic.Compile_eval.run_compiled p with
+    | Error _ -> Float.nan
+    | Ok o ->
+        (Runtime.Replay.schedule cfg o.Minic.Interp.events)
+          .Machine.Engine.makespan
+  in
+  let prog', _ = Check.apply Check.Residency prog in
+  let mk0 = makespan prog and mk1 = makespan prog' in
+  let bytes cells = float_of_int cells *. bpc in
+  let b0, b1 =
+    if r.Check.rr_sites > 0 then
+      ( bytes (r.Check.rr_orig_h2d + r.Check.rr_orig_d2h),
+        bytes (r.Check.rr_res_h2d + r.Check.rr_res_d2h) )
+    else
+      (* inapplicable: both sides are the plain program's traffic *)
+      let b =
+        match Minic.Compile_eval.run_compiled prog with
+        | Error _ -> Float.nan
+        | Ok o ->
+            bytes
+              (o.Minic.Interp.stats.Minic.Interp.cells_h2d
+             + o.Minic.Interp.stats.Minic.Interp.cells_d2h)
+      in
+      (b, b)
+  in
+  (w.name, r, b0, b1, mk0, mk1)
+
+let residency_mode () =
+  Printf.printf "== Residency payoff: bytes moved and makespan, A/B ==\n";
+  Printf.printf "  %-14s %6s %6s %12s %12s %8s %11s %11s %8s\n" "workload"
+    "sites" "hoists" "bytes" "resident" "moved" "makespan s" "resident s"
+    "speedup";
+  let rows = pmap residency_row Workloads.Registry.all in
+  let failures = ref 0 in
+  List.iter
+    (fun (name, (r : Check.residency_report), b0, b1, mk0, mk1) ->
+      if not (Check.residency_ok r) then begin
+        incr failures;
+        Printf.printf "  %-14s FAILED: %s\n" name
+          (match r.Check.rr_contract with
+          | Some m -> m
+          | None -> Check.verdict_str r.Check.rr_verdict)
+      end
+      else
+        Printf.printf "  %-14s %6d %6d %12.0f %12.0f %7.1f%% %11.6f %11.6f %7.2fx\n"
+          name r.Check.rr_sites r.Check.rr_hoists b0 b1
+          (if b0 > 0. then 100. *. b1 /. b0 else 100.)
+          mk0 mk1
+          (if mk1 > 0. then mk0 /. mk1 else 1.))
+    rows;
+  let row_json (name, (r : Check.residency_report), b0, b1, mk0, mk1) =
+    Obs.Json.Obj
+      [
+        ("name", Obs.Json.String name);
+        ("sites", Obs.Json.Int r.Check.rr_sites);
+        ("hoists", Obs.Json.Int r.Check.rr_hoists);
+        ("bytes_moved", Obs.Json.Float b0);
+        ("bytes_moved_resident", Obs.Json.Float b1);
+        ("makespan_s", Obs.Json.Float mk0);
+        ("makespan_resident_s", Obs.Json.Float mk1);
+      ]
+  in
+  let improved =
+    List.length (List.filter (fun (_, _, b0, b1, _, _) -> b1 < b0) rows)
+  in
+  Printf.printf "  %-24s %d / %d workloads move fewer bytes\n" "improved"
+    improved (List.length rows);
+  let json =
+    Obs.Json.Obj
+      [
+        ("bench", Obs.Json.String "residency");
+        ("improved", Obs.Json.Int improved);
+        ("workloads", Obs.Json.List (List.map row_json rows));
+      ]
+  in
+  Printf.printf "json: %s\n" (Obs.Json.to_string json);
+  if !failures > 0 then begin
+    Printf.eprintf "residency: %d contract failure(s)\n" !failures;
+    exit 1
+  end;
+  Option.iter
+    (fun path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          output_string oc (Obs.Json.to_string json);
+          output_char oc '\n'))
+    !bench_out
+
+(* {1 Interpreter throughput: reference vs compiled evaluator} *)
 
 (* Statements/sec for one (engine, program).  One warm-up run yields
    [work] (fuel consumed: statements + iterations + calls) and, for the
@@ -865,13 +966,14 @@ let () =
     | "micro" -> micro ()
     | "check" -> check_mode ()
     | "selfperf" -> selfperf ()
+    | "residency" -> residency_mode ()
     | name -> (
         match List.assoc_opt name Experiments.All.by_name with
         | Some f -> f ()
         | None ->
             Printf.eprintf
               "unknown experiment %s; known: %s ablations profile faults micro \
-               check selfperf\n"
+               check selfperf residency\n"
               name
               (String.concat " " Experiments.All.names);
             exit 1)

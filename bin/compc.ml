@@ -138,6 +138,11 @@ let midend ~o ~passes ~report =
       | Some s -> midend_pass_list s)
   else None
 
+(* --- --residency (the inter-offload data-residency pass; shared by
+   optimize, run and check) --- *)
+
+let residency_flag ~doc = Arg.(value & flag & info [ "residency" ] ~doc)
+
 (* --- parse --- *)
 
 let file_arg =
@@ -179,7 +184,16 @@ let optimize_cmd =
         "Run the classic optimizer mid-end (inline, fold, licm, cse, \
          strength, dce) before the source-to-source pipeline"
   in
-  let run file nblocks full only o mpasses report =
+  let residency =
+    residency_flag
+      ~doc:
+        "Run the inter-offload data-residency pass after the pipeline: \
+         elide in()/inout() transfers whose sections are already \
+         device-resident and hoist loop-invariant transfers.  With \
+         $(b,--report), print the residency/clause counter table (and \
+         $(b,--report) then no longer implies $(b,-O) on its own)"
+  in
+  let run file nblocks full only o mpasses report residency =
     let prog = or_die (load file) in
     let memory =
       if full then Transforms.Streaming.Full
@@ -201,9 +215,18 @@ let optimize_cmd =
             (String.split_on_char ',' names)
     in
     let obs = if report then Some (Obs.create ()) else None in
-    let opt = midend ~o ~passes:mpasses ~report in
-    let prog', applied = Comp.optimize ?opt ?obs ~passes ~nblocks ~memory prog in
-    Option.iter (fun s -> Printf.eprintf "%s\n" (Opt.report s)) obs;
+    let opt = midend ~o ~passes:mpasses ~report:(report && not residency) in
+    let prog', applied =
+      Comp.optimize ?opt ?obs ~residency ~passes ~nblocks ~memory prog
+    in
+    (if report then
+       match obs with
+       | Some s when opt <> None -> Printf.eprintf "%s\n" (Opt.report s)
+       | _ -> ());
+    (if report && residency then
+       match obs with
+       | Some s -> Printf.eprintf "%s\n" (Residency.report s)
+       | None -> ());
     Format.eprintf "// %a@." Comp.pp_applied applied;
     print_string (Minic.Pretty.program_to_string prog')
   in
@@ -212,7 +235,7 @@ let optimize_cmd =
        ~doc:"Apply the COMP source-to-source optimizations to a MiniC file")
     Term.(
       const run $ file_arg $ nblocks $ full_buffers $ only $ o
-      $ midend_passes_arg $ midend_report_flag)
+      $ midend_passes_arg $ midend_report_flag $ residency)
 
 (* --- run --- *)
 
@@ -235,15 +258,29 @@ let run_cmd =
              model and print the reconstructed schedule (execution-driven \
              timing)")
   in
-  let run file fuel o mpasses report replay engine =
+  let residency =
+    residency_flag
+      ~doc:
+        "Apply the inter-offload data-residency pass before running (the \
+         elided transfers show up in the stats line); with \
+         $(b,--report), print its counter table"
+  in
+  let run file fuel o mpasses report replay engine residency =
     let prog = or_die (load file) in
     let obs = if report then Some (Obs.create ()) else None in
+    let mid = midend ~o ~passes:mpasses ~report:(report && not residency) in
     let prog =
-      match midend ~o ~passes:mpasses ~report with
+      match mid with
       | Some mid -> fst (Comp.optimize ?obs ~opt:mid prog)
       | None -> prog
     in
-    Option.iter (fun s -> Printf.eprintf "%s\n" (Opt.report s)) obs;
+    (if mid <> None then
+       Option.iter (fun s -> Printf.eprintf "%s\n" (Opt.report s)) obs);
+    let prog =
+      if residency then fst (Residency.transform ?obs prog) else prog
+    in
+    (if residency then
+       Option.iter (fun s -> Printf.eprintf "%s\n" (Residency.report s)) obs);
     match Minic.Compile_eval.run ~engine ~fuel prog with
     | Ok o ->
         print_string o.Minic.Interp.output;
@@ -271,7 +308,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Interpret a MiniC program (dual-space reference)")
     Term.(
       const run $ file_arg $ fuel $ optimize_first $ midend_passes_arg
-      $ midend_report_flag $ replay $ eval_arg)
+      $ midend_report_flag $ replay $ eval_arg $ residency)
 
 (* --- simulate --- *)
 
@@ -480,8 +517,16 @@ let check_cmd =
          original under the same differential oracle.  Silent on success, \
          so the report is byte-identical with and without $(b,-O)"
   in
+  let residency =
+    residency_flag
+      ~doc:
+        "Additionally hold the residency rewrite to its stats contract \
+         against the non-resident oracle: same outputs, same d2h cells \
+         and offload count, transfer events at most oracle + hoists, \
+         h2d no worse without hoists"
+  in
   let run file transform runs seed nblocks fuel inject record faults jobs
-      engine o mpasses =
+      engine o mpasses residency =
     let txfs =
       match transform with None -> Check.all_transforms | Some t -> [ t ]
     in
@@ -510,6 +555,33 @@ let check_cmd =
           Printf.printf "  %-11s FAILED on %s: %s\n" "optimizer" what
             (Check.verdict_str v)
       | _ -> ()
+    in
+    (* The residency stats contract (only with --residency): printed
+       after the transform listing, silent when nothing was elided. *)
+    let handle_residency ~what (r : Check.residency_report option) =
+      match r with
+      | None -> ()
+      | Some r when r.Check.rr_sites = 0 -> ()
+      | Some r ->
+          if Check.residency_ok r then
+            Printf.printf
+              "  %-11s contract ok: h2d %d->%d cells, d2h %d cells, %d \
+               hoist%s\n"
+              "residency" r.Check.rr_orig_h2d r.Check.rr_res_h2d
+              r.Check.rr_res_d2h r.Check.rr_hoists
+              (if r.Check.rr_hoists = 1 then "" else "s")
+          else begin
+            incr failures;
+            Printf.printf "  %-11s contract FAILED on %s: %s\n" "residency"
+              what
+              (match r.Check.rr_contract with
+              | Some m -> m
+              | None -> Check.verdict_str r.Check.rr_verdict)
+          end
+    in
+    let residency_report prog =
+      if residency then Some (Check.check_residency ~engine ~fuel prog)
+      else None
     in
     (* Report one transform's verdict on one program; on the first
        divergence per transform, shrink, dump, and optionally record. *)
@@ -559,11 +631,13 @@ let check_cmd =
         let prog = or_die (load f) in
         Printf.printf "%s:\n" f;
         handle_opt ~what:f (opt_verdict prog);
-        if Fault.is_none faults then
+        if Fault.is_none faults then begin
           List.iter
             (handle ~what:f ~prog)
             (Check.check_program ~engine ~fuel ~nblocks ~inject
-               ~transforms:txfs prog)
+               ~transforms:txfs prog);
+          handle_residency ~what:f (residency_report prog)
+        end
         else begin
           (* differential oracle under an injected fault plan: the
              rewrite must stay equivalent AND the faulted replay must
@@ -592,7 +666,8 @@ let check_cmd =
                 end
               end)
             (Check.check_faulted ~engine ~fuel ~nblocks ~transforms:txfs
-               ~spec:faults prog)
+               ~spec:faults prog);
+          handle_residency ~what:f (residency_report prog)
         end
     | None -> ());
     if runs > 0 then begin
@@ -633,6 +708,7 @@ let check_cmd =
                   | Ok _ -> p)
             in
             let opt_v = opt_verdict prog in
+            let res_v = residency_report prog in
             let outs =
               List.map
                 (fun txf ->
@@ -661,7 +737,7 @@ let check_cmd =
                 })
                 txfs
             in
-            (what, opt_v, outs))
+            (what, opt_v, res_v, outs))
           Check.Genprog.all_patterns
       in
       let outcomes =
@@ -673,8 +749,9 @@ let check_cmd =
       (* Replay in submission order: same prints, same counters, same
          first-divergence-per-transform minimization as sequentially. *)
       List.iter
-        (List.iter (fun (what, opt_v, outs) ->
+        (List.iter (fun (what, opt_v, res_v, outs) ->
              handle_opt ~what opt_v;
+             handle_residency ~what res_v;
              List.iter (fun o ->
              (match o.g_app_mismatch with
              | Some b ->
@@ -769,7 +846,8 @@ let check_cmd =
           output, return value, and final global state")
     Term.(
       const run $ file $ transform $ runs $ seed $ nblocks $ fuel $ inject
-      $ record $ faults_arg $ jobs $ eval_arg $ o $ midend_passes_arg)
+      $ record $ faults_arg $ jobs $ eval_arg $ o $ midend_passes_arg
+      $ residency)
 
 (* --- --profile (top-level) --- *)
 

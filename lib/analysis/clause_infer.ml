@@ -1,0 +1,291 @@
+(** Inference of minimal offload data clauses from access
+    classification.
+
+    For each offload region, the access analysis ({!Access}) already
+    knows which arrays the body touches, in which direction, and —
+    when the indices are affine with constant loop bounds — exactly
+    which elements.  This pass turns that into the minimal
+    [in]/[out]/[inout] clause set and compares it against what the
+    pragma declares, flagging over-declarations (traffic the program
+    pays for nothing) and under-declarations (missing or
+    wrong-direction clauses, sections narrower than the touched
+    range).  The residency pass refuses to elide transfers for
+    under-declared offloads, and [compc --residency --report] surfaces
+    the counts. *)
+
+open Minic.Ast
+
+type clause = Cin | Cout | Cinout
+
+let clause_name = function Cin -> "in" | Cout -> "out" | Cinout -> "inout"
+
+type inferred = {
+  i_arr : string;
+  i_clause : clause;
+  i_bounds : Offload_regions.bounds option;
+      (** touched element hull, when index affine + bounds constant *)
+  i_exact : bool;
+      (** writes cover the hull exactly: unguarded, |coeff| <= 1 —
+          only then is a pure [out] clause safe (a partial write under
+          [out] copies undefined device cells back over host data) *)
+}
+
+type diag =
+  | Under_declared of { arr : string; reason : string }
+  | Over_declared of { arr : string; reason : string }
+
+let diag_arr = function
+  | Under_declared { arr; _ } | Over_declared { arr; _ } -> arr
+
+let pp_diag = function
+  | Under_declared { arr; reason } ->
+      Printf.sprintf "under-declared %s: %s" arr reason
+  | Over_declared { arr; reason } ->
+      Printf.sprintf "over-declared %s: %s" arr reason
+
+(* The touched hull of one array's accesses under constant loop
+   bounds: the union of per-access affine hulls, [None] as soon as any
+   access is non-affine or has a symbolic offset. *)
+let touched_bounds ~lo ~hi ~step accesses =
+  let hull_of (a : Access.t) =
+    match a.Access.kind with
+    | Access.Affine { coeff; offset } -> (
+        match Simplify.const_int offset with
+        | None -> None
+        | Some offset ->
+            Offload_regions.affine_touched ~lo ~hi ~step ~coeff ~offset)
+    | Access.Gather _ | Access.Opaque -> None
+  in
+  match accesses with
+  | [] -> None
+  | first :: rest ->
+      List.fold_left
+        (fun acc a ->
+          match (acc, hull_of a) with
+          | Some (s : Offload_regions.bounds), Some (b : Offload_regions.bounds)
+            ->
+              Some
+                {
+                  Offload_regions.b_lo = min s.b_lo b.b_lo;
+                  b_hi = max s.b_hi b.b_hi;
+                }
+          | _ -> None)
+        (hull_of first) rest
+
+let infer_of_accesses ~bounds_of accesses =
+  let summaries = Access.summarize accesses in
+  List.map
+    (fun (s : Access.summary) ->
+      let mine =
+        List.filter (fun (a : Access.t) -> a.Access.arr = s.name) accesses
+      in
+      let writes_exact =
+        List.for_all
+          (fun (a : Access.t) ->
+            a.Access.dir = Access.Read
+            || (not a.Access.guarded)
+               &&
+               match a.Access.kind with
+               | Access.Affine { coeff; _ } -> abs coeff <= 1
+               | Access.Gather _ | Access.Opaque -> false)
+          mine
+      in
+      let i_clause =
+        if s.writes && (not s.reads) && writes_exact then Cout
+        else if s.writes then Cinout
+        else Cin
+      in
+      {
+        i_arr = s.name;
+        i_clause;
+        i_bounds = bounds_of mine;
+        i_exact = writes_exact;
+      })
+    summaries
+
+(** Minimal clauses for a canonical offloaded loop. *)
+let infer (fl : for_loop) =
+  let accesses = Access.of_loop fl in
+  let bounds_of =
+    match
+      ( Simplify.const_int fl.lo,
+        Simplify.const_int fl.hi,
+        Simplify.const_int fl.step )
+    with
+    | Some lo, Some hi, Some step ->
+        fun acc -> touched_bounds ~lo ~hi ~step acc
+    | _ -> fun _ -> None
+  in
+  infer_of_accesses ~bounds_of accesses
+
+(** Minimal clauses for an arbitrary offload body (no loop structure:
+    directions only, no element bounds, writes never provably
+    exact). *)
+let infer_body (b : block) =
+  (* "\000" cannot be a source identifier, so no access classifies as
+     affine-in-the-index; only directions survive, which is all a
+     non-loop body offers anyway *)
+  let accesses =
+    Access.of_block ~index:"\000" ~guarded:false [] b |> List.rev
+  in
+  List.map
+    (fun i -> { i with i_exact = false; i_bounds = None })
+    (infer_of_accesses ~bounds_of:(fun _ -> None) accesses)
+
+(** The clause set an offload body implies for the pragma wrapping it:
+    [infer] when the body is (a pragma chain over) a canonical loop,
+    directions-only otherwise. *)
+let infer_stmt (stmt : stmt) =
+  match Offload_regions.peel [] stmt with
+  | Some (_, fl) -> infer fl
+  | None -> infer_body [ stmt ]
+
+(* Declared clauses of a spec, with their sections; [into()] sections
+   address explicitly-managed device buffers and are outside this
+   analysis.  [nocopy] arrays are declared device-resident: reads are
+   covered, writes are not copied back. *)
+let declared_clauses (spec : offload_spec) =
+  let plain c secs =
+    List.filter_map
+      (fun (s : section) ->
+        if Option.is_some s.into then None else Some (s.arr, (c, Some s)))
+      secs
+  in
+  plain Cin spec.ins @ plain Cinout spec.inouts @ plain Cout spec.outs
+  @ List.map (fun n -> (n, (Cin, None))) spec.nocopy
+
+(** Compare declared against inferred clauses for one offload. *)
+let diagnose_offload (spec : offload_spec) (inf : inferred list) =
+  let declared = declared_clauses spec in
+  let diags = ref [] in
+  let flag d = diags := d :: !diags in
+  List.iter
+    (fun i ->
+      match List.assoc_opt i.i_arr declared with
+      | None ->
+          flag
+            (Under_declared
+               { arr = i.i_arr; reason = "accessed but not in any clause" })
+      | Some (c, sec) -> (
+          (match (i.i_clause, c) with
+          | (Cout | Cinout), Cin ->
+              flag
+                (Under_declared
+                   {
+                     arr = i.i_arr;
+                     reason = "written but declared " ^ clause_name c ^ "()";
+                   })
+          | (Cin | Cinout), Cout ->
+              flag
+                (Under_declared
+                   { arr = i.i_arr; reason = "read but declared out()" })
+          | Cout, Cout when not i.i_exact ->
+              flag
+                (Under_declared
+                   {
+                     arr = i.i_arr;
+                     reason = "partially written but declared out()";
+                   })
+          | Cin, Cinout ->
+              flag
+                (Over_declared
+                   { arr = i.i_arr; reason = "never written: inout() could be in()" })
+          | Cout, Cinout when i.i_exact ->
+              flag
+                (Over_declared
+                   { arr = i.i_arr; reason = "never read: inout() could be out()" })
+          | _ -> ());
+          match (sec, i.i_bounds) with
+          | Some sec, Some touched -> (
+              match Offload_regions.section_bounds sec with
+              | Some outer
+                when not (Offload_regions.covers ~outer ~inner:touched) ->
+                  flag
+                    (Under_declared
+                       {
+                         arr = i.i_arr;
+                         reason =
+                           Printf.sprintf
+                             "section [%d:%d] narrower than touched [%d:%d]"
+                             outer.Offload_regions.b_lo
+                             (outer.Offload_regions.b_hi
+                             - outer.Offload_regions.b_lo)
+                             touched.Offload_regions.b_lo
+                             (touched.Offload_regions.b_hi
+                             - touched.Offload_regions.b_lo);
+                       })
+              | _ -> ())
+          | _ -> ()))
+    inf;
+  List.iter
+    (fun (arr, (c, _)) ->
+      if not (List.exists (fun i -> i.i_arr = arr) inf) then
+        flag
+          (Over_declared
+             {
+               arr;
+               reason = clause_name c ^ "() clause on array never accessed";
+             }))
+    declared;
+  List.rev !diags
+
+let under = function Under_declared _ -> true | Over_declared _ -> false
+
+(** Diagnose every offloaded region of a program, counting per-kind
+    via [obs] ([clause.under_declared] / [clause.over_declared] /
+    [clause.regions]). *)
+let diagnose ?obs prog =
+  let bump n k =
+    match obs with None -> () | Some o -> Obs.add o n k
+  in
+  let results =
+    List.concat_map
+      (fun (r : Offload_regions.region) ->
+        match r.spec with
+        | None -> []
+        | Some spec ->
+            let diags = diagnose_offload spec (infer r.loop) in
+            bump "clause.regions" 1;
+            bump "clause.under_declared"
+              (List.length (List.filter under diags));
+            bump "clause.over_declared"
+              (List.length
+                 (List.filter (fun d -> not (under d)) diags));
+            List.map (fun d -> (r.func, d)) diags)
+      (Offload_regions.offloaded prog)
+  in
+  results
+
+(** Rebuild a spec with the inferred minimal clause set.  Sections come
+    from the inferred hull when constant, else from whichever section
+    the original spec declared for that array; arrays the analysis
+    cannot bound and the spec never declared keep the program
+    honest by staying un-clause'd (the diagnosis already flagged
+    them). *)
+let minimal_spec (spec : offload_spec) (inf : inferred list) =
+  let declared = declared_clauses spec in
+  let section_for i =
+    match i.i_bounds with
+    | Some b when not (Offload_regions.is_empty b) ->
+        Some
+          (section ~arr:i.i_arr
+             ~start:(int_ b.Offload_regions.b_lo)
+             ~len:(int_ (b.Offload_regions.b_hi - b.Offload_regions.b_lo))
+             ())
+    | _ -> (
+        match List.assoc_opt i.i_arr declared with
+        | Some (_, Some s) -> Some s
+        | _ -> None)
+  in
+  let pick c =
+    List.filter_map
+      (fun i -> if i.i_clause = c then section_for i else None)
+      inf
+  in
+  {
+    spec with
+    ins = pick Cin;
+    outs = pick Cout;
+    inouts = pick Cinout;
+    nocopy = [];
+  }

@@ -1,0 +1,53 @@
+(** Inference of minimal offload data clauses from access
+    classification: derives the [in]/[out]/[inout] set and element
+    sections each offload actually needs, and flags where the pragma
+    over- or under-declares.  The residency pass refuses to elide
+    transfers for under-declared offloads; [compc --residency
+    --report] surfaces the counts. *)
+
+type clause = Cin | Cout | Cinout
+
+val clause_name : clause -> string
+
+type inferred = {
+  i_arr : string;
+  i_clause : clause;
+  i_bounds : Offload_regions.bounds option;
+      (** touched element hull, when indices are affine and loop
+          bounds constant *)
+  i_exact : bool;
+      (** writes cover the hull exactly (unguarded, |coeff| <= 1) —
+          only then is a pure [out] clause safe *)
+}
+
+type diag =
+  | Under_declared of { arr : string; reason : string }
+  | Over_declared of { arr : string; reason : string }
+
+val diag_arr : diag -> string
+val pp_diag : diag -> string
+val under : diag -> bool
+
+val infer : Minic.Ast.for_loop -> inferred list
+(** Minimal clauses for a canonical offloaded loop. *)
+
+val infer_body : Minic.Ast.block -> inferred list
+(** Directions-only inference for an arbitrary offload body. *)
+
+val infer_stmt : Minic.Ast.stmt -> inferred list
+(** [infer] when the statement is (a pragma chain over) a canonical
+    loop, [infer_body] otherwise. *)
+
+val diagnose_offload :
+  Minic.Ast.offload_spec -> inferred list -> diag list
+(** Compare declared against inferred clauses for one offload. *)
+
+val diagnose :
+  ?obs:Obs.t -> Minic.Ast.program -> (string * diag) list
+(** Diagnose every offloaded region, tagged with its function name;
+    counts land in [clause.regions] / [clause.under_declared] /
+    [clause.over_declared]. *)
+
+val minimal_spec :
+  Minic.Ast.offload_spec -> inferred list -> Minic.Ast.offload_spec
+(** Rebuild a spec with the inferred minimal clause set. *)

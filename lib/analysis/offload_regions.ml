@@ -76,3 +76,53 @@ let candidates prog =
 
 (** Regions already carrying an [#pragma offload]. *)
 let offloaded prog = List.filter (fun r -> Option.is_some r.spec) (of_program prog)
+
+(** {1 Section bounds}
+
+    Exact element intervals for partial array sections, used by clause
+    inference and the residency pass.  All intervals are {e half-open}
+    ([\[b_lo, b_hi)]), which makes the empty/adjacent cases
+    unambiguous: [x\[0:4\]] and [x\[4:4\]] are adjacent, not
+    overlapping, and a zero-length section overlaps nothing. *)
+
+type bounds = { b_lo : int; b_hi : int }
+
+let is_empty b = b.b_hi <= b.b_lo
+
+(** The element interval of a section, when its start and length are
+    compile-time constants.  [None] for symbolic bounds or a negative
+    length (a runtime error anyway). *)
+let section_bounds (s : section) =
+  match (Simplify.const_int s.start, Simplify.const_int s.len) with
+  | Some start, Some len when len >= 0 ->
+      Some { b_lo = start; b_hi = start + len }
+  | _ -> None
+
+(** [covers ~outer ~inner]: every element of [inner] is in [outer].
+    An empty [inner] is covered by anything. *)
+let covers ~outer ~inner =
+  is_empty inner || (outer.b_lo <= inner.b_lo && inner.b_hi <= outer.b_hi)
+
+(** Two intervals share at least one element.  Empty intervals overlap
+    nothing; adjacent intervals ([x\[0:4\]] / [x\[4:4\]]) do not
+    overlap. *)
+let overlaps a b = max a.b_lo b.b_lo < min a.b_hi b.b_hi
+
+(** The convex hull of elements touched by [coeff * i + offset] as [i]
+    runs over [for (i = lo; i < hi; i += step)].  Exact for
+    [|coeff| <= 1]; for larger strides it over-approximates (the hull
+    includes skipped elements), which is sound for "declared section
+    must cover every touched element" checks.  [None] when [step <= 0]
+    (non-canonical loop). *)
+let affine_touched ~lo ~hi ~step ~coeff ~offset =
+  if step <= 0 then None
+  else if lo >= hi then Some { b_lo = 0; b_hi = 0 }
+  else
+    let last = lo + (step * ((hi - 1 - lo) / step)) in
+    let v_first = (coeff * lo) + offset in
+    let v_last = (coeff * last) + offset in
+    Some
+      {
+        b_lo = min v_first v_last;
+        b_hi = max v_first v_last + 1;
+      }

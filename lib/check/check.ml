@@ -30,9 +30,9 @@ module Metamorphic = Metamorphic
 
 (** {1 The transforms under test} *)
 
-type transform = Streaming | Regularize | Merge | Soa | Shared
+type transform = Streaming | Regularize | Merge | Soa | Shared | Residency
 
-let all_transforms = [ Streaming; Regularize; Merge; Soa; Shared ]
+let all_transforms = [ Streaming; Regularize; Merge; Soa; Shared; Residency ]
 
 let transform_name = function
   | Streaming -> "streaming"
@@ -40,6 +40,7 @@ let transform_name = function
   | Merge -> "merge"
   | Soa -> "soa"
   | Shared -> "shared"
+  | Residency -> "residency"
 
 let transform_of_name s =
   List.find_opt (fun t -> transform_name t = s) all_transforms
@@ -68,6 +69,7 @@ let apply ?(nblocks = 4) txf prog =
       (p, List.length applied)
   | Merge -> Transforms.Merge_offload.transform_all prog
   | Shared -> Transforms.Shared_mem.transform_all prog
+  | Residency -> Residency.transform prog
 
 let applicable ?nblocks txf prog = snd (apply ?nblocks txf prog) > 0
 
@@ -319,6 +321,98 @@ let faulted_ok r =
   && (not r.f_died)
   && Float.is_finite r.f_faulted_s
 
+(** {1 Residency differential checking}
+
+    Output equivalence is necessary but not sufficient for the
+    residency pass: it exists to {e move less data}, so the check also
+    holds it to a stats contract against the non-resident oracle —
+    copy-backs and kernel launches are untouched (same [d2h] cells,
+    same offload count), the transfer-event count grows by at most the
+    hoisted pre-loop transfers, and with no hoists the [h2d] traffic
+    can only shrink (a hoisted transfer may legitimately pay for a
+    loop that then runs zero times). *)
+
+type residency_report = {
+  rr_sites : int;  (** elided clauses + hoisted transfers *)
+  rr_hoists : int;
+  rr_verdict : verdict;
+  rr_orig_h2d : int;  (** oracle host-to-device cells *)
+  rr_res_h2d : int;  (** same, after the residency rewrite *)
+  rr_orig_d2h : int;
+  rr_res_d2h : int;
+  rr_contract : string option;
+      (** [Some msg] when a stats inequality is violated *)
+}
+
+let residency_ok r = verdict_ok Residency r.rr_verdict && r.rr_contract = None
+
+let check_residency ?(engine = Minic.Interp.Compiled) ?fuel prog =
+  let obs = Obs.create () in
+  Transforms.Util.reset_fresh ();
+  let prog', sites = Residency.transform ~obs prog in
+  let hoists = Obs.count obs "residency.hoist" in
+  let trivial =
+    {
+      rr_sites = sites;
+      rr_hoists = hoists;
+      rr_verdict = Equal;
+      rr_orig_h2d = 0;
+      rr_res_h2d = 0;
+      rr_orig_d2h = 0;
+      rr_res_d2h = 0;
+      rr_contract = None;
+    }
+  in
+  if sites = 0 then trivial
+  else
+    let verdict = equiv ~engine ?fuel prog prog' in
+    let run = Minic.Compile_eval.run ~engine ?fuel in
+    match (run prog, run prog') with
+    | Ok a, Ok b ->
+        let transfers (o : Minic.Interp.outcome) =
+          List.length
+            (List.filter
+               (function Minic.Interp.Ev_transfer _ -> true | _ -> false)
+               o.events)
+        in
+        let offloads (o : Minic.Interp.outcome) = o.stats.offloads in
+        let sa = a.Minic.Interp.stats and sb = b.Minic.Interp.stats in
+        let contract =
+          if sb.cells_d2h <> sa.cells_d2h then
+            Some
+              (Printf.sprintf "d2h cells changed: %d vs oracle %d"
+                 sb.cells_d2h sa.cells_d2h)
+          else if offloads b <> offloads a then
+            Some
+              (Printf.sprintf "offload count changed: %d vs oracle %d"
+                 (offloads b) (offloads a))
+          else if transfers b > transfers a + hoists then
+            Some
+              (Printf.sprintf
+                 "transfer events grew: %d vs oracle %d + %d hoists"
+                 (transfers b) (transfers a) hoists)
+          else if hoists = 0 && sb.cells_h2d > sa.cells_h2d then
+            Some
+              (Printf.sprintf
+                 "h2d cells grew without hoists: %d vs oracle %d"
+                 sb.cells_h2d sa.cells_h2d)
+          else None
+        in
+        {
+          rr_sites = sites;
+          rr_hoists = hoists;
+          rr_verdict = verdict;
+          rr_orig_h2d = sa.cells_h2d;
+          rr_res_h2d = sb.cells_h2d;
+          rr_orig_d2h = sa.cells_d2h;
+          rr_res_d2h = sb.cells_d2h;
+          rr_contract = None;
+        }
+        |> fun r -> { r with rr_contract = contract }
+    | _ ->
+        (* one side failed: the oracle verdict alone decides *)
+        { trivial with rr_sites = sites; rr_verdict = verdict }
+
 (** {1 Shrinking} *)
 
 (* A shrink candidate must keep failing the *same way*: well-typed,
@@ -352,25 +446,193 @@ let minimize_diverging ?engine ?fuel ?nblocks ?(inject = false) ?max_tries txf
     ([None], instance-dependent) find an applicable site.  Property
     tests check [applicable] against every [Some]. *)
 let expected_applicable pattern transform =
-  let exp ~streaming ~regularize ~merge ~soa ~shared =
+  let exp ~streaming ~regularize ~merge ~soa ~shared ~residency =
     match transform with
     | Streaming -> streaming
     | Regularize -> regularize
     | Merge -> merge
     | Soa -> soa
     | Shared -> shared
+    | Residency -> residency
   in
   let y = Some true and n = Some false and u = None in
   match (pattern : Genprog.pattern) with
-  | Dense -> exp ~streaming:y ~regularize:n ~merge:n ~soa:n ~shared:n
-  | Stencil -> exp ~streaming:y ~regularize:n ~merge:n ~soa:n ~shared:n
-  | Sparse_stride -> exp ~streaming:u ~regularize:y ~merge:n ~soa:n ~shared:n
-  | Step_loop -> exp ~streaming:n ~regularize:u ~merge:n ~soa:n ~shared:n
-  | Gather -> exp ~streaming:n ~regularize:y ~merge:n ~soa:n ~shared:n
-  | Guarded_gather -> exp ~streaming:n ~regularize:n ~merge:n ~soa:n ~shared:n
-  | Aos -> exp ~streaming:u ~regularize:u ~merge:n ~soa:y ~shared:n
-  | Chain -> exp ~streaming:u ~regularize:u ~merge:n ~soa:u ~shared:y
-  | Multi_offload -> exp ~streaming:u ~regularize:n ~merge:y ~soa:n ~shared:n
-  | Host_scalar -> exp ~streaming:u ~regularize:n ~merge:n ~soa:n ~shared:n
-  | Plain_loop -> exp ~streaming:n ~regularize:n ~merge:n ~soa:n ~shared:n
-  | Inout -> exp ~streaming:y ~regularize:n ~merge:n ~soa:n ~shared:n
+  | Dense ->
+      exp ~streaming:y ~regularize:n ~merge:n ~soa:n ~shared:n ~residency:n
+  | Stencil ->
+      exp ~streaming:y ~regularize:n ~merge:n ~soa:n ~shared:n ~residency:n
+  | Sparse_stride ->
+      exp ~streaming:u ~regularize:y ~merge:n ~soa:n ~shared:n ~residency:n
+  | Step_loop ->
+      exp ~streaming:n ~regularize:u ~merge:n ~soa:n ~shared:n ~residency:n
+  | Gather ->
+      exp ~streaming:n ~regularize:y ~merge:n ~soa:n ~shared:n ~residency:n
+  | Guarded_gather ->
+      exp ~streaming:n ~regularize:n ~merge:n ~soa:n ~shared:n ~residency:n
+  | Aos ->
+      exp ~streaming:u ~regularize:u ~merge:n ~soa:y ~shared:n ~residency:n
+  | Chain ->
+      exp ~streaming:u ~regularize:u ~merge:n ~soa:u ~shared:y ~residency:n
+  | Multi_offload ->
+      exp ~streaming:u ~regularize:n ~merge:y ~soa:n ~shared:n ~residency:y
+  | Host_scalar ->
+      exp ~streaming:u ~regularize:n ~merge:n ~soa:n ~shared:n ~residency:y
+  | Plain_loop ->
+      exp ~streaming:n ~regularize:n ~merge:n ~soa:n ~shared:n ~residency:n
+  | Inout ->
+      exp ~streaming:y ~regularize:n ~merge:n ~soa:n ~shared:n ~residency:n
+
+(** {1 Residency metamorphic relations}
+
+    The inter-offload residency rewrite must commute with
+    contract-preserving source mutations:
+
+    - {b widening}: declaring more than an offload needs — an [in]
+      clause whose array the body never writes promoted to [inout] —
+      only adds copy-backs of unchanged cells, so outputs are the
+      same and the rewrite of the widened program must still match
+      its own oracle {e and} the pristine program;
+    - {b host-write insertion}: a semantically inert host store
+      [a[0] = a[0]] after an offload makes the device shadow
+      untrusted, so the rewrite may only elide {e fewer} transfers,
+      never more, and must still match the mutated oracle.
+
+    Each relation returns [Ok ()] or [Error msg] in the
+    {!Metamorphic} style. *)
+
+let errf fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+let ( let* ) = Result.bind
+
+(** Promote every plain [in] section whose array the body provably
+    never writes to [inout].  Signalled offloads keep their pipelining
+    contract untouched. *)
+let widen_in_to_inout prog =
+  Minic.Ast.(
+    map_funcs
+      (fun f ->
+        {
+          f with
+          body =
+            map_block
+              (fun s ->
+                match s with
+                | Spragma (Offload spec, body)
+                  when Option.is_none spec.signal ->
+                    let bw = writes [ body ] in
+                    (* an array named by several sections of one spec
+                       regrows its shadow without copying, so an added
+                       copy-back could write back undefined cells *)
+                    let multi arr =
+                      List.length
+                        (List.filter
+                           (fun (s : section) -> s.arr = arr)
+                           (spec.ins @ spec.inouts @ spec.outs))
+                      > 1
+                    in
+                    let movable, kept =
+                      List.partition
+                        (fun (sec : section) ->
+                          Option.is_none sec.into
+                          && (not bw.w_unknown)
+                          && (not (List.mem sec.arr (bw.w_vars @ bw.w_mem)))
+                          && (not (List.mem sec.arr spec.nocopy))
+                          && not (multi sec.arr))
+                        spec.ins
+                    in
+                    Spragma
+                      ( Offload
+                          {
+                            spec with
+                            ins = kept;
+                            inouts = spec.inouts @ movable;
+                          },
+                        body )
+                | s -> s)
+              f.body;
+        })
+      prog)
+
+(** Insert [a[0] = a[0]] right after the first offload that declares a
+    plain [in] clause; [None] when the program has no such site. *)
+let insert_host_write prog =
+  let open Minic.Ast in
+  let inserted = ref false in
+  let pick (spec : offload_spec) =
+    List.find_map
+      (fun (sec : section) ->
+        if Option.is_none sec.into then Some sec.arr else None)
+      spec.ins
+  in
+  let self_write arr =
+    Sassign (idx (var arr) (int_ 0), idx (var arr) (int_ 0))
+  in
+  let rec blk b = List.concat_map stmts b
+  and stmts s =
+    if !inserted then [ s ]
+    else
+      match s with
+      | Spragma (Offload spec, _) -> (
+          match pick spec with
+          | Some arr ->
+              inserted := true;
+              [ s; self_write arr ]
+          | None -> [ s ])
+      | Sif (c, b1, b2) -> [ Sif (c, blk b1, blk b2) ]
+      | Swhile (c, b) -> [ Swhile (c, blk b) ]
+      | Sfor fl -> [ Sfor { fl with body = blk fl.body } ]
+      | Sblock b -> [ Sblock (blk b) ]
+      | Spragma (p, inner) -> (
+          match stmts inner with
+          | one :: rest -> Spragma (p, one) :: rest
+          | [] -> [ s ])
+      | s -> [ s ]
+  in
+  let prog' = map_funcs (fun f -> { f with body = blk f.body }) prog in
+  if !inserted then Some prog' else None
+
+let residency_failure r =
+  match r.rr_contract with Some m -> m | None -> verdict_str r.rr_verdict
+
+let elide_total obs =
+  Obs.count obs "residency.elide.in" + Obs.count obs "residency.elide.inout"
+
+(** Widen [prog]'s pragmas, then require the residency rewrite of the
+    widened program to match both its own oracle and the pristine
+    program. *)
+let check_residency_widened ?(engine = Minic.Interp.Compiled) ?fuel prog =
+  let widened = widen_in_to_inout prog in
+  let r = check_residency ~engine ?fuel widened in
+  let* () =
+    if residency_ok r then Ok ()
+    else
+      errf "widened program fails the residency contract: %s"
+        (residency_failure r)
+  in
+  let widened', _ = Residency.transform widened in
+  match equiv ~engine ?fuel prog widened' with
+  | Equal | Both_failed _ -> Ok ()
+  | v -> errf "widening + residency changed behaviour: %s" (verdict_str v)
+
+(** Insert an inert host write after the first offload, then require
+    the rewrite of the mutated program to match its oracle while
+    eliding no more than the pristine rewrite did. *)
+let check_residency_hostwrite ?(engine = Minic.Interp.Compiled) ?fuel prog =
+  match insert_host_write prog with
+  | None -> Ok ()
+  | Some mutated ->
+      let r = check_residency ~engine ?fuel mutated in
+      let* () =
+        if residency_ok r then Ok ()
+        else
+          errf "host-written program fails the residency contract: %s"
+            (residency_failure r)
+      in
+      let count p =
+        let obs = Obs.create () in
+        ignore (Residency.transform ~obs p);
+        elide_total obs
+      in
+      let e0 = count prog and e1 = count mutated in
+      if e1 <= e0 then Ok ()
+      else errf "inert host write increased elisions: %d -> %d" e0 e1

@@ -90,3 +90,4 @@ let check_block_model ?candidates (p : Transforms.Block_size.params) =
   let naive = B.naive_time p in
   if close t1 naive then Ok ()
   else errf "T(1) = %g does not degenerate to the naive time %g" t1 naive
+

@@ -28,6 +28,9 @@ type applied = {
   merged : int;  (** offload-merging sites rewritten *)
   streamed : int;  (** loops rewritten for data streaming *)
   vectorized : int;  (** loops annotated [omp simd] *)
+  resident : int;
+      (** transfers elided or hoisted by the inter-offload residency
+          pass *)
 }
 
 let pp_applied fmt a =
@@ -38,11 +41,11 @@ let pp_applied fmt a =
   in
   Format.fprintf fmt
     "offloads inserted: %d; shared rewritten: %d; regularized: [%s]; \
-     merged: %d; streamed: %d; vectorized: %d"
+     merged: %d; streamed: %d; vectorized: %d; resident: %d"
     a.offloads_inserted a.shared_rewritten
     (String.concat ", "
        (List.map (fun (f, k) -> f ^ ":" ^ kind_name k) a.regularized))
-    a.merged a.streamed a.vectorized
+    a.merged a.streamed a.vectorized a.resident
 
 (** Pipeline passes, in their fixed order. *)
 type pass =
@@ -78,8 +81,8 @@ let pass_of_name n =
     memory rewrite must pull pointer-bearing arrays out of the clauses
     before streaming could slice them.  [passes] restricts the pipeline
     (the relative order is always the fixed one above). *)
-let optimize ?opt ?obs ?(passes = all_passes) ?(nblocks = 10)
-    ?(memory = Transforms.Streaming.Double_buffered) prog =
+let optimize ?opt ?obs ?(residency = false) ?(passes = all_passes)
+    ?(nblocks = 10) ?(memory = Transforms.Streaming.Double_buffered) prog =
   (* generated names restart per program: a rewrite is a pure function
      of its input, whichever domain runs it and in whatever order *)
   Transforms.Util.reset_fresh ();
@@ -113,6 +116,12 @@ let optimize ?opt ?obs ?(passes = all_passes) ?(nblocks = 10)
   let prog, vectorized =
     run Vectorization Transforms.Vectorize.transform_all prog
   in
+  (* residency runs last: it must see the offload/transfer structure
+     the other rewrites leave behind (streamed offloads carry signals
+     and are refused per-region rather than hidden from it) *)
+  let prog, resident =
+    if residency then Residency.transform ?obs prog else (prog, 0)
+  in
   ( prog,
     {
       offloads_inserted;
@@ -121,6 +130,7 @@ let optimize ?opt ?obs ?(passes = all_passes) ?(nblocks = 10)
       merged;
       streamed;
       vectorized;
+      resident;
     } )
 
 (** {1 Applicability analysis (Table II)} *)

@@ -27,6 +27,9 @@ type applied = {
   merged : int;  (** offload-merging sites rewritten *)
   streamed : int;  (** loops rewritten for data streaming *)
   vectorized : int;  (** loops annotated [omp simd] *)
+  resident : int;
+      (** transfers elided or hoisted by the inter-offload residency
+          pass *)
 }
 
 val pp_applied : Format.formatter -> applied -> unit
@@ -47,6 +50,7 @@ val pass_of_name : string -> pass option
 val optimize :
   ?opt:Opt.pass list ->
   ?obs:Obs.t ->
+  ?residency:bool ->
   ?passes:pass list ->
   ?nblocks:int ->
   ?memory:Transforms.Streaming.memory ->
@@ -65,7 +69,13 @@ val optimize :
     paper's transforms see folded bounds and hoisted invariants; it is
     off by default.  With [obs], the mid-end records its
     [opt.<pass>.fired] / [opt.<pass>.blocked.<reason>] counters there
-    (rendered by {!Opt.report}). *)
+    (rendered by {!Opt.report}).
+
+    [residency] runs the inter-offload data-residency pass
+    ({!Residency.transform}) {e after} the pipeline, eliding transfers
+    whose sections are already device-resident and hoisting
+    loop-invariant transfers; counters land under [residency.*] /
+    [clause.*] (rendered by {!Residency.report}).  Off by default. *)
 
 (** {1 Applicability analysis (Table II)} *)
 

@@ -36,7 +36,7 @@ module Heap = struct
       id = 0;
       task =
         { Task.id = 0; label = ""; resource = Task.Cpu_exec; duration = 0.;
-          deps = []; kind = None; bytes = 0. };
+          deps = []; kind = None; bytes = 0.; reset_xfer_s = 0. };
     }
 
   let create () = { a = Array.make 64 dummy; size = 0 }
@@ -104,6 +104,7 @@ let recovery_task (t : Task.t) ~duration =
     deps = [];
     kind = Some Obs.Retry;
     bytes = 0.;
+    reset_xfer_s = 0.;
   }
 
 (* Fault consultation for one task about to run at [start]: returns
@@ -142,8 +143,10 @@ let faulted_times plan (t : Task.t) ~start =
       | None -> (dur, 0.)
       | Some (reset_time, recovery) ->
           (* the kernel's progress up to the reset is lost; after the
-             device recovers, it runs again from scratch *)
-          ((reset_time -. start) +. dur, recovery))
+             device recovers, it runs again from scratch — and any
+             device-resident inputs the reset wiped (transfers this
+             kernel elided via residency) must be moved again first *)
+          ((reset_time -. start) +. dur, recovery +. t.Task.reset_xfer_s))
   | _ -> (dur, 0.)
 
 let schedule ?obs ?faults (tasks : Task.t list) : result =
@@ -225,6 +228,16 @@ let schedule ?obs ?faults (tasks : Task.t list) : result =
             Obs.span_end o sid ~stop:(start +. busy);
             Obs.incr o "engine.tasks";
             Obs.observe o ("span_s." ^ Obs.kind_name kind) busy;
+            if
+              recovery > 0.
+              && t.Task.resource = Task.Mic_exec
+              && t.Task.reset_xfer_s > 0.
+            then begin
+              (* a reset wiped device-resident data this kernel relied
+                 on; the recovery tail includes its re-transfer *)
+              Obs.incr o "residency.reset_retransfers";
+              Obs.observe o "residency.reset_xfer_s" t.Task.reset_xfer_s
+            end;
             if busy +. recovery > t.Task.duration then begin
               Obs.span o Obs.Retry
                 ~label:(t.Task.label ^ "+recovery")

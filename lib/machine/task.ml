@@ -25,6 +25,11 @@ type t = {
       (** observability classification; [None] falls back to the
           resource's natural kind when the engine records spans *)
   bytes : float;  (** payload moved by this task (transfers), else 0 *)
+  reset_xfer_s : float;
+      (** extra recovery seconds a device reset costs this task on top
+          of re-execution: the time to re-transfer device-resident
+          inputs the reset wiped (kernels that elided transfers via
+          residency), else 0 *)
 }
 
 (** The kind the engine assumes for an untagged task on [r]. *)
@@ -39,12 +44,13 @@ type builder = { mutable next_id : int; mutable tasks : t list }
 
 let builder () = { next_id = 0; tasks = [] }
 
-let add b ?(deps = []) ?kind ?(bytes = 0.) ~label ~resource ~duration () =
+let add b ?(deps = []) ?kind ?(bytes = 0.) ?(reset_xfer_s = 0.) ~label
+    ~resource ~duration () =
   let id = b.next_id in
   b.next_id <- id + 1;
   let t =
     { id; label; resource; duration = Float.max 0. duration; deps; kind;
-      bytes = Float.max 0. bytes }
+      bytes = Float.max 0. bytes; reset_xfer_s = Float.max 0. reset_xfer_s }
   in
   b.tasks <- t :: b.tasks;
   id

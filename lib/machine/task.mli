@@ -20,6 +20,11 @@ type t = {
       (** observability classification; [None] falls back to
           {!default_kind} when the engine records spans *)
   bytes : float;  (** payload moved by this task (transfers), else 0 *)
+  reset_xfer_s : float;
+      (** extra recovery seconds a device reset costs this task on top
+          of re-execution: the time to re-transfer device-resident
+          inputs the reset wiped (kernels that elided transfers via
+          residency), else 0 *)
 }
 
 val default_kind : resource -> Obs.kind
@@ -35,6 +40,7 @@ val add :
   ?deps:int list ->
   ?kind:Obs.kind ->
   ?bytes:float ->
+  ?reset_xfer_s:float ->
   label:string ->
   resource:resource ->
   duration:float ->

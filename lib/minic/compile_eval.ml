@@ -1095,6 +1095,11 @@ and compile_offload ctx scope nslots spec stmt : scode =
   let c_in = List.map sec (spec.ins @ spec.inouts) in
   let c_outs = List.map sec spec.outs in
   let c_rebind = List.map sec (spec.ins @ spec.inouts @ spec.outs) in
+  let c_nocopy =
+    List.map
+      (fun name -> (name, Option.map fst (List.assoc_opt name scope)))
+      spec.nocopy
+  in
   let c_phase4 = List.map sec (spec.outs @ spec.inouts) in
   let c_wait = Option.map (cexpr ctx scope) spec.wait in
   let cbody = compile_stmt ctx scope nslots stmt in
@@ -1133,6 +1138,38 @@ and compile_offload ctx scope nslots spec stmt : scode =
                 :: acc)
         [] c_rebind
     in
+    (* nocopy(): rebind to an existing shadow without any copy; the
+       [Ev_resident] cell count mirrors the reference exactly (runtime
+       binding vtys carry resolved array sizes in both engines) *)
+    let nocopy_rebinds, resident_cells =
+      List.fold_left
+        (fun ((acc, cells) as unchanged) (name, slot) ->
+          if List.mem_assoc name acc then unchanged
+          else
+            let b = slot_binding rt ~clause:"nocopy()" name slot in
+            let cpu_base = as_ptr (fast_load st b.cell) in
+            match Hashtbl.find_opt st.shadows cpu_base.ofs with
+            | None -> error "nocopy(%s): no resident device copy" name
+            | Some mic_base ->
+                let n =
+                  match b.vty with
+                  | Tarray (elt, Some (Int_lit k)) -> k * sizeof st elt
+                  | _ -> 0
+                in
+                let acc =
+                  if List.mem_assoc name rebinds then acc
+                  else begin
+                    let cell = fast_alloc st Cpu 1 in
+                    fast_store st cell (Vptr mic_base);
+                    (name, (Option.get slot, { cell; vty = b.vty })) :: acc
+                  end
+                in
+                (acc, cells + n))
+        ([], 0) c_nocopy
+    in
+    if c_nocopy <> [] then
+      st.events <- Ev_resident { cells = resident_cells } :: st.events;
+    let rebinds = rebinds @ nocopy_rebinds in
     let saved =
       List.map
         (fun (_, (k, nb)) ->

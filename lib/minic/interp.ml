@@ -43,6 +43,7 @@ type stats = {
 type event =
   | Ev_transfer of { h2d_cells : int; d2h_cells : int; signal : int option }
   | Ev_wait of int
+  | Ev_resident of { cells : int }
   | Ev_kernel of { work : int; wait : int option }
       (** [work] = statements executed inside the offload body *)
 
@@ -745,6 +746,41 @@ and exec_offload st mode frame spec stmt : flow =
   let rebinds =
     List.fold_left rebind [] (spec.ins @ spec.inouts @ spec.outs)
   in
+  (* nocopy(): the named arrays must already hold a device shadow from
+     an earlier offload or transfer; rebind them to it without any
+     copy.  [Ev_resident] records how many device cells the kernel
+     depends on that this offload did not transfer — the replay layer
+     re-charges exactly those when a device reset wipes the shadows. *)
+  let nocopy_rebinds, resident_cells =
+    List.fold_left
+      (fun ((acc, cells) as unchanged) name ->
+        if List.mem_assoc name acc then unchanged
+        else
+          let b = clause_binding frame ~clause:"nocopy()" name in
+          let cpu_base = as_ptr (load st b.cell) in
+          match Hashtbl.find_opt st.shadows cpu_base.ofs with
+          | None -> error "nocopy(%s): no resident device copy" name
+          | Some mic_base ->
+              let n =
+                match b.vty with
+                | Tarray (elt, Some (Int_lit k)) -> k * sizeof st elt
+                | _ -> 0
+              in
+              let acc =
+                (* a section clause on the same array already rebound it *)
+                if List.mem_assoc name rebinds then acc
+                else begin
+                  let cell = alloc st Cpu 1 in
+                  store st cell (Vptr mic_base);
+                  (name, { b with cell }) :: acc
+                end
+              in
+              (acc, cells + n))
+      ([], 0) spec.nocopy
+  in
+  if spec.nocopy <> [] then
+    st.events <- Ev_resident { cells = resident_cells } :: st.events;
+  let rebinds = rebinds @ nocopy_rebinds in
   List.iter (fun (name, b) -> bind frame name b) rebinds;
   (* 3. run the body in MIC mode *)
   let fuel0 = st.fuel in

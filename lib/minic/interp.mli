@@ -52,6 +52,10 @@ exception Out_of_fuel
 type event =
   | Ev_transfer of { h2d_cells : int; d2h_cells : int; signal : int option }
   | Ev_wait of int
+  | Ev_resident of { cells : int }
+      (** device cells the next kernel depends on that this offload did
+          {e not} transfer ([nocopy] clauses): replay re-charges them
+          when a device reset wipes the shadows *)
   | Ev_kernel of { work : int; wait : int option }
       (** [work] = statements executed inside the offload body *)
 
@@ -138,6 +142,7 @@ val coerce : Ast.ty -> value -> value
 val burn : state -> unit
 (** Consume one unit of fuel; raises {!Out_of_fuel} at zero. *)
 
+val sizeof : state -> Ast.ty -> int
 val copy_cells : state -> src:addr -> dst:addr -> int -> unit
 val shadow_for : state -> cpu_base:addr -> cells_needed:int -> addr
 val translate_cells : state -> src:addr -> dst:addr -> int -> unit

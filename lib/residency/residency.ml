@@ -1,0 +1,573 @@
+(** Inter-offload data residency: whole-program transfer elimination.
+
+    The offload runtime already keeps one device shadow per host array
+    across offloads ({!Minic.Interp.shadow_for}); the pragmas just
+    never exploit it — every offload re-transfers whatever it names.
+    This pass tracks, per function, which array sections are {e
+    resident}: device shadow content equal to the host content.  An
+    [in]/[inout] section whose exact section is resident at the
+    offload is not re-transferred — the clause is elided and the array
+    rebound through [nocopy] (an [inout] keeps its device-to-host
+    copy-back by moving to [out], so the host stays current at every
+    step).  Residency facts that only become invalid {e across}
+    iterations of a sequential outer loop are established once before
+    the loop: the transfer is hoisted.
+
+    Facts die conservatively:
+    - a host write to the array (or to any variable its section
+      expressions read) — the shadow is stale;
+    - any call or unattributable store — the callee may write anything;
+    - every array an offload or transfer pragma mentions is killed
+      before that pragma's own facts are re-added: a differently-sized
+      section would grow the shadow, and the runtime's grow path
+      allocates a fresh device buffer without copying (the LEO
+      behaviour — stale cells are only refreshed by [in] copies);
+    - a device reset (fault model) wipes shadows at runtime: the
+      engine re-charges exactly the elided cells ([Ev_resident] /
+      [Task.reset_xfer_s]), and CPU fallback is always sound because
+      copy-backs are never elided (host data stays current).
+
+    Refusals are counted per reason via {!Obs}
+    ([residency.refuse.*]/[residency.invalidate.*]), elisions and
+    hoists under [residency.elide.*]/[residency.hoist]. *)
+
+open Minic.Ast
+
+(** One residency fact: the device shadow of [f_sec.arr] on device
+    [f_target] holds the host content of section [f_sec].  [f_hoist]
+    carries the fact's obligation: [Some sink] marks a loop-candidate
+    fact whose pre-loop transfer must be materialized (pushed into
+    [sink]) if any elision relies on it. *)
+type fact = {
+  f_target : int;
+  f_sec : section;
+  f_hoist : fact list ref option;
+}
+
+let same_fact a b = a.f_target = b.f_target && equal_section a.f_sec b.f_sec
+let mem_fact f l = List.exists (same_fact f) l
+let add_fact l f = if mem_fact f l then l else f :: l
+
+(* Intersection keeping the instance that still carries a hoist
+   obligation: a fact fresh on one path but inherited on the other
+   must be treated as inherited. *)
+let join_facts f1 f2 =
+  List.filter_map
+    (fun a ->
+      match List.find_opt (same_fact a) f2 with
+      | None -> None
+      | Some b -> Some (if a.f_hoist <> None then a else b))
+    f1
+
+type ctx = {
+  obs : Obs.t option;
+  commit : bool;
+      (** false during loop-fixpoint dry runs: no counters, no hoist
+          collection, transforms discarded *)
+  escaped : string list;
+      (** arrays whose address escapes ([&a[i]], bare call arguments):
+          host writes through an alias would not kill their facts, so
+          they never get any *)
+  changed : int ref;
+}
+
+let bump ?(by = 1) ctx name =
+  if ctx.commit && by > 0 then
+    match ctx.obs with None -> () | Some o -> Obs.incr ~by o name
+
+let sec_mentions v (s : section) =
+  Analysis.Simplify.mentions v s.start || Analysis.Simplify.mentions v s.len
+
+let sec_vars (s : section) = expr_vars s.start @ expr_vars s.len
+
+(** Every array name an offload/transfer spec touches — clause arrays,
+    [into()] destinations, [nocopy], [translate]. *)
+let spec_arrays (s : offload_spec) =
+  List.concat_map
+    (fun (sec : section) ->
+      sec.arr :: (match sec.into with Some (d, _) -> [ d ] | None -> []))
+    (s.ins @ s.outs @ s.inouts)
+  @ s.nocopy @ s.translate
+
+(* Arrays named by two clauses of the same spec with sections that are
+   neither equal nor provably disjoint: the per-array fact model
+   cannot describe them, so they are refused. *)
+let aliased_arrays (spec : offload_spec) =
+  let secs =
+    List.filter
+      (fun (s : section) -> Option.is_none s.into)
+      (spec.ins @ spec.inouts @ spec.outs)
+  in
+  let rec pairs acc = function
+    | [] -> acc
+    | (s : section) :: rest ->
+        let acc =
+          List.fold_left
+            (fun acc (s' : section) ->
+              if s'.arr <> s.arr || equal_section s s' then acc
+              else
+                let disjoint =
+                  match
+                    ( Analysis.Offload_regions.section_bounds s,
+                      Analysis.Offload_regions.section_bounds s' )
+                  with
+                  | Some a, Some b ->
+                      not (Analysis.Offload_regions.overlaps a b)
+                  | _ -> false
+                in
+                if disjoint || List.mem s.arr acc then acc else s.arr :: acc)
+            acc rest
+        in
+        pairs acc rest
+  in
+  pairs [] secs
+
+let kill_arrays arrs facts =
+  List.filter (fun f -> not (List.mem f.f_sec.arr arrs)) facts
+
+(** Kill facts invalidated by a host write set: the written arrays
+    themselves, plus any fact whose section expressions read a written
+    variable (the section no longer names the same elements). *)
+let kill_written ctx (ws : write_set) facts =
+  if ws.w_unknown then begin
+    bump ~by:(List.length facts) ctx "residency.invalidate.unknown";
+    []
+  end
+  else
+    let wrote = ws.w_vars @ ws.w_mem in
+    let dead f =
+      List.mem f.f_sec.arr wrote
+      || List.exists (fun v -> sec_mentions v f.f_sec) wrote
+    in
+    let killed, live = List.partition dead facts in
+    bump ~by:(List.length killed) ctx "residency.invalidate.host_write";
+    live
+
+(* Static element count of a section, for the bytes-saved report. *)
+let sec_elems (s : section) =
+  Option.value (Analysis.Simplify.const_int s.len) ~default:0
+
+let elide_fact ctx f =
+  (match f.f_hoist with
+  | Some sink when ctx.commit -> if not (mem_fact f !sink) then sink := f :: !sink
+  | _ -> ());
+  if ctx.commit then incr ctx.changed
+
+let block_has_jump b =
+  fold_stmts
+    (fun acc s -> match s with Sbreak | Scontinue -> true | _ -> acc)
+    false b
+
+(** {1 The walker}
+
+    [walk_block]/[walk_stmt] thread the fact set through a block in
+    execution order, rewriting offload pragmas as they go.  The
+    returned block is only meaningful when [ctx.commit]; dry runs use
+    the fact flow alone. *)
+
+let rec walk_block ctx facts block =
+  let stmts, facts =
+    List.fold_left
+      (fun (acc, facts) stmt ->
+        let stmts', facts = walk_stmt ctx facts stmt in
+        (List.rev_append stmts' acc, facts))
+      ([], facts) block
+  in
+  (List.rev stmts, facts)
+
+(* Returns the (possibly several: hoisted transfers + the original)
+   replacement statements plus the facts after them. *)
+and walk_stmt ctx facts stmt : stmt list * fact list =
+  match stmt with
+  | Sexpr _ | Sassign _ | Sreturn _ ->
+      ([ stmt ], kill_written ctx (writes [ stmt ]) facts)
+  | Sdecl (_, v, _) ->
+      (* a declaration shadows any same-named array outright *)
+      let facts = kill_arrays [ v ] facts in
+      ([ stmt ], kill_written ctx (writes [ stmt ]) facts)
+  | Sbreak | Scontinue -> ([ stmt ], facts)
+  | Sblock b ->
+      let b', facts = walk_block ctx facts b in
+      ([ Sblock b' ], facts)
+  | Sif (c, b1, b2) ->
+      let facts =
+        if has_call c then begin
+          bump ~by:(List.length facts) ctx "residency.invalidate.unknown";
+          []
+        end
+        else facts
+      in
+      let b1', f1 = walk_block ctx facts b1 in
+      let b2', f2 = walk_block ctx facts b2 in
+      ([ Sif (c, b1', b2') ], join_facts f1 f2)
+  | Swhile (c, b) ->
+      (* no cross-iteration reasoning for non-canonical loops: the
+         body starts from no facts (intra-iteration elision between
+         consecutive offloads still applies); a break/continue adds
+         exit paths the straight-line walk does not model, so facts
+         only survive the loop when the body has none *)
+      let facts0 = if has_call c then [] else facts in
+      let b', out = walk_block ctx [] b in
+      let out = if block_has_jump b then [] else out in
+      ([ Swhile (c, b') ], join_facts facts0 out)
+  | Sfor fl -> walk_for ctx facts fl
+  | Spragma ((Omp_parallel_for | Omp_simd) as p, s) ->
+      (* hoisted transfers from an inner loop belong before the
+         pragma, not under it (the pragma-over-[Sfor] shape must
+         survive for the loop analyses) *)
+      let ss, facts = walk_stmt ctx facts s in
+      (match List.rev ss with
+      | last :: pre -> (List.rev pre @ [ Spragma (p, last) ], facts)
+      | [] -> ([ stmt ], facts))
+  | Spragma (Offload_wait e, s) ->
+      let facts = if has_call e then [] else facts in
+      ([ Spragma (Offload_wait e, s) ], facts)
+  | Spragma (Offload_transfer spec, s) ->
+      let stmt', facts = walk_transfer ctx facts spec s in
+      ([ stmt' ], facts)
+  | Spragma (Offload spec, body) ->
+      let stmt', facts = walk_offload ctx facts spec body in
+      ([ stmt' ], facts)
+
+(* A source-level transfer pragma is never elided (it may be a
+   deliberate pipelining decision), but it moves data like an offload:
+   kill everything it mentions, then record its sections as resident —
+   h2d ([ins]/[inouts]: device := host) and d2h ([outs]: host :=
+   device) both end in equality. *)
+and walk_transfer ctx facts spec s =
+  let stmt = Spragma (Offload_transfer spec, s) in
+  if
+    Option.is_some spec.signal
+    || List.exists has_call (pragma_exprs (Offload_transfer spec))
+  then begin
+    bump ctx "residency.refuse.signal";
+    (stmt, [])
+  end
+  else
+    let facts = kill_arrays (spec_arrays spec) facts in
+    let aliased = aliased_arrays spec in
+    let ok (sec : section) =
+      Option.is_none sec.into
+      && (not (List.mem sec.arr ctx.escaped))
+      && not (List.mem sec.arr aliased)
+    in
+    let facts =
+      List.fold_left
+        (fun facts sec ->
+          if ok sec then
+            add_fact facts
+              { f_target = spec.target; f_sec = sec; f_hoist = None }
+          else facts)
+        facts
+        (spec.ins @ spec.inouts @ spec.outs)
+    in
+    (stmt, facts)
+
+and walk_offload ctx facts spec body =
+  let orig = Spragma (Offload spec, body) in
+  if
+    Option.is_some spec.signal
+    || List.exists has_call (pragma_exprs (Offload spec))
+  then begin
+    bump ctx "residency.refuse.signal";
+    (orig, [])
+  end
+  else
+    let diags =
+      Analysis.Clause_infer.diagnose_offload spec
+        (Analysis.Clause_infer.infer_stmt body)
+    in
+    if List.exists Analysis.Clause_infer.under diags then begin
+      (* the pragma does not describe what the body touches: neither
+         the elision legality nor the facts it would establish can be
+         trusted *)
+      bump ctx "residency.refuse.under_declared";
+      (orig, [])
+    end
+    else begin
+      let aliased = aliased_arrays spec in
+      bump ~by:(List.length aliased) ctx "residency.refuse.aliased_section";
+      let bad arr =
+        List.mem arr aliased || List.mem arr ctx.escaped
+        || List.mem arr spec.nocopy
+      in
+      let fact_for (sec : section) =
+        if Option.is_some sec.into || bad sec.arr then None
+        else
+          List.find_opt
+            (fun f -> f.f_target = spec.target && equal_section f.f_sec sec)
+            facts
+      in
+      let split secs =
+        List.partition (fun sec -> Option.is_some (fact_for sec)) secs
+      in
+      let elide_ins, keep_ins = split spec.ins in
+      let elide_ios, keep_ios = split spec.inouts in
+      List.iter
+        (fun sec -> Option.iter (elide_fact ctx) (fact_for sec))
+        (elide_ins @ elide_ios);
+      bump ~by:(List.length elide_ins) ctx "residency.elide.in";
+      bump ~by:(List.length elide_ios) ctx "residency.elide.inout";
+      bump
+        ~by:(List.fold_left (fun a s -> a + sec_elems s) 0
+               (elide_ins @ elide_ios))
+        ctx "residency.elide.cells";
+      let spec' =
+        if elide_ins = [] && elide_ios = [] then spec
+        else
+          let nocopy' =
+            List.fold_left
+              (fun acc (s : section) ->
+                if List.mem s.arr acc then acc else acc @ [ s.arr ])
+              spec.nocopy (elide_ins @ elide_ios)
+          in
+          {
+            spec with
+            ins = keep_ins;
+            inouts = keep_ios;
+            (* an elided inout keeps its copy-back: the host must stay
+               current after every offload (this is also what makes
+               CPU fallback after device death trivially sound) *)
+            outs = spec.outs @ elide_ios;
+            nocopy = nocopy';
+          }
+      in
+      (* Fact update — from the ORIGINAL spec: every mentioned array's
+         facts die first (a differently-sized section would regrow the
+         shadow without copying), then this spec's own sections are
+         resident: [in] sections unless the body writes the array,
+         [out]/[inout] sections always (the copy-back just made host
+         and device equal). *)
+      let facts = kill_arrays (spec_arrays spec) facts in
+      let bw = writes [ body ] in
+      let body_writes arr = bw.w_unknown || List.mem arr bw.w_mem in
+      let addable ?(unless_written = false) (sec : section) =
+        Option.is_none sec.into
+        && (not (bad sec.arr))
+        && not (unless_written && body_writes sec.arr)
+      in
+      let facts =
+        List.fold_left
+          (fun facts sec ->
+            if addable ~unless_written:true sec then
+              add_fact facts
+                { f_target = spec.target; f_sec = sec; f_hoist = None }
+            else facts)
+          facts spec.ins
+      in
+      let facts =
+        List.fold_left
+          (fun facts sec ->
+            if addable sec then
+              add_fact facts
+                { f_target = spec.target; f_sec = sec; f_hoist = None }
+            else facts)
+          facts
+          (spec.outs @ spec.inouts)
+      in
+      (Spragma (Offload spec', body), facts)
+    end
+
+(* A canonical sequential loop: residency facts that survive every
+   iteration are computed as a greatest fixpoint, elisions inside the
+   body may rely on them, and relied-on facts not already resident
+   before the loop are established by a hoisted pre-loop transfer. *)
+and walk_for ctx facts fl =
+  let has_jump = block_has_jump fl.body in
+  let impure_bounds = List.exists has_call [ fl.lo; fl.hi; fl.step ] in
+  if has_jump || impure_bounds then begin
+    (* break/continue add paths the straight-line walk does not model:
+       give up on cross-iteration facts, keep intra-iteration elision *)
+    let body', _ = walk_block ctx [] fl.body in
+    ([ Sfor { fl with body = body' } ], [])
+  end
+  else
+    let sink = ref [] in
+    let decls =
+      (Analysis.Liveness.of_block Analysis.Liveness.empty fl.body)
+        .Analysis.Liveness.decls
+    in
+    let stable (sec : section) =
+      (not (sec_mentions fl.index sec))
+      && not
+           (List.exists
+              (fun v -> Analysis.Liveness.SS.mem v decls)
+              (sec_vars sec))
+    in
+    let kl = List.filter (fun f -> not (sec_mentions fl.index f.f_sec)) in
+    (* candidate facts: every section a body offload/transfer could
+       establish whose meaning is loop-invariant; the fixpoint keeps
+       only those nothing in the body kills *)
+    let candidates =
+      fold_stmts
+        (fun acc s ->
+          match s with
+          | Spragma ((Offload spec | Offload_transfer spec), _)
+            when Option.is_none spec.signal ->
+              List.fold_left
+                (fun acc (sec : section) ->
+                  if
+                    Option.is_none sec.into
+                    && (not (List.mem sec.arr ctx.escaped))
+                    && stable sec
+                  then
+                    add_fact acc
+                      {
+                        f_target = spec.target;
+                        f_sec = sec;
+                        f_hoist = Some sink;
+                      }
+                  else acc)
+                acc
+                (spec.ins @ spec.inouts @ spec.outs)
+          | _ -> acc)
+        [] fl.body
+    in
+    let j0 = List.fold_left add_fact (kl facts) candidates in
+    let dry = { ctx with commit = false } in
+    let rec fix j =
+      let _, out = walk_block dry j fl.body in
+      let out = kl out in
+      let j' = List.filter (fun f -> mem_fact f out) j in
+      if List.length j' = List.length j then j else fix j'
+    in
+    let jf = fix j0 in
+    let body', out = walk_block ctx jf fl.body in
+    let hoists = if ctx.commit then List.rev !sink else [] in
+    bump ~by:(List.length hoists) ctx "residency.hoist";
+    bump
+      ~by:(List.fold_left (fun a f -> a + sec_elems f.f_sec) 0 hoists)
+      ctx "residency.hoist.cells";
+    if ctx.commit then ctx.changed := !(ctx.changed) + List.length hoists;
+    let hoist_stmts =
+      List.map
+        (fun f ->
+          Spragma
+            ( Offload_transfer
+                { empty_spec with target = f.f_target; ins = [ f.f_sec ] },
+              Sblock [] ))
+        hoists
+    in
+    (* after the loop: hoisted sections are resident even on a
+       zero-trip loop; everything else must both have held before the
+       loop and survive a full body *)
+    let entry_side =
+      List.fold_left add_fact (kl facts)
+        (List.map (fun f -> { f with f_hoist = None }) hoists)
+    in
+    (hoist_stmts @ [ Sfor { fl with body = body' } ],
+     join_facts entry_side (kl out))
+
+(** {1 Per-function driver} *)
+
+let has_offload body =
+  fold_stmts
+    (fun acc s ->
+      match s with
+      | Spragma ((Offload _ | Offload_transfer _), _) -> true
+      | _ -> acc)
+    false body
+
+(* into() sections, translate clauses and raw device allocations
+   manage device buffers explicitly; the per-array shadow model does
+   not describe them, so such functions are left alone. *)
+let explicit_device body =
+  fold_stmts
+    (fun acc s ->
+      acc
+      ||
+      match s with
+      | Spragma ((Offload spec | Offload_transfer spec), _) ->
+          spec.translate <> []
+          || List.exists
+               (fun (sec : section) -> Option.is_some sec.into)
+               (spec.ins @ spec.outs @ spec.inouts)
+      | _ -> false)
+    false body
+  || List.exists
+       (fun e ->
+         fold_expr
+           (fun acc e ->
+             match e with Call ("mic_malloc", _) -> true | _ -> acc)
+           false e)
+       (block_exprs body)
+
+let escaped_vars body =
+  let exprs =
+    block_exprs body
+    @ fold_stmts
+        (fun acc s ->
+          match s with
+          | Spragma (p, _) -> List.rev_append (pragma_exprs p) acc
+          | _ -> acc)
+        [] body
+  in
+  List.sort_uniq compare
+    (List.concat_map
+       (fun e ->
+         fold_expr
+           (fun acc e ->
+             match e with
+             | Addr lv -> (
+                 match lvalue_base lv with
+                 | Some v -> v :: acc
+                 | None -> acc)
+             | Call (_, args) ->
+                 List.filter_map
+                   (function Var v -> Some v | _ -> None)
+                   args
+                 @ acc
+             | _ -> acc)
+           [] e)
+       exprs)
+
+(** Run the pass over every function.  Returns the rewritten program
+    and the number of rewrites (elisions + hoists); 0 means the
+    program is untouched.  Clause-inference diagnostics for the whole
+    program land in [clause.*] counters as a side effect. *)
+let transform ?obs (prog : program) =
+  (match obs with
+  | Some _ -> ignore (Analysis.Clause_infer.diagnose ?obs prog)
+  | None -> ());
+  let changed = ref 0 in
+  let prog' =
+    map_funcs
+      (fun f ->
+        if not (has_offload f.body) then f
+        else if explicit_device f.body then begin
+          (match obs with
+          | Some o -> Obs.incr o "residency.refuse.explicit_device"
+          | None -> ());
+          f
+        end
+        else
+          let ctx =
+            { obs; commit = true; escaped = escaped_vars f.body; changed }
+          in
+          let body', _ = walk_block ctx [] f.body in
+          { f with body = body' })
+      prog
+  in
+  (prog', !changed)
+
+(** Render the residency/clause counters of an [Obs.t] as the
+    [--residency --report] table. *)
+let report obs =
+  let rows =
+    List.filter
+      (fun (k, _) ->
+        let pre p =
+          String.length k >= String.length p
+          && String.equal (String.sub k 0 (String.length p)) p
+        in
+        pre "residency." || pre "clause.")
+      (Obs.counters obs)
+  in
+  if rows = [] then "residency: nothing elided, nothing refused"
+  else
+    let width =
+      List.fold_left (fun w (k, _) -> max w (String.length k)) 0 rows
+    in
+    rows
+    |> List.map (fun (k, v) -> Printf.sprintf "%-*s %6d" width k v)
+    |> String.concat "\n"

@@ -1,0 +1,25 @@
+(** Inter-offload data residency: whole-program transfer elimination.
+
+    Tracks which array sections are device-resident (shadow equal to
+    host) across consecutive offloads, elides [in]/[inout] transfers
+    whose exact section is already resident (rebinding through
+    [nocopy]; an elided [inout] keeps its copy-back by moving to
+    [out]), and hoists loop-invariant transfers out of canonical
+    sequential loops.  Residency dies on host writes, calls, clause
+    re-mentions with different sections, and — at runtime — device
+    resets, whose re-transfer cost the engine charges via
+    [Task.reset_xfer_s].  Under-declared pragmas (per
+    {!Analysis.Clause_infer}), aliased sections, escaped arrays,
+    signalled/impure specs and explicit device management ([into()],
+    [translate], [mic_malloc]) refuse the optimization, each with a
+    counted reason. *)
+
+val transform :
+  ?obs:Obs.t -> Minic.Ast.program -> Minic.Ast.program * int
+(** Rewrite every function; the [int] is the number of rewrites
+    (elided clauses + hoisted transfers), [0] when untouched.
+    Counters land under [residency.*] and [clause.*]. *)
+
+val report : Obs.t -> string
+(** Render the [residency.*]/[clause.*] counters as the
+    [compc --residency --report] table. *)

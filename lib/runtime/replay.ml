@@ -79,6 +79,10 @@ let tasks ?obs ?plan ?(params = default_params) (cfg : Config.t)
   in
   (* the host's synchronous progress: deps for the next sync op *)
   let host_prev = ref [] in
+  (* device cells the next kernel depends on that were NOT transferred
+     (residency elisions, [Ev_resident]): a device reset during that
+     kernel wipes them, so its recovery must pay their re-transfer *)
+  let pending_resident = ref 0 in
   let transfer_task ~label ~h2d ~d2h ~deps =
     (* a transfer event is one DMA; direction by dominant volume *)
     let resource = if d2h > h2d then Task.Pcie_d2h else Task.Pcie_h2d in
@@ -113,6 +117,9 @@ let tasks ?obs ?plan ?(params = default_params) (cfg : Config.t)
       | Minic.Interp.Ev_wait tag ->
           bump "replay.waits";
           host_prev := join tag @ !host_prev
+      | Minic.Interp.Ev_resident { cells } ->
+          bump "replay.resident";
+          pending_resident := !pending_resident + cells
       | Minic.Interp.Ev_kernel { work; wait } ->
           let wait_dep =
             match wait with
@@ -122,11 +129,18 @@ let tasks ?obs ?plan ?(params = default_params) (cfg : Config.t)
                 join tag
           in
           bump "runtime.launches";
+          let reset_xfer_s =
+            if !pending_resident = 0 then 0.
+            else
+              Cost.transfer_time cfg Cost.H2d
+                ~bytes:(float_of_int !pending_resident *. params.bytes_per_cell)
+          in
+          pending_resident := 0;
           let id =
             Task.add b
               ~deps:(wait_dep @ !host_prev)
               ~label:(Printf.sprintf "kernel#%d" i)
-              ~resource:Task.Mic_exec ~kind:Obs.Kernel
+              ~resource:Task.Mic_exec ~kind:Obs.Kernel ~reset_xfer_s
               ~duration:
                 (Cost.launch_time ?obs cfg
                 +. (float_of_int work *. params.seconds_per_stmt))

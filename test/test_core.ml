@@ -34,6 +34,7 @@ let () =
       ("fault", Test_fault.suite);
       ("check", Test_check.suite);
       ("opt", Test_opt.suite);
+      ("residency", Test_residency.suite);
       ("workloads", Test_workloads.suite);
       ("experiments", Test_experiments.suite);
     ]

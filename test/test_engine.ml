@@ -32,13 +32,15 @@ let arb_dag =
                deps;
                kind = None;
                bytes = 0.;
+               reset_xfer_s = 0.;
              })
            (List.combine durations dep_flags)))
   in
   QCheck.make gen
 
 let simple ~resource ~duration ~deps id =
-  { Task.id; label = "t"; resource; duration; deps; kind = None; bytes = 0. }
+  { Task.id; label = "t"; resource; duration; deps; kind = None; bytes = 0.;
+    reset_xfer_s = 0. }
 
 let suite =
   [
