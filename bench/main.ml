@@ -274,7 +274,8 @@ let fault_sweep_specs () =
     (fun s ->
       match Fault.parse s with
       | Ok v -> (s, v)
-      | Error e -> failwith ("fault sweep spec " ^ s ^ ": " ^ e))
+      | Error e ->
+          failwith ("fault sweep spec " ^ s ^ ": " ^ Fault.error_message e))
     [
       "xfer=0.05,seed=1";
       "xfer=0.2,seed=2";
@@ -656,6 +657,153 @@ let residency_mode () =
           output_char oc '\n'))
     !bench_out
 
+(* {1 Graceful degradation: dead-device sweep over the registry} *)
+
+(* The tentpole's headline experiment: every registry workload on a
+   4-device x 2-stream machine, with 0..N of the devices killed on
+   first contact ([devN:kill@0,dead-after=1]).  Blocks assigned to a
+   dead device migrate to the survivors; with every device dead the
+   host runs the remainder.  Records makespan, wire bytes (including
+   migration re-pays) and the recovery counters per point; the sweep
+   asserts the degradation contract — makespan monotonically
+   non-decreasing in the dead-device count, block conservation at
+   every point, host fallback engaged only with all N dead. *)
+let degrade_devices = 4
+let degrade_streams = 2
+
+let degrade_spec ~dead =
+  let s =
+    String.concat ","
+      ("seed=7" :: "dead-after=1"
+      :: List.init dead (fun d -> Printf.sprintf "dev%d:kill@0" d))
+  in
+  match Fault.parse s with
+  | Ok v -> v
+  | Error e -> failwith ("degrade spec " ^ s ^ ": " ^ Fault.error_message e)
+
+(* One (workload, dead-count) cell: interpret, cut the trace into
+   blocks, place them under the killing plan.  Pure, so the grid
+   parallelizes with byte-identical output. *)
+let degrade_cell (w : Workloads.Workload.t) ~dead =
+  let prog = Workloads.Workload.program w in
+  match Minic.Compile_eval.run_compiled prog with
+  | Error e -> failwith ("degrade: " ^ w.name ^ ": " ^ e)
+  | Ok o ->
+      let dcfg =
+        Machine.Config.with_faults
+          (Machine.Config.with_devices cfg ~devices:degrade_devices
+             ~streams:degrade_streams)
+          (degrade_spec ~dead)
+      in
+      let obs = Obs.create () in
+      let m = Runtime.Migrate.schedule ~obs dcfg o.Minic.Interp.events in
+      (m, Obs.count obs "fault.resident_repaid")
+
+let degrade_mode () =
+  Printf.printf
+    "== Graceful degradation: dead-device sweep (%d devices x %d streams) ==\n"
+    degrade_devices degrade_streams;
+  let deads = List.init (degrade_devices + 1) Fun.id in
+  let tasks =
+    List.concat_map
+      (fun (w : Workloads.Workload.t) ->
+        List.map (fun dead () -> degrade_cell w ~dead) deads)
+      Workloads.Registry.all
+  in
+  let results = pmap (fun task -> task ()) tasks in
+  let stride = List.length deads in
+  let failures = ref 0 in
+  let fail fmt =
+    Printf.ksprintf
+      (fun msg ->
+        incr failures;
+        Printf.printf "  FAILED: %s\n" msg)
+      fmt
+  in
+  let workload_json =
+    List.mapi
+      (fun wi (w : Workloads.Workload.t) ->
+        Printf.printf "\n-- %s --\n" w.Workloads.Workload.name;
+        let cells =
+          List.map (fun k -> List.nth results ((wi * stride) + k)) deads
+        in
+        let blocks =
+          match cells with
+          | (m, _) :: _ -> List.length m.Runtime.Migrate.m_placements
+          | [] -> 0
+        in
+        let prev = ref 0. in
+        let points =
+          List.map2
+            (fun dead ((m : Runtime.Migrate.outcome), repaid) ->
+              let mk = m.m_result.Machine.Engine.makespan in
+              Printf.printf
+                "  dead %d: makespan %.6f s, %11.0f bytes moved, %d \
+                 migrated, %d device%s died%s\n"
+                dead mk m.m_bytes_moved m.m_migrated
+                (List.length m.m_dead)
+                (if List.length m.m_dead = 1 then "" else "s")
+                (if m.m_fellback then "  [host fallback]" else "");
+              (* the degradation contract, point by point *)
+              (match Check.migration_conserved ~blocks m with
+              | Some msg -> fail "%s dead=%d: %s" w.name dead msg
+              | None -> ());
+              if mk < !prev -. 1e-9 then
+                fail "%s dead=%d: makespan %.6f s < %.6f s at dead=%d"
+                  w.name dead mk !prev (dead - 1);
+              prev := mk;
+              if m.m_fellback <> (dead = degrade_devices) then
+                fail "%s dead=%d: host fallback %s" w.name dead
+                  (if m.m_fellback then "engaged with survivors left"
+                   else "missing with every device dead");
+              if dead > 0 && blocks > 0 && m.m_migrated = 0 then
+                fail "%s dead=%d: no block migrated" w.name dead;
+              Obs.Json.Obj
+                [
+                  ("dead", Obs.Json.Int dead);
+                  ("makespan_s", Obs.Json.Float mk);
+                  ("bytes_moved", Obs.Json.Float m.m_bytes_moved);
+                  ("migrated_blocks", Obs.Json.Int m.m_migrated);
+                  ("dead_devices", Obs.Json.Int (List.length m.m_dead));
+                  ("resident_repaid", Obs.Json.Int repaid);
+                  ("fellback", Obs.Json.Bool m.m_fellback);
+                ])
+            deads cells
+        in
+        Obs.Json.Obj
+          [
+            ("name", Obs.Json.String w.Workloads.Workload.name);
+            ("blocks", Obs.Json.Int blocks);
+            ("points", Obs.Json.List points);
+          ])
+      Workloads.Registry.all
+  in
+  let json =
+    Obs.Json.Obj
+      [
+        ("bench", Obs.Json.String "degrade");
+        ("devices", Obs.Json.Int degrade_devices);
+        ("streams", Obs.Json.Int degrade_streams);
+        ("contract_failures", Obs.Json.Int !failures);
+        ("workloads", Obs.Json.List workload_json);
+      ]
+  in
+  Printf.printf "\njson: %s\n" (Obs.Json.to_string json);
+  Option.iter
+    (fun path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          output_string oc (Obs.Json.to_string json);
+          output_char oc '\n'))
+    !bench_out;
+  if !failures > 0 then begin
+    Printf.eprintf "degrade: %d contract failure(s)\n" !failures;
+    exit 1
+  end
+  else Printf.printf "degradation contract holds at every point\n"
+
 (* {1 Interpreter throughput: reference vs compiled evaluator} *)
 
 (* Statements/sec for one (engine, program).  One warm-up run yields
@@ -967,13 +1115,14 @@ let () =
     | "check" -> check_mode ()
     | "selfperf" -> selfperf ()
     | "residency" -> residency_mode ()
+    | "degrade" -> degrade_mode ()
     | name -> (
         match List.assoc_opt name Experiments.All.by_name with
         | Some f -> f ()
         | None ->
             Printf.eprintf
               "unknown experiment %s; known: %s ablations profile faults micro \
-               check selfperf residency\n"
+               check selfperf residency degrade\n"
               name
               (String.concat " " Experiments.All.names);
             exit 1)

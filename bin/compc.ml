@@ -43,7 +43,9 @@ let or_die = function
 
 let fault_conv =
   let parse s =
-    match Fault.parse s with Ok spec -> Ok spec | Error e -> Error (`Msg e)
+    match Fault.parse s with
+    | Ok spec -> Ok spec
+    | Error e -> Error (`Msg (Fault.error_message e))
   in
   let print fmt s = Format.pp_print_string fmt (Fault.to_string s) in
   Arg.conv ~docv:"SPEC" (parse, print)
@@ -62,10 +64,36 @@ let faults_arg =
            reset at time T), $(b,myo-stall=P:SECS), and recovery-policy \
            overrides $(b,retries=N), $(b,backoff=BASE:CEIL), $(b,timeout=T), \
            $(b,dead-after=N), $(b,fallback)/$(b,no-fallback), \
-           $(b,slowdown=F), $(b,reset-cost=S)")
+           $(b,slowdown=F), $(b,reset-cost=S).  A clause prefixed \
+           $(b,devN:) (e.g. $(b,dev1:kill\\@0)) applies only to device N \
+           of a multi-device run; unprefixed fault clauses apply to every \
+           device, and policy/seed clauses are always global")
 
-(* exit code for a device declared dead with no CPU fallback *)
+(* exit code for a device declared dead with no CPU fallback; with
+   --devices N this means EVERY device died (migration exhausted) *)
 let exit_device_dead = 3
+
+(* --- --devices N / --streams K (the multi-device machine; shared by
+   run and --profile) --- *)
+
+let devices_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "devices" ] ~docv:"N"
+        ~doc:
+          "Number of identical MIC cards, each with its own PCIe link. \
+           With $(b,--faults), a device declared dead has its remaining \
+           blocks migrated to the survivors; the host CPU runs the rest \
+           only once every device is dead")
+
+let streams_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "streams" ] ~docv:"K"
+        ~doc:
+          "Concurrent streams per device: cores are partitioned evenly \
+           across the streams of a device, which contend for its one \
+           PCIe link")
 
 (* --- --eval ENGINE (shared by run, check and --profile) --- *)
 
@@ -265,7 +293,8 @@ let run_cmd =
          elided transfers show up in the stats line); with \
          $(b,--report), print its counter table"
   in
-  let run file fuel o mpasses report replay engine residency =
+  let run file fuel o mpasses report replay engine residency faults devices
+      streams =
     let prog = or_die (load file) in
     let obs = if report then Some (Obs.create ()) else None in
     let mid = midend ~o ~passes:mpasses ~report:(report && not residency) in
@@ -289,7 +318,64 @@ let run_cmd =
           o.stats.Minic.Interp.offloads o.stats.Minic.Interp.transfers
           o.stats.Minic.Interp.cells_h2d o.stats.Minic.Interp.cells_d2h
           o.stats.Minic.Interp.mic_alloc_cells;
-        if replay then begin
+        let multi =
+          devices > 1 || streams > 1 || not (Fault.is_none faults)
+        in
+        if multi then begin
+          (* The multi-device path: cut the trace into blocks and place
+             them over every (device, stream) unit; device deaths
+             migrate the remainder to the survivors.  The summary and
+             the fault.* counters go to stderr so program output stays
+             byte-identical. *)
+          let cfg =
+            Machine.Config.with_devices
+              (Machine.Config.with_faults Machine.Config.paper_default faults)
+              ~devices ~streams
+          in
+          let mobs = Obs.create () in
+          match
+            Runtime.Migrate.schedule ~obs:mobs cfg o.Minic.Interp.events
+          with
+          | exception Fault.Device_dead { dev; at; failures } ->
+              Printf.eprintf
+                "fault: device %d declared dead at %.6f s after %d failed \
+                 attempts; every device is dead and the policy has no CPU \
+                 fallback\n"
+                dev at failures;
+              exit exit_device_dead
+          | m ->
+              List.iter
+                (fun (d, at) ->
+                  Printf.eprintf "// device %d declared dead at %.6f s\n" d at)
+                m.Runtime.Migrate.m_dead;
+              if m.Runtime.Migrate.m_fellback then
+                Printf.eprintf
+                  "// every device dead: remaining blocks ran on the host \
+                   CPU\n";
+              Printf.eprintf
+                "// migrated schedule: %d block%s on %d device%s x %d \
+                 stream%s, makespan %.6f s\n"
+                (List.length m.Runtime.Migrate.m_placements)
+                (if List.length m.Runtime.Migrate.m_placements = 1 then ""
+                 else "s")
+                devices
+                (if devices = 1 then "" else "s")
+                streams
+                (if streams = 1 then "" else "s")
+                m.Runtime.Migrate.m_result.Machine.Engine.makespan;
+              Printf.eprintf
+                "// fault.migrated_blocks=%d fault.dead_devices=%d \
+                 fault.resident_repaid=%d\n"
+                (Obs.count mobs "fault.migrated_blocks")
+                (Obs.count mobs "fault.dead_devices")
+                (Obs.count mobs "fault.resident_repaid");
+              if replay then begin
+                let r = m.Runtime.Migrate.m_result in
+                prerr_string (Machine.Trace.gantt ~width:64 r);
+                Format.eprintf "%a" Machine.Trace.pp_summary r
+              end
+        end
+        else if replay then begin
           let r =
             Runtime.Replay.schedule Machine.Config.paper_default
               o.Minic.Interp.events
@@ -308,7 +394,8 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Interpret a MiniC program (dual-space reference)")
     Term.(
       const run $ file_arg $ fuel $ optimize_first $ midend_passes_arg
-      $ midend_report_flag $ replay $ eval_arg $ residency)
+      $ midend_report_flag $ replay $ eval_arg $ residency $ faults_arg
+      $ devices_arg $ streams_arg)
 
 (* --- simulate --- *)
 
@@ -526,7 +613,7 @@ let check_cmd =
          h2d no worse without hoists"
   in
   let run file transform runs seed nblocks fuel inject record faults jobs
-      engine o mpasses residency =
+      engine o mpasses residency devices streams =
     let txfs =
       match transform with None -> Check.all_transforms | Some t -> [ t ]
     in
@@ -583,6 +670,61 @@ let check_cmd =
       if residency then Some (Check.check_residency ~engine ~fuel prog)
       else None
     in
+    (* The migration oracle (only with --devices/--streams): the
+       multi-device recovered run must compute the same thing as the
+       clean single-device one, conserve blocks, and finish. *)
+    let migrated_report prog =
+      if devices > 1 || streams > 1 then
+        Some
+          (Check.check_migrated ~engine ~fuel ~devices ~streams ~spec:faults
+             prog)
+      else None
+    in
+    let migrated_fail_reason r =
+      if r.Check.mg_died then
+        "every device died and the policy has no CPU fallback"
+      else
+        match r.Check.mg_conservation with
+        | Some m -> m
+        | None -> Check.verdict_str r.Check.mg_verdict
+    in
+    let handle_migrated ~what = function
+      | None -> ()
+      | Some r ->
+          if Check.migrated_ok r then
+            Printf.printf
+              "  %-11s conserved: %d block%s, %d migrated, %d dead (clean \
+               %.6f s -> recovered %.6f s%s)\n"
+              "migrate" r.Check.mg_blocks
+              (if r.Check.mg_blocks = 1 then "" else "s")
+              r.Check.mg_migrated
+              (List.length r.Check.mg_dead)
+              r.Check.mg_clean_s r.Check.mg_faulted_s
+              (if r.Check.mg_fellback then ", host fallback" else "")
+          else begin
+            incr failures;
+            Printf.printf "  %-11s FAILED on %s: %s\n" "migrate" what
+              (migrated_fail_reason r)
+          end
+    in
+    (* Sweep variant: silent on success, one summary line at the end. *)
+    let mig_checked = ref 0
+    and mig_migrated_total = ref 0
+    and mig_deaths_total = ref 0
+    and mig_failures = ref 0 in
+    let handle_migrated_sweep ~what = function
+      | None -> ()
+      | Some r ->
+          incr mig_checked;
+          mig_migrated_total := !mig_migrated_total + r.Check.mg_migrated;
+          mig_deaths_total := !mig_deaths_total + List.length r.Check.mg_dead;
+          if not (Check.migrated_ok r) then begin
+            incr failures;
+            incr mig_failures;
+            Printf.printf "  %-11s FAILED on %s: %s\n" "migrate" what
+              (migrated_fail_reason r)
+          end
+    in
     (* Report one transform's verdict on one program; on the first
        divergence per transform, shrink, dump, and optionally record. *)
     let handle ~what ~prog (r : Check.report) =
@@ -636,7 +778,8 @@ let check_cmd =
             (handle ~what:f ~prog)
             (Check.check_program ~engine ~fuel ~nblocks ~inject
                ~transforms:txfs prog);
-          handle_residency ~what:f (residency_report prog)
+          handle_residency ~what:f (residency_report prog);
+          handle_migrated ~what:f (migrated_report prog)
         end
         else begin
           (* differential oracle under an injected fault plan: the
@@ -667,7 +810,8 @@ let check_cmd =
               end)
             (Check.check_faulted ~engine ~fuel ~nblocks ~transforms:txfs
                ~spec:faults prog);
-          handle_residency ~what:f (residency_report prog)
+          handle_residency ~what:f (residency_report prog);
+          handle_migrated ~what:f (migrated_report prog)
         end
     | None -> ());
     if runs > 0 then begin
@@ -709,6 +853,7 @@ let check_cmd =
             in
             let opt_v = opt_verdict prog in
             let res_v = residency_report prog in
+            let mig_v = migrated_report prog in
             let outs =
               List.map
                 (fun txf ->
@@ -737,7 +882,7 @@ let check_cmd =
                 })
                 txfs
             in
-            (what, opt_v, res_v, outs))
+            (what, opt_v, res_v, mig_v, outs))
           Check.Genprog.all_patterns
       in
       let outcomes =
@@ -749,9 +894,10 @@ let check_cmd =
       (* Replay in submission order: same prints, same counters, same
          first-divergence-per-transform minimization as sequentially. *)
       List.iter
-        (List.iter (fun (what, opt_v, res_v, outs) ->
+        (List.iter (fun (what, opt_v, res_v, mig_v, outs) ->
              handle_opt ~what opt_v;
              handle_residency ~what res_v;
+             handle_migrated_sweep ~what mig_v;
              List.iter (fun o ->
              (match o.g_app_mismatch with
              | Some b ->
@@ -816,7 +962,13 @@ let check_cmd =
                 (Check.transform_name txf)
                 checked applicable divergences
           | None -> ())
-        txfs
+        txfs;
+      if devices > 1 || streams > 1 then
+        Printf.printf
+          "%-11s checked %d instances, %d blocks migrated, %d device \
+           deaths, %d failures\n"
+          "migrate" !mig_checked !mig_migrated_total !mig_deaths_total
+          !mig_failures
     end;
     if file = None && runs = 0 then begin
       prerr_endline "check: need FILE and/or --runs N";
@@ -847,7 +999,7 @@ let check_cmd =
     Term.(
       const run $ file $ transform $ runs $ seed $ nblocks $ fuel $ inject
       $ record $ faults_arg $ jobs $ eval_arg $ o $ midend_passes_arg
-      $ residency)
+      $ residency $ devices_arg $ streams_arg)
 
 (* --- --profile (top-level) --- *)
 
@@ -872,7 +1024,7 @@ let profile_run ~faults ~engine file out =
                   at
             | None -> ());
             rec_.Runtime.Replay.r_result
-        | exception Fault.Device_dead { at; failures } ->
+        | exception Fault.Device_dead { dev = _; at; failures } ->
             Printf.eprintf
               "fault: device declared dead at %.6f s after %d failed \
                attempts (no CPU fallback in policy)\n"

@@ -321,6 +321,139 @@ let faulted_ok r =
   && (not r.f_died)
   && Float.is_finite r.f_faulted_s
 
+(** {1 Migration differential checking}
+
+    Validates the multi-device degradation ladder.  The program runs
+    under {e both} evaluator engines (the cross-engine oracle: same
+    output, return value and globals), then its trace is scheduled by
+    {!Runtime.Migrate} twice — on the clean single-device machine and
+    on an [N]-device machine under a per-device fault plan.  Faults
+    and migration may only change {e when} things finish, never what
+    the program computes, so beyond the oracle the check enforces the
+    scheduling contract: {e conservation} (every block executes
+    exactly once, on a device that was alive when it finished, with
+    host placements only after total device loss) and a finite
+    recovered makespan. *)
+
+type migrated_report = {
+  mg_verdict : verdict;  (** cross-engine oracle on the program itself *)
+  mg_blocks : int;  (** offload blocks in the trace *)
+  mg_clean_s : float;  (** clean single-device makespan *)
+  mg_faulted_s : float;  (** recovered multi-device makespan *)
+  mg_migrated : int;  (** block re-queues off dead devices *)
+  mg_dead : int list;  (** devices declared dead *)
+  mg_fellback : bool;  (** every device died; the host ran the rest *)
+  mg_bytes_moved : float;  (** wire bytes under the fault plan *)
+  mg_conservation : string option;  (** [Some msg] when violated *)
+  mg_died : bool;  (** unrecoverable: all devices dead, no fallback *)
+}
+
+(* every block exactly once; nothing finishes on a device after its
+   death; host placements only when the ladder fell all the way back *)
+let migration_conserved ~blocks (m : Runtime.Migrate.outcome) =
+  let ids =
+    List.sort compare
+      (List.map (fun p -> p.Runtime.Migrate.pl_block) m.m_placements)
+  in
+  if ids <> List.init blocks Fun.id then
+    Some
+      (Printf.sprintf "placement set is not {0..%d} exactly once"
+         (blocks - 1))
+  else
+    let death d = List.assoc_opt d m.Runtime.Migrate.m_dead in
+    let offender =
+      List.find_opt
+        (fun (p : Runtime.Migrate.placement) ->
+          if p.pl_dev < 0 then not m.Runtime.Migrate.m_fellback
+          else
+            match death p.pl_dev with
+            | Some t -> p.pl_finish > t +. 1e-9
+            | None -> false)
+        m.m_placements
+    in
+    Option.map
+      (fun (p : Runtime.Migrate.placement) ->
+        if p.pl_dev < 0 then
+          Printf.sprintf "block %d ran on the host without fallback"
+            p.pl_block
+        else
+          Printf.sprintf "block %d finished on dev%d after its death"
+            p.pl_block p.pl_dev)
+      offender
+
+(** Run the migration oracle for [prog] on a [devices]x[streams]
+    machine under [spec].  [?engine] picks the primary engine; the
+    other one is always run too for the cross-engine verdict. *)
+let check_migrated ?(engine = Minic.Interp.Compiled) ?fuel ?params
+    ~devices ~streams ~spec prog =
+  let other =
+    match engine with
+    | Minic.Interp.Compiled -> Minic.Interp.Reference
+    | Minic.Interp.Reference -> Minic.Interp.Compiled
+  in
+  let run e = Minic.Compile_eval.run ~engine:e ?fuel prog in
+  let trivial verdict =
+    {
+      mg_verdict = verdict;
+      mg_blocks = 0;
+      mg_clean_s = 0.;
+      mg_faulted_s = 0.;
+      mg_migrated = 0;
+      mg_dead = [];
+      mg_fellback = false;
+      mg_bytes_moved = 0.;
+      mg_conservation = None;
+      mg_died = false;
+    }
+  in
+  match (run engine, run other) with
+  | Error oe, Error te ->
+      trivial (Both_failed { orig_err = oe; transformed_err = te })
+  | Error oe, Ok _ -> trivial (Orig_failed oe)
+  | Ok _, Error te -> trivial (Transform_failed te)
+  | Ok oa, Ok ob -> (
+      let verdict = compare_outcomes oa ob in
+      let events = oa.Minic.Interp.events in
+      let clean_cfg = Machine.Config.paper_default in
+      let fault_cfg =
+        Machine.Config.with_faults
+          (Machine.Config.with_devices clean_cfg ~devices ~streams)
+          spec
+      in
+      let clean = Runtime.Migrate.schedule ?params clean_cfg events in
+      let blocks = List.length clean.Runtime.Migrate.m_placements in
+      let clean_s = clean.Runtime.Migrate.m_result.Machine.Engine.makespan in
+      match Runtime.Migrate.schedule ?params fault_cfg events with
+      | m ->
+          {
+            mg_verdict = verdict;
+            mg_blocks = blocks;
+            mg_clean_s = clean_s;
+            mg_faulted_s = m.Runtime.Migrate.m_result.Machine.Engine.makespan;
+            mg_migrated = m.Runtime.Migrate.m_migrated;
+            mg_dead = List.map fst m.Runtime.Migrate.m_dead;
+            mg_fellback = m.Runtime.Migrate.m_fellback;
+            mg_bytes_moved = m.Runtime.Migrate.m_bytes_moved;
+            mg_conservation = migration_conserved ~blocks m;
+            mg_died = false;
+          }
+      | exception Fault.Device_dead _ ->
+          {
+            (trivial verdict) with
+            mg_blocks = blocks;
+            mg_clean_s = clean_s;
+            mg_faulted_s = Float.nan;
+            mg_died = true;
+          })
+
+(** Acceptable migrated run: cross-engine oracle holds, recovery
+    completed, conservation holds, makespan finite. *)
+let migrated_ok r =
+  (match r.mg_verdict with Equal | Both_failed _ -> true | _ -> false)
+  && (not r.mg_died)
+  && r.mg_conservation = None
+  && Float.is_finite r.mg_faulted_s
+
 (** {1 Residency differential checking}
 
     Output equivalence is necessary but not sufficient for the

@@ -63,6 +63,13 @@ type spec = {
   myo_stall_prob : float;  (** per-page-fault stall probability *)
   myo_stall_s : float;  (** duration of one page-service stall *)
   policy : policy;
+  devs : (int * spec) list;
+      (** per-device refinements ([devN:] clauses), sorted by device
+          index.  The base clauses apply to {e every} device; a
+          sub-spec adds faults for its device on top.  Sub-specs carry
+          only injectable clauses: their [seed], [policy] and [devs]
+          fields stay at the defaults (the recovery policy and seed
+          are global). *)
 }
 
 let none =
@@ -77,11 +84,45 @@ let none =
     myo_stall_prob = 0.;
     myo_stall_s = 0.;
     policy = default_policy;
+    devs = [];
   }
 
-let is_none s =
+let base_is_none s =
   s.xfer_prob = 0. && s.xfer_fail = [] && s.kill = [] && s.drop_signals = []
   && s.delay_signals = [] && s.reset_at = None && s.myo_stall_prob = 0.
+
+let is_none s =
+  base_is_none s
+  && List.for_all (fun (_, sub) -> base_is_none sub) s.devs
+
+(** The effective single-device spec for device [d]: the base clauses
+    (which apply to every device) with [devN:] refinements folded in.
+    Per-device draws still differ because {!plan} offsets the draw
+    stream by the device index. *)
+let spec_for_dev s d =
+  match List.assoc_opt d s.devs with
+  | None -> { s with devs = [] }
+  | Some o ->
+      {
+        s with
+        devs = [];
+        xfer_prob = (if o.xfer_prob > 0. then o.xfer_prob else s.xfer_prob);
+        xfer_fail = s.xfer_fail @ o.xfer_fail;
+        kill = s.kill @ o.kill;
+        drop_signals = s.drop_signals @ o.drop_signals;
+        delay_signals = s.delay_signals @ o.delay_signals;
+        reset_at =
+          (match o.reset_at with Some _ -> o.reset_at | None -> s.reset_at);
+        myo_stall_prob =
+          (if o.myo_stall_prob > 0. then o.myo_stall_prob else s.myo_stall_prob);
+        myo_stall_s =
+          (if o.myo_stall_prob > 0. then o.myo_stall_s else s.myo_stall_s);
+      }
+
+(** Number of devices the spec mentions explicitly: [max devN index + 1],
+    or 0 when no [devN:] clause appears. *)
+let devices_mentioned s =
+  List.fold_left (fun acc (d, _) -> max acc (d + 1)) 0 s.devs
 
 (** {1 Spec grammar}
 
@@ -94,11 +135,24 @@ let is_none s =
     - [delay@TAG:SECS]  the next signal on TAG is delivered late
     - [reset@T]         the device resets at simulated time T
     - [myo-stall=P:SECS] page service stalls with probability P
+    - [devN:CLAUSE]     the injectable clause applies to device N only
+      (policy and seed clauses stay global and are rejected under a
+      [devN:] prefix)
     - [retries=N], [backoff=BASE:CEIL], [timeout=T], [dead-after=N],
       [fallback] / [no-fallback], [slowdown=F], [reset-cost=S]
-      override the recovery policy. *)
+      override the recovery policy.
 
-let clause_err c what = Error (Printf.sprintf "faults: %s in %S" what c)
+    Every malformed clause is a typed {!parse_error} naming the
+    offending token — there is no silent fallback: unknown clauses,
+    empty clauses (trailing commas), bad numbers and out-of-range
+    probabilities are all errors. *)
+
+type parse_error = { token : string; reason : string }
+
+let error_message { token; reason } =
+  Printf.sprintf "faults: %s in %S" reason token
+
+let clause_err c what = Error { token = c; reason = what }
 
 let parse_float c s =
   match float_of_string_opt (String.trim s) with
@@ -118,7 +172,7 @@ let parse_clause spec c =
   let starts key =
     String.length c >= kv key && String.sub c 0 (kv key) = key
   in
-  if c = "" then Ok spec
+  if c = "" then clause_err c "empty clause"
   else if starts "seed=" then
     let* n = parse_int c (after "seed=") in
     Ok { spec with seed = n }
@@ -194,29 +248,77 @@ let parse_clause spec c =
     Ok { spec with policy = { spec.policy with cpu_fallback = true } }
   else clause_err c "unknown clause"
 
-let parse s =
-  let clauses = String.split_on_char ',' s in
-  let rec go spec = function
-    | [] ->
-        (* clauses prepend; restore left-to-right order *)
-        Ok
-          {
-            spec with
-            xfer_fail = List.rev spec.xfer_fail;
-            kill = List.rev spec.kill;
-            drop_signals = List.rev spec.drop_signals;
-            delay_signals = List.rev spec.delay_signals;
-          }
-    | c :: rest -> (
-        match parse_clause spec (String.trim c) with
-        | Ok spec -> go spec rest
-        | Error _ as e -> e)
-  in
-  go none clauses
+(* clauses prepend; restore left-to-right order *)
+let unrev spec =
+  {
+    spec with
+    xfer_fail = List.rev spec.xfer_fail;
+    kill = List.rev spec.kill;
+    drop_signals = List.rev spec.drop_signals;
+    delay_signals = List.rev spec.delay_signals;
+  }
 
-let to_string s =
+(* [devN:] carries only injectable faults; the recovery policy and the
+   seed are properties of the whole plan *)
+let dev_clause_allowed c =
+  List.exists
+    (fun key ->
+      String.length c >= String.length key
+      && String.sub c 0 (String.length key) = key)
+    [ "xfer="; "xfer@"; "kill@"; "drop@"; "delay@"; "reset@"; "myo-stall=" ]
+
+(* A [devN:] prefix: "dev", a non-empty run of digits, ':'.  Returns
+   [(device, rest-of-clause)]. *)
+let split_dev_prefix c =
+  let n = String.length c in
+  if n < 5 || String.sub c 0 3 <> "dev" then None
+  else
+    match String.index_opt c ':' with
+    | Some i when i > 3 -> (
+        match int_of_string_opt (String.sub c 3 (i - 3)) with
+        | Some d when d >= 0 -> Some (d, String.sub c (i + 1) (n - i - 1))
+        | _ -> None)
+    | _ -> None
+
+let parse s =
+  if String.trim s = "" then Ok none
+  else
+    let clauses = String.split_on_char ',' s in
+    let rec go spec = function
+      | [] ->
+          let devs =
+            List.sort
+              (fun (a, _) (b, _) -> compare a b)
+              (List.map (fun (d, sub) -> (d, unrev sub)) spec.devs)
+          in
+          Ok { (unrev spec) with devs }
+      | c :: rest -> (
+          let c = String.trim c in
+          match split_dev_prefix c with
+          | Some (d, sub_clause) ->
+              if not (dev_clause_allowed sub_clause) then
+                clause_err c "policy/seed clauses are global, not per-device"
+              else
+                let sub =
+                  Option.value (List.assoc_opt d spec.devs) ~default:none
+                in
+                let* sub =
+                  Result.map_error
+                    (fun e -> { e with token = c })
+                    (parse_clause sub sub_clause)
+                in
+                go
+                  { spec with devs = (d, sub) :: List.remove_assoc d spec.devs }
+                  rest
+          | None -> (
+              match parse_clause spec c with
+              | Ok spec -> go spec rest
+              | Error _ as e -> e))
+    in
+    go none clauses
+
+let base_clauses s =
   let p = s.policy and d = default_policy in
-  let clauses =
     (if s.seed <> 0 then [ Printf.sprintf "seed=%d" s.seed ] else [])
     @ (if s.xfer_prob > 0. then [ Printf.sprintf "xfer=%g" s.xfer_prob ]
        else [])
@@ -252,12 +354,19 @@ let to_string s =
     @ (if p.fallback_slowdown <> d.fallback_slowdown then
          [ Printf.sprintf "slowdown=%g" p.fallback_slowdown ]
        else [])
-    @
-    if p.reset_recovery_s <> d.reset_recovery_s then
-      [ Printf.sprintf "reset-cost=%g" p.reset_recovery_s ]
-    else []
+  @
+  if p.reset_recovery_s <> d.reset_recovery_s then
+    [ Printf.sprintf "reset-cost=%g" p.reset_recovery_s ]
+  else []
+
+let to_string s =
+  let dev_clauses =
+    List.concat_map
+      (fun (d, sub) ->
+        List.map (fun c -> Printf.sprintf "dev%d:%s" d c) (base_clauses sub))
+      s.devs
   in
-  String.concat "," clauses
+  String.concat "," (base_clauses s @ dev_clauses)
 
 (** {1 Deterministic draws}
 
@@ -288,6 +397,7 @@ let draw spec ~stream ~index =
 
 type t = {
   spec : spec;
+  dev : int;  (** device this plan instance belongs to *)
   mutable xfer_ix : int;  (** index of the next transfer *)
   mutable consecutive : int;  (** consecutive exhausted retry rounds *)
   mutable myo_ix : int;  (** index of the next page-fault batch *)
@@ -297,9 +407,15 @@ type t = {
   obs : Obs.t option;
 }
 
-let plan ?obs spec =
+(* Each plan instance owns ALL its one-shot state ([reset_taken], the
+   drop/delay tables) and its per-device draw streams: two consumers
+   must never share one [t] — each engine instantiates its own plan
+   from the (immutable) spec, so e.g. parallel sweeps each observe
+   their own [reset@T] rather than racing for one. *)
+let plan ?obs ?(dev = 0) spec =
   {
-    spec;
+    spec = spec_for_dev spec dev;
+    dev;
     xfer_ix = 0;
     consecutive = 0;
     myo_ix = 0;
@@ -309,15 +425,34 @@ let plan ?obs spec =
     obs;
   }
 
-let plan_of ?obs spec = if is_none spec then None else Some (plan ?obs spec)
+let plan_of ?obs ?dev spec =
+  if is_none spec then None else Some (plan ?obs ?dev spec)
 
 let spec t = t.spec
 let policy t = t.spec.policy
+let dev t = t.dev
 
 let bump ?(by = 1) t name =
   match t.obs with None -> () | Some o -> Obs.incr ~by o name
 
-exception Device_dead of { at : float; failures : int }
+exception Device_dead of { dev : int; at : float; failures : int }
+
+(** {2 Fleets}
+
+    One plan instance per device, all derived from a single spec: the
+    base clauses apply to every device, [devN:] refinements to theirs.
+    Draw streams are offset by device index, so two devices under the
+    same probabilistic clause fail independently. *)
+
+type fleet = t array
+
+let fleet ?obs ~devices spec =
+  Array.init (max 1 devices) (fun d -> plan ?obs ~dev:d spec)
+
+let fleet_of ?obs ~devices spec =
+  if is_none spec then None else Some (fleet ?obs ~devices spec)
+
+let fleet_plan (f : fleet) ~dev = f.(min dev (Array.length f - 1))
 
 (** Exponential backoff paid after [failures] failed attempts:
     [sum_{j=1..failures} min(base * 2^(j-1), ceiling)]. *)
@@ -353,7 +488,8 @@ let attempt_fails t ~index ~attempt =
   in
   List.mem index t.spec.kill || attempt < forced
   || t.spec.xfer_prob > 0.
-     && draw t.spec ~stream:0 ~index:((index * 1_000_003) + attempt)
+     && draw t.spec ~stream:(2 * t.dev)
+          ~index:((index * 1_000_003) + attempt)
         < t.spec.xfer_prob
 
 (** Outcome of the next transfer under the plan: how many attempts
@@ -428,7 +564,12 @@ let signal_fate t ~tag =
 (** {2 Device reset} *)
 
 (** If the one-shot [reset@T] falls inside [[start, stop)], consume it
-    and return the reset time and the recovery cost. *)
+    and return the reset time and the recovery cost.
+
+    The one-shot consumption is {e per plan instance}: [reset_taken]
+    lives in {!t}, never in the spec, so every plan instantiated from
+    the same spec observes its own reset exactly once.  Consumers must
+    therefore not share a plan — one engine, one plan. *)
 let take_reset t ~start ~stop =
   match t.spec.reset_at with
   | Some r when (not t.reset_taken) && r >= start && r < stop ->
@@ -445,7 +586,7 @@ let myo_stall t =
   t.myo_ix <- index + 1;
   if
     t.spec.myo_stall_prob > 0.
-    && draw t.spec ~stream:1 ~index < t.spec.myo_stall_prob
+    && draw t.spec ~stream:((2 * t.dev) + 1) ~index < t.spec.myo_stall_prob
   then begin
     bump t "fault.myo_stalls";
     Some t.spec.myo_stall_s

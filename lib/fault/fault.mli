@@ -46,6 +46,11 @@ type spec = {
   myo_stall_prob : float;  (** per-page-fault stall probability *)
   myo_stall_s : float;  (** duration of one page-service stall *)
   policy : policy;
+  devs : (int * spec) list;
+      (** per-device refinements ([devN:] clauses), sorted by device
+          index; base clauses apply to every device.  Sub-specs carry
+          only injectable clauses (their seed/policy/devs stay at the
+          defaults — the recovery policy and seed are global). *)
 }
 
 val none : spec
@@ -53,38 +58,76 @@ val none : spec
 
 val is_none : spec -> bool
 
-val parse : string -> (spec, string) result
+val spec_for_dev : spec -> int -> spec
+(** The effective single-device spec for a device: base clauses plus
+    that device's [devN:] refinements, with [devs = []]. *)
+
+val devices_mentioned : spec -> int
+(** [max devN index + 1] over the [devN:] clauses, 0 when none. *)
+
+type parse_error = { token : string; reason : string }
+(** A malformed [--faults] clause: the offending token and why it was
+    rejected.  There is no silent fallback — unknown clauses, empty
+    clauses (trailing commas), bad numbers, out-of-range probabilities
+    and per-device policy clauses are all errors. *)
+
+val error_message : parse_error -> string
+(** ["faults: <reason> in \"<token>\""]. *)
+
+val parse : string -> (spec, parse_error) result
 (** The [--faults] grammar: comma-separated [seed=N], [xfer=P],
     [xfer@I], [xfer@I*K], [kill@I], [drop@TAG], [delay@TAG:SECS],
-    [reset@T], [myo-stall=P:SECS], and policy overrides [retries=N],
+    [reset@T], [myo-stall=P:SECS], any of those behind a [devN:]
+    prefix (device-N-only), and global policy overrides [retries=N],
     [backoff=BASE:CEIL], [timeout=T], [dead-after=N],
     [fallback]/[no-fallback], [slowdown=F], [reset-cost=S]. *)
 
 val to_string : spec -> string
-(** Canonical spec string; [parse (to_string s)] round-trips. *)
+(** Canonical spec string; [parse (to_string s)] round-trips
+    (property-tested, including [devN:] refinements). *)
 
 (** {1 Plans} *)
 
 type t
 (** A mutable plan instantiated from a spec: tracks the transfer
     index, the consecutive-failure count for the degradation policy,
-    and which one-shot faults were already consumed. *)
+    and which one-shot faults were already consumed.  All one-shot
+    state is per plan instance — consumers must not share a [t]; each
+    engine instantiates its own from the immutable spec. *)
 
-val plan : ?obs:Obs.t -> spec -> t
+val plan : ?obs:Obs.t -> ?dev:int -> spec -> t
 (** With [?obs], every injection/retry/reset/timeout/fallback bumps a
     [fault.*] counter and recovery times land in the [fault.recovery_s]
-    histogram. *)
+    histogram.  [?dev] (default 0) selects the device: the spec is
+    specialized with {!spec_for_dev} and the probabilistic draw
+    streams are offset so devices fail independently. *)
 
-val plan_of : ?obs:Obs.t -> spec -> t option
+val plan_of : ?obs:Obs.t -> ?dev:int -> spec -> t option
 (** [None] for {!none} — the no-overhead fast path. *)
 
 val spec : t -> spec
 val policy : t -> policy
 
-exception Device_dead of { at : float; failures : int }
-(** The degradation policy declared the device dead at simulated time
-    [at] after [failures] failed attempts.  Raised by the engine;
-    recovered (CPU fallback) or surfaced by the strategy layer. *)
+val dev : t -> int
+(** The device this plan instance belongs to. *)
+
+exception Device_dead of { dev : int; at : float; failures : int }
+(** The degradation policy declared device [dev] dead at simulated
+    time [at] after [failures] failed attempts.  Raised by the engine;
+    recovered (migration to surviving devices, then CPU fallback) or
+    surfaced by the strategy layer. *)
+
+(** {1 Fleets} *)
+
+type fleet = t array
+(** One plan instance per device (index = device). *)
+
+val fleet : ?obs:Obs.t -> devices:int -> spec -> fleet
+
+val fleet_of : ?obs:Obs.t -> devices:int -> spec -> fleet option
+(** [None] for {!none}. *)
+
+val fleet_plan : fleet -> dev:int -> t
 
 val backoff_total : t -> failures:int -> float
 (** Total backoff delay after [failures] failed attempts:
@@ -116,7 +159,10 @@ val signal_fate : t -> tag:int -> fate
 
 val take_reset : t -> start:float -> stop:float -> (float * float) option
 (** If the one-shot [reset@T] falls inside [[start, stop)], consume it
-    and return [(reset_time, recovery_cost)]. *)
+    and return [(reset_time, recovery_cost)].  The one-shot state is
+    {e per plan instance} ([t]), never shared through the spec: two
+    engines holding plans built from the same spec each observe their
+    own reset (regression-tested). *)
 
 (** {2 MYO stalls} *)
 

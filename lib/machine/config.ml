@@ -58,9 +58,18 @@ type t = {
   mic : mic;
   pcie : pcie;
   myo : myo;
+  devices : int;
+      (** identical MIC cards attached to the host, each with its own
+          PCIe link described by [pcie]; the classic model is 1 *)
+  streams : int;
+      (** concurrent streams per device: the device's cores are
+          partitioned evenly across them (a kernel on one stream runs
+          on [cores/streams] cores), and all streams of a device
+          contend for its one PCIe link *)
   fault : Fault.spec;
       (** injected-failure plan and recovery policy; {!Fault.none}
-          (the default) costs nothing anywhere *)
+          (the default) costs nothing anywhere.  With [devices > 1]
+          the spec's [devN:] clauses refine individual devices *)
 }
 
 let gib = 1024 * 1024 * 1024
@@ -106,10 +115,19 @@ let paper_default =
         max_allocs = 4096;
         max_total_bytes = 512 * 1024 * 1024;
       };
+    devices = 1;
+    streams = 1;
     fault = Fault.none;
   }
 
 let with_faults t fault = { t with fault }
+
+(** Install a device/stream grid; both clamped to at least 1. *)
+let with_devices t ~devices ~streams =
+  { t with devices = max 1 devices; streams = max 1 streams }
+
+(** Total concurrent execution units: [devices * streams]. *)
+let units t = max 1 t.devices * max 1 t.streams
 
 (** Effective SIMD lanes for [float] (32-bit) elements. *)
 let simd_lanes bits = bits / 32

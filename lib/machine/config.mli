@@ -57,13 +57,27 @@ type t = {
   mic : mic;
   pcie : pcie;
   myo : myo;
+  devices : int;
+      (** identical MIC cards attached to the host, each with its own
+          PCIe link described by [pcie]; the classic model is 1 *)
+  streams : int;
+      (** concurrent streams per device: cores are partitioned evenly
+          across them, and all streams of a device contend for its one
+          PCIe link *)
   fault : Fault.spec;
       (** injected-failure plan and recovery policy; [Fault.none] (the
-          default) costs nothing anywhere *)
+          default) costs nothing anywhere.  With [devices > 1] the
+          spec's [devN:] clauses refine individual devices *)
 }
 
 val with_faults : t -> Fault.spec -> t
 (** The config with a fault plan installed. *)
+
+val with_devices : t -> devices:int -> streams:int -> t
+(** Install a device/stream grid; both clamped to at least 1. *)
+
+val units : t -> int
+(** Total concurrent execution units: [devices * streams]. *)
 
 val gib : int
 val paper_default : t

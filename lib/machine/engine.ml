@@ -110,12 +110,15 @@ let recovery_task (t : Task.t) ~duration =
 (* Fault consultation for one task about to run at [start]: returns
    [(busy, recovery)] — the time the task itself occupies its resource
    (including retransfers or a killed-and-rerun kernel) and the extra
-   recovery tail (backoff, resets).  Raises {!Fault.Device_dead} when
-   the degradation policy gives up. *)
-let faulted_times plan (t : Task.t) ~start =
+   recovery tail (backoff, resets).  The plan consulted is the one for
+   the device the task's resource belongs to.  Raises
+   {!Fault.Device_dead} (with the device index) when the degradation
+   policy gives up on that device. *)
+let faulted_times fleet (t : Task.t) ~start =
   let dur = t.Task.duration in
   match t.Task.resource with
-  | (Task.Pcie_h2d | Task.Pcie_d2h) when dur > 0. ->
+  | (Task.Pcie_h2d dev | Task.Pcie_d2h dev) when dur > 0. ->
+      let plan = Fault.fleet_plan fleet ~dev in
       let rep = Fault.next_transfer plan in
       let p = Fault.policy plan in
       let overhead failures resets =
@@ -126,6 +129,7 @@ let faulted_times plan (t : Task.t) ~start =
         raise
           (Fault.Device_dead
              {
+               dev;
                at =
                  start
                  +. (float_of_int rep.Fault.xr_failures *. dur)
@@ -138,7 +142,8 @@ let faulted_times plan (t : Task.t) ~start =
            block per failed attempt, never by the whole offload *)
         ( float_of_int (rep.Fault.xr_failures + 1) *. dur,
           overhead rep.Fault.xr_failures rep.Fault.xr_resets )
-  | Task.Mic_exec when dur > 0. -> (
+  | Task.Mic_exec (dev, _) when dur > 0. -> (
+      let plan = Fault.fleet_plan fleet ~dev in
       match Fault.take_reset plan ~start ~stop:(start +. dur) with
       | None -> (dur, 0.)
       | Some (reset_time, recovery) ->
@@ -148,6 +153,29 @@ let faulted_times plan (t : Task.t) ~start =
              kernel elided via residency) must be moved again first *)
           ((reset_time -. start) +. dur, recovery +. t.Task.reset_xfer_s))
   | _ -> (dur, 0.)
+
+(** Assemble a {!result} from already-placed tasks (in completion
+    order): makespan is the latest finish, busy rows cover
+    {!Task.base_resources} plus every resource the placements touch.
+    Exposed so composite schedulers (e.g. block migration) can merge
+    placements from several engine runs into one report. *)
+let result_of_placed (placed : placed list) : result =
+  let makespan =
+    List.fold_left (fun acc p -> Float.max acc p.finish) 0. placed
+  in
+  let rows = Task.resources_of (List.map (fun p -> p.task) placed) in
+  let busy =
+    List.map
+      (fun r ->
+        ( r,
+          List.fold_left
+            (fun acc p ->
+              if p.task.Task.resource = r then acc +. p.task.Task.duration
+              else acc)
+            0. placed ))
+      rows
+  in
+  { placed; makespan; busy }
 
 let schedule ?obs ?faults (tasks : Task.t list) : result =
   let n = List.length tasks in
@@ -198,7 +226,7 @@ let schedule ?obs ?faults (tasks : Task.t list) : result =
         let busy, recovery =
           match faults with
           | None -> (t.Task.duration, 0.)
-          | Some plan -> faulted_times plan t ~start
+          | Some fleet -> faulted_times fleet t ~start
         in
         let fin = start +. busy +. recovery in
         Hashtbl.replace finish t.Task.id fin;
@@ -230,7 +258,9 @@ let schedule ?obs ?faults (tasks : Task.t list) : result =
             Obs.observe o ("span_s." ^ Obs.kind_name kind) busy;
             if
               recovery > 0.
-              && t.Task.resource = Task.Mic_exec
+              && (match t.Task.resource with
+                 | Task.Mic_exec _ -> true
+                 | _ -> false)
               && t.Task.reset_xfer_s > 0.
             then begin
               (* a reset wiped device-resident data this kernel relied
@@ -267,22 +297,7 @@ let schedule ?obs ?faults (tasks : Task.t list) : result =
     raise
       (Cycle
          (Printf.sprintf "dependency cycle among %d tasks" (n - !scheduled)));
-  let placed = List.rev !placed in
-  let makespan =
-    List.fold_left (fun acc p -> Float.max acc p.finish) 0. placed
-  in
-  let busy =
-    List.map
-      (fun r ->
-        ( r,
-          List.fold_left
-            (fun acc p ->
-              if p.task.Task.resource = r then acc +. p.task.Task.duration
-              else acc)
-            0. placed ))
-      Task.all_resources
-  in
-  { placed; makespan; busy }
+  result_of_placed (List.rev !placed)
 
 (** Makespan of a task list (convenience). *)
 let makespan tasks = (schedule tasks).makespan

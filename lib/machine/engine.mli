@@ -18,21 +18,30 @@ type result = {
 
 exception Cycle of string
 
-val schedule : ?obs:Obs.t -> ?faults:Fault.t -> Task.t list -> result
+val result_of_placed : placed list -> result
+(** Assemble a {!result} from already-placed tasks (in completion
+    order): makespan is the latest finish, busy rows cover
+    {!Task.base_resources} plus every resource the placements touch.
+    For composite schedulers (e.g. block migration) that merge
+    placements from several engine runs into one report. *)
+
+val schedule : ?obs:Obs.t -> ?faults:Fault.fleet -> Task.t list -> result
 (** Raises {!Cycle} on cyclic dependencies and [Invalid_argument] on
     dangling ones.  With [?obs], every placed task is recorded as one
     span (kind from the task, or {!Task.default_kind} of its resource)
     plus an [engine.tasks] counter and per-kind duration histograms.
 
-    With [?faults], PCIe tasks consult the plan: a failed attempt
+    With [?faults], PCIe tasks consult the plan of the device their
+    resource belongs to ({!Fault.fleet_plan}): a failed attempt
     retransfers {e only that block} (busy time grows by one block per
     failure) and pays exponential backoff plus any device resets as an
     [Obs.Retry] recovery tail — a synthetic placed entry, so profiles
-    show recovery as its own phase.  A kernel crossing the plan's
+    show recovery as its own phase.  A kernel crossing its plan's
     [reset@T] loses its progress and reruns after the reset recovery.
-    When the degradation policy declares the device dead, the engine
-    raises {!Fault.Device_dead}; recovery (CPU fallback) happens at
-    the strategy layer ([Schedule_gen] / [Replay]). *)
+    When the degradation policy declares a device dead, the engine
+    raises {!Fault.Device_dead} carrying the device index; recovery
+    (migration to surviving devices, then CPU fallback) happens at the
+    strategy layer ([Schedule_gen] / [Replay] / [Migrate]). *)
 
 val makespan : Task.t list -> float
 

@@ -3,12 +3,20 @@
 
 type resource =
   | Cpu_exec  (** host cores: sequential glue, repacking *)
-  | Mic_exec  (** device cores: offloaded kernels *)
-  | Pcie_h2d  (** host-to-device DMA channel *)
-  | Pcie_d2h  (** device-to-host DMA channel *)
+  | Mic_exec of int * int
+      (** one stream's core partition on one device: [(device, stream)] *)
+  | Pcie_h2d of int  (** host-to-device DMA channel of device [d] *)
+  | Pcie_d2h of int  (** device-to-host DMA channel of device [d] *)
 
-val all_resources : resource list
+val base_resources : resource list
+(** The classic single-MIC view: [cpu; mic(0,0); h2d 0; d2h 0]. *)
+
 val resource_name : resource -> string
+(** ["cpu"], ["mic"]/["micD.S"], ["h2d"]/["h2dD"], ["d2h"]/["d2hD"] —
+    device-0/stream-0 names match the historical single-device ones. *)
+
+val resource_device : resource -> int option
+(** The device a resource belongs to; [None] for the host. *)
 
 type t = {
   id : int;
@@ -29,6 +37,10 @@ type t = {
 
 val default_kind : resource -> Obs.kind
 (** The kind the engine assumes for an untagged task on a resource. *)
+
+val resources_of : t list -> resource list
+(** {!base_resources} plus every resource the tasks use, in canonical
+    report order (cpu, kernels by device/stream, links by device). *)
 
 (** Monotonic id supply for building task graphs. *)
 type builder

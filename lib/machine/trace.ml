@@ -19,7 +19,7 @@ let gantt ?(width = 72) (r : Engine.result) =
   else begin
     let scale = float_of_int width /. r.makespan in
     List.iter
-      (fun res ->
+      (fun (res, _) ->
         let row = Bytes.make width '.' in
         List.iter
           (fun (p : Engine.placed) ->
@@ -32,16 +32,16 @@ let gantt ?(width = 72) (r : Engine.result) =
                 Bytes.set row i
                   (match res with
                   | Task.Cpu_exec -> 'C'
-                  | Task.Mic_exec -> 'K'
-                  | Task.Pcie_h2d -> '>'
-                  | Task.Pcie_d2h -> '<')
+                  | Task.Mic_exec _ -> 'K'
+                  | Task.Pcie_h2d _ -> '>'
+                  | Task.Pcie_d2h _ -> '<')
               done
             end)
           r.placed;
         Buffer.add_string buf
           (Printf.sprintf "%-4s |%s|\n" (Task.resource_name res)
              (Bytes.to_string row)))
-      Task.all_resources;
+      r.busy;
     Buffer.contents buf
   end
 

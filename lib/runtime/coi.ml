@@ -18,10 +18,22 @@ type t = {
   mutable wait_cost : float;
   obs : Obs.t option;
   plan : Fault.t option;
+  dev : int;  (** the device this channel talks to *)
 }
 
-let create ?obs ?plan ?(signal_cost = 5.0e-6) ?(wait_cost = 1.0e-6) () =
-  { signals = Hashtbl.create 16; signal_cost; wait_cost; obs; plan }
+(* a channel connects the host to ONE device's persistent kernel;
+   [?dev] defaults to the fault plan's device so per-device plans and
+   their channels stay aligned *)
+let create ?obs ?plan ?dev ?(signal_cost = 5.0e-6) ?(wait_cost = 1.0e-6) () =
+  let dev =
+    match (dev, plan) with
+    | Some d, _ -> max 0 d
+    | None, Some p -> Fault.dev p
+    | None, None -> 0
+  in
+  { signals = Hashtbl.create 16; signal_cost; wait_cost; obs; plan; dev }
+
+let dev t = t.dev
 
 exception Never_signalled of int
 

@@ -10,6 +10,7 @@ type t
 val create :
   ?obs:Obs.t ->
   ?plan:Fault.t ->
+  ?dev:int ->
   ?signal_cost:float ->
   ?wait_cost:float ->
   unit ->
@@ -17,7 +18,12 @@ val create :
 (** With [?obs], every signal/wait is counted ([coi.signals] /
     [coi.waits]) and recorded as an {!Obs.Signal} span on the simulated
     clock.  With [?plan], signals may be dropped or delayed and waits
-    default to the plan's recovery timeout. *)
+    default to the plan's recovery timeout.  A channel connects the
+    host to one device's persistent kernel: [?dev] defaults to the
+    plan's device (else 0). *)
+
+val dev : t -> int
+(** The device this channel talks to. *)
 
 exception Never_signalled of int
 

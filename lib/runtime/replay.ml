@@ -84,8 +84,10 @@ let tasks ?obs ?plan ?(params = default_params) (cfg : Config.t)
      kernel wipes them, so its recovery must pay their re-transfer *)
   let pending_resident = ref 0 in
   let transfer_task ~label ~h2d ~d2h ~deps =
-    (* a transfer event is one DMA; direction by dominant volume *)
-    let resource = if d2h > h2d then Task.Pcie_d2h else Task.Pcie_h2d in
+    (* a transfer event is one DMA; direction by dominant volume.  The
+       replayed trace is single-device (device 0): multi-device
+       placement of a trace is {!Migrate}'s job *)
+    let resource = if d2h > h2d then Task.Pcie_d2h 0 else Task.Pcie_h2d 0 in
     let dir = if d2h > h2d then Cost.D2h else Cost.H2d in
     let bytes = float_of_int (h2d + d2h) *. params.bytes_per_cell in
     Task.add b ~deps ~label ~resource ~kind:(Cost.kind_of_direction dir)
@@ -140,7 +142,8 @@ let tasks ?obs ?plan ?(params = default_params) (cfg : Config.t)
             Task.add b
               ~deps:(wait_dep @ !host_prev)
               ~label:(Printf.sprintf "kernel#%d" i)
-              ~resource:Task.Mic_exec ~kind:Obs.Kernel ~reset_xfer_s
+              ~resource:(Task.Mic_exec (0, 0))
+              ~kind:Obs.Kernel ~reset_xfer_s
               ~duration:
                 (Cost.launch_time ?obs cfg
                 +. (float_of_int work *. params.seconds_per_stmt))
@@ -155,10 +158,14 @@ let tasks ?obs ?plan ?(params = default_params) (cfg : Config.t)
     lands in the makespan.  An unrecoverable device death escapes as
     {!Fault.Device_dead} — use {!schedule_recovered} to absorb it. *)
 let schedule ?obs ?params (cfg : Config.t) events =
-  match Fault.plan_of ?obs cfg.Config.fault with
+  match Fault.fleet_of ?obs ~devices:cfg.Config.devices cfg.Config.fault with
   | None -> Engine.schedule ?obs (tasks ?obs ?params cfg events)
-  | Some plan ->
-      Engine.schedule ?obs ~faults:plan (tasks ?obs ~plan ?params cfg events)
+  | Some fleet ->
+      (* signal fates are drawn from device 0's plan — the replayed
+         trace places everything there, so the engine consults the
+         same instance for its transfers *)
+      let plan = Fault.fleet_plan fleet ~dev:0 in
+      Engine.schedule ?obs ~faults:fleet (tasks ?obs ~plan ?params cfg events)
 
 let makespan ?params cfg events = (schedule ?params cfg events).Engine.makespan
 
@@ -205,25 +212,26 @@ let fallback_tasks ?(params = default_params) (cfg : Config.t) ~died_at
     at [fallback_slowdown], with the lost device time charged up
     front.  Without [cpu_fallback] the death re-escapes. *)
 let schedule_recovered ?obs ?params (cfg : Config.t) events =
-  match Fault.plan_of ?obs cfg.Config.fault with
+  match Fault.fleet_of ?obs ~devices:cfg.Config.devices cfg.Config.fault with
   | None ->
       {
         r_result = Engine.schedule ?obs (tasks ?obs ?params cfg events);
         r_fellback = false;
         r_died_at = None;
       }
-  | Some plan -> (
+  | Some fleet -> (
+      let plan = Fault.fleet_plan fleet ~dev:0 in
       try
         {
           r_result =
-            Engine.schedule ?obs ~faults:plan
+            Engine.schedule ?obs ~faults:fleet
               (tasks ?obs ~plan ?params cfg events);
           r_fellback = false;
           r_died_at = None;
         }
-      with Fault.Device_dead { at; failures } ->
+      with Fault.Device_dead { dev; at; failures } ->
         if not (Fault.policy plan).Fault.cpu_fallback then
-          raise (Fault.Device_dead { at; failures })
+          raise (Fault.Device_dead { dev; at; failures })
         else begin
           Fault.note_fallback plan;
           let fb = fallback_tasks ?params cfg ~died_at:at events in

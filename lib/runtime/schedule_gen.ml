@@ -21,16 +21,33 @@ let cpu_compute (cfg : Machine.Config.t) (s : P.shape) =
 
 (** Task graph for one (shape, strategy).  The graph covers the
     offloadable part of the application only; [host_serial_s] is added
-    by {!total_time}. *)
-let tasks ?obs cfg (shape : P.shape) (strategy : P.strategy) : Task.t list =
+    by {!total_time}.
+
+    [?alive] restricts placement to the listed devices (default: all
+    of [cfg.devices]); the migration ladder of {!schedule_recovered}
+    shrinks it as devices die.  Streaming spreads its blocks
+    round-robin over every alive (device, stream) unit; the other
+    strategies run on the first alive device. *)
+let tasks ?obs ?alive cfg (shape : P.shape) (strategy : P.strategy) :
+    Task.t list =
   let b = Task.builder () in
-  (* half-duplex links serialize both directions on one channel; the
-     observability kind survives the remap, so d2h traffic is still
-     accounted as d2h *)
+  let alive =
+    match alive with
+    | Some (_ :: _ as l) -> List.sort_uniq compare l
+    | Some [] | None ->
+        List.init (max 1 cfg.Machine.Config.devices) Fun.id
+  in
+  let dev0 = List.hd alive in
+  let mic = Task.Mic_exec (dev0, 0) in
+  let h2d = Task.Pcie_h2d dev0 in
+  let d2h = Task.Pcie_d2h dev0 in
+  (* half-duplex links serialize both directions on one channel (per
+     device); the observability kind survives the remap, so d2h
+     traffic is still accounted as d2h *)
   let add ?deps ?kind ?bytes ~label ~resource ~duration () =
     let resource =
       match (cfg.Machine.Config.pcie.duplex, resource) with
-      | Machine.Config.Half_duplex, Task.Pcie_d2h -> Task.Pcie_h2d
+      | Machine.Config.Half_duplex, Task.Pcie_d2h d -> Task.Pcie_h2d d
       | _ -> resource
     in
     Task.add b ?deps ?kind ?bytes ~label ~resource ~duration ()
@@ -76,7 +93,7 @@ let tasks ?obs cfg (shape : P.shape) (strategy : P.strategy) : Task.t list =
           let t_in =
             add ~deps:!prev
               ~label:(Printf.sprintf "h2d r%d.%d" r j)
-              ~resource:Task.Pcie_h2d ~kind:Obs.H2d ~bytes:h2d_bytes
+              ~resource:h2d ~kind:Obs.H2d ~bytes:h2d_bytes
               ~duration:(Cost.transfer_time ?obs cfg Cost.H2d ~bytes:h2d_bytes)
               ()
           in
@@ -84,14 +101,14 @@ let tasks ?obs cfg (shape : P.shape) (strategy : P.strategy) : Task.t list =
           let t_k =
             add ~deps:[ t_in ]
               ~label:(Printf.sprintf "kernel r%d.%d" r j)
-              ~resource:Task.Mic_exec ~kind:Obs.Kernel
+              ~resource:mic ~kind:Obs.Kernel
               ~duration:(Cost.launch_time ?obs cfg +. compute)
               ()
           in
           let t_out =
             add ~deps:[ t_k ]
               ~label:(Printf.sprintf "d2h r%d.%d" r j)
-              ~resource:Task.Pcie_d2h ~kind:Obs.D2h ~bytes:shape.bytes_out
+              ~resource:d2h ~kind:Obs.D2h ~bytes:shape.bytes_out
               ~duration:
                 (Cost.transfer_time ?obs cfg Cost.D2h ~bytes:shape.bytes_out)
               ()
@@ -129,13 +146,13 @@ let tasks ?obs cfg (shape : P.shape) (strategy : P.strategy) : Task.t list =
             let blk_bytes = h2d_bytes /. float_of_int n_in in
             add
               ~label:(Printf.sprintf "h2d %d/%d" (i + 1) n_in)
-              ~resource:Task.Pcie_h2d ~kind:Obs.H2d ~bytes:blk_bytes
+              ~resource:h2d ~kind:Obs.H2d ~bytes:blk_bytes
               ~duration:(Cost.transfer_time ?obs cfg Cost.H2d ~bytes:blk_bytes)
               ())
       in
       bump "runtime.launches";
       let launch =
-        add ~label:"launch merged" ~resource:Task.Mic_exec ~kind:Obs.Launch
+        add ~label:"launch merged" ~resource:mic ~kind:Obs.Launch
           ~duration:(Cost.launch_time ?obs cfg) ()
       in
       let first_dep =
@@ -150,7 +167,7 @@ let tasks ?obs cfg (shape : P.shape) (strategy : P.strategy) : Task.t list =
         let id =
           add ~deps:!prev
             ~label:(Printf.sprintf "merged chunk r%d" r)
-            ~resource:Task.Mic_exec ~kind:Obs.Kernel ~duration:chunk ()
+            ~resource:mic ~kind:Obs.Kernel ~duration:chunk ()
         in
         prev := [ id ];
         last := id
@@ -158,16 +175,30 @@ let tasks ?obs cfg (shape : P.shape) (strategy : P.strategy) : Task.t list =
       ignore
         (add
            ~deps:(!last :: in_ids)
-           ~label:"d2h all" ~resource:Task.Pcie_d2h ~kind:Obs.D2h
+           ~label:"d2h all" ~resource:d2h ~kind:Obs.D2h
            ~bytes:shape.bytes_out
            ~duration:
              (Cost.transfer_time ?obs cfg Cost.D2h ~bytes:shape.bytes_out)
            ())
   | P.Streamed { nblocks; double_buffered; persistent; repack } ->
       (* streamed pipeline per offload instance, chained across the
-         outer structure like the naive schedule *)
+         outer structure like the naive schedule.  Blocks round-robin
+         over every alive (device, stream) unit: consecutive blocks
+         land on distinct devices (spreading the PCIe load), streams
+         of one device partition its cores (a stream's kernel is
+         [streams] times slower) but contend for the device's one
+         link.  One unit — the classic machine — reproduces the
+         historic single-device graph exactly. *)
+      let grid =
+        Array.of_list
+          (P.placements ~alive ~streams:cfg.Machine.Config.streams)
+      in
+      let nunits = Array.length grid in
       let n = max 1 nblocks in
-      let compute_blk = mic_compute cfg shape /. float_of_int n in
+      let compute_blk =
+        mic_compute cfg shape /. float_of_int n
+        *. float_of_int (max 1 cfg.Machine.Config.streams)
+      in
       let in_blk = shape.bytes_in /. float_of_int n in
       let out_blk = shape.bytes_out /. float_of_int n in
       (* one model evaluation here; the per-block signal/launch events
@@ -176,29 +207,49 @@ let tasks ?obs cfg (shape : P.shape) (strategy : P.strategy) : Task.t list =
         if persistent then Cost.signal_time ?obs cfg
         else Cost.launch_time ?obs cfg
       in
-      (* the invariant data and the persistent-kernel launch happen
-         once, before everything *)
-      let pre0 =
+      (* the invariant data goes whole to every alive device, once,
+         before everything; each unit's persistent kernel is launched
+         once, after its own device's copy has landed *)
+      let inv_ids =
         if shape.invariant_bytes > 0. then
-          [
-            add ~label:"h2d invariant" ~resource:Task.Pcie_h2d ~kind:Obs.H2d
-              ~bytes:shape.invariant_bytes
-              ~duration:
-                (Cost.transfer_time ?obs cfg Cost.H2d
-                   ~bytes:shape.invariant_bytes)
-              ();
-          ]
+          List.map
+            (fun d ->
+              ( d,
+                add
+                  ~label:
+                    (if nunits = 1 then "h2d invariant"
+                     else Printf.sprintf "h2d invariant d%d" d)
+                  ~resource:(Task.Pcie_h2d d) ~kind:Obs.H2d
+                  ~bytes:shape.invariant_bytes
+                  ~duration:
+                    (Cost.transfer_time ?obs cfg Cost.H2d
+                       ~bytes:shape.invariant_bytes)
+                  () ))
+            alive
         else []
       in
+      let inv_of d =
+        List.filter_map
+          (fun (d', id) -> if d' = d then Some id else None)
+          inv_ids
+      in
+      let pre0 = List.map snd inv_ids in
       let pre0 =
-        if persistent then begin
-          bump "runtime.launches";
-          add ~deps:pre0 ~label:"launch persistent" ~resource:Task.Mic_exec
-            ~kind:Obs.Launch
-            ~duration:(Cost.launch_time ?obs cfg)
-            ()
-          :: pre0
-        end
+        if persistent then
+          Array.to_list
+            (Array.map
+               (fun (d, s) ->
+                 bump "runtime.launches";
+                 add ~deps:(inv_of d)
+                   ~label:
+                     (if nunits = 1 then "launch persistent"
+                      else Printf.sprintf "launch persistent u%d.%d" d s)
+                   ~resource:(Task.Mic_exec (d, s))
+                   ~kind:Obs.Launch
+                   ~duration:(Cost.launch_time ?obs cfg)
+                   ())
+               grid)
+          @ pre0
         else pre0
       in
       let prev = ref pre0 in
@@ -208,6 +259,7 @@ let tasks ?obs cfg (shape : P.shape) (strategy : P.strategy) : Task.t list =
           let out_ids = ref [] in
           let repack_prev = ref [] in
           for blk = 0 to n - 1 do
+            let ud, us = grid.(blk mod nunits) in
             (* host-side regularization of this block, if any *)
             let repack_dep =
               match repack with
@@ -231,28 +283,34 @@ let tasks ?obs cfg (shape : P.shape) (strategy : P.strategy) : Task.t list =
                   repack_prev := [ id ];
                   [ id ]
             in
-            (* double buffering: block b's transfer reuses the buffer
-               of block b-2, so it must wait for kernel b-2 *)
+            (* double buffering: each unit holds two buffers, so block
+               b's transfer reuses the buffer of the unit's
+               previous-but-one block and must wait for its kernel *)
             let buffer_dep =
-              if double_buffered && blk >= 2 then [ kernel_ids.(blk - 2) ]
+              if double_buffered && blk >= 2 * nunits then
+                [ kernel_ids.(blk - (2 * nunits)) ]
               else []
             in
             let t_in =
               add
                 ~deps:(!prev @ repack_dep @ buffer_dep)
                 ~label:(Printf.sprintf "h2d r%d.%d b%d" r j blk)
-                ~resource:Task.Pcie_h2d ~kind:Obs.H2d ~bytes:in_blk
+                ~resource:(Task.Pcie_h2d ud) ~kind:Obs.H2d ~bytes:in_blk
                 ~duration:(Cost.transfer_time ?obs cfg Cost.H2d ~bytes:in_blk)
                 ()
             in
+            (* blocks within one unit serialize in issue order *)
             let k_deps =
-              t_in :: (if blk > 0 then [ kernel_ids.(blk - 1) ] else [])
+              t_in
+              :: (if blk >= nunits then [ kernel_ids.(blk - nunits) ]
+                  else [])
             in
             bump (if persistent then "runtime.signals" else "runtime.launches");
             let t_k =
               add ~deps:k_deps
                 ~label:(Printf.sprintf "kernel r%d.%d b%d" r j blk)
-                ~resource:Task.Mic_exec ~kind:Obs.Kernel
+                ~resource:(Task.Mic_exec (ud, us))
+                ~kind:Obs.Kernel
                 ~duration:(per_block_overhead +. compute_blk)
                 ()
             in
@@ -260,7 +318,7 @@ let tasks ?obs cfg (shape : P.shape) (strategy : P.strategy) : Task.t list =
             let t_out =
               add ~deps:[ t_k ]
                 ~label:(Printf.sprintf "d2h r%d.%d b%d" r j blk)
-                ~resource:Task.Pcie_d2h ~kind:Obs.D2h ~bytes:out_blk
+                ~resource:(Task.Pcie_d2h ud) ~kind:Obs.D2h ~bytes:out_blk
                 ~duration:(Cost.transfer_time ?obs cfg Cost.D2h ~bytes:out_blk)
                 ()
             in
@@ -308,21 +366,21 @@ let tasks ?obs cfg (shape : P.shape) (strategy : P.strategy) : Task.t list =
         let t_fault =
           add ~deps:!prev
             ~label:(Printf.sprintf "myo faults r%d" r)
-            ~resource:Task.Pcie_h2d ~kind:Obs.Page_fault ~bytes:fault_bytes
+            ~resource:h2d ~kind:Obs.Page_fault ~bytes:fault_bytes
             ~duration:fault_per_round ()
         in
         bump "runtime.launches";
         let t_k =
           add ~deps:[ t_fault ]
             ~label:(Printf.sprintf "kernel r%d" r)
-            ~resource:Task.Mic_exec ~kind:Obs.Kernel
+            ~resource:mic ~kind:Obs.Kernel
             ~duration:(Cost.launch_time ?obs cfg +. compute_per_round)
             ()
         in
         prev := [ t_k ]
       done;
       ignore
-        (add ~deps:!prev ~label:"d2h results" ~resource:Task.Pcie_d2h
+        (add ~deps:!prev ~label:"d2h results" ~resource:d2h
            ~kind:Obs.D2h ~bytes:shape.bytes_out
            ~duration:
              (Cost.transfer_time ?obs cfg Cost.D2h ~bytes:shape.bytes_out)
@@ -348,7 +406,7 @@ let tasks ?obs cfg (shape : P.shape) (strategy : P.strategy) : Task.t list =
             in
             add ~deps:[ t_alloc ]
               ~label:(Printf.sprintf "dma seg%d" i)
-              ~resource:Task.Pcie_h2d ~kind:Obs.H2d ~bytes:seg_xfer
+              ~resource:h2d ~kind:Obs.H2d ~bytes:seg_xfer
               ~duration:(Cost.transfer_time ?obs cfg Cost.H2d ~bytes:seg_xfer)
               ())
       in
@@ -357,7 +415,7 @@ let tasks ?obs cfg (shape : P.shape) (strategy : P.strategy) : Task.t list =
       in
       bump "runtime.launches";
       let t_k =
-        add ~deps:seg_tasks ~label:"kernel" ~resource:Task.Mic_exec
+        add ~deps:seg_tasks ~label:"kernel" ~resource:mic
           ~kind:Obs.Kernel
           ~duration:
             (Cost.launch_time ?obs cfg +. mic_compute cfg shape
@@ -365,7 +423,7 @@ let tasks ?obs cfg (shape : P.shape) (strategy : P.strategy) : Task.t list =
           ()
       in
       ignore
-        (add ~deps:[ t_k ] ~label:"d2h results" ~resource:Task.Pcie_d2h
+        (add ~deps:[ t_k ] ~label:"d2h results" ~resource:d2h
            ~kind:Obs.D2h ~bytes:shape.bytes_out
            ~duration:
              (Cost.transfer_time ?obs cfg Cost.D2h ~bytes:shape.bytes_out)
@@ -374,10 +432,14 @@ let tasks ?obs cfg (shape : P.shape) (strategy : P.strategy) : Task.t list =
 
 (** Full schedule, for tracing.  When [cfg.fault] is a live fault
     plan, transfer retries and device resets are injected by the
-    engine; an unrecoverable device death escapes as
-    {!Fault.Device_dead} — use {!schedule_recovered} to absorb it. *)
+    engine (each device consulting its own plan); an unrecoverable
+    device death escapes as {!Fault.Device_dead} — use
+    {!schedule_recovered} to absorb it by migration / fallback. *)
 let schedule ?obs (cfg : Machine.Config.t) shape strategy =
-  let faults = Fault.plan_of ?obs cfg.Machine.Config.fault in
+  let faults =
+    Fault.fleet_of ?obs ~devices:cfg.Machine.Config.devices
+      cfg.Machine.Config.fault
+  in
   Engine.schedule ?obs ?faults (tasks ?obs cfg shape strategy)
 
 (** Makespan of the offloadable part under a strategy. *)
@@ -390,53 +452,127 @@ let total_time ?obs cfg (shape : P.shape) strategy =
 
 type recovered = {
   rec_result : Engine.result;
-  rec_fellback : bool;  (** the device died and the CPU took over *)
-  rec_died_at : float option;  (** when the device was declared dead *)
+  rec_fellback : bool;  (** every device died and the CPU took over *)
+  rec_died_at : float option;  (** when the first device died *)
+  rec_migrated : int;
+      (** blocks re-run on surviving devices across all migrations *)
+  rec_dead : int list;  (** devices declared dead, in death order *)
 }
 
-(** Like {!schedule}, but a device declared dead is recovered on the
-    host when the policy allows it: the lost device time is charged up
-    front, then the whole region re-runs as [Host_parallel] (which
-    needs no PCIe and no device).  Without [cpu_fallback] the death
-    re-escapes. *)
+(* kernel blocks in a task graph: what a migration re-runs *)
+let kernel_blocks ts =
+  List.length
+    (List.filter
+       (fun (t : Task.t) ->
+         match t.Task.resource with
+         | Task.Mic_exec _ -> t.Task.kind = Some Obs.Kernel
+         | _ -> false)
+       ts)
+
+(* charge already-lost wall-clock time as a host-side Retry prefix
+   that every root of the graph waits on *)
+let with_lost_prefix ts ~label ~lost =
+  if lost <= 0. then ts
+  else
+    let lid =
+      1 + List.fold_left (fun a (t : Task.t) -> max a t.Task.id) (-1) ts
+    in
+    {
+      Task.id = lid;
+      label;
+      resource = Task.Cpu_exec;
+      duration = lost;
+      deps = [];
+      kind = Some Obs.Retry;
+      bytes = 0.;
+      reset_xfer_s = 0.;
+    }
+    :: List.map
+         (fun (t : Task.t) ->
+           if t.Task.deps = [] then { t with Task.deps = [ lid ] } else t)
+         ts
+
+(** Like {!schedule}, but device death walks the degradation ladder
+    instead of escaping: when a device is declared dead, the wall
+    clock it burnt is charged up front and the region's blocks re-run
+    on the surviving devices (bumping [fault.migrated_blocks] and
+    [fault.dead_devices]); only when {e every} device has died does
+    the host take over, re-running the region as [Host_parallel] —
+    and without [cpu_fallback] that final death re-escapes.  Each
+    migration instantiates a fresh fleet, so surviving devices keep
+    their own (per-instance) fault plans. *)
 let schedule_recovered ?obs (cfg : Machine.Config.t) shape strategy =
-  match Fault.plan_of ?obs cfg.Machine.Config.fault with
-  | None ->
-      {
-        rec_result = Engine.schedule ?obs (tasks ?obs cfg shape strategy);
-        rec_fellback = false;
-        rec_died_at = None;
-      }
-  | Some plan -> (
+  let spec = cfg.Machine.Config.fault in
+  let devices = max 1 cfg.Machine.Config.devices in
+  if Fault.is_none spec then
+    {
+      rec_result = Engine.schedule ?obs (tasks ?obs cfg shape strategy);
+      rec_fellback = false;
+      rec_died_at = None;
+      rec_migrated = 0;
+      rec_dead = [];
+    }
+  else
+    let bump ?(by = 1) name =
+      match obs with None -> () | Some o -> Obs.incr ~by o name
+    in
+    let rec attempt alive ~lost ~first_death ~migrated ~dead =
+      let fleet = Fault.fleet ?obs ~devices spec in
+      let body = tasks ?obs ~alive cfg shape strategy in
+      let migrated =
+        if dead = [] then migrated
+        else begin
+          let blocks = kernel_blocks body in
+          bump ~by:blocks "fault.migrated_blocks";
+          migrated + blocks
+        end
+      in
+      let ts = with_lost_prefix body ~label:"migrated (lost work)" ~lost in
       try
         {
-          rec_result =
-            Engine.schedule ?obs ~faults:plan (tasks ?obs cfg shape strategy);
+          rec_result = Engine.schedule ?obs ~faults:fleet ts;
           rec_fellback = false;
-          rec_died_at = None;
+          rec_died_at = first_death;
+          rec_migrated = migrated;
+          rec_dead = dead;
         }
-      with Fault.Device_dead { at; failures } ->
-        if not (Fault.policy plan).Fault.cpu_fallback then
-          raise (Fault.Device_dead { at; failures })
+      with Fault.Device_dead { dev; at; failures } ->
+        bump "fault.dead_devices";
+        let survivors = List.filter (fun d -> d <> dev) alive in
+        let first_death =
+          match first_death with Some _ as s -> s | None -> Some at
+        in
+        let dead = dead @ [ dev ] in
+        if survivors <> [] then
+          attempt survivors ~lost:(lost +. at) ~first_death ~migrated ~dead
+        else if not spec.Fault.policy.Fault.cpu_fallback then
+          raise (Fault.Device_dead { dev; at; failures })
         else begin
-          Fault.note_fallback plan;
+          Fault.note_fallback (Fault.fleet_plan fleet ~dev);
           let clean = { cfg with Machine.Config.fault = Fault.none } in
           let b = Task.builder () in
-          let lost =
+          let l =
             Task.add b ~label:"device-dead (lost work)"
-              ~resource:Task.Cpu_exec ~kind:Obs.Retry ~duration:at ()
+              ~resource:Task.Cpu_exec ~kind:Obs.Retry
+              ~duration:(lost +. at) ()
           in
           ignore
-            (Task.add b ~deps:[ lost ] ~label:"cpu fallback"
+            (Task.add b ~deps:[ l ] ~label:"cpu fallback"
                ~resource:Task.Cpu_exec ~kind:Obs.Retry
                ~duration:(region_time clean shape P.Host_parallel)
                ());
           {
             rec_result = Engine.schedule ?obs (Task.tasks b);
             rec_fellback = true;
-            rec_died_at = Some at;
+            rec_died_at = first_death;
+            rec_migrated = migrated;
+            rec_dead = dead;
           }
-        end)
+        end
+    in
+    attempt
+      (List.init devices Fun.id)
+      ~lost:0. ~first_death:None ~migrated:0 ~dead:[]
 
 (** Region makespan with device death absorbed by the CPU fallback. *)
 let recovered_region_time ?obs cfg shape strategy =

@@ -11,6 +11,7 @@ val cpu_compute : Machine.Config.t -> Plan.shape -> float
 
 val tasks :
   ?obs:Obs.t ->
+  ?alive:int list ->
   Machine.Config.t ->
   Plan.shape ->
   Plan.strategy ->
@@ -18,7 +19,11 @@ val tasks :
 (** Task graph of the offloadable part (the host serial part is added
     by {!total_time}).  Every task is tagged with its observability
     kind and byte payload; with [?obs], launches/signals/faults are
-    counted ([runtime.*]) and the cost-model evaluations recorded. *)
+    counted ([runtime.*]) and the cost-model evaluations recorded.
+    [?alive] restricts placement to the listed devices (default: all
+    of [cfg.devices]): streaming round-robins its blocks over every
+    alive (device, stream) unit, the other strategies run on the
+    first alive device. *)
 
 val region_time :
   ?obs:Obs.t -> Machine.Config.t -> Plan.shape -> Plan.strategy -> float
@@ -43,8 +48,11 @@ val schedule :
 
 type recovered = {
   rec_result : Machine.Engine.result;
-  rec_fellback : bool;  (** the device died and the CPU took over *)
-  rec_died_at : float option;  (** when the device was declared dead *)
+  rec_fellback : bool;  (** every device died and the CPU took over *)
+  rec_died_at : float option;  (** when the first device died *)
+  rec_migrated : int;
+      (** blocks re-run on surviving devices across all migrations *)
+  rec_dead : int list;  (** devices declared dead, in death order *)
 }
 
 val schedule_recovered :
@@ -53,10 +61,13 @@ val schedule_recovered :
   Plan.shape ->
   Plan.strategy ->
   recovered
-(** Like {!schedule}, but a device declared dead is recovered on the
-    host when the policy allows it: the lost device time is charged up
-    front, then the whole region re-runs as {!Plan.Host_parallel}.
-    Without [cpu_fallback] the death re-escapes. *)
+(** Like {!schedule}, but device death walks the degradation ladder
+    instead of escaping: a dead device's burnt wall clock is charged
+    up front and the region's blocks re-run on the surviving devices
+    ([fault.migrated_blocks], [fault.dead_devices]); only when every
+    device has died does the host take over ([Host_parallel] re-run at
+    the fallback cost).  Without [cpu_fallback] the final death
+    re-escapes as {!Fault.Device_dead}. *)
 
 val recovered_region_time :
   ?obs:Obs.t -> Machine.Config.t -> Plan.shape -> Plan.strategy -> float

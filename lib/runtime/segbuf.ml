@@ -181,7 +181,11 @@ module Image = struct
             if rep.Fault.xr_dead then
               raise
                 (Fault.Device_dead
-                   { at = 0.; failures = rep.Fault.xr_failures });
+                   {
+                     dev = Fault.dev p;
+                     at = 0.;
+                     failures = rep.Fault.xr_failures;
+                   });
             retries := !retries + rep.Fault.xr_failures);
         Array.blit s.cells 0 arena !ofs s.used;
         let mic_base = device_base + !ofs in

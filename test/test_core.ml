@@ -32,6 +32,7 @@ let () =
       ("shared-mem", Test_shared_mem.suite);
       ("myo-coi", Test_myo_coi.suite);
       ("fault", Test_fault.suite);
+      ("migrate", Test_migrate.suite);
       ("check", Test_check.suite);
       ("opt", Test_opt.suite);
       ("residency", Test_residency.suite);

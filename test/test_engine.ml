@@ -23,11 +23,13 @@ let arb_dag =
                Task.id = i;
                label = Printf.sprintf "t%d" i;
                resource =
+                 (* a 2-device x 2-stream mix, so multi-device
+                    resources see the same property coverage *)
                  (match i mod 4 with
                  | 0 -> Task.Cpu_exec
-                 | 1 -> Task.Mic_exec
-                 | 2 -> Task.Pcie_h2d
-                 | _ -> Task.Pcie_d2h);
+                 | 1 -> Task.Mic_exec (i mod 2, (i lsr 2) mod 2)
+                 | 2 -> Task.Pcie_h2d (i mod 2)
+                 | _ -> Task.Pcie_d2h (i mod 2));
                duration = d;
                deps;
                kind = None;
@@ -56,16 +58,16 @@ let suite =
     tc "independent tasks on different resources overlap" (fun () ->
         let tasks =
           [
-            simple ~resource:Task.Pcie_h2d ~duration:5.0 ~deps:[] 0;
-            simple ~resource:Task.Mic_exec ~duration:5.0 ~deps:[] 1;
+            simple ~resource:(Task.Pcie_h2d 0) ~duration:5.0 ~deps:[] 0;
+            simple ~resource:(Task.Mic_exec (0, 0)) ~duration:5.0 ~deps:[] 1;
           ]
         in
         Alcotest.(check (float 1e-12)) "overlap" 5.0 (Engine.makespan tasks));
     tc "same resource serializes" (fun () ->
         let tasks =
           [
-            simple ~resource:Task.Mic_exec ~duration:5.0 ~deps:[] 0;
-            simple ~resource:Task.Mic_exec ~duration:5.0 ~deps:[] 1;
+            simple ~resource:(Task.Mic_exec (0, 0)) ~duration:5.0 ~deps:[] 0;
+            simple ~resource:(Task.Mic_exec (0, 0)) ~duration:5.0 ~deps:[] 1;
           ]
         in
         Alcotest.(check (float 1e-12)) "serial" 10.0 (Engine.makespan tasks));
@@ -77,11 +79,11 @@ let suite =
         let prev_k = ref None in
         for _blk = 0 to 3 do
           let t =
-            Task.add b ~label:"h2d" ~resource:Task.Pcie_h2d ~duration:1.0 ()
+            Task.add b ~label:"h2d" ~resource:(Task.Pcie_h2d 0) ~duration:1.0 ()
           in
           let deps = t :: Option.to_list !prev_k in
           let k =
-            Task.add b ~deps ~label:"k" ~resource:Task.Mic_exec ~duration:1.0
+            Task.add b ~deps ~label:"k" ~resource:(Task.Mic_exec (0, 0)) ~duration:1.0
               ()
           in
           prev_k := Some k
@@ -149,7 +151,7 @@ let suite =
               | _ -> true
             in
             ok placed)
-          Task.all_resources);
+          (Task.resources_of tasks));
     (* differential: the heap-based scheduler must agree with a naive
        quadratic reference implementation of the same policy (pick the
        ready task with the smallest (ready_time, id), serialize per
@@ -205,8 +207,8 @@ let suite =
     tc "trace renders a gantt" (fun () ->
         let tasks =
           [
-            simple ~resource:Task.Pcie_h2d ~duration:1.0 ~deps:[] 0;
-            simple ~resource:Task.Mic_exec ~duration:2.0 ~deps:[ 0 ] 1;
+            simple ~resource:(Task.Pcie_h2d 0) ~duration:1.0 ~deps:[] 0;
+            simple ~resource:(Task.Mic_exec (0, 0)) ~duration:2.0 ~deps:[ 0 ] 1;
           ]
         in
         let g = Trace.gantt (Engine.schedule tasks) in

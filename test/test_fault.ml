@@ -9,7 +9,7 @@ let cfg = Machine.Config.paper_default
 let parse_ok s =
   match Fault.parse s with
   | Ok spec -> spec
-  | Error e -> Alcotest.failf "parse %S: %s" s e
+  | Error e -> Alcotest.failf "parse %S: %s" s (Fault.error_message e)
 
 (* n sequential h2d transfers of [dur] seconds each, chained *)
 let chain_tasks n dur =
@@ -19,7 +19,7 @@ let chain_tasks n dur =
     let id =
       Machine.Task.add b ~deps:!prev
         ~label:(Printf.sprintf "xfer%d" i)
-        ~resource:Machine.Task.Pcie_h2d ~kind:Obs.H2d ~bytes:1e6
+        ~resource:(Machine.Task.Pcie_h2d 0) ~kind:Obs.H2d ~bytes:1e6
         ~duration:dur ()
     in
     prev := [ id ]
@@ -57,17 +57,106 @@ let suite =
           "no-fallback" false spec.Fault.policy.Fault.cpu_fallback;
         let spec' = parse_ok (Fault.to_string spec) in
         Alcotest.(check bool) "round-trip" true (spec = spec'));
-    tc "parse rejects junk with a message" (fun () ->
+    tc "parse rejects junk with a typed error naming the token" (fun () ->
         List.iter
-          (fun s ->
+          (fun (s, tok) ->
             match Fault.parse s with
             | Ok _ -> Alcotest.failf "accepted %S" s
             | Error e ->
+                Alcotest.(check string)
+                  (Printf.sprintf "offending token of %S" s)
+                  tok e.Fault.token;
                 Alcotest.(check bool)
-                  (Printf.sprintf "message for %S nonempty" s)
+                  (Printf.sprintf "message for %S quotes the token" s)
                   true
-                  (String.length e > 0))
-          [ "xfer"; "xfer=2"; "kill@x"; "frobnicate=1"; "delay@1"; "xfer=-1" ]);
+                  (contains ~sub:tok (Fault.error_message e)))
+          [
+            ("xfer", "xfer");
+            ("xfer=2", "xfer=2");
+            ("kill@x", "kill@x");
+            ("frobnicate=1", "frobnicate=1");
+            ("delay@1", "delay@1");
+            ("xfer=-1", "xfer=-1");
+            (* a bad clause buried in a good spec is still pinpointed *)
+            ("xfer=0.1,junk!,kill@2", "junk!");
+            (* policy/seed clauses are global: rejected under devN: *)
+            ("dev1:seed=3", "dev1:seed=3");
+            ("kill@0,dev2:retries=9", "dev2:retries=9");
+            (* bad sub-clause errors name the full prefixed token *)
+            ("dev0:kill@x", "dev0:kill@x");
+          ]);
+    prop "fault spec grammar round-trips through to_string" ~count:300
+      (QCheck.make ~print:Fun.id
+         QCheck.Gen.(
+           let base_clause =
+             oneof
+               [
+                 map (Printf.sprintf "seed=%d") (int_range 1 99);
+                 map (Printf.sprintf "xfer=0.%02d") (int_range 1 99);
+                 map (Printf.sprintf "xfer@%d") (int_range 0 9);
+                 map2
+                   (Printf.sprintf "xfer@%d*%d")
+                   (int_range 0 9) (int_range 1 3);
+                 map (Printf.sprintf "kill@%d") (int_range 0 9);
+                 map (Printf.sprintf "drop@%d") (int_range 0 9);
+                 map2
+                   (Printf.sprintf "delay@%d:0.00%d")
+                   (int_range 0 9) (int_range 1 9);
+                 map (Printf.sprintf "reset@0.%02d") (int_range 1 99);
+                 map2
+                   (Printf.sprintf "myo-stall=0.%d:0.00%d")
+                   (int_range 1 9) (int_range 1 9);
+                 map (Printf.sprintf "retries=%d") (int_range 0 5);
+                 map (Printf.sprintf "dead-after=%d") (int_range 1 4);
+                 return "no-fallback";
+               ]
+           in
+           let dev_clause =
+             map2
+               (Printf.sprintf "dev%d:%s")
+               (int_range 0 3)
+               (oneof
+                  [
+                    map (Printf.sprintf "xfer=0.%02d") (int_range 1 99);
+                    map (Printf.sprintf "xfer@%d") (int_range 0 9);
+                    map (Printf.sprintf "kill@%d") (int_range 0 9);
+                    map (Printf.sprintf "drop@%d") (int_range 0 9);
+                    map (Printf.sprintf "reset@0.%02d") (int_range 1 99);
+                  ])
+           in
+           map2
+             (fun bs ds -> String.concat "," (bs @ ds))
+             (list_size (int_range 0 4) base_clause)
+             (list_size (int_range 0 4) dev_clause)))
+      (fun s ->
+        match Fault.parse s with
+        | Error e ->
+            QCheck.Test.fail_reportf "generated spec %S rejected: %s" s
+              (Fault.error_message e)
+        | Ok spec -> (
+            let printed = Fault.to_string spec in
+            match Fault.parse printed with
+            | Error e ->
+                QCheck.Test.fail_reportf "printed spec %S rejected: %s"
+                  printed (Fault.error_message e)
+            | Ok spec' -> spec = spec'));
+    tc "devN: clauses refine only their device" (fun () ->
+        let spec = parse_ok "seed=3,xfer@1,dev1:kill@0,dev2:xfer=0.5" in
+        Alcotest.(check int) "devices mentioned" 3
+          (Fault.devices_mentioned spec);
+        let s0 = Fault.spec_for_dev spec 0 in
+        let s1 = Fault.spec_for_dev spec 1 in
+        let s2 = Fault.spec_for_dev spec 2 in
+        Alcotest.(check (list int)) "dev0 not killed" [] s0.Fault.kill;
+        Alcotest.(check bool) "dev1 killed" true (List.mem 0 s1.Fault.kill);
+        Alcotest.(check bool)
+          "base clause applies to dev1 too" true
+          (List.mem_assoc 1 s1.Fault.xfer_fail);
+        Alcotest.(check (float 1e-12)) "dev2 xfer prob" 0.5 s2.Fault.xfer_prob;
+        Alcotest.(check (float 1e-12))
+          "dev0 keeps no probability" 0. s0.Fault.xfer_prob;
+        let spec' = parse_ok (Fault.to_string spec) in
+        Alcotest.(check bool) "devN: round-trip" true (spec = spec'));
     tc "empty spec is none" (fun () ->
         Alcotest.(check bool) "none" true (Fault.is_none (parse_ok ""));
         Alcotest.(check bool) "not none" false (Fault.is_none (parse_ok "xfer=0.5")));
@@ -129,8 +218,8 @@ let suite =
         let clean = (Machine.Engine.schedule tasks).Machine.Engine.makespan in
         let obs = Obs.create () in
         let spec = parse_ok "xfer@2" in
-        let plan = Fault.plan ~obs spec in
-        let r = Machine.Engine.schedule ~obs ~faults:plan tasks in
+        let fleet = Fault.fleet ~obs ~devices:1 spec in
+        let r = Machine.Engine.schedule ~obs ~faults:fleet tasks in
         Alcotest.(check int) "one retry" 1 (Obs.count obs "fault.retries");
         Alcotest.(check int) "one injection" 1 (Obs.count obs "fault.injected");
         (* a synthetic recovery task shows up as its own Retry phase *)
@@ -170,9 +259,9 @@ let suite =
         let spec =
           { (parse_ok "") with Fault.xfer_fail = faults; seed = 99 }
         in
-        let plan = Fault.plan spec in
+        let fleet = Fault.fleet ~devices:1 spec in
         let faulted =
-          (Machine.Engine.schedule ~faults:plan tasks).Machine.Engine.makespan
+          (Machine.Engine.schedule ~faults:fleet tasks).Machine.Engine.makespan
         in
         let k = List.fold_left (fun acc (_, f) -> acc + f) 0 faults in
         let ceiling = spec.Fault.policy.Fault.backoff_ceiling_s in
@@ -182,8 +271,8 @@ let suite =
     tc "killed transfer exhausts retries and declares the device dead"
       (fun () ->
         let tasks = chain_tasks 3 1e-3 in
-        let plan = Fault.plan (parse_ok "kill@1,dead-after=1") in
-        match Machine.Engine.schedule ~faults:plan tasks with
+        let fleet = Fault.fleet ~devices:1 (parse_ok "kill@1,dead-after=1") in
+        match Machine.Engine.schedule ~faults:fleet tasks with
         | exception Fault.Device_dead { failures; _ } ->
             (* max_retries + 1 attempts in the exhausted round *)
             Alcotest.(check int) "attempts" 4 failures
@@ -193,12 +282,54 @@ let suite =
         let obs = Obs.create () in
         (* retries=0: every failed attempt exhausts its round; the first
            two rounds each pay a reset, the third kills the device *)
-        let plan = Fault.plan ~obs (parse_ok "xfer@0*2,retries=0,dead-after=3") in
-        let r = Machine.Engine.schedule ~obs ~faults:plan tasks in
+        let fleet =
+          Fault.fleet ~obs ~devices:1 (parse_ok "xfer@0*2,retries=0,dead-after=3")
+        in
+        let r = Machine.Engine.schedule ~obs ~faults:fleet tasks in
         Alcotest.(check int) "two resets" 2 (Obs.count obs "fault.resets");
         Alcotest.(check bool)
           "reset recovery time in makespan" true
           (r.Machine.Engine.makespan >= 2. *. 5e-2));
+    (* --- one-shot reset is per plan instance, never per spec --- *)
+    tc "each plan instance owns its one-shot reset" (fun () ->
+        let spec = parse_ok "reset@0.5" in
+        let p1 = Fault.plan spec and p2 = Fault.plan spec in
+        (match Fault.take_reset p1 ~start:0. ~stop:1. with
+        | Some (at, cost) ->
+            Alcotest.(check (float 1e-12)) "p1 reset time" 0.5 at;
+            Alcotest.(check bool) "positive recovery cost" true (cost > 0.)
+        | None -> Alcotest.fail "p1 missed its reset");
+        (match Fault.take_reset p1 ~start:0. ~stop:1. with
+        | None -> ()
+        | Some _ -> Alcotest.fail "p1's reset must be one-shot");
+        (* the spec is immutable: p2's reset was not consumed by p1 *)
+        match Fault.take_reset p2 ~start:0. ~stop:1. with
+        | Some (at, _) ->
+            Alcotest.(check (float 1e-12)) "p2 observes its own reset" 0.5 at
+        | None -> Alcotest.fail "p2's reset was stolen by p1");
+    tc "two engines sharing a spec each observe their own reset" (fun () ->
+        (* regression: when reset consumption lived in the spec, the
+           second of two runs sharing it sailed through unfaulted *)
+        let spec = parse_ok "reset@0.0005" in
+        let mk () =
+          let b = Machine.Task.builder () in
+          ignore
+            (Machine.Task.add b ~label:"k"
+               ~resource:(Machine.Task.Mic_exec (0, 0))
+               ~kind:Obs.Kernel ~duration:1e-3 ());
+          Machine.Task.tasks b
+        in
+        let clean = (Machine.Engine.schedule (mk ())).Machine.Engine.makespan in
+        let faulted () =
+          (Machine.Engine.schedule
+             ~faults:(Fault.fleet ~devices:1 spec)
+             (mk ()))
+            .Machine.Engine.makespan
+        in
+        let m1 = faulted () in
+        let m2 = faulted () in
+        Alcotest.(check bool) "first engine pays the reset" true (m1 > clean);
+        Alcotest.(check (float 1e-12)) "second engine pays it too" m1 m2);
     (* --- replay-level recovery --- *)
     tc "device death falls back to the CPU and completes" (fun () ->
         let spec = parse_ok "kill@0,dead-after=1" in

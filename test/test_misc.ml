@@ -26,8 +26,8 @@ let suite =
         let open Machine in
         let b = Task.builder () in
         let _ = Task.add b ~label:"short" ~resource:Task.Cpu_exec ~duration:0.1 () in
-        let _ = Task.add b ~label:"long" ~resource:Task.Mic_exec ~duration:5.0 () in
-        let _ = Task.add b ~label:"mid" ~resource:Task.Pcie_h2d ~duration:1.0 () in
+        let _ = Task.add b ~label:"long" ~resource:(Task.Mic_exec (0, 0)) ~duration:5.0 () in
+        let _ = Task.add b ~label:"mid" ~resource:(Task.Pcie_h2d 0) ~duration:1.0 () in
         let r = Engine.schedule (Task.tasks b) in
         match Trace.top_tasks ~n:2 r with
         | [ a; b' ] ->
@@ -90,7 +90,12 @@ let suite =
         let open Machine in
         Alcotest.(check (list string))
           "names" [ "cpu"; "mic"; "h2d"; "d2h" ]
-          (List.map Task.resource_name Task.all_resources));
+          (List.map Task.resource_name Task.base_resources);
+        (* non-zero device/stream indices are spelled out *)
+        Alcotest.(check (list string))
+          "multi-device names" [ "mic1.2"; "h2d1"; "d2h1" ]
+          (List.map Task.resource_name
+             [ Task.Mic_exec (1, 2); Task.Pcie_h2d 1; Task.Pcie_d2h 1 ]));
     tc "xptr pretty-printer" (fun () ->
         let s =
           Format.asprintf "%a" Runtime.Xptr.pp
@@ -101,7 +106,7 @@ let suite =
         let open Machine in
         let b = Task.builder () in
         let _ =
-          Task.add b ~label:"t" ~resource:Task.Mic_exec ~duration:1.0 ()
+          Task.add b ~label:"t" ~resource:(Task.Mic_exec (0, 0)) ~duration:1.0 ()
         in
         let g = Trace.gantt ~width:10 (Engine.schedule (Task.tasks b)) in
         List.iter

@@ -191,7 +191,7 @@ int main(void) {
         let spec =
           match Fault.parse (Printf.sprintf "reset@%.9f" at) with
           | Ok s -> s
-          | Error e -> Alcotest.failf "fault spec: %s" e
+          | Error e -> Alcotest.failf "fault spec: %s" (Fault.error_message e)
         in
         let obs = Obs.create () in
         let fcfg = Machine.Config.with_faults cfg spec in
@@ -210,7 +210,7 @@ int main(void) {
         let spec =
           match Fault.parse "kill@0,dead-after=1" with
           | Ok s -> s
-          | Error e -> Alcotest.failf "fault spec: %s" e
+          | Error e -> Alcotest.failf "fault spec: %s" (Fault.error_message e)
         in
         let fcfg = Machine.Config.with_faults Machine.Config.paper_default spec in
         let r = Runtime.Replay.schedule_recovered fcfg events in
