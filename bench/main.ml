@@ -983,6 +983,185 @@ let opt_throughput () =
   Printf.printf "json: %s\n" (Obs.Json.to_string json);
   json
 
+(* {1 Service mode: tail latency of the daemon under a seeded mix} *)
+
+(* The serve bench drives the in-process daemon ({!Serve.handle_line})
+   with a fixed seeded request mix at pool widths 1..4 and reports
+   requests/sec and p50/p99 latency per width.  Alongside the numbers
+   it asserts the daemon's contracts: every request gets exactly one
+   response (malformed and over-budget ones included — zero crashes),
+   the response stream is byte-identical to the width-1 stream at
+   every width, and the shared compile cache's hit counter is strictly
+   increasing across the periodic stats probes. *)
+let serve_requests = 1000
+let serve_widths = [ 1; 2; 3; 4 ]
+
+(* Deterministic mix: an LCG over request templates.  Mostly [run]
+   over a small pool of distinct sources (the cached regime a
+   long-running service actually sees), plus optimizes, simulates, a
+   stats probe every 100 requests, and a sprinkle of malformed and
+   over-budget requests. *)
+let serve_mix ~n ~seed =
+  let state = ref seed in
+  let rand m =
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    !state mod m
+  in
+  let src k =
+    Printf.sprintf
+      "int main(void) { int s = 0; for (i = 0; i < %d; i++) { s = s + i; } \
+       print_int(s); return 0; }"
+      (10 * (k + 1))
+  in
+  let run_req k =
+    Printf.sprintf {|{"cmd":"run","src":%s}|}
+      (Obs.Json.to_string (Obs.Json.String (src k)))
+  in
+  let opt_req k =
+    Printf.sprintf {|{"cmd":"optimize","src":%s}|}
+      (Obs.Json.to_string (Obs.Json.String (src k)))
+  in
+  let benches = [| "blackscholes"; "kmeans"; "ferret" |] in
+  let malformed =
+    [|
+      "definitely not json";
+      {|{"cmd":"levitate"}|};
+      {|{"cmd":"run","src":"int main(void) { return }"}|};
+      {|{"cmd":"run"}|};
+    |]
+  in
+  let over_budget =
+    {|{"cmd":"run","src":"int main(void) { while (1) {} return 0; }","opts":{"fuel":50}}|}
+  in
+  List.init n (fun k ->
+      if k > 0 && k mod 100 = 0 then {|{"cmd":"stats"}|}
+      else
+        match rand 20 with
+        | 0 -> malformed.(rand (Array.length malformed))
+        | 1 -> over_budget
+        | 2 | 3 -> opt_req (rand 6)
+        | 4 | 5 ->
+            Printf.sprintf {|{"cmd":"simulate","bench":"%s"}|}
+              benches.(rand (Array.length benches))
+        | _ -> run_req (rand 6))
+
+let percentile p xs =
+  match xs with
+  | [] -> Float.nan
+  | _ ->
+      let a = Array.of_list xs in
+      Array.sort compare a;
+      let n = Array.length a in
+      let i = int_of_float (p *. float_of_int (n - 1)) in
+      a.(min (n - 1) (max 0 i))
+
+(* Cache hits as seen by each stats probe, in stream order — extracted
+   by parsing the response lines back with the Obs.Json reader. *)
+let stats_hits responses =
+  List.filter_map
+    (fun line ->
+      match Obs.Json.of_string line with
+      | Error _ -> None
+      | Ok j -> (
+          match Obs.Json.member "cache" j with
+          | Some c -> (
+              match Obs.Json.member "hits" c with
+              | Some (Obs.Json.Int h) -> Some h
+              | _ -> None)
+          | None -> None))
+    responses
+
+let serve_mode () =
+  Printf.printf
+    "== Service mode: %d-request seeded mix, widths %s ==\n" serve_requests
+    (String.concat " " (List.map string_of_int serve_widths));
+  let lines = serve_mix ~n:serve_requests ~seed:42 in
+  let run_width w =
+    let config = { Serve.default_config with jobs = Some w; timings = true } in
+    let t = Serve.create ~config () in
+    let t0 = Unix.gettimeofday () in
+    let body = List.concat_map (Serve.handle_line t) lines in
+    let tail = Serve.finish t in
+    let wall_s = Unix.gettimeofday () -. t0 in
+    (body @ tail, wall_s, Serve.latencies t, Serve.cache_hits t,
+     Serve.cache_misses t)
+  in
+  let failures = ref 0 in
+  let fail fmt =
+    Printf.ksprintf
+      (fun msg ->
+        incr failures;
+        Printf.printf "  FAILED: %s\n" msg)
+      fmt
+  in
+  let baseline = ref [] in
+  Printf.printf "  %-6s %10s %12s %10s %10s %8s %8s %10s\n" "jobs"
+    "responses" "req/s" "p50 ms" "p99 ms" "hits" "misses" "identical";
+  let width_json =
+    List.map
+      (fun w ->
+        let responses, wall_s, lats, hits, misses = run_width w in
+        if w = List.hd serve_widths then baseline := responses;
+        let identical = responses = !baseline in
+        if List.length responses <> serve_requests then
+          fail "jobs=%d: %d responses for %d requests" w
+            (List.length responses) serve_requests;
+        if not identical then
+          fail "jobs=%d: response stream differs from jobs=%d" w
+            (List.hd serve_widths);
+        let probes = stats_hits responses in
+        if
+          not
+            (List.for_all2 ( < )
+               (List.filteri (fun i _ -> i < List.length probes - 1) probes)
+               (List.tl probes))
+        then
+          fail "jobs=%d: cache hits not strictly increasing across stats \
+                probes" w;
+        let rps = float_of_int serve_requests /. wall_s in
+        let p50 = 1000. *. percentile 0.50 lats in
+        let p99 = 1000. *. percentile 0.99 lats in
+        Printf.printf "  %-6d %10d %12.0f %10.3f %10.3f %8d %8d %10s\n" w
+          (List.length responses) rps p50 p99 hits misses
+          (if identical then "yes" else "NO");
+        Obs.Json.Obj
+          [
+            ("jobs", Obs.Json.Int w);
+            ("requests_per_s", Obs.Json.Float rps);
+            ("p50_ms", Obs.Json.Float p50);
+            ("p99_ms", Obs.Json.Float p99);
+            ("cache_hits", Obs.Json.Int hits);
+            ("cache_misses", Obs.Json.Int misses);
+            ("identical_to_width1", Obs.Json.Bool identical);
+          ])
+      serve_widths
+  in
+  let json =
+    Obs.Json.Obj
+      [
+        ("bench", Obs.Json.String "serve");
+        ("requests", Obs.Json.Int serve_requests);
+        ("seed", Obs.Json.Int 42);
+        ("contract_failures", Obs.Json.Int !failures);
+        ("widths", Obs.Json.List width_json);
+      ]
+  in
+  Printf.printf "json: %s\n" (Obs.Json.to_string json);
+  Option.iter
+    (fun path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          output_string oc (Obs.Json.to_string json);
+          output_char oc '\n'))
+    !bench_out;
+  if !failures > 0 then begin
+    Printf.eprintf "serve: %d contract failure(s)\n" !failures;
+    exit 1
+  end
+  else Printf.printf "service contract holds at every width\n"
+
 (* {1 Self-performance: sequential vs parallel sweep wall-clock} *)
 
 (* The paper's argument applied to ourselves: a sweep of independent
@@ -1116,13 +1295,14 @@ let () =
     | "selfperf" -> selfperf ()
     | "residency" -> residency_mode ()
     | "degrade" -> degrade_mode ()
+    | "serve" -> serve_mode ()
     | name -> (
         match List.assoc_opt name Experiments.All.by_name with
         | Some f -> f ()
         | None ->
             Printf.eprintf
               "unknown experiment %s; known: %s ablations profile faults micro \
-               check selfperf residency degrade\n"
+               check selfperf residency degrade serve\n"
               name
               (String.concat " " Experiments.All.names);
             exit 1)

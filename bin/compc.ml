@@ -33,11 +33,17 @@ let load path =
       | Error e -> Error (Printf.sprintf "%s: type error: %s" path e))
   | Error e -> Error (Printf.sprintf "%s: %s" path e)
 
-let or_die = function
-  | Ok v -> v
-  | Error msg ->
-      prerr_endline msg;
-      exit 1
+(* Usage and input-parse failures in our own code: message on stderr,
+   exit 2 — one convention across every subcommand.  (Cmdliner's own
+   flag/argument errors exit 124; runtime failures exit 1; an
+   unrecoverable device death exits 3.) *)
+let exit_cli_error = 2
+
+let die_usage msg =
+  prerr_endline msg;
+  exit exit_cli_error
+
+let or_die = function Ok v -> v | Error msg -> die_usage msg
 
 (* --- --faults SPEC (shared by --profile and check) --- *)
 
@@ -151,9 +157,9 @@ let midend_pass_list names =
       match Opt.pass_of_name (String.trim n) with
       | Some p -> p
       | None ->
-          Printf.eprintf "unknown optimizer pass %s (known: %s)\n" n
-            (String.concat ", " Opt.pass_names);
-          exit 1)
+          die_usage
+            (Printf.sprintf "unknown optimizer pass %s (known: %s)" n
+               (String.concat ", " Opt.pass_names)))
     (String.split_on_char ',' names)
 
 (* [Some passes] when any of -O / --passes / --report asks for the
@@ -236,10 +242,10 @@ let optimize_cmd =
               match Comp.pass_of_name (String.trim n) with
               | Some p -> p
               | None ->
-                  Printf.eprintf "unknown pass %s (known: %s)\n" n
-                    (String.concat ", "
-                       (List.map Comp.pass_name Comp.all_passes));
-                  exit 1)
+                  die_usage
+                    (Printf.sprintf "unknown pass %s (known: %s)" n
+                       (String.concat ", "
+                          (List.map Comp.pass_name Comp.all_passes))))
             (String.split_on_char ',' names)
     in
     let obs = if report then Some (Obs.create ()) else None in
@@ -452,9 +458,9 @@ let report_cmd =
         match List.assoc_opt name Experiments.All.by_name with
         | Some f -> f ()
         | None ->
-            Printf.eprintf "unknown experiment %s (known: %s)\n" name
-              (String.concat " " Experiments.All.names);
-            exit 1)
+            die_usage
+              (Printf.sprintf "unknown experiment %s (known: %s)" name
+                 (String.concat " " Experiments.All.names)))
   in
   Cmd.v
     (Cmd.info "report" ~doc:"Regenerate the paper's tables and figures")
@@ -476,12 +482,17 @@ let analyze_cmd =
   let run bench file =
     let prog =
       match (bench, file) with
-      | Some name, _ ->
-          Workloads.Workload.program (Workloads.Registry.find_exn name)
+      | Some name, _ -> (
+          (* find, not find_exn: an unknown name must be a usage error,
+             not an escaping Not_found *)
+          match Workloads.Registry.find name with
+          | Some w -> Workloads.Workload.program w
+          | None ->
+              die_usage
+                (Printf.sprintf "unknown benchmark %s (known: %s)" name
+                   (String.concat " " Workloads.Registry.names)))
       | None, Some f -> or_die (load f)
-      | None, None ->
-          prerr_endline "analyze: need FILE or --bench NAME";
-          exit 1
+      | None, None -> die_usage "analyze: need FILE or --bench NAME"
     in
     print_string (Comp.explain prog)
   in
@@ -970,10 +981,8 @@ let check_cmd =
           "migrate" !mig_checked !mig_migrated_total !mig_deaths_total
           !mig_failures
     end;
-    if file = None && runs = 0 then begin
-      prerr_endline "check: need FILE and/or --runs N";
-      exit 1
-    end;
+    if file = None && runs = 0 then
+      die_usage "check: need FILE and/or --runs N";
     if inject then
       if !failures > 0 then begin
         Printf.printf "injected bug caught (%d finding%s)\n" !failures
@@ -1000,6 +1009,103 @@ let check_cmd =
       const run $ file $ transform $ runs $ seed $ nblocks $ fuel $ inject
       $ record $ faults_arg $ jobs $ eval_arg $ o $ midend_passes_arg
       $ residency $ devices_arg $ streams_arg)
+
+(* --- serve --- *)
+
+let serve_cmd =
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Serve on a Unix-domain socket at $(docv) instead of stdin; \
+             one connection at a time, state (compile cache, stats) kept \
+             across connections")
+  in
+  let connect =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"PATH"
+          ~doc:
+            "Client mode: send stdin's request lines to the server at \
+             $(docv) and print its response lines (retries while the \
+             server starts up)")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Domain-pool width for request execution (default: \
+             $(b,COMP_JOBS) if set, else the recommended domain count). \
+             The response stream is byte-identical at any width")
+  in
+  let queue =
+    Arg.(
+      value & opt int Serve.default_config.Serve.queue
+      & info [ "queue" ] ~docv:"N"
+          ~doc:
+            "Admission bound: reject requests with $(b,queue_full) once \
+             $(docv) are waiting")
+  in
+  let batch =
+    Arg.(
+      value & opt int Serve.default_config.Serve.batch
+      & info [ "batch" ] ~docv:"N"
+          ~doc:
+            "Dispatch queued requests to the pool in batches of $(docv) \
+             (a fixed sequence point, independent of --jobs)")
+  in
+  let max_fuel =
+    Arg.(
+      value & opt int Serve.default_config.Serve.max_fuel
+      & info [ "max-fuel" ] ~docv:"N"
+          ~doc:"Per-request interpreter statement budget ceiling")
+  in
+  let max_time =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "max-time" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-request wall budget, converted to fuel at 2,000,000 \
+             statements per second")
+  in
+  let run socket connect jobs queue batch max_fuel max_time =
+    match connect with
+    | Some path ->
+        if socket <> None then
+          die_usage "serve: --socket and --connect are mutually exclusive";
+        Serve.client ~path stdin stdout
+    | None -> (
+        let config =
+          {
+            Serve.jobs;
+            queue = max 1 queue;
+            batch = max 1 batch;
+            max_fuel = max 1 max_fuel;
+            max_time;
+            timings = false;
+          }
+        in
+        let t = Serve.create ~config () in
+        match socket with
+        | Some path -> Serve.serve_socket t ~path
+        | None -> Serve.serve_stdin t)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run compc as a long-lived JSONL request daemon: one JSON \
+          request per line (optimize/run/check/simulate/stats/shutdown), \
+          one JSON response per line, with admission control, \
+          per-request budgets and a request-shared compile cache")
+    Term.(
+      const run $ socket $ connect $ jobs $ queue $ batch $ max_fuel
+      $ max_time)
 
 (* --- --profile (top-level) --- *)
 
@@ -1036,8 +1142,7 @@ let profile_run ~faults ~engine file out =
         (fun path ->
           match open_out path with
           | exception Sys_error e ->
-              prerr_endline ("cannot write profile: " ^ e);
-              exit 1
+              die_usage ("cannot write profile: " ^ e)
           | oc ->
               Fun.protect
                 ~finally:(fun () -> close_out oc)
@@ -1080,5 +1185,5 @@ let () =
        (Cmd.group ~default:default_term (Cmd.info "compc" ~doc)
           [
             parse_cmd; optimize_cmd; run_cmd; simulate_cmd; report_cmd;
-            analyze_cmd; list_cmd; check_cmd;
+            analyze_cmd; list_cmd; check_cmd; serve_cmd;
           ]))

@@ -949,6 +949,32 @@ and compile_stmt ctx scope nslots (stmt : stmt) : scode =
       (* literal bound/step fold away their per-iteration closure
          calls; evaluating an [Int_lit] has no observable effect, so
          hoisting it is parity-safe *)
+      let generic () =
+        let chi = cexpr ctx scope' hi in
+        let cstep = cexpr ctx scope' step in
+        fun rt ->
+          fast_burn rt.st;
+          let st = rt.st in
+          let cell = fast_alloc st rt.space 1 in
+          let lo_v = clo rt in
+          rt.slots.(slot) <- { cell; vty = Tint };
+          fast_store st cell lo_v;
+          let rec loop () =
+            fast_burn st;
+            let i = as_int (fast_load st cell) in
+            let hi_v = as_int (chi rt) in
+            if i < hi_v then
+              match cbody rt with
+              | Normal | Continue ->
+                  let stepv = as_int (cstep rt) in
+                  fast_store st cell (Vint (i + stepv));
+                  loop ()
+              | Break -> Normal
+              | Return _ as r -> r
+            else Normal
+          in
+          loop ()
+      in
       match (hi, step) with
       | Int_lit hi_n, Int_lit step_n ->
           fun rt ->
@@ -971,59 +997,40 @@ and compile_stmt ctx scope nslots (stmt : stmt) : scode =
               else Normal
             in
             loop ()
-      | Var v, Int_lit step_n when List.mem_assoc v scope' ->
-          (* [i < n] bounds: read the bound straight from its slot
-             each iteration (same cell the generic closure reads) *)
-          let hi_slot = fst (List.assoc v scope') in
-          fun rt ->
-            fast_burn rt.st;
-            let st = rt.st in
-            let cell = fast_alloc st rt.space 1 in
-            let lo_v = clo rt in
-            rt.slots.(slot) <- { cell; vty = Tint };
-            fast_store st cell lo_v;
-            let rec loop () =
-              fast_burn st;
-              let i = as_int (fast_load st cell) in
-              let hi_v =
-                as_int
-                  (fast_load st (Array.unsafe_get rt.slots hi_slot).cell)
-              in
-              if i < hi_v then
-                match cbody rt with
-                | Normal | Continue ->
-                    fast_store st cell (Vint (i + step_n));
-                    loop ()
-                | Break -> Normal
-                | Return _ as r -> r
-              else Normal
-            in
-            loop ()
-      | _ ->
-          let chi = cexpr ctx scope' hi in
-          let cstep = cexpr ctx scope' step in
-          fun rt ->
-            fast_burn rt.st;
-            let st = rt.st in
-            let cell = fast_alloc st rt.space 1 in
-            let lo_v = clo rt in
-            rt.slots.(slot) <- { cell; vty = Tint };
-            fast_store st cell lo_v;
-            let rec loop () =
-              fast_burn st;
-              let i = as_int (fast_load st cell) in
-              let hi_v = as_int (chi rt) in
-              if i < hi_v then
-                match cbody rt with
-                | Normal | Continue ->
-                    let stepv = as_int (cstep rt) in
-                    fast_store st cell (Vint (i + stepv));
-                    loop ()
-                | Break -> Normal
-                | Return _ as r -> r
-              else Normal
-            in
-            loop ())
+      | Var v, Int_lit step_n -> (
+          (* [i < n] bounds: read the bound straight from its slot each
+             iteration (same cell the generic closure reads).  One
+             [assoc_opt] scan decides the specialization; an unbound
+             bound variable takes the generic path, which raises the
+             reference interpreter's error at the same point. *)
+          match List.assoc_opt v scope' with
+          | Some (hi_slot, _) ->
+              fun rt ->
+                fast_burn rt.st;
+                let st = rt.st in
+                let cell = fast_alloc st rt.space 1 in
+                let lo_v = clo rt in
+                rt.slots.(slot) <- { cell; vty = Tint };
+                fast_store st cell lo_v;
+                let rec loop () =
+                  fast_burn st;
+                  let i = as_int (fast_load st cell) in
+                  let hi_v =
+                    as_int
+                      (fast_load st (Array.unsafe_get rt.slots hi_slot).cell)
+                  in
+                  if i < hi_v then
+                    match cbody rt with
+                    | Normal | Continue ->
+                        fast_store st cell (Vint (i + step_n));
+                        loop ()
+                    | Break -> Normal
+                    | Return _ as r -> r
+                  else Normal
+                in
+                loop ()
+          | None -> generic ())
+      | _ -> generic ())
   | Sreturn None ->
       let r = Return Vundef in
       fun rt ->
@@ -1382,3 +1389,67 @@ let run ?(engine = Compiled) ?fuel prog =
   match engine with
   | Reference -> Interp.run ?fuel prog
   | Compiled -> run_compiled ?fuel prog
+
+(** {1 Shared source-keyed cache}
+
+    The per-domain table above suits sweeps where every domain replays
+    the same ASTs, but a request daemon sees {e sources} (strings off
+    the wire) and wants parse-once/compile-once across {e all}
+    requests, whichever domain executes them.  This cache is keyed by
+    the raw source, guarded by a mutex so it can be shared, and caches
+    front-end {e failures} too: a repeatedly-submitted malformed source
+    costs one parse, not one per request.
+
+    A [compiled] value is safe to share across domains: [exec] builds
+    a fresh interpreter state per call, and compilation fully publishes
+    the closure graph before the value escapes the lock. *)
+
+module Source_cache = struct
+  type error = Parse_error of string | Type_error of string
+
+  type entry = (program * compiled, error) result
+
+  type t = {
+    lock : Mutex.t;
+    table : (string, entry) Hashtbl.t;
+    limit : int;
+    mutable hits : int;
+    mutable misses : int;
+  }
+
+  let create ?(limit = 512) () =
+    {
+      lock = Mutex.create ();
+      table = Hashtbl.create 64;
+      limit;
+      hits = 0;
+      misses = 0;
+    }
+
+  let build src : entry =
+    match Parser.program_of_string src with
+    | Error e -> Error (Parse_error e)
+    | Ok prog -> (
+        match Typecheck.check_program prog with
+        | Error e -> Error (Type_error e)
+        | Ok _ -> Ok (prog, compile prog))
+
+  let get t src =
+    Mutex.lock t.lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.lock)
+      (fun () ->
+        match Hashtbl.find_opt t.table src with
+        | Some e ->
+            t.hits <- t.hits + 1;
+            e
+        | None ->
+            t.misses <- t.misses + 1;
+            let e = build src in
+            if Hashtbl.length t.table >= t.limit then Hashtbl.reset t.table;
+            Hashtbl.add t.table src e;
+            e)
+
+  let hits t = t.hits
+  let misses t = t.misses
+end

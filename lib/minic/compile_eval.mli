@@ -42,3 +42,33 @@ val compile_count : unit -> int
 (** Number of cache-miss compilations performed by the calling domain —
     the cache, like [Transforms.Util.fresh], is domain-local state, so
     the PR-4 domain pool never contends on it. *)
+
+(** Request-shared front-end cache, keyed by raw source text.
+
+    Unlike the per-domain AST cache, this one is mutex-guarded and
+    meant to be shared by every request of a long-running service:
+    each distinct source is parsed, typechecked and compiled exactly
+    once while its entry stays resident, and front-end failures are
+    cached too.  Bounded: when full the table resets (same policy as
+    the per-domain cache), after which previously-seen sources miss
+    once again. *)
+module Source_cache : sig
+  type error =
+    | Parse_error of string
+    | Type_error of string
+        (** Typed front-end failure — a daemon maps these to protocol
+            error codes instead of crashing on bad input. *)
+
+  type t
+
+  val create : ?limit:int -> unit -> t
+
+  val get : t -> string -> (Ast.program * compiled, error) result
+  (** Cached parse + typecheck + compile of one source.  The returned
+      [compiled] is reentrant and safe to execute from any domain. *)
+
+  val hits : t -> int
+  val misses : t -> int
+  (** Monotonic lookup counters, for the service's [cache.hit]/
+      [cache.miss] observability. *)
+end

@@ -131,6 +131,15 @@ module Json : sig
     | Obj of (string * t) list
 
   val to_string : t -> string
+
+  val of_string : string -> (t, string) result
+  (** Strict parser for one JSON document: accepts what {!to_string}
+      produces plus inter-token whitespace, rejects trailing garbage,
+      never raises.  Numbers without [.]/[e] that fit an OCaml [int]
+      parse as [Int]; everything else as [Float]. *)
+
+  val member : string -> t -> t option
+  (** Field lookup on an [Obj]; [None] on missing key or non-object. *)
 end
 
 val histogram_json : histogram -> Json.t

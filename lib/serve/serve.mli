@@ -1,0 +1,101 @@
+(** [compc serve]: a long-running JSONL request daemon.
+
+    One request per line — a JSON object with a ["cmd"] field
+    ([optimize], [run], [check], [simulate], [stats], [shutdown]) —
+    one JSON response per line, in request order.  Malformed input of
+    any shape produces a typed error response, never a crash.
+
+    The daemon is built for two properties:
+
+    - {b Determinism.}  The response {e stream} is byte-identical at
+      any [--jobs] width: admission (parse, typecheck, compile, queue
+      accounting) happens serially on the main thread, batches are
+      cut at fixed sizes independent of pool width, and responses are
+      emitted strictly in request order.  Wall-clock time never
+      appears in a response.
+    - {b Amortization.}  A request-shared, source-keyed compile cache
+      ({!Minic.Compile_eval.Source_cache}) makes repeated sources
+      parse-once/compile-once across the whole session, whichever
+      domain runs them; front-end failures are cached too.
+
+    Budgets: each executing request gets
+    [min(opts.fuel, max_fuel, max_time * 2e6)] interpreter fuel; an
+    execution that exhausts it gets a [budget_exhausted] error
+    response.  Admission control: at most [queue] requests may be
+    waiting; beyond that requests are rejected with [queue_full]
+    (only reachable when [queue < batch] — with [queue >= batch] the
+    queue drains before it fills). *)
+
+type config = {
+  jobs : int option;  (** pool width; [None] = {!Parallel.default_jobs} *)
+  queue : int;  (** admission bound: max requests waiting (default 64) *)
+  batch : int;
+      (** flush the queue to the pool at this many requests (default
+          8).  Deliberately {e not} defaulted to [jobs]: batch cuts
+          are sequence points, and tying them to pool width would
+          make the response stream width-dependent. *)
+  max_fuel : int;  (** per-request fuel ceiling (default 10,000,000) *)
+  max_time : float option;
+      (** per-request wall budget in seconds, converted to fuel at
+          2,000,000 statements/s; [None] = no time bound *)
+  timings : bool;
+      (** record per-request wall latencies (for {!latencies}; never
+          part of a response) *)
+}
+
+val default_config : config
+
+type t
+(** Server state: compile cache, merged [Obs] sink, request queue. *)
+
+val create : ?config:config -> unit -> t
+
+(** {1 Driving the server in-process}
+
+    [bench] and the tests drive these directly; the CLI wraps them in
+    {!serve_stdin} / {!serve_socket}. *)
+
+val handle_line : t -> string -> string list
+(** Feed one request line; returns the response lines that became
+    emittable (responses are held until every earlier request has
+    completed, so a line may return zero, one, or many).  Blank lines
+    are ignored. *)
+
+val finish : t -> string list
+(** End-of-input barrier: run everything still queued and return the
+    remaining responses. *)
+
+val shutdown_requested : t -> bool
+(** True once a [shutdown] request has been served. *)
+
+(** {1 Introspection} *)
+
+val obs : t -> Obs.t
+(** The merged sink: per-request sinks folded in request order, so
+    the profile is identical at any pool width. *)
+
+val cache_hits : t -> int
+val cache_misses : t -> int
+
+val latencies : t -> float list
+(** Per-request wall latencies (seconds, admission to completion),
+    oldest first; empty unless [config.timings]. *)
+
+(** {1 Transports} *)
+
+val serve_channels : t -> in_channel -> out_channel -> unit
+(** Request loop: read lines until EOF or [shutdown], emitting (and
+    flushing) each response line as it becomes ready. *)
+
+val serve_stdin : t -> unit
+
+val serve_socket : t -> path:string -> unit
+(** Bind a Unix-domain socket at [path] and serve one connection at a
+    time until a [shutdown] request; state (cache, stats) persists
+    across connections.  The socket file is removed on exit. *)
+
+val client : path:string -> in_channel -> out_channel -> unit
+(** Scripted-session client for the socket transport: connect
+    (retrying while the server starts up), send every input line,
+    half-close, then copy response lines to [out_channel].  Suited to
+    batch scripts, not interactive use. *)

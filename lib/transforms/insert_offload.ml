@@ -93,7 +93,9 @@ let transform prog (region : Analysis.Offload_regions.region) =
             Spragma
               (Offload spec, Spragma (Omp_parallel_for, Sfor region.loop))
           in
-          Ok (Util.replace_region prog region ~replacement))
+          match Util.replace_region prog region ~replacement with
+          | Some prog' -> Ok prog'
+          | None -> Error (Unknown_extent region.func))
 
 (** Offload every candidate parallel loop in the program; returns the
     rewritten program and the number of regions offloaded. *)
@@ -103,7 +105,7 @@ let transform_all prog =
     (fun (prog, n) region ->
       match transform prog region with
       | Ok prog' -> (prog', n + 1)
-      | Error _ | (exception Not_found) ->
+      | Error _ ->
           (* leave unoffloadable candidates on the host *)
           (prog, n))
     (prog, 0) candidates

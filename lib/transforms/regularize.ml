@@ -323,8 +323,8 @@ let reorder prog (region : Analysis.Offload_regions.region) =
     Sblock (decls @ pack_loop @ [ new_loop ] @ scatter_loop)
   in
   match Util.replace_region prog region ~replacement with
-  | prog' -> Ok prog'
-  | exception Not_found -> Error No_offload_spec
+  | Some prog' -> Ok prog'
+  | None -> Error No_offload_spec
 
 (** {1 Loop splitting} *)
 
@@ -377,8 +377,8 @@ let split prog (region : Analysis.Offload_regions.region) =
     Spragma (Offload spec, Sblock (tmp_decls @ [ loop1; loop2 ]))
   in
   match Util.replace_region prog region ~replacement with
-  | prog' -> Ok prog'
-  | exception Not_found -> Error No_offload_spec
+  | Some prog' -> Ok prog'
+  | None -> Error No_offload_spec
 
 (** {1 AoS to SoA} *)
 
@@ -603,8 +603,8 @@ let aos_to_soa prog (region : Analysis.Offload_regions.region) =
   in
   let replacement = Sblock (decls @ pack @ [ new_loop ] @ unpack) in
   match Util.replace_region prog region ~replacement with
-  | prog' -> Ok prog'
-  | exception Not_found -> Error No_offload_spec
+  | Some prog' -> Ok prog'
+  | None -> Error No_offload_spec
 
 (** Apply the regularization rewrites in [kinds] that fit each
     offloaded region.  Returns the program and the list of

@@ -205,8 +205,8 @@ let transform prog (region : Analysis.Offload_regions.region) =
     Sblock (decls @ in_transfers @ [ new_offload ] @ out_transfers)
   in
   match Util.replace_region prog region ~replacement with
-  | prog' -> Ok prog'
-  | exception Not_found -> Error No_offload_spec
+  | Some prog' -> Ok prog'
+  | None -> Error No_offload_spec
 
 (** Rewrite every offloaded region with pointer-based clauses. *)
 let transform_all prog =

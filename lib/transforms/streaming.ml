@@ -574,8 +574,8 @@ let transform ?(nblocks = 10) ?(memory = Full) prog region =
     | Double_buffered -> generate_double info
   in
   match Util.replace_region prog region ~replacement with
-  | prog' -> Ok prog'
-  | exception Not_found -> Error No_offload_spec
+  | Some prog' -> Ok prog'
+  | None -> Error No_offload_spec
 
 (** Stream every offloaded region that passes the legality check.
     Returns the rewritten program and the transformed region count. *)

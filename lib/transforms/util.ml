@@ -94,8 +94,10 @@ let matches_region (r : Analysis.Offload_regions.region) stmt =
   | None -> false
 
 (** Replace the statement carrying [region] with [replacement] in the
-    program.  Raises [Not_found] when the region cannot be located
-    (e.g. the program was already rewritten). *)
+    program.  [None] when the region cannot be located (e.g. the
+    program was already rewritten) — a typed miss, never an exception:
+    transforms run deep inside [optimize], and a long-running caller
+    must be able to treat a stale region as an ordinary refusal. *)
 let replace_region prog (region : Analysis.Offload_regions.region)
     ~replacement =
   let found = ref false in
@@ -114,7 +116,7 @@ let replace_region prog (region : Analysis.Offload_regions.region)
         else f)
       prog
   in
-  if !found then prog' else raise Not_found
+  if !found then Some prog' else None
 
 (** Rename array [arr] to [to_] in indexed positions of a block, with
     an optional index shift: [arr[e]] becomes [to_[e - shift]].  Plain

@@ -34,9 +34,11 @@ val replace_region :
   Minic.Ast.program ->
   Analysis.Offload_regions.region ->
   replacement:Minic.Ast.stmt ->
-  Minic.Ast.program
-(** Replace the statement carrying a region.  Raises [Not_found] when
-    the region cannot be located (e.g. already rewritten). *)
+  Minic.Ast.program option
+(** Replace the statement carrying a region.  [None] when the region
+    cannot be located (e.g. already rewritten) — a typed miss the
+    transforms turn into their own refusal error, never an
+    exception. *)
 
 val rename_array :
   ?shift:Minic.Ast.expr ->

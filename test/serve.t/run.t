@@ -1,0 +1,73 @@
+The service mode reads one JSONL request per line and writes exactly
+one JSON response per line, in request order.  Stdin mode first: a
+couple of runs (the second hits the shared compile cache), a stats
+snapshot, and a clean shutdown.
+
+  $ cat > session.jsonl <<'EOF'
+  > {"cmd":"run","src":"int main(void) { print_int(7); return 0; }"}
+  > {"cmd":"run","src":"int main(void) { print_int(7); return 0; }"}
+  > {"cmd":"shutdown"}
+  > EOF
+  $ compc serve < session.jsonl
+  {"id":1,"ok":true,"cmd":"run","status":0,"output":"7\n","work":3,"stats":{"offloads":0,"transfers":0,"cells_h2d":0,"cells_d2h":0,"mic_alloc_cells":0},"counters":{"serve.cmd.run":1,"serve.ok":1,"serve.requests":1}}
+  {"id":2,"ok":true,"cmd":"run","status":0,"output":"7\n","work":3,"stats":{"offloads":0,"transfers":0,"cells_h2d":0,"cells_d2h":0,"mic_alloc_cells":0},"counters":{"serve.cmd.run":1,"serve.ok":1,"serve.requests":1}}
+  {"id":3,"ok":true,"cmd":"shutdown","status":0,"served":2,"counters":{}}
+  $ echo "exit=$?"
+  exit=0
+
+The stats snapshot carries the merged observability state; we project
+out just the stable service-level fields.
+
+  $ printf '%s\n' \
+  >   '{"cmd":"run","src":"int main(void) { print_int(7); return 0; }"}' \
+  >   '{"cmd":"run","src":"int main(void) { print_int(7); return 0; }"}' \
+  >   '{"cmd":"stats"}' \
+  >   '{"cmd":"shutdown"}' \
+  > | compc serve | sed -n 's/.*"served":\([0-9]*\),"ok":\([0-9]*\),"errors":\([0-9]*\),"cache":{"hits":\([0-9]*\),"misses":\([0-9]*\)}.*/served=\1 ok=\2 errors=\3 hits=\4 misses=\5/p'
+  served=2 ok=2 errors=0 hits=1 misses=1
+
+Malformed input never kills the server: each bad line yields one typed
+error response and later requests still succeed.
+
+  $ printf '%s\n' \
+  >   'this is not json' \
+  >   '{"cmd":"levitate"}' \
+  >   '{"cmd":"run","src":"int main(void) { return }"}' \
+  >   '{"cmd":"run","src":"int main(void) { print_int(9); return 0; }"}' \
+  >   '{"cmd":"shutdown"}' \
+  > | compc serve
+  {"id":1,"ok":false,"error":"bad_json","status":2,"message":"invalid literal at offset 0","counters":{"serve.err.bad_json":1,"serve.errors":1,"serve.requests":1}}
+  {"id":2,"ok":false,"error":"unknown_cmd","status":2,"message":"unknown cmd levitate (known: optimize run check simulate stats shutdown)","counters":{"serve.err.unknown_cmd":1,"serve.errors":1,"serve.requests":1}}
+  {"id":3,"ok":false,"error":"parse_error","status":2,"message":"expression expected (got Trbrace) at line 1, column 25","counters":{"serve.err.parse_error":1,"serve.errors":1,"serve.requests":1}}
+  {"id":4,"ok":true,"cmd":"run","status":0,"output":"9\n","work":3,"stats":{"offloads":0,"transfers":0,"cells_h2d":0,"cells_d2h":0,"mic_alloc_cells":0},"counters":{"serve.cmd.run":1,"serve.ok":1,"serve.requests":1}}
+  {"id":5,"ok":true,"cmd":"shutdown","status":0,"served":4,"counters":{}}
+
+Socket mode: a server bound to a Unix socket, two separate client
+sessions against it.  The compile cache lives in the server, so the
+second client's identical request is a cache hit, and the request
+sequence keeps counting across connections.
+
+  $ compc serve --socket ./compc.sock &
+  $ printf '%s\n' \
+  >   '{"cmd":"run","src":"int main(void) { print_int(5); return 0; }"}' \
+  > | compc serve --connect ./compc.sock
+  {"id":1,"ok":true,"cmd":"run","status":0,"output":"5\n","work":3,"stats":{"offloads":0,"transfers":0,"cells_h2d":0,"cells_d2h":0,"mic_alloc_cells":0},"counters":{"serve.cmd.run":1,"serve.ok":1,"serve.requests":1}}
+  $ printf '%s\n' \
+  >   '{"cmd":"run","src":"int main(void) { print_int(5); return 0; }"}' \
+  >   '{"cmd":"stats"}' \
+  >   '{"cmd":"shutdown"}' \
+  > | compc serve --connect ./compc.sock \
+  > | sed 's/.*"served":\([0-9]*\),"ok":\([0-9]*\),"errors":\([0-9]*\),"cache":{"hits":\([0-9]*\),"misses":\([0-9]*\)}.*/served=\1 ok=\2 errors=\3 hits=\4 misses=\5/'
+  {"id":2,"ok":true,"cmd":"run","status":0,"output":"5\n","work":3,"stats":{"offloads":0,"transfers":0,"cells_h2d":0,"cells_d2h":0,"mic_alloc_cells":0},"counters":{"serve.cmd.run":1,"serve.ok":1,"serve.requests":1}}
+  served=2 ok=2 errors=0 hits=1 misses=1
+  {"id":4,"ok":true,"cmd":"shutdown","status":0,"served":3,"counters":{}}
+  $ wait
+  $ test -e ./compc.sock || echo "socket removed"
+  socket removed
+
+--socket and --connect are mutually exclusive; that is a usage error
+on stderr with exit 2.
+
+  $ compc serve --socket ./a.sock --connect ./b.sock
+  serve: --socket and --connect are mutually exclusive
+  [2]

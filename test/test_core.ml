@@ -38,4 +38,5 @@ let () =
       ("residency", Test_residency.suite);
       ("workloads", Test_workloads.suite);
       ("experiments", Test_experiments.suite);
+      ("serve", Test_serve.suite);
     ]

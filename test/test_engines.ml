@@ -303,4 +303,50 @@ let suite =
               | None -> ()
               | Some why -> Alcotest.failf "engines disagree: %s" why)
           | _ -> Alcotest.fail "both engines should succeed");
+      (* the [i < n] fast path: a for loop bounded by a local variable
+         takes a dedicated compiled route (single scope lookup); its
+         observable behaviour must stay identical to the reference on
+         the plain case, when the bound is written inside the body, and
+         when the bound is a parameter rather than a local *)
+      tc "for-loop variable bound (fast path)" (fun () ->
+          agree_src "var-bound loop"
+            {|int main(void) {
+                int n = 5;
+                int s = 0;
+                for (int i = 0; i < n; i++) { s = s + i; }
+                print_int(s);
+                return s;
+              }|});
+      tc "for-loop variable bound mutated in body" (fun () ->
+          agree_src "mutated bound"
+            {|int main(void) {
+                int n = 8;
+                int s = 0;
+                for (int i = 0; i < n; i++) {
+                  s = s + 1;
+                  if (i == 2) { n = 4; }
+                }
+                print_int(s);
+                print_int(n);
+                return 0;
+              }|});
+      tc "for-loop parameter bound" (fun () ->
+          agree_src "param bound"
+            {|int count(int n) {
+                int s = 0;
+                for (int i = 0; i < n; i++) { s = s + 2; }
+                return s;
+              }
+              int main(void) {
+                print_int(count(6));
+                return 0;
+              }|});
+      tc "for-loop variable bound fuel parity" (fun () ->
+          agree_src ~fuel:40 "var-bound fuel"
+            {|int main(void) {
+                int n = 1000;
+                int s = 0;
+                for (int i = 0; i < n; i++) { s = s + i; }
+                return s;
+              }|});
     ]

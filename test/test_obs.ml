@@ -205,6 +205,73 @@ let suite =
         Alcotest.(check bool)
           "escaped quote" true
           (contains ~sub:{|a\"b|} s));
+    tc "json parser round-trips the encoder" (fun () ->
+        let j =
+          Obs.Json.(
+            Obj
+              [
+                ("s", String "a\"b\\c\nd\te");
+                ("i", Int (-42));
+                ("f", Float 1.5);
+                ("big", Float 1.23456789e20);
+                ("b", Bool true);
+                ("nil", Null);
+                ("l", List [ Int 1; Obj [ ("x", Int 2) ]; List [] ]);
+                ("empty", Obj []);
+              ])
+        in
+        let s = Obs.Json.to_string j in
+        match Obs.Json.of_string s with
+        | Error e -> Alcotest.failf "parse failed: %s" e
+        | Ok j' ->
+            Alcotest.(check bool) "tree equal" true (j = j');
+            Alcotest.(check string)
+              "reprint equal" s
+              (Obs.Json.to_string j'));
+    tc "json parser accepts whitespace and escapes" (fun () ->
+        match
+          Obs.Json.of_string
+            " { \"k\" : [ 1 , 2.5 , \"\\u0041\\n\" , true , null ] } "
+        with
+        | Error e -> Alcotest.failf "parse failed: %s" e
+        | Ok j ->
+            Alcotest.(check bool)
+              "tree" true
+              Obs.Json.(
+                j
+                = Obj
+                    [
+                      ( "k",
+                        List
+                          [ Int 1; Float 2.5; String "A\n"; Bool true; Null ]
+                      );
+                    ]));
+    tc "json parser rejects malformed input" (fun () ->
+        List.iter
+          (fun s ->
+            match Obs.Json.of_string s with
+            | Error _ -> ()
+            | Ok _ -> Alcotest.failf "accepted malformed %S" s)
+          [
+            "";
+            "{";
+            "{\"a\":}";
+            "[1,]";
+            "nul";
+            "\"unterminated";
+            "{\"a\":1} trailing";
+            "{'a':1}";
+            "+5";
+          ]);
+    tc "json member looks up object fields" (fun () ->
+        let j = Obs.Json.(Obj [ ("a", Int 1); ("b", String "x") ]) in
+        Alcotest.(check bool)
+          "hit" true
+          (Obs.Json.member "b" j = Some (Obs.Json.String "x"));
+        Alcotest.(check bool) "miss" true (Obs.Json.member "c" j = None);
+        Alcotest.(check bool)
+          "non-object" true
+          (Obs.Json.member "a" (Obs.Json.Int 3) = None));
     prop "h2d/d2h/fault bytes conserved between plan and spans" ~count:150
       Gen.arb_plan
       (fun (shape, strat) ->
