@@ -1071,12 +1071,12 @@ let stats_hits responses =
           | None -> None))
     responses
 
-let serve_mode () =
+let serve_sweep () =
   Printf.printf
     "== Service mode: %d-request seeded mix, widths %s ==\n" serve_requests
     (String.concat " " (List.map string_of_int serve_widths));
   let lines = serve_mix ~n:serve_requests ~seed:42 in
-  let run_width w =
+  let run_once w =
     let config = { Serve.default_config with jobs = Some w; timings = true } in
     let t = Serve.create ~config () in
     let t0 = Unix.gettimeofday () in
@@ -1085,6 +1085,16 @@ let serve_mode () =
     let wall_s = Unix.gettimeofday () -. t0 in
     (body @ tail, wall_s, Serve.latencies t, Serve.cache_hits t,
      Serve.cache_misses t)
+  in
+  (* one warmup pass, then best-of-3 wall clock (the min-timing idiom
+     the micro benches use): responses are deterministic per width, so
+     only the timing needs the repetitions *)
+  let run_width w =
+    ignore (run_once w);
+    let (responses, w1, lats, hits, misses) = run_once w in
+    let (_, w2, _, _, _) = run_once w in
+    let (_, w3, _, _, _) = run_once w in
+    (responses, Float.min w1 (Float.min w2 w3), lats, hits, misses)
   in
   let failures = ref 0 in
   let fail fmt =
@@ -1146,6 +1156,10 @@ let serve_mode () =
         ("widths", Obs.Json.List width_json);
       ]
   in
+  (json, !failures)
+
+let serve_mode () =
+  let json, failures = serve_sweep () in
   Printf.printf "json: %s\n" (Obs.Json.to_string json);
   Option.iter
     (fun path ->
@@ -1156,11 +1170,122 @@ let serve_mode () =
           output_string oc (Obs.Json.to_string json);
           output_char oc '\n'))
     !bench_out;
-  if !failures > 0 then begin
-    Printf.eprintf "serve: %d contract failure(s)\n" !failures;
+  if failures > 0 then begin
+    Printf.eprintf "serve: %d contract failure(s)\n" failures;
     exit 1
   end
   else Printf.printf "service contract holds at every width\n"
+
+(* {1 Auto-tune: per-workload best-config sweep over a fixed fleet} *)
+
+(* The tentpole's headline experiment: search the (devices, streams,
+   nblocks) space for every registry workload on the degrade-mode
+   fleet and record the replayed-makespan speedup of the tuned point
+   over the default (1 device, 1 stream, default block count).  The
+   default point always competes, so per-workload speedup is >= 1.0
+   by construction; what the sweep must demonstrate is that several
+   workloads improve *past noise* — there is no timing noise here
+   (the makespans are simulated), so improved means > 1.001x.  The
+   serve width sweep rides along so BENCH_10 also records the
+   admission-batching fix. *)
+let tune_devices = 4
+let tune_streams = 2
+
+let tune_mode () =
+  Printf.printf "== Auto-tune: registry sweep over a %d-device x %d-stream \
+                 fleet ==\n"
+    tune_devices tune_streams;
+  let obs = Obs.create () in
+  let cache = Tune.Cache.create ~obs () in
+  let bcache = Transforms.Block_size.Cache.create ~obs () in
+  Printf.printf "  %-14s %-33s %12s %12s %8s %9s %7s\n" "workload"
+    "best config" "makespan" "default" "speedup" "explored" "pruned";
+  (* outer loop sequential: each search fans its own candidates out
+     over the pool, and nested pools would oversubscribe *)
+  let rows =
+    List.map
+      (fun (w : Workloads.Workload.t) ->
+        let pre =
+          Tune.prepare ~obs ~block_cache:bcache ~max_devices:tune_devices
+            ~max_streams:tune_streams w
+        in
+        let rep = Tune.run ?jobs:!jobs ~obs ~cache pre in
+        let sp = Tune.speedup rep in
+        Printf.printf "  %-14s %-33s %12.6f %12.6f %7.2fx %9d %7d\n" w.name
+          (Tune.config_to_string rep.Tune.r_best.Tune.pt_config)
+          rep.Tune.r_best.Tune.pt_makespan
+          rep.Tune.r_default.Tune.pt_makespan sp rep.Tune.r_explored
+          rep.Tune.r_pruned;
+        (w.name, rep, sp))
+      Workloads.Registry.all
+  in
+  let n = List.length rows in
+  let geomean =
+    exp
+      (List.fold_left (fun acc (_, _, sp) -> acc +. log sp) 0. rows
+      /. float_of_int n)
+  in
+  let improved =
+    List.length (List.filter (fun (_, _, sp) -> sp > 1.001) rows)
+  in
+  Printf.printf "  geomean speedup %.2fx; %d/%d workloads improved; \
+                 tune.explored=%d tune.pruned=%d tune.block_cache.hits=%d\n"
+    geomean improved n
+    (Obs.count obs "tune.explored")
+    (Obs.count obs "tune.pruned")
+    (Obs.count obs "tune.block_cache.hits");
+  let serve_json, serve_failures = serve_sweep () in
+  let row_json (name, rep, sp) =
+    Obs.Json.Obj
+      [
+        ("name", Obs.Json.String name);
+        ( "best",
+          Obs.Json.String (Tune.config_to_string rep.Tune.r_best.Tune.pt_config)
+        );
+        ("best_makespan_s", Obs.Json.Float rep.Tune.r_best.Tune.pt_makespan);
+        ( "default_makespan_s",
+          Obs.Json.Float rep.Tune.r_default.Tune.pt_makespan );
+        ("speedup", Obs.Json.Float sp);
+        ("explored", Obs.Json.Int rep.Tune.r_explored);
+        ("pruned", Obs.Json.Int rep.Tune.r_pruned);
+      ]
+  in
+  let json =
+    Obs.Json.Obj
+      [
+        ("bench", Obs.Json.String "tune");
+        ("devices", Obs.Json.Int tune_devices);
+        ("streams", Obs.Json.Int tune_streams);
+        ("geomean_speedup", Obs.Json.Float geomean);
+        ("improved", Obs.Json.Int improved);
+        ("workloads", Obs.Json.List (List.map row_json rows));
+        ("serve", serve_json);
+      ]
+  in
+  Printf.printf "json: %s\n" (Obs.Json.to_string json);
+  Option.iter
+    (fun path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          output_string oc (Obs.Json.to_string json);
+          output_char oc '\n'))
+    !bench_out;
+  let failures = ref serve_failures in
+  if geomean < 1.0 then begin
+    Printf.eprintf "tune: geomean speedup %.3f < 1.0\n" geomean;
+    incr failures
+  end;
+  if improved < 3 then begin
+    Printf.eprintf "tune: only %d workload(s) improved past noise\n" improved;
+    incr failures
+  end;
+  if !failures > 0 then begin
+    Printf.eprintf "tune: %d contract failure(s)\n" !failures;
+    exit 1
+  end
+  else Printf.printf "tuning contract holds\n"
 
 (* {1 Self-performance: sequential vs parallel sweep wall-clock} *)
 
@@ -1296,13 +1421,14 @@ let () =
     | "residency" -> residency_mode ()
     | "degrade" -> degrade_mode ()
     | "serve" -> serve_mode ()
+    | "tune" -> tune_mode ()
     | name -> (
         match List.assoc_opt name Experiments.All.by_name with
         | Some f -> f ()
         | None ->
             Printf.eprintf
               "unknown experiment %s; known: %s ablations profile faults micro \
-               check selfperf residency degrade serve\n"
+               check selfperf residency degrade serve tune\n"
               name
               (String.concat " " Experiments.All.names);
             exit 1)

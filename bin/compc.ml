@@ -101,6 +101,28 @@ let streams_arg =
            across the streams of a device, which contend for its one \
            PCIe link")
 
+(* --- --machine SPEC (heterogeneous fleet; shared by run and tune) --- *)
+
+let machine_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "machine" ] ~docv:"SPEC"
+        ~doc:
+          "Describe the device fleet: comma-separated $(b,devices=N), \
+           $(b,streams=K), and per-device heterogeneity refinements \
+           $(b,devN:cores=F) / $(b,devN:bw=F), where F scales the named \
+           card's compute throughput / PCIe link bandwidth relative to the \
+           paper machine.  A bare $(b,cores=)/$(b,bw=) clause continues the \
+           last $(b,devN:) prefix, so $(b,dev1:cores=0.5,bw=0.75) refines \
+           device 1 twice.  Overrides $(b,--devices)/$(b,--streams)")
+
+(* typed parse errors exit 2, the input-error convention *)
+let parse_machine spec =
+  match Machine.Fleet.parse spec with
+  | Ok f -> f
+  | Error e -> die_usage (Machine.Fleet.error_message e)
+
 (* --- --eval ENGINE (shared by run, check and --profile) --- *)
 
 let engine_conv =
@@ -227,11 +249,38 @@ let optimize_cmd =
          $(b,--report), print the residency/clause counter table (and \
          $(b,--report) then no longer implies $(b,-O) on its own)"
   in
-  let run file nblocks full only o mpasses report residency =
+  let auto =
+    Arg.(
+      value & flag
+      & info [ "auto" ]
+          ~doc:
+            "Auto-tune the streaming block count before optimizing: \
+             simulate the pipeline's lowering at each candidate count on \
+             the paper machine and use the makespan-optimal one \
+             (overrides $(b,--nblocks); the chosen point is reported on \
+             stderr)")
+  in
+  let run file nblocks full only o mpasses report residency auto =
     let prog = or_die (load file) in
     let memory =
       if full then Transforms.Streaming.Full
       else Transforms.Streaming.Double_buffered
+    in
+    let nblocks =
+      if not auto then nblocks
+      else begin
+        let pre =
+          Tune.prepare_program ~max_devices:1 ~max_streams:1 ~name:file prog
+        in
+        let rep = Tune.run pre in
+        Printf.eprintf
+          "// auto-tuned: nblocks=%d (makespan %.6f s vs %.6f s at \
+           nblocks=%d; explored %d, pruned %d)\n"
+          rep.Tune.r_best.Tune.pt_config.Tune.nblocks
+          rep.Tune.r_best.Tune.pt_makespan rep.Tune.r_default.Tune.pt_makespan
+          Comp.default_nblocks rep.Tune.r_explored rep.Tune.r_pruned;
+        rep.Tune.r_best.Tune.pt_config.Tune.nblocks
+      end
     in
     let passes =
       match only with
@@ -269,7 +318,7 @@ let optimize_cmd =
        ~doc:"Apply the COMP source-to-source optimizations to a MiniC file")
     Term.(
       const run $ file_arg $ nblocks $ full_buffers $ only $ o
-      $ midend_passes_arg $ midend_report_flag $ residency)
+      $ midend_passes_arg $ midend_report_flag $ residency $ auto)
 
 (* --- run --- *)
 
@@ -299,9 +348,29 @@ let run_cmd =
          elided transfers show up in the stats line); with \
          $(b,--report), print its counter table"
   in
+  let auto =
+    Arg.(
+      value & flag
+      & info [ "auto" ]
+          ~doc:
+            "Auto-tune the offload configuration before running: search \
+             (devices, streams, nblocks) up to the caps given by \
+             $(b,--devices)/$(b,--streams) (or $(b,--machine)), optimize \
+             at the winning block count, and run on the winning grid.  \
+             The tuned point is reported on stderr")
+  in
   let run file fuel o mpasses report replay engine residency faults devices
-      streams =
+      streams machine auto =
     let prog = or_die (load file) in
+    let fleet = Option.map parse_machine machine in
+    let devices, streams =
+      match fleet with
+      | Some f -> (f.Machine.Fleet.f_devices, f.Machine.Fleet.f_streams)
+      | None -> (devices, streams)
+    in
+    let scales =
+      match fleet with Some f -> f.Machine.Fleet.f_scales | None -> []
+    in
     let obs = if report then Some (Obs.create ()) else None in
     let mid = midend ~o ~passes:mpasses ~report:(report && not residency) in
     let prog =
@@ -316,6 +385,34 @@ let run_cmd =
     in
     (if residency then
        Option.iter (fun s -> Printf.eprintf "%s\n" (Residency.report s)) obs);
+    (* --auto: tune on the program as it stands (post mid-end and
+       residency), then run the pipeline-optimized program on the
+       tuned grid *)
+    let prog, devices, streams =
+      if not auto then (prog, devices, streams)
+      else begin
+        let base =
+          Machine.Config.with_scales
+            (Machine.Config.with_faults Machine.Config.paper_default faults)
+            scales
+        in
+        let pre =
+          Tune.prepare_program ~base ~max_devices:devices
+            ~max_streams:streams ~name:file prog
+        in
+        let rep = Tune.run pre in
+        let c = rep.Tune.r_best.Tune.pt_config in
+        Printf.eprintf
+          "// auto-tuned: %s (makespan %.6f s vs %.6f s default, %.2fx; \
+           explored %d, pruned %d)\n"
+          (Tune.config_to_string c) rep.Tune.r_best.Tune.pt_makespan
+          rep.Tune.r_default.Tune.pt_makespan (Tune.speedup rep)
+          rep.Tune.r_explored rep.Tune.r_pruned;
+        ( fst (Comp.optimize ~nblocks:c.Tune.nblocks prog),
+          c.Tune.devices,
+          c.Tune.streams )
+      end
+    in
     match Minic.Compile_eval.run ~engine ~fuel prog with
     | Ok o ->
         print_string o.Minic.Interp.output;
@@ -325,7 +422,9 @@ let run_cmd =
           o.stats.Minic.Interp.cells_h2d o.stats.Minic.Interp.cells_d2h
           o.stats.Minic.Interp.mic_alloc_cells;
         let multi =
-          devices > 1 || streams > 1 || not (Fault.is_none faults)
+          devices > 1 || streams > 1
+          || not (Fault.is_none faults)
+          || scales <> []
         in
         if multi then begin
           (* The multi-device path: cut the trace into blocks and place
@@ -334,9 +433,12 @@ let run_cmd =
              the fault.* counters go to stderr so program output stays
              byte-identical. *)
           let cfg =
-            Machine.Config.with_devices
-              (Machine.Config.with_faults Machine.Config.paper_default faults)
-              ~devices ~streams
+            Machine.Config.with_scales
+              (Machine.Config.with_devices
+                 (Machine.Config.with_faults Machine.Config.paper_default
+                    faults)
+                 ~devices ~streams)
+              scales
           in
           let mobs = Obs.create () in
           match
@@ -401,7 +503,7 @@ let run_cmd =
     Term.(
       const run $ file_arg $ fuel $ optimize_first $ midend_passes_arg
       $ midend_report_flag $ replay $ eval_arg $ residency $ faults_arg
-      $ devices_arg $ streams_arg)
+      $ devices_arg $ streams_arg $ machine_arg $ auto)
 
 (* --- simulate --- *)
 
@@ -1010,6 +1112,159 @@ let check_cmd =
       $ record $ faults_arg $ jobs $ eval_arg $ o $ midend_passes_arg
       $ residency $ devices_arg $ streams_arg)
 
+(* --- tune --- *)
+
+let tune_cmd =
+  let names_arg =
+    Arg.(value & pos_all string [] & info [] ~docv:"WORKLOAD")
+  in
+  let all =
+    Arg.(
+      value & flag
+      & info [ "all" ] ~doc:"Tune every workload in the registry")
+  in
+  let devices =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "devices" ] ~docv:"N"
+          ~doc:
+            "Largest device count to search (default 2); mutually \
+             exclusive with $(b,--machine)")
+  in
+  let streams =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "streams" ] ~docv:"K"
+          ~doc:
+            "Largest per-device stream count to search (default 2); \
+             mutually exclusive with $(b,--machine)")
+  in
+  let mode =
+    Arg.(
+      value & opt string "auto"
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:
+            "Search mode: $(b,auto) (exhaustive for small grids, hill \
+             climbing beyond), $(b,exhaustive), or $(b,hill)")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Domain-pool width for candidate evaluation (default: \
+             $(b,COMP_JOBS) if set, else the recommended domain count). \
+             The report is byte-identical at any width")
+  in
+  let run names all machine devices streams mode jobs =
+    let mode =
+      match mode with
+      | "auto" -> Tune.Auto
+      | "exhaustive" -> Tune.Exhaustive
+      | "hill" -> Tune.Hill
+      | m ->
+          die_usage
+            (Printf.sprintf "unknown mode %s (known: auto exhaustive hill)" m)
+    in
+    if machine <> None && (devices <> None || streams <> None) then
+      die_usage "tune: --machine and --devices/--streams are mutually \
+                 exclusive";
+    let fleet =
+      match machine with
+      | Some spec -> parse_machine spec
+      | None ->
+          {
+            Machine.Fleet.f_devices = Option.value devices ~default:2;
+            f_streams = Option.value streams ~default:2;
+            f_scales = [];
+          }
+    in
+    if fleet.Machine.Fleet.f_devices < 1 || fleet.Machine.Fleet.f_streams < 1
+    then die_usage "tune: --devices and --streams must be at least 1";
+    let names = if all then Workloads.Registry.names else names in
+    if names = [] then
+      die_usage
+        (Printf.sprintf
+           "tune: name at least one workload or pass --all (known: %s)"
+           (String.concat " " Workloads.Registry.names));
+    let wls =
+      List.map
+        (fun n ->
+          match Workloads.Registry.find n with
+          | Some w -> w
+          | None ->
+              die_usage
+                (Printf.sprintf "unknown workload %s (known: %s)" n
+                   (String.concat " " Workloads.Registry.names)))
+        names
+    in
+    let obs = Obs.create () in
+    let cache = Tune.Cache.create ~obs () in
+    let bcache = Transforms.Block_size.Cache.create ~obs () in
+    let base =
+      Machine.Config.with_scales Machine.Config.paper_default
+        fleet.Machine.Fleet.f_scales
+    in
+    Printf.printf "auto-tune: devices<=%d streams<=%d%s\n"
+      fleet.Machine.Fleet.f_devices fleet.Machine.Fleet.f_streams
+      (match fleet.Machine.Fleet.f_scales with
+      | [] -> ""
+      | s ->
+          " "
+          ^ String.concat ","
+              (List.concat_map
+                 (fun (d, (sc : Machine.Config.scale)) ->
+                   (if sc.Machine.Config.sc_cores <> 1.0 then
+                      [
+                        Printf.sprintf "dev%d:cores=%g" d
+                          sc.Machine.Config.sc_cores;
+                      ]
+                    else [])
+                   @
+                   if sc.Machine.Config.sc_bw <> 1.0 then
+                     [ Printf.sprintf "dev%d:bw=%g" d sc.Machine.Config.sc_bw ]
+                   else [])
+                 s));
+    Printf.printf "  %-14s %-33s %12s %12s %8s %9s %7s\n" "workload"
+      "best config" "makespan" "default" "speedup" "explored" "pruned";
+    List.iter
+      (fun (w : Workloads.Workload.t) ->
+        let pre =
+          Tune.prepare ~base ~obs ~block_cache:bcache
+            ~max_devices:fleet.Machine.Fleet.f_devices
+            ~max_streams:fleet.Machine.Fleet.f_streams w
+        in
+        let rep = Tune.run ?jobs ~obs ~cache ~mode pre in
+        Printf.printf "  %-14s %-33s %12.6f %12.6f %7.2fx %9d %7d\n"
+          w.Workloads.Workload.name
+          (Tune.config_to_string rep.Tune.r_best.Tune.pt_config)
+          rep.Tune.r_best.Tune.pt_makespan rep.Tune.r_default.Tune.pt_makespan
+          (Tune.speedup rep) rep.Tune.r_explored rep.Tune.r_pruned)
+      wls;
+    Printf.printf
+      "tune.explored=%d tune.pruned=%d tune.cache.hits=%d \
+       tune.cache.misses=%d tune.block_cache.hits=%d \
+       tune.block_cache.misses=%d\n"
+      (Obs.count obs "tune.explored")
+      (Obs.count obs "tune.pruned")
+      (Obs.count obs "tune.cache.hits")
+      (Obs.count obs "tune.cache.misses")
+      (Obs.count obs "tune.block_cache.hits")
+      (Obs.count obs "tune.block_cache.misses")
+  in
+  Cmd.v
+    (Cmd.info "tune"
+       ~doc:
+         "Search the (devices, streams, nblocks) space for each workload's \
+          makespan-optimal offload configuration, over an optionally \
+          heterogeneous device fleet")
+    Term.(
+      const run $ names_arg $ all $ machine_arg $ devices $ streams $ mode
+      $ jobs)
+
 (* --- serve --- *)
 
 let serve_cmd =
@@ -1185,5 +1440,5 @@ let () =
        (Cmd.group ~default:default_term (Cmd.info "compc" ~doc)
           [
             parse_cmd; optimize_cmd; run_cmd; simulate_cmd; report_cmd;
-            analyze_cmd; list_cmd; check_cmd; serve_cmd;
+            analyze_cmd; list_cmd; check_cmd; tune_cmd; serve_cmd;
           ]))

@@ -53,19 +53,31 @@ type myo = {
   max_total_bytes : int;
 }
 
+type scale = {
+  sc_cores : float;
+      (** multiplier on the device's compute throughput: 0.5 means the
+          card runs kernels at half speed *)
+  sc_bw : float;  (** multiplier on the device's PCIe link bandwidth *)
+}
+
 type t = {
   cpu : cpu;
   mic : mic;
   pcie : pcie;
   myo : myo;
   devices : int;
-      (** identical MIC cards attached to the host, each with its own
-          PCIe link described by [pcie]; the classic model is 1 *)
+      (** MIC cards attached to the host, each with its own PCIe link
+          described by [pcie]; the classic model is 1 *)
   streams : int;
       (** concurrent streams per device: the device's cores are
           partitioned evenly across them (a kernel on one stream runs
           on [cores/streams] cores), and all streams of a device
           contend for its one PCIe link *)
+  scales : (int * scale) list;
+      (** heterogeneous-fleet refinements, sorted by device index: the
+          named device's compute and link speed relative to [mic] /
+          [pcie].  Unlisted devices run at {!unit_scale} — the fleet
+          is homogeneous when this is empty *)
   fault : Fault.spec;
       (** injected-failure plan and recovery policy; {!Fault.none}
           (the default) costs nothing anywhere.  With [devices > 1]
@@ -117,6 +129,7 @@ let paper_default =
       };
     devices = 1;
     streams = 1;
+    scales = [];
     fault = Fault.none;
   }
 
@@ -125,6 +138,22 @@ let with_faults t fault = { t with fault }
 (** Install a device/stream grid; both clamped to at least 1. *)
 let with_devices t ~devices ~streams =
   { t with devices = max 1 devices; streams = max 1 streams }
+
+let unit_scale = { sc_cores = 1.0; sc_bw = 1.0 }
+
+(** Install per-device scale factors (sorted; kept as given otherwise). *)
+let with_scales t scales =
+  { t with scales = List.sort (fun (a, _) (b, _) -> compare a b) scales }
+
+(** Device [dev]'s scale; {!unit_scale} when the fleet does not refine it. *)
+let scale_for t dev =
+  Option.value (List.assoc_opt dev t.scales) ~default:unit_scale
+
+(** No device deviates from {!unit_scale}: the classic identical-cards
+    model, which the scheduler's legacy (uniform-cost) placement rule
+    reproduces exactly. *)
+let homogeneous t =
+  List.for_all (fun (_, s) -> s.sc_cores = 1.0 && s.sc_bw = 1.0) t.scales
 
 (** Total concurrent execution units: [devices * streams]. *)
 let units t = max 1 t.devices * max 1 t.streams

@@ -52,18 +52,26 @@ type myo = {
   max_total_bytes : int;
 }
 
+(** Heterogeneous-fleet refinement of one device, relative to [mic] /
+    [pcie]: [sc_cores] multiplies its compute throughput, [sc_bw] its
+    PCIe link bandwidth. *)
+type scale = { sc_cores : float; sc_bw : float }
+
 type t = {
   cpu : cpu;
   mic : mic;
   pcie : pcie;
   myo : myo;
   devices : int;
-      (** identical MIC cards attached to the host, each with its own
-          PCIe link described by [pcie]; the classic model is 1 *)
+      (** MIC cards attached to the host, each with its own PCIe link
+          described by [pcie]; the classic model is 1 *)
   streams : int;
       (** concurrent streams per device: cores are partitioned evenly
           across them, and all streams of a device contend for its one
           PCIe link *)
+  scales : (int * scale) list;
+      (** heterogeneous-fleet refinements, sorted by device index;
+          unlisted devices run at {!unit_scale} *)
   fault : Fault.spec;
       (** injected-failure plan and recovery policy; [Fault.none] (the
           default) costs nothing anywhere.  With [devices > 1] the
@@ -75,6 +83,19 @@ val with_faults : t -> Fault.spec -> t
 
 val with_devices : t -> devices:int -> streams:int -> t
 (** Install a device/stream grid; both clamped to at least 1. *)
+
+val unit_scale : scale
+(** [{ sc_cores = 1.0; sc_bw = 1.0 }]: a device with no refinement. *)
+
+val with_scales : t -> (int * scale) list -> t
+(** Install per-device scale factors (sorted by device index). *)
+
+val scale_for : t -> int -> scale
+(** Device [dev]'s scale; {!unit_scale} when the fleet does not refine
+    it. *)
+
+val homogeneous : t -> bool
+(** No device deviates from {!unit_scale}. *)
 
 val units : t -> int
 (** Total concurrent execution units: [devices * streams]. *)

@@ -76,8 +76,10 @@ let kind_of_direction = function H2d -> Obs.H2d | D2h -> Obs.D2h
 (** One DMA transfer of [bytes] over PCIe.  With [?obs], each model
     evaluation is counted ([cost.transfers.h2d]/[.d2h]) and the
     requested size recorded in a [xfer_bytes.*] histogram — the
-    per-transfer size distribution of Table III. *)
-let transfer_time ?obs (cfg : Config.t) dir ~bytes =
+    per-transfer size distribution of Table III.  [?dev] names the
+    owning device of a heterogeneous fleet: its [sc_bw] scale
+    multiplies the link bandwidth (latency is unaffected). *)
+let transfer_time ?obs ?(dev = 0) (cfg : Config.t) dir ~bytes =
   (match obs with
   | None -> ()
   | Some o ->
@@ -89,6 +91,7 @@ let transfer_time ?obs (cfg : Config.t) dir ~bytes =
     | H2d -> cfg.pcie.bw_h2d_gbs
     | D2h -> cfg.pcie.bw_d2h_gbs
   in
+  let bw = bw *. (Config.scale_for cfg dev).Config.sc_bw in
   if bytes <= 0. then 0. else cfg.pcie.latency_s +. (bytes /. (bw *. 1e9))
 
 (** Kernel launch overhead (the K of Section III-B); with [?obs] each

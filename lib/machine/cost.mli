@@ -33,11 +33,13 @@ type direction = H2d | D2h
 
 val kind_of_direction : direction -> Obs.kind
 
-val transfer_time : ?obs:Obs.t -> Config.t -> direction -> bytes:float -> float
+val transfer_time :
+  ?obs:Obs.t -> ?dev:int -> Config.t -> direction -> bytes:float -> float
 (** One DMA transfer over PCIe (latency + bytes/bandwidth; free at 0
-    bytes).  With [?obs], counts the evaluation
-    ([cost.transfers.h2d]/[.d2h]) and records the size in a
-    [xfer_bytes.*] histogram. *)
+    bytes).  [?dev] names the owning device of a heterogeneous fleet:
+    its [sc_bw] scale multiplies the link bandwidth.  With [?obs],
+    counts the evaluation ([cost.transfers.h2d]/[.d2h]) and records
+    the size in a [xfer_bytes.*] histogram. *)
 
 val launch_time : ?obs:Obs.t -> Config.t -> float
 (** Kernel launch overhead — the K of Section III-B.  With [?obs],

@@ -175,24 +175,58 @@ let schedule ?obs ?(params = Replay.default_params) (cfg : Config.t) events :
           Float.max unit_free.(d).(s) (Float.max h2d_free.(d) d2h_free.(d)))
         units
     in
-    let cost (b : block) =
-      let bytes cells = float_of_int cells *. params.Replay.bytes_per_cell in
-      Cost.transfer_time cfg Cost.H2d ~bytes:(bytes b.blk_h2d_cells)
-      +. Cost.transfer_time cfg Cost.D2h ~bytes:(bytes b.blk_d2h_cells)
-      +. Cost.launch_time cfg
-      +. float_of_int b.blk_work *. params.Replay.seconds_per_stmt
-         *. float_of_int streams
-    in
-    for i = from_block to n - 1 do
-      if executed.(i) = None then begin
-        let best = ref 0 in
-        for u = 1 to Array.length units - 1 do
-          if load.(u) < load.(!best) then best := u
-        done;
-        assigned.(i) <- units.(!best);
-        load.(!best) <- load.(!best) +. cost blocks.(i)
-      end
-    done
+    let bytes cells = float_of_int cells *. params.Replay.bytes_per_cell in
+    if Config.homogeneous cfg then begin
+      (* identical cards: the block costs the same everywhere, so pick
+         the least-loaded unit (first minimum) and charge it *)
+      let cost (b : block) =
+        Cost.transfer_time cfg Cost.H2d ~bytes:(bytes b.blk_h2d_cells)
+        +. Cost.transfer_time cfg Cost.D2h ~bytes:(bytes b.blk_d2h_cells)
+        +. Cost.launch_time cfg
+        +. float_of_int b.blk_work *. params.Replay.seconds_per_stmt
+           *. float_of_int streams
+      in
+      for i = from_block to n - 1 do
+        if executed.(i) = None then begin
+          let best = ref 0 in
+          for u = 1 to Array.length units - 1 do
+            if load.(u) < load.(!best) then best := u
+          done;
+          assigned.(i) <- units.(!best);
+          load.(!best) <- load.(!best) +. cost blocks.(i)
+        end
+      done
+    end
+    else begin
+      (* heterogeneous fleet: the same block finishes at different
+         times on different cards, so minimize estimated completion
+         (load + this unit's cost), not load alone — a slow enough
+         device never wins a block it would only delay *)
+      let cost_on (b : block) d =
+        let sc = Config.scale_for cfg d in
+        Cost.transfer_time ~dev:d cfg Cost.H2d ~bytes:(bytes b.blk_h2d_cells)
+        +. Cost.transfer_time ~dev:d cfg Cost.D2h ~bytes:(bytes b.blk_d2h_cells)
+        +. Cost.launch_time cfg
+        +. float_of_int b.blk_work *. params.Replay.seconds_per_stmt
+           *. float_of_int streams /. sc.Config.sc_cores
+      in
+      for i = from_block to n - 1 do
+        if executed.(i) = None then begin
+          let b = blocks.(i) in
+          let best = ref 0 in
+          let best_eta = ref (load.(0) +. cost_on b (fst units.(0))) in
+          for u = 1 to Array.length units - 1 do
+            let eta = load.(u) +. cost_on b (fst units.(u)) in
+            if eta < !best_eta then begin
+              best := u;
+              best_eta := eta
+            end
+          done;
+          assigned.(i) <- units.(!best);
+          load.(!best) <- !best_eta
+        end
+      done
+    end
   in
   if n > 0 then assign_all 0;
   (* a transfer on device [d]: consult its plan, charge retries and
@@ -209,7 +243,7 @@ let schedule ?obs ?(params = Replay.default_params) (cfg : Config.t) events :
         | Cost.D2h, Config.Full_duplex -> (d2h_free, Task.Pcie_d2h dev)
       in
       let kind = Cost.kind_of_direction dir in
-      let dur = Cost.transfer_time ?obs cfg dir ~bytes in
+      let dur = Cost.transfer_time ?obs ~dev cfg dir ~bytes in
       let start = Float.max at_least chan.(dev) in
       let busy, recovery, wire =
         match fleet with
@@ -279,17 +313,19 @@ let schedule ?obs ?(params = Replay.default_params) (cfg : Config.t) events :
         ~cells:(b.blk_h2d_cells + repay) ~at_least:ready.(i)
     in
     (* the stream's core partition runs the kernel [streams] times
-       slower than the whole device would *)
+       slower than the whole device would; a heterogeneous card scales
+       the whole-device rate by [sc_cores] *)
     let kdur =
       Cost.launch_time ?obs cfg
       +. float_of_int b.blk_work *. params.Replay.seconds_per_stmt
          *. float_of_int streams
+         /. (Config.scale_for cfg d).Config.sc_cores
     in
     let kstart = Float.max h2d_finish unit_free.(d).(s) in
     (* a reset wipes resident inputs that were NOT re-paid above *)
     let reset_xfer_s =
       if repay = 0 && b.blk_resident_cells > 0 then
-        Cost.transfer_time cfg Cost.H2d
+        Cost.transfer_time ~dev:d cfg Cost.H2d
           ~bytes:
             (float_of_int b.blk_resident_cells
             *. params.Replay.bytes_per_cell)

@@ -263,15 +263,50 @@ let exec (wk : work) =
    never on pool width, so merges (and hence [stats]) are
    width-independent. *)
 
+(* Estimated statement cost of one queued request.  [Parallel.run]
+   spawns fresh domains per call, which costs far more than executing
+   a small request; a batch whose estimated work is below
+   [spawn_threshold_stmts] runs inline instead (identical to the pool
+   at [jobs = 1], so responses stay byte-identical at every width).
+   The estimate reads only the merged sink, whose state at a batch
+   boundary is width-independent. *)
+let estimate_stmts t (wk : work) =
+  let run_estimate () =
+    match Obs.histogram t.sink "serve.work" with
+    | Some h ->
+        let m = Obs.mean h in
+        if Float.is_finite m then max 1 (int_of_float m) else 1_000
+    | None -> 1_000
+  in
+  match wk.w_action with
+  | A_run _ -> run_estimate ()
+  | A_check _ ->
+      (* differential runs of every applicable transform pair *)
+      24 * run_estimate ()
+  | A_optimize _ -> 4_000
+  | A_simulate _ -> 2_000
+
+let spawn_threshold_stmts = 50_000
+
 let flush_queue t =
   if t.npending > 0 then begin
     let items = Array.of_list (List.rev t.pending) in
     t.pending <- [];
     t.npending <- 0;
     Obs.observe t.sink "serve.batch" (float_of_int (Array.length items));
+    let estimated =
+      Array.fold_left (fun acc it -> acc + estimate_stmts t it) 0 items
+    in
     let results =
-      Parallel.run ?jobs:t.cfg.jobs (Array.length items) (fun i ->
-          exec items.(i))
+      if estimated < spawn_threshold_stmts then begin
+        Obs.incr t.sink "serve.inline_batches";
+        Array.to_list (Array.map exec items)
+      end
+      else begin
+        Obs.incr t.sink "serve.pooled_batches";
+        Parallel.run ?jobs:t.cfg.jobs (Array.length items) (fun i ->
+            exec items.(i))
+      end
     in
     List.iteri
       (fun i (line, ok, o) ->

@@ -98,3 +98,42 @@ let choose ?(candidates = [ 10; 20; 40; 50 ]) p =
 
 (** Speedup of streaming with [nblocks] over the naive offload. *)
 let speedup p ~nblocks = naive_time p /. streamed_time p ~nblocks
+
+(** Memoized {!choose}.  The tuner calls [choose] once per (machine,
+    loop-shape) pair while seeding its search; workloads re-visit the
+    same shapes constantly, so the cache keys on a caller-supplied
+    (machine, loop-shape) string plus the candidate grid and answers
+    repeats without re-evaluating T(N).  Hit/miss traffic lands in
+    [tune.block_cache.*]. *)
+module Cache = struct
+  type cache = {
+    tbl : (string, int) Hashtbl.t;
+    obs : Obs.t option;
+  }
+
+  let create ?obs () = { tbl = Hashtbl.create 64; obs }
+
+  let bump c name =
+    match c.obs with None -> () | Some o -> Obs.incr o name
+
+  (* [p] is part of the loop shape, so a well-formed [key] determines
+     it; the candidate grid is an independent caller choice, so it
+     joins the key rather than relying on the caller to fold it in *)
+  let full_key key candidates =
+    String.concat ":"
+      (key :: List.map string_of_int (Option.value candidates ~default:[]))
+
+  let choose c ~key ?candidates p =
+    let k = full_key key candidates in
+    match Hashtbl.find_opt c.tbl k with
+    | Some n ->
+        bump c "tune.block_cache.hits";
+        n
+    | None ->
+        bump c "tune.block_cache.misses";
+        let n = choose ?candidates p in
+        Hashtbl.add c.tbl k n;
+        n
+
+  let size c = Hashtbl.length c.tbl
+end

@@ -39,3 +39,20 @@ val choose : ?candidates:int list -> params -> int
 
 val speedup : params -> nblocks:int -> float
 (** [naive_time / streamed_time]. *)
+
+(** Memoized {!choose}, keyed by a caller-supplied (machine,
+    loop-shape) string plus the candidate grid.  A well-formed key
+    determines [params]; repeats answer from the table.  With [?obs],
+    lookups bump [tune.block_cache.hits] / [tune.block_cache.misses]. *)
+module Cache : sig
+  type cache
+
+  val create : ?obs:Obs.t -> unit -> cache
+
+  val choose : cache -> key:string -> ?candidates:int list -> params -> int
+  (** Same result as {!choose} (parity is tested); cached per
+      [(key, candidates)]. *)
+
+  val size : cache -> int
+  (** Distinct (key, candidates) pairs memoized so far. *)
+end

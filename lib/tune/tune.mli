@@ -1,0 +1,147 @@
+(** Auto-tuned offload configuration search over heterogeneous device
+    fleets.
+
+    Searches the per-workload (devices, streams, nblocks) space for
+    the makespan-optimal point, costing every candidate by replaying
+    the workload's event trace through {!Runtime.Migrate} on the
+    candidate machine.  Small grids are enumerated exhaustively; large
+    ones run a seeded coordinate descent.  Evaluations fan out over
+    {!Parallel} and merge in submission order, and ties break by
+    lexicographic config order — the winner is bit-identical at any
+    [--jobs] width.  A memo table plus the optional cross-search
+    {!Cache} guarantee no visited point is ever re-simulated.
+
+    Counters: [tune.explored] / [tune.pruned] for search traffic,
+    [tune.cache.hits] / [tune.cache.misses] for the shared cache. *)
+
+type config = { devices : int; streams : int; nblocks : int }
+
+val compare_config : config -> config -> int
+(** Lexicographic on (devices, streams, nblocks) — the tie-break
+    order. *)
+
+val config_to_string : config -> string
+(** ["devices=D,streams=S,nblocks=N"]. *)
+
+val default_config : config
+(** The baseline every speedup is measured against: one device, one
+    stream, {!Comp.default_nblocks}. *)
+
+type space = {
+  sp_devices : int list;
+  sp_streams : int list;
+  sp_nblocks : int list;
+}
+
+val default_nblocks_candidates : int list
+
+val space :
+  ?nblocks:int list -> max_devices:int -> max_streams:int -> unit -> space
+(** Devices [1..max_devices] x streams [1..max_streams] x the block
+    counts (clamped into [1, ]{!Transforms.Block_size.max_blocks}[]];
+    {!Comp.default_nblocks} always joins so the tuned point can never
+    lose to the default). *)
+
+val size : space -> int
+
+type mode =
+  | Auto  (** {!Exhaustive} for small grids, {!Hill} beyond *)
+  | Exhaustive
+  | Hill
+
+(** Cross-search memo of simulator evaluations, keyed (workload,
+    machine, trace).  Distinct from the serve [Source_cache], which
+    memoizes front-end {e compilation} keyed by source text. *)
+module Cache : sig
+  type t
+
+  val create : ?obs:Obs.t -> unit -> t
+  val find : t -> string -> float option
+  val add : t -> string -> float -> unit
+  val size : t -> int
+end
+
+type point = { pt_config : config; pt_makespan : float }
+
+type report = {
+  r_default : point;
+  r_best : point;
+  r_explored : int;  (** simulator evaluations actually run *)
+  r_pruned : int;  (** candidates answered without simulation *)
+  r_points : point list;  (** every evaluated point, in config order *)
+}
+
+val speedup : report -> float
+(** [default / best] makespan; [1.0] for degenerate zero-makespan
+    traces. *)
+
+val search :
+  ?jobs:int ->
+  ?obs:Obs.t ->
+  ?cache:Cache.t ->
+  ?cache_prefix:string ->
+  ?mode:mode ->
+  ?seeds:config list ->
+  space ->
+  eval:(config -> float) ->
+  keyfn:(config -> string) ->
+  report
+(** The generic engine.  [eval] must be pure (it runs on pool
+    domains); [keyfn] names the simulation a config denotes — configs
+    sharing a key share one evaluation.  {!default_config} is always
+    evaluated. *)
+
+(** {1 Workload glue} *)
+
+val machine_key : Machine.Config.t -> string
+(** The machine parameters a trace replay depends on, as a cache-key
+    fragment. *)
+
+type prepared = {
+  p_name : string;
+  p_base : Machine.Config.t;
+      (** devices/streams overridden per candidate; scales and fault
+          plan ride along *)
+  p_space : space;
+  p_traces : Minic.Interp.event list array;
+  p_trace_of_nblocks : (int * int) list;  (** nblocks -> trace index *)
+  p_seed_nblocks : int;
+      (** analytic {!Transforms.Block_size} seed for the hill search *)
+}
+
+val prepare_program :
+  ?base:Machine.Config.t ->
+  ?nblocks:int list ->
+  ?obs:Obs.t ->
+  ?block_cache:Transforms.Block_size.Cache.cache ->
+  max_devices:int ->
+  max_streams:int ->
+  name:string ->
+  Minic.Ast.program ->
+  prepared
+(** Compile the program once per candidate block count, dedupe the
+    lowered programs, interpret each distinct one for its trace, and
+    derive the analytic block-count seed (via the memoized
+    {!Transforms.Block_size.Cache}). *)
+
+val prepare :
+  ?base:Machine.Config.t ->
+  ?nblocks:int list ->
+  ?obs:Obs.t ->
+  ?block_cache:Transforms.Block_size.Cache.cache ->
+  max_devices:int ->
+  max_streams:int ->
+  Workloads.Workload.t ->
+  prepared
+(** {!prepare_program} on a registry workload's kernel source. *)
+
+val eval_config : prepared -> config -> float
+(** Makespan of one candidate: {!Runtime.Migrate.makespan} of the
+    config's trace on the config's machine. *)
+
+val key_config : prepared -> config -> string
+
+val run :
+  ?jobs:int -> ?obs:Obs.t -> ?cache:Cache.t -> ?mode:mode -> prepared -> report
+(** {!search} over the prepared workload, seeded with the analytic
+    block count at full fleet width. *)

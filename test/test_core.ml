@@ -39,4 +39,5 @@ let () =
       ("workloads", Test_workloads.suite);
       ("experiments", Test_experiments.suite);
       ("serve", Test_serve.suite);
+      ("tune", Test_tune.suite);
     ]

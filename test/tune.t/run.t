@@ -1,0 +1,58 @@
+`compc tune` searches the (devices, streams, nblocks) space per
+workload and reports the makespan-optimal point, the speedup over the
+default single-device configuration, and the search traffic:
+
+  $ compc tune blackscholes --devices 2 --streams 2
+  auto-tune: devices<=2 streams<=2
+    workload       best config                           makespan      default  speedup  explored  pruned
+    blackscholes   devices=2,streams=2,nblocks=4         0.036809     0.092538    2.51x        44       1
+  tune.explored=44 tune.pruned=1 tune.cache.hits=0 tune.cache.misses=44 tune.block_cache.hits=13 tune.block_cache.misses=7
+
+The report is deterministic at any pool width (the @tune alias diffs
+--jobs 1 against --jobs 2); here width 4 must reproduce the same bytes:
+
+  $ compc tune blackscholes --devices 2 --streams 2 --jobs 4
+  auto-tune: devices<=2 streams<=2
+    workload       best config                           makespan      default  speedup  explored  pruned
+    blackscholes   devices=2,streams=2,nblocks=4         0.036809     0.092538    2.51x        44       1
+  tune.explored=44 tune.pruned=1 tune.cache.hits=0 tune.cache.misses=44 tune.block_cache.hits=13 tune.block_cache.misses=7
+
+A heterogeneous fleet spec scales individual devices; with device 1 at
+5% compute and bandwidth the tuner keeps the work off it, preferring a
+single fast device over a lopsided pair:
+
+  $ compc tune blackscholes --machine "devices=2,streams=2,dev1:cores=0.05,bw=0.05"
+  auto-tune: devices<=2 streams<=2 dev1:cores=0.05,dev1:bw=0.05
+    workload       best config                           makespan      default  speedup  explored  pruned
+    blackscholes   devices=1,streams=1,nblocks=1         0.070687     0.092538    1.31x        44       1
+  tune.explored=44 tune.pruned=1 tune.cache.hits=0 tune.cache.misses=44 tune.block_cache.hits=13 tune.block_cache.misses=7
+
+Input errors are usage errors (exit 2), never crashes.  An unknown
+workload name:
+
+  $ compc tune nosuch
+  unknown workload nosuch (known: blackscholes streamcluster ferret dedup freqmine kmeans cg cfd nn srad bfs hotspot)
+  [2]
+
+No workloads at all:
+
+  $ compc tune
+  tune: name at least one workload or pass --all (known: blackscholes streamcluster ferret dedup freqmine kmeans cg cfd nn srad bfs hotspot)
+  [2]
+
+A malformed machine spec is a typed parse error naming the offending
+token:
+
+  $ compc tune blackscholes --machine "devices=2,dev7:cores=0.5"
+  machine: device index out of range (devices=2) in "dev7"
+  [2]
+
+  $ compc tune blackscholes --machine "devices=2,cores=0.5"
+  machine: cores=/bw= needs a devN: prefix (or a preceding devN: clause) in "cores=0.5"
+  [2]
+
+And the two ways of naming a fleet are mutually exclusive:
+
+  $ compc tune blackscholes --machine "devices=2" --devices 3
+  tune: --machine and --devices/--streams are mutually exclusive
+  [2]
